@@ -1,0 +1,68 @@
+// Ablation: scheduling policy on an imbalanced stencil workload.
+//
+// DESIGN.md calls out two scheduler decisions the paper's results lean on:
+// (a) work stealing absorbs load imbalance ("the scheduler deals with the
+// load imbalance", §I), and (b) deterministic block placement preserves
+// first-touch locality (§VII-A). These pull in opposite directions; this
+// bench quantifies both on a deliberately imbalanced row workload where
+// row cost grows linearly with the row index.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "px/px.hpp"
+
+namespace {
+
+// Simulated imbalanced sweep: row r costs ~r units of work.
+double run_sweep(px::runtime& rt, px::execution::parallel_policy policy,
+                 std::size_t rows, std::size_t reps) {
+  volatile double sink = 0;
+  px::high_resolution_timer t;
+  px::sync_wait(rt, [&] {
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      px::parallel::for_loop(policy, 0, rows, [&](std::size_t r) {
+        double acc = 0;
+        for (std::size_t k = 0; k < 40 * (r + 1); ++k)
+          acc += static_cast<double>(k) * 1e-9;
+        sink = sink + acc;
+      });
+    }
+    return 0;
+  });
+  return t.elapsed();
+}
+
+}  // namespace
+
+int main() {
+  px::bench::print_header(
+      "ABLATION — work stealing vs static block placement",
+      "Imbalanced row sweep (cost of row r ~ r); lower is better.");
+
+  px::scheduler_config cfg;
+  cfg.num_workers = 4;
+  px::runtime rt(cfg);
+  constexpr std::size_t rows = 256, reps = 6;
+
+  px::block_executor block_ex(rt.sched());
+  px::thread_pool_executor pool_ex(rt.sched());
+
+  double const stealing =
+      run_sweep(rt, px::execution::par.on(pool_ex).with(1), rows, reps);
+  double const block =
+      run_sweep(rt, px::execution::par.on(block_ex).with(1), rows, reps);
+  double const coarse = run_sweep(
+      rt, px::execution::par.on(pool_ex).with(rows / 4), rows, reps);
+
+  std::printf("  work stealing, fine grain   : %7.3f s\n", stealing);
+  std::printf("  block placement, fine grain : %7.3f s\n", block);
+  std::printf("  work stealing, coarse grain : %7.3f s\n", coarse);
+  std::printf("\nblock/stealing time ratio = %.2f (block placement pins the"
+              " expensive tail rows to one worker; stealing rebalances)\n",
+              block / stealing);
+  std::printf("Note: on a single-core host the ratio compresses; on real "
+              "multi-core nodes block placement loses by ~the imbalance "
+              "factor unless data locality repays it (the 2D stencil case,"
+              " where rows cost the same and first-touch wins).\n");
+  return 0;
+}

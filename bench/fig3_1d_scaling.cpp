@@ -1,0 +1,154 @@
+// Fig 3: 1D stencil distributed strong/weak scaling. Strong: 1.2e9 points
+// total; weak: 480e6 points per node; 100 time steps; 1-8 nodes.
+//
+// Part 1 prints the modeled curves for the paper machines (including the
+// §VII-A headline factors). Part 2 runs the *real* px distributed solver
+// on virtual localities at reduced size, demonstrating latency hiding on
+// a capable fabric vs exposure on the Hi1616 model.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "px/arch/cluster_sim.hpp"
+#include "px/stencil/stencil.hpp"
+#include "px/support/env.hpp"
+#include "px/support/timer.hpp"
+
+namespace {
+
+void real_virtual_cluster_run(px::net::fabric_model fm, std::size_t nodes,
+                              std::size_t points, std::size_t steps) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = nodes;
+  cfg.locality_cfg.num_workers = 1;
+  cfg.fabric = fm;
+  cfg.injection_scale = 1.0;
+  px::dist::distributed_domain dom(cfg);
+  auto initial = px::stencil::heat1d_sine_initial(points);
+  px::stencil::dist_heat_config hc;
+  hc.steps = steps;
+  auto result = px::stencil::run_distributed_heat1d(dom, initial, hc);
+  auto ref = px::stencil::reference_heat1d(initial, steps, hc.k);
+  std::printf("  %zu nodes on %-26s: %7.3f s, %6llu halo msgs, "
+              "%.1f us modeled wire, err %.1e\n",
+              nodes, fm.name.c_str(), result.seconds,
+              static_cast<unsigned long long>(result.halo_messages),
+              dom.fabric().counters().modeled_us(),
+              px::stencil::max_abs_diff(result.values, ref));
+}
+
+}  // namespace
+
+int main() {
+  using namespace px::arch;
+  px::bench::print_header(
+      "FIG 3 — 1D stencil: distributed strong and weak scaling",
+      "Strong: 1.2e9 points total. Weak: 480e6 points/node. 100 steps.");
+
+  machine const machines[] = {xeon_e5_2660v3(), kunpeng916(), thunderx2(),
+                              a64fx()};
+
+  std::printf("STRONG SCALING — execution time (s)\n");
+  std::printf("nodes");
+  for (auto const& m : machines) std::printf(" | %-11s", m.short_name.c_str());
+  std::printf("\n%s\n", std::string(62, '-').c_str());
+  for (std::size_t n = 1; n <= 8; n *= 2) {
+    std::printf("%5zu", n);
+    for (auto const& m : machines)
+      std::printf(" | %11.2f", heat1d_strong_time_s(m, n));
+    std::printf("\n");
+  }
+
+  std::printf("\nWEAK SCALING — execution time (s)\n");
+  std::printf("nodes");
+  for (auto const& m : machines) std::printf(" | %-11s", m.short_name.c_str());
+  std::printf("\n%s\n", std::string(62, '-').c_str());
+  for (std::size_t n = 1; n <= 8; n *= 2) {
+    std::printf("%5zu", n);
+    for (auto const& m : machines)
+      std::printf(" | %11.2f", heat1d_weak_time_s(m, n));
+    std::printf("\n");
+  }
+
+  std::printf("\nHeadline checks (§VII-A):\n");
+  std::printf("  Xeon  strong: %.1f s -> %.1f s over 8 nodes "
+              "(factor %.2f; paper: 28 -> 3.8, 7.36x)\n",
+              heat1d_strong_time_s(machines[0], 1),
+              heat1d_strong_time_s(machines[0], 8),
+              heat1d_strong_scaling_factor(machines[0], 8));
+  std::printf("  A64FX strong: %.1f s -> %.1f s (factor %.2f; paper: "
+              "18 -> 2.5, 7.2x)\n",
+              heat1d_strong_time_s(machines[3], 1),
+              heat1d_strong_time_s(machines[3], 8),
+              heat1d_strong_scaling_factor(machines[3], 8));
+  std::printf("  Weak flatness: Xeon %.1f s and A64FX %.1f s irrespective "
+              "of node count (paper: 12 s / 7.5 s)\n",
+              heat1d_weak_time_s(machines[0], 8),
+              heat1d_weak_time_s(machines[3], 8));
+  std::printf("  Kunpeng weak scaling degrades %.1fx from 1 to 8 nodes "
+              "(starved NIC)\n",
+              heat1d_weak_time_s(machines[1], 8) /
+                  heat1d_weak_time_s(machines[1], 1));
+
+  // Machine-readable dump of both regimes.
+  {
+    std::vector<std::vector<double>> rows;
+    for (std::size_t n = 1; n <= 8; ++n) {
+      std::vector<double> row{static_cast<double>(n)};
+      for (auto const& m : machines) row.push_back(heat1d_strong_time_s(m, n));
+      for (auto const& m : machines) row.push_back(heat1d_weak_time_s(m, n));
+      rows.push_back(std::move(row));
+    }
+    px::bench::write_csv(
+        "fig3_1d_scaling",
+        {"nodes", "strong_xeon", "strong_kunpeng916", "strong_tx2",
+         "strong_a64fx", "weak_xeon", "weak_kunpeng916", "weak_tx2",
+         "weak_a64fx"},
+        rows);
+  }
+
+  // ---- discrete-event cross-check ---------------------------------------
+  // The same curves derived from mechanism: an event-driven simulation of
+  // the halo-exchange protocol (compute/comm overlap per node) instead of
+  // the closed-form fit. Agreement within a few percent on capable
+  // machines validates that the fitted curves are overlap-consistent.
+  std::printf("\nDES CROSS-CHECK — simulated makespan vs closed form "
+              "(strong scaling, s):\n");
+  std::printf("nodes");
+  for (auto const& m : machines)
+    std::printf(" | %-17s", m.short_name.c_str());
+  std::printf("\n     ");
+  for (std::size_t i = 0; i < 4; ++i) std::printf(" |   DES   closed  ");
+  std::printf("\n%s\n", std::string(85, '-').c_str());
+  for (std::size_t n = 1; n <= 8; n *= 2) {
+    std::printf("%5zu", n);
+    for (auto const& m : machines)
+      std::printf(" | %7.2f %7.2f  ", simulated_strong_time_s(m, n),
+                  heat1d_strong_time_s(m, n));
+    std::printf("\n");
+  }
+  {
+    cluster_sim_config sc;
+    sc.nodes = 8;
+    auto res = simulate_heat1d_cluster(machines[0], fabric_for(machines[0]),
+                                       sc);
+    std::printf("(8-node Xeon run: %llu DES events, %llu halo messages, "
+                "%.1f ms total exposed wait — latency fully hidden)\n",
+                static_cast<unsigned long long>(res.des_events),
+                static_cast<unsigned long long>(res.messages),
+                res.exposed_wait_s * 1e3);
+  }
+
+  // ---- real run on virtual localities -----------------------------------
+  std::size_t const points = px::env_size("PX_POINTS").value_or(400'000);
+  std::size_t const steps = px::env_size("PX_STEPS").value_or(30);
+  std::printf("\nREAL RUN — px solver on in-process virtual localities "
+              "(%zu points, %zu steps):\n",
+              points, steps);
+  for (std::size_t n : {1u, 2u, 4u}) {
+    real_virtual_cluster_run(px::net::infiniband_edr(), n, points, steps);
+  }
+  real_virtual_cluster_run(px::net::hi1616_nic(), 4, points, steps);
+  std::printf("  (single host core: wall times do not scale; the check is "
+              "correctness + wire-time accounting)\n");
+  return 0;
+}

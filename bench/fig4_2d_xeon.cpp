@@ -1,0 +1,15 @@
+// Fig 4: 2D stencil on Intel Xeon E5-2660 v3, 8192x131072 grid, 100 steps.
+#include "bench_common.hpp"
+#include "px/support/env.hpp"
+
+int main() {
+  px::bench::print_header(
+      "FIG 4 — 2D stencil: Intel Xeon E5-2660 v3",
+      "8192x131072 grid, 100 time steps; four data-type variants vs "
+      "roofline expected peaks.");
+  px::bench::print_fig_2d(px::arch::xeon_e5_2660v3(), 8192, 131072, 100);
+  px::bench::host_validate_2d(px::env_size("PX_NX").value_or(512),
+                              px::env_size("PX_NY").value_or(256),
+                              px::env_size("PX_STEPS").value_or(20));
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Fig 5: 2D stencil on HiSilicon Kunpeng 916 (Hi1616), 8192x131072, 100
+// steps — including the NUMA saturation dips at 40 and 64 cores.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace px::arch;
+  px::bench::print_header(
+      "FIG 5 — 2D stencil: Huawei Kunpeng 916 (Hi1616)",
+      "8192x131072 grid, 100 time steps; note the 32->40 and 56->64 core "
+      "dips (§VII-B NUMA analysis).");
+  machine m = kunpeng916();
+  px::bench::print_fig_2d(m, 8192, 131072, 100);
+
+  stencil2d_model model(m);
+  std::printf("\nNUMA dip checks: glups(40)/glups(32) = %.2f (< 1), "
+              "glups(64)/glups(56) = %.2f (< 1), glups(48)/glups(32) = "
+              "%.2f (> 1)\n",
+              model.glups(40, 4, true) / model.glups(32, 4, true),
+              model.glups(64, 4, true) / model.glups(56, 4, true),
+              model.glups(48, 4, true) / model.glups(32, 4, true));
+  return 0;
+}

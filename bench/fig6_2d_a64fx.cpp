@@ -1,0 +1,27 @@
+// Fig 6: 2D stencil on Fujitsu A64FX (compute cores only), 8192x131072,
+// 100 steps. Expected Peak Max assumes two memory transfers per LUP,
+// Expected Peak Min three — the A64FX curves track the Max line thanks to
+// its 256-byte cache lines (inherent cache blocking, +49%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace px::arch;
+  px::bench::print_header(
+      "FIG 6 — 2D stencil: Fujitsu A64FX (compute cores only)",
+      "8192x131072 grid, 100 time steps; peaks at 2 (max) and 3 (min) "
+      "transfers per iteration.");
+  machine m = a64fx();
+  px::bench::print_fig_2d(m, 8192, 131072, 100);
+
+  stencil2d_model model(m);
+  std::printf("\n§VII-B checks: full-node float run < 2 s (%.2f s), "
+              "double ~3.5 s (%.2f s); cache-blocking bonus "
+              "peak-max/peak-min = %.2f (paper: 1.49)\n",
+              model.run_time_s(48, 8192, 131072, 100, 4, true),
+              model.run_time_s(48, 8192, 131072, 100, 8, true),
+              model.expected_peak_max_glups(48, 4) /
+                  model.expected_peak_min_glups(48, 4));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Micro-benchmarks of the parallel algorithms: chunk-size sweep for
+// for_each (the grain-size/contention trade-off of §VII-B), reduce, and
+// executor placement cost.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "px/px.hpp"
+
+namespace {
+
+px::runtime& shared_rt() {
+  static px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 2;
+    return c;
+  }()};
+  return rt;
+}
+
+void BM_ForEachChunkSweep(benchmark::State& state) {
+  auto& rt = shared_rt();
+  std::size_t const n = 1 << 16;
+  std::size_t const chunk = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 1.0);
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      px::parallel::for_each(px::execution::par.with(chunk), v.begin(),
+                             v.end(), [](double& x) { x *= 1.0000001; });
+    }
+    return 0;
+  });
+  benchmark::DoNotOptimize(v[0]);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+// Chunk sizes from pathological (tiny grain: contention-dominated, the
+// A64FX concern of §VII-B) to coarse.
+BENCHMARK(BM_ForEachChunkSweep)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  auto& rt = shared_rt();
+  std::size_t const n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n, 0.5);
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      double s = px::parallel::reduce(px::execution::par, v.begin(),
+                                      v.end(), 0.0, std::plus<>{});
+      benchmark::DoNotOptimize(s);
+    }
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelReduce)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_SequentialBaselineForEach(benchmark::State& state) {
+  std::size_t const n = 1 << 16;
+  std::vector<double> v(n, 1.0);
+  for (auto _ : state) {
+    px::parallel::for_each(px::execution::seq, v.begin(), v.end(),
+                           [](double& x) { x *= 1.0000001; });
+  }
+  benchmark::DoNotOptimize(v[0]);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SequentialBaselineForEach);
+
+void BM_BlockExecutorForLoop(benchmark::State& state) {
+  auto& rt = shared_rt();
+  px::block_executor ex(rt.sched());
+  auto policy = px::execution::par.on(ex);
+  std::size_t const n = 1 << 16;
+  std::vector<double> v(n, 1.0);
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      px::parallel::for_loop(policy, 0, n,
+                             [&](std::size_t i) { v[i] *= 1.0000001; });
+    }
+    return 0;
+  });
+  benchmark::DoNotOptimize(v[0]);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BlockExecutorForLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

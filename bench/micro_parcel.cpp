@@ -1,0 +1,88 @@
+// Micro-benchmarks of the parcel subsystem: action round-trip latency and
+// throughput vs payload size (the cost model behind the 1D solver's halo
+// traffic), serialization cost.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "px/dist/distributed_domain.hpp"
+#include "px/serial/archive.hpp"
+
+namespace {
+
+double sum_payload(std::vector<double> v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+int tiny_action(int x) { return x + 1; }
+
+}  // namespace
+
+PX_REGISTER_ACTION(sum_payload)
+PX_REGISTER_ACTION(tiny_action)
+
+namespace {
+
+px::dist::distributed_domain& shared_domain() {
+  static px::dist::distributed_domain dom([] {
+    px::dist::domain_config cfg;
+    cfg.num_localities = 2;
+    cfg.locality_cfg.num_workers = 1;
+    cfg.injection_scale = 0.0;  // measure software cost, not modeled wire
+    return cfg;
+  }());
+  return dom;
+}
+
+void BM_ActionRoundtripTiny(benchmark::State& state) {
+  auto& dom = shared_domain();
+  dom.run([&state](px::dist::locality& loc0) {
+    for (auto _ : state)
+      benchmark::DoNotOptimize(loc0.call<&tiny_action>(1, 7).get());
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActionRoundtripTiny);
+
+void BM_ActionRoundtripPayload(benchmark::State& state) {
+  auto& dom = shared_domain();
+  std::size_t const elems = static_cast<std::size_t>(state.range(0));
+  dom.run([&](px::dist::locality& loc0) {
+    std::vector<double> payload(elems, 1.0);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          loc0.call<&sum_payload>(1, payload).get());
+    }
+    return 0;
+  });
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(elems * sizeof(double)));
+}
+BENCHMARK(BM_ActionRoundtripPayload)->Arg(8)->Arg(1024)->Arg(65536);
+
+void BM_SerializeVector(benchmark::State& state) {
+  std::vector<double> v(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    auto bytes = px::serial::to_bytes(v);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(v.size() *
+                                                    sizeof(double)));
+}
+BENCHMARK(BM_SerializeVector)->Arg(1024)->Arg(65536);
+
+void BM_ApplyFireAndForget(benchmark::State& state) {
+  auto& dom = shared_domain();
+  dom.run([&state](px::dist::locality& loc0) {
+    for (auto _ : state) loc0.apply<&tiny_action>(1, 1);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ApplyFireAndForget);
+
+}  // namespace
+
+BENCHMARK_MAIN();

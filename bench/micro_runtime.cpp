@@ -1,0 +1,127 @@
+// Micro-benchmarks of the runtime primitives the paper's performance
+// depends on: task spawn/execute latency, future round trips, yields,
+// channel transfers, LCO operations. These quantify the "overheads" axis
+// of the ParalleX SLOW model (§III-A).
+#include <benchmark/benchmark.h>
+
+#include "px/px.hpp"
+
+namespace {
+
+px::runtime& shared_rt() {
+  static px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 2;
+    return c;
+  }()};
+  return rt;
+}
+
+void BM_TaskSpawnAndDrain(benchmark::State& state) {
+  auto& rt = shared_rt();
+  std::size_t const batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<std::size_t> done{0};
+    for (std::size_t i = 0; i < batch; ++i)
+      rt.post([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    rt.wait_quiescent();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TaskSpawnAndDrain)->Arg(64)->Arg(1024);
+
+void BM_AsyncFutureRoundtrip(benchmark::State& state) {
+  auto& rt = shared_rt();
+  for (auto _ : state) {
+    auto f = px::async_on(rt, [] { return 1; });
+    benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AsyncFutureRoundtrip);
+
+void BM_ReadyFutureThen(benchmark::State& state) {
+  auto& rt = shared_rt();
+  px::sync_wait(rt, [&state] {
+    for (auto _ : state) {
+      auto f = px::make_ready_future(1).then(
+          [](px::future<int> x) { return x.get() + 1; });
+      benchmark::DoNotOptimize(f.get());
+    }
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadyFutureThen);
+
+void BM_TaskYield(benchmark::State& state) {
+  auto& rt = shared_rt();
+  px::sync_wait(rt, [&state] {
+    for (auto _ : state) px::this_task::yield();
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskYield);
+
+void BM_ChannelPingPong(benchmark::State& state) {
+  auto& rt = shared_rt();
+  px::channel<int> ping, pong;
+  std::atomic<bool> stop{false};
+  rt.post([&] {
+    for (;;) {
+      int v = ping.get();
+      if (v < 0) return;
+      pong.send(v + 1);
+    }
+  });
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      ping.send(1);
+      benchmark::DoNotOptimize(pong.get());
+    }
+    return 0;
+  });
+  ping.send(-1);
+  rt.wait_quiescent();
+  benchmark::DoNotOptimize(stop.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelPingPong);
+
+void BM_LatchCountdown(benchmark::State& state) {
+  auto& rt = shared_rt();
+  std::size_t const parties = 16;
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      px::latch l(static_cast<std::ptrdiff_t>(parties));
+      for (std::size_t i = 0; i < parties; ++i)
+        px::post([&l] { l.count_down(); });
+      l.wait();
+    }
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(parties));
+}
+BENCHMARK(BM_LatchCountdown);
+
+void BM_FiberMutexUncontended(benchmark::State& state) {
+  auto& rt = shared_rt();
+  px::mutex m;
+  px::sync_wait(rt, [&] {
+    for (auto _ : state) {
+      m.lock();
+      m.unlock();
+    }
+    return 0;
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberMutexUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

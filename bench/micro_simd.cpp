@@ -1,0 +1,91 @@
+// Micro-benchmarks of the SIMD substrate: the 5-point stencil row kernel
+// as scalar auto-vectorized code vs explicit packs across widths, plus the
+// VNS seam operations (the per-row cost of the halo shuffle).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "px/simd/simd.hpp"
+#include "px/support/aligned.hpp"
+
+namespace {
+
+using px::simd::pack;
+
+template <typename T>
+void BM_ScalarRowKernel(benchmark::State& state) {
+  std::size_t const n = static_cast<std::size_t>(state.range(0));
+  std::vector<T, px::aligned_allocator<T, 64>> up(n + 2, T(1)),
+      mid(n + 2, T(2)), down(n + 2, T(3)), out(n + 2, T(0));
+  for (auto _ : state) {
+    for (std::size_t x = 1; x <= n; ++x)
+      out[x] = (mid[x - 1] + mid[x + 1] + up[x] + down[x]) * T(0.25);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScalarRowKernel<float>)->Arg(8192);
+BENCHMARK(BM_ScalarRowKernel<double>)->Arg(8192);
+
+template <typename P>
+void BM_PackRowKernel(benchmark::State& state) {
+  using T = typename P::value_type;
+  std::size_t const cells =
+      static_cast<std::size_t>(state.range(0)) / P::width;
+  std::vector<P, px::aligned_allocator<P, 64>> up(cells + 2, P(T(1))),
+      mid(cells + 2, P(T(2))), down(cells + 2, P(T(3))),
+      out(cells + 2, P(T(0)));
+  for (auto _ : state) {
+    for (std::size_t s = 1; s <= cells; ++s)
+      out[s] = (mid[s - 1] + mid[s + 1] + up[s] + down[s]) * P(T(0.25));
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cells * P::width));
+}
+BENCHMARK(BM_PackRowKernel<pack<float, 4>>)->Arg(8192);   // NEON shape
+BENCHMARK(BM_PackRowKernel<pack<float, 8>>)->Arg(8192);   // AVX2 shape
+BENCHMARK(BM_PackRowKernel<pack<float, 16>>)->Arg(8192);  // SVE-512 shape
+BENCHMARK(BM_PackRowKernel<pack<double, 2>>)->Arg(8192);
+BENCHMARK(BM_PackRowKernel<pack<double, 4>>)->Arg(8192);
+BENCHMARK(BM_PackRowKernel<pack<double, 8>>)->Arg(8192);
+
+template <typename P>
+void BM_HaloShuffle(benchmark::State& state) {
+  using T = typename P::value_type;
+  P edge(T(7));
+  T ghost = T(3);
+  for (auto _ : state) {
+    auto l = px::simd::vns::left_seam(edge, ghost);
+    auto r = px::simd::vns::right_seam(edge, ghost);
+    benchmark::DoNotOptimize(l);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaloShuffle<pack<float, 8>>);
+BENCHMARK(BM_HaloShuffle<pack<double, 8>>);
+
+template <typename P>
+void BM_VnsEncodeDecode(benchmark::State& state) {
+  using T = typename P::value_type;
+  std::size_t const nv = 1024;
+  std::vector<T> row(P::width * nv, T(1));
+  std::vector<P, px::aligned_allocator<P, 64>> packs(nv);
+  for (auto _ : state) {
+    px::simd::vns::encode<T, P::width>(
+        std::span<T const>(row), packs.data(), nv);
+    px::simd::vns::decode<T, P::width>(packs.data(), std::span<T>(row), nv);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(row.size()));
+}
+BENCHMARK(BM_VnsEncodeDecode<pack<float, 8>>);
+BENCHMARK(BM_VnsEncodeDecode<pack<double, 4>>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Table II: benchmark dependencies — the paper's stack next to the
+// from-scratch equivalents this reproduction provides.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "px/parcel/action_registry.hpp"
+#include "px/simd/abi.hpp"
+#include "px/support/topology.hpp"
+
+int main() {
+  px::bench::print_header(
+      "TABLE II — Benchmark dependencies configuration",
+      "Paper stack -> px reproduction equivalents (all built from "
+      "scratch in this repository).");
+
+  std::printf("%-14s | %-16s | %s\n", "Package", "Paper version",
+              "px equivalent");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  std::printf("%-14s | %-16s | %s\n", "GCC", "10.1",
+              "host compiler, " __VERSION__);
+  std::printf("%-14s | %-16s | %s\n", "hwloc", "2.1",
+              "px::topology (sysfs) + pin_this_thread");
+  std::printf("%-14s | %-16s | %s\n", "jemalloc", "5.2.1",
+              "px::aligned_allocator + pooled fiber stacks");
+  std::printf("%-14s | %-16s | %s\n", "boost", "1.66",
+              "not needed (C++20 + px::support)");
+  std::printf("%-14s | %-16s | %s\n", "HPX", "commit c62d992",
+              "px runtime: fibers, work stealing, futures, LCOs, AGAS, "
+              "parcels");
+  std::printf("%-14s | %-16s | %s\n", "NSIMD", "commit d4f9fc5",
+              "px::simd::pack (GCC vector extensions, VNS layout)");
+  std::printf("%-14s | %-16s | %s\n", "PAPI", "6.0.0",
+              "px::arch::perf_counters (perf_event_open) + counter model");
+
+  auto const& topo = px::host_topology();
+  std::printf("\nhost: %zu logical cpus, %zu physical cores, %zu NUMA "
+              "domains; native vector width %zu bits; %zu registered "
+              "parcel actions\n",
+              topo.logical_cpus, topo.physical_cores, topo.numa_domains,
+              px::simd::abi::native_vector_bits,
+              px::parcel::action_registry::instance().size());
+  return 0;
+}

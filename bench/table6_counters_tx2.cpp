@@ -1,0 +1,20 @@
+// Table VI: hardware counters for Marvell ThunderX2 (instructions, L2
+// cache misses, backend stalls). Explicit vectorization cuts backend
+// stalls ~58% for floats — the mechanism behind its 50-60% speedups.
+#include "bench_common.hpp"
+
+int main() {
+  px::bench::print_header(
+      "TABLE VI — Hardware counters: Marvell ThunderX2",
+      "Analytic counter model vs the paper's measurements.");
+  px::bench::print_counter_table(
+      px::arch::thunderx2(),
+      {
+          {"Float", 4.039e10, 1.811e9, -1, 1.522e10},
+          {"Vector Float", 4.394e10, 1.69e9, -1, 6.437e9},
+          {"Double", 8.065e10, 5.716e9, -1, 3.298e10},
+          {"Vector Double", 8.756e10, 6.055e9, -1, 2.826e10},
+      },
+      "L2 Cache Misses");
+  return 0;
+}

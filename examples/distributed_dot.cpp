@@ -1,0 +1,82 @@
+// distributed_dot — partitioned vectors + collectives: two AGAS-backed
+// vectors spread over a virtual cluster, a dot product computed block-
+// locally on each locality, partials reduced at the caller. Demonstrates
+// the data-in-AGAS programming style (hpx::partitioned_vector).
+#include <cstdio>
+#include <numeric>
+
+#include "px/dist/collectives.hpp"
+#include "px/dist/partitioned_vector.hpp"
+
+namespace {
+
+using pv = px::dist::partitioned_vector<double>;
+
+// Block-local dot product: both vectors decompose identically, so block b
+// of x pairs with block b of y on the same locality — no data motion.
+double dot_block(px::dist::locality& here, px::agas::gid gx,
+                 px::agas::gid gy) {
+  auto bx = here.agas().resolve<px::dist::pv_block<double>>(gx);
+  auto by = here.agas().resolve<px::dist::pv_block<double>>(gy);
+  if (!bx || !by || bx->data.size() != by->data.size())
+    throw std::runtime_error("dot_block: mismatched blocks");
+  double s = 0.0;
+  for (std::size_t i = 0; i < bx->data.size(); ++i)
+    s += bx->data[i] * by->data[i];
+  return s;
+}
+
+}  // namespace
+
+PX_REGISTER_PARTITIONED_VECTOR(double)
+PX_REGISTER_ACTION(dot_block)
+
+int main() {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 4;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 1.0;
+  px::dist::distributed_domain dom(cfg);
+
+  constexpr std::size_t n = 100'000;
+  double const result = dom.run([&](px::dist::locality& loc0) {
+    auto x = pv::create(loc0, n);
+    auto y = pv::create(loc0, n);
+
+    // x[i] = i/n, y[i] = 2 (scattered block-wise).
+    std::vector<double> xv(n), yv(n, 2.0);
+    for (std::size_t i = 0; i < n; ++i)
+      xv[i] = static_cast<double>(i) / static_cast<double>(n);
+    x.scatter(loc0, xv);
+    y.scatter(loc0, yv);
+
+    // One dot_block action per locality; partials fold at the caller.
+    double dot = 0.0;
+    std::vector<px::future<double>> partials;
+    for (std::size_t b = 0; b < x.num_blocks(); ++b)
+      partials.push_back(loc0.call<&dot_block>(
+          x.block_gid(b).locality(), x.block_gid(b), y.block_gid(b)));
+    for (auto& f : partials) dot += f.get();
+
+    // Cross-check against a gather + local dot.
+    auto gx = x.gather(loc0);
+    auto gy = y.gather(loc0);
+    double check = 0.0;
+    for (std::size_t i = 0; i < n; ++i) check += gx[i] * gy[i];
+    std::printf("distributed dot = %.6f, gathered check = %.6f\n", dot,
+                check);
+
+    x.destroy(loc0);
+    y.destroy(loc0);
+    return dot;
+  });
+
+  double const expect = 2.0 * (static_cast<double>(n - 1) / 2.0);
+  std::printf("expected ~= %.6f; fabric moved %llu messages / %llu bytes\n",
+              expect,
+              static_cast<unsigned long long>(
+                  dom.fabric().counters().messages.load()),
+              static_cast<unsigned long long>(
+                  dom.fabric().counters().bytes.load()));
+  return std::abs(result - expect) < 1e-6 ? 0 : 1;
+}

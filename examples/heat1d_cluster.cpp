@@ -1,0 +1,65 @@
+// heat1d_cluster — the paper's distributed 1D heat benchmark (§V-A) on a
+// virtual cluster: four in-process localities wired through a modeled
+// InfiniBand fabric. Demonstrates halo exchange via parcels with latency
+// hiding, validates against the serial reference, and contrasts a capable
+// NIC with the Kunpeng 916's starved one.
+//
+// Environment knobs:
+//   PX_NODES   (default 4)    virtual localities
+//   PX_POINTS  (default 1e6)  global stencil points
+//   PX_STEPS   (default 50)   time steps
+#include <cstdio>
+
+#include "px/stencil/stencil.hpp"
+#include "px/support/env.hpp"
+
+namespace {
+
+px::stencil::dist_heat_result solve_on(px::net::fabric_model fabric,
+                                       std::size_t nodes, std::size_t points,
+                                       std::size_t steps) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = nodes;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.fabric = fabric;
+  cfg.injection_scale = 1.0;  // real sleeps for modeled wire time
+  px::dist::distributed_domain dom(cfg);
+
+  auto initial = px::stencil::heat1d_sine_initial(points);
+  px::stencil::dist_heat_config hc;
+  hc.steps = steps;
+  auto result = px::stencil::run_distributed_heat1d(dom, initial, hc);
+
+  auto ref = px::stencil::reference_heat1d(initial, steps, hc.k);
+  double const err = px::stencil::max_abs_diff(result.values, ref);
+  std::printf(
+      "  %-28s %6.3f s   %8.1f Mpts/s   halo msgs %6llu   max err %.2e\n",
+      fabric.name.c_str(), result.seconds,
+      result.points_per_second / 1e6,
+      static_cast<unsigned long long>(result.halo_messages), err);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::size_t const nodes = px::env_size("PX_NODES").value_or(4);
+  std::size_t const points =
+      px::env_size("PX_POINTS").value_or(1'000'000);
+  std::size_t const steps = px::env_size("PX_STEPS").value_or(50);
+
+  std::printf("distributed 1D heat: %zu virtual nodes, %zu points, %zu "
+              "steps\n\n",
+              nodes, points, steps);
+
+  std::printf("fabric model                  time        throughput       "
+              "traffic          accuracy\n");
+  solve_on(px::net::infiniband_edr(), nodes, points, steps);
+  solve_on(px::net::tofu_d(), nodes, points, steps);
+  solve_on(px::net::hi1616_nic(), nodes, points, steps);
+
+  std::printf("\nNote: halo latency hides under the interior update (the "
+              "paper's flat weak scaling); the Hi1616 model pays visibly "
+              "more wire time.\n");
+  return 0;
+}

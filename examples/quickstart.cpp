@@ -1,0 +1,69 @@
+// quickstart — a tour of the px runtime in ~80 lines:
+//   * start a runtime (one locality, N workers)
+//   * async/future, dataflow composition
+//   * lightweight-task suspension (sleep without blocking a worker)
+//   * channels
+//   * parallel algorithms with execution policies
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "px/px.hpp"
+
+int main() {
+  px::scheduler_config cfg;
+  cfg.num_workers = 4;  // worker OS threads; tasks are much lighter
+  px::runtime rt(cfg);
+
+  // -- 1. futures ---------------------------------------------------------
+  auto answer = px::async_on(rt, [] { return 6 * 7; });
+  std::printf("async answer       : %d\n", answer.get());
+
+  // -- 2. dataflow: runs when both inputs are ready -----------------------
+  int combined = px::sync_wait(rt, [] {
+    auto a = px::async([] { return 40; });
+    auto b = px::async([] {
+      px::this_task::sleep_for(std::chrono::milliseconds(10));
+      return 2;
+    });
+    return px::dataflow(
+               [](px::future<int> x, px::future<int> y) {
+                 return x.get() + y.get();
+               },
+               std::move(a), std::move(b))
+        .get();
+  });
+  std::printf("dataflow combined  : %d\n", combined);
+
+  // -- 3. channels: CSP-style message passing between tasks ---------------
+  int relayed = px::sync_wait(rt, [] {
+    px::channel<int> ch;
+    px::post([&ch] { ch.send(123); });
+    return ch.get();  // suspends this task until the value arrives
+  });
+  std::printf("channel relayed    : %d\n", relayed);
+
+  // -- 4. parallel algorithms ---------------------------------------------
+  std::vector<double> v(1'000'000);
+  std::iota(v.begin(), v.end(), 0.0);
+  double sum = px::sync_wait(rt, [&v] {
+    px::parallel::for_each(px::execution::par, v.begin(), v.end(),
+                           [](double& x) { x = x * 2.0; });
+    return px::parallel::reduce(px::execution::par, v.begin(), v.end(), 0.0,
+                                std::plus<>{});
+  });
+  std::printf("parallel sum       : %.0f (expect %.0f)\n", sum,
+              999999.0 * 1000000.0);
+
+  // -- 5. many tiny tasks: the AMT value proposition ----------------------
+  std::atomic<long> count{0};
+  px::high_resolution_timer timer;
+  for (int i = 0; i < 50'000; ++i) rt.post([&count] { count.fetch_add(1); });
+  rt.wait_quiescent();
+  std::printf("50k tasks          : %ld done in %.3f s (%.1f Mtasks/s)\n",
+              count.load(), timer.elapsed(),
+              50'000.0 / timer.elapsed() / 1e6);
+  return 0;
+}

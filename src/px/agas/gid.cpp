@@ -1,0 +1,14 @@
+#include "px/agas/gid.hpp"
+
+#include <cstdio>
+
+namespace px::agas {
+
+std::string gid::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "{%08x.%08x:%016llx}", locality(),
+                birthplace(), static_cast<unsigned long long>(lsb_));
+  return buf;
+}
+
+}  // namespace px::agas

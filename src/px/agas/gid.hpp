@@ -1,0 +1,76 @@
+// px/agas/gid.hpp
+// Global identifiers for the Active Global Address Space. Mirrors HPX's
+// 128-bit GIDs: the upper word carries routing metadata (locality of
+// residence), the lower word the object id. GIDs persist until object
+// destruction and survive migration (residence bits are updated by AGAS,
+// the id never changes).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace px::agas {
+
+class gid {
+ public:
+  constexpr gid() = default;
+  constexpr gid(std::uint64_t msb, std::uint64_t lsb) noexcept
+      : msb_(msb), lsb_(lsb) {}
+
+  // Locality where the object currently lives (updated on migration).
+  [[nodiscard]] constexpr std::uint32_t locality() const noexcept {
+    return static_cast<std::uint32_t>(msb_ >> 32);
+  }
+  // Locality that created the object (stable; part of uniqueness).
+  [[nodiscard]] constexpr std::uint32_t birthplace() const noexcept {
+    return static_cast<std::uint32_t>(msb_ & 0xffffffffu);
+  }
+  [[nodiscard]] constexpr std::uint64_t id() const noexcept { return lsb_; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return lsb_ != 0 || msb_ != 0;
+  }
+
+  [[nodiscard]] constexpr gid with_locality(std::uint32_t loc) const noexcept {
+    return gid((static_cast<std::uint64_t>(loc) << 32) |
+                   (msb_ & 0xffffffffu),
+               lsb_);
+  }
+
+  [[nodiscard]] static constexpr gid make(std::uint32_t locality,
+                                          std::uint64_t object_id) noexcept {
+    return gid((static_cast<std::uint64_t>(locality) << 32) | locality,
+               object_id);
+  }
+
+  friend constexpr auto operator<=>(gid const&, gid const&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& msb_& lsb_;
+  }
+
+ private:
+  std::uint64_t msb_ = 0;
+  std::uint64_t lsb_ = 0;
+};
+
+inline constexpr gid invalid_gid{};
+
+}  // namespace px::agas
+
+template <>
+struct std::hash<px::agas::gid> {
+  std::size_t operator()(px::agas::gid const& g) const noexcept {
+    // splitmix-style combine of the two words.
+    std::uint64_t h = (static_cast<std::uint64_t>(g.locality()) << 32) ^
+                      (static_cast<std::uint64_t>(g.birthplace())) ^
+                      (g.id() * 0x9e3779b97f4a7c15ull);
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,8 @@
+// Anchor TU for px/agas/registry.hpp (all definitions are inline templates;
+// this file exists so the library has a home for future out-of-line code and
+// so misuse of the header surfaces at library build time).
+#include "px/agas/registry.hpp"
+
+namespace px::agas {
+static_assert(sizeof(registry) > 0);
+}  // namespace px::agas

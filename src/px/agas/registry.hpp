@@ -1,0 +1,109 @@
+// px/agas/registry.hpp
+// Per-locality slice of the Active Global Address Space: GID allocation,
+// object registration/resolution, symbolic names, and the residence update
+// hook used by migration. The distributed domain wires one registry per
+// locality; resolution of a remote GID goes through parcels, not through
+// this class.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+
+#include "px/agas/gid.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::agas {
+
+class registry {
+ public:
+  explicit registry(std::uint32_t locality_id) noexcept
+      : locality_(locality_id) {}
+
+  registry(registry const&) = delete;
+  registry& operator=(registry const&) = delete;
+
+  [[nodiscard]] std::uint32_t locality_id() const noexcept {
+    return locality_;
+  }
+
+  // Allocates a fresh GID resident here.
+  [[nodiscard]] gid new_gid() {
+    std::lock_guard<spinlock> guard(lock_);
+    return gid::make(locality_, next_id_++);
+  }
+
+  // Registers `object` (shared ownership) under a fresh GID.
+  template <typename T>
+  gid bind(std::shared_ptr<T> object) {
+    gid g = new_gid();
+    bind_existing(g, std::move(object));
+    return g;
+  }
+
+  // Registers under a pre-allocated GID (migration arrival path).
+  template <typename T>
+  void bind_existing(gid g, std::shared_ptr<T> object) {
+    std::lock_guard<spinlock> guard(lock_);
+    objects_[g] = entry{std::move(object), std::type_index(typeid(T))};
+  }
+
+  // Typed resolution; returns nullptr if unknown here or of another type.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> resolve(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    if (it == objects_.end()) return nullptr;
+    if (it->second.type != std::type_index(typeid(T))) return nullptr;
+    return std::static_pointer_cast<T>(it->second.object);
+  }
+
+  [[nodiscard]] bool contains(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    return objects_.count(g) != 0;
+  }
+
+  // Removes the local binding (object destruction or migration departure).
+  // Returns true if the GID was bound here.
+  bool unbind(gid g) {
+    std::lock_guard<spinlock> guard(lock_);
+    return objects_.erase(g) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<spinlock> guard(lock_);
+    return objects_.size();
+  }
+
+  // ---- symbolic names (hpx::agas::register_name) ------------------------
+  bool register_name(std::string name, gid g) {
+    std::lock_guard<spinlock> guard(lock_);
+    return names_.emplace(std::move(name), g).second;
+  }
+
+  [[nodiscard]] gid resolve_name(std::string const& name) const {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = names_.find(name);
+    return it != names_.end() ? it->second : invalid_gid;
+  }
+
+  bool unregister_name(std::string const& name) {
+    std::lock_guard<spinlock> guard(lock_);
+    return names_.erase(name) != 0;
+  }
+
+ private:
+  struct entry {
+    std::shared_ptr<void> object;
+    std::type_index type{typeid(void)};
+  };
+
+  std::uint32_t const locality_;
+  mutable spinlock lock_;
+  std::uint64_t next_id_ = 1;  // 0 is reserved for invalid_gid
+  std::unordered_map<gid, entry> objects_;
+  std::unordered_map<std::string, gid> names_;
+};
+
+}  // namespace px::agas

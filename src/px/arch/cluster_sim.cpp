@@ -1,0 +1,225 @@
+#include "px/arch/cluster_sim.hpp"
+
+#include <vector>
+
+#include "px/arch/des.hpp"
+#include "px/arch/scaling_model.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::arch {
+namespace {
+
+// Per-node, per-step protocol state.
+struct node_state {
+  std::size_t step = 0;
+  bool compute_done = false;
+  int halos_pending = 0;   // for the current step
+  double wait_started = -1.0;
+  double exposed_wait = 0.0;
+  double finished_at = 0.0;
+};
+
+struct simulation {
+  simulation(machine const& m, net::fabric_model const& fab,
+             cluster_sim_config c)
+      : cfg(c), fabric(fab), nodes(c.nodes) {
+    heat1d_params const params = heat1d_params_for(m);
+    rate = cfg.node_rate_pts_per_s > 0.0 ? cfg.node_rate_pts_per_s
+                                         : params.node_rate_pts_per_s;
+    local_points = cfg.total_points / static_cast<double>(cfg.nodes);
+    if (cfg.per_step_overhead_s >= 0.0) {
+      step_overhead = cfg.per_step_overhead_s;
+    } else {
+      // The calibrated total non-overlapped overhead alpha*(1-1/n),
+      // spread uniformly over the steps.
+      double const n = static_cast<double>(cfg.nodes);
+      step_overhead = cfg.nodes > 1
+                          ? params.strong_overhead_s * (1.0 - 1.0 / n) /
+                                static_cast<double>(cfg.steps)
+                          : 0.0;
+    }
+    double const starvation =
+        cfg.starvation_s_per_point_per_node >= 0.0
+            ? cfg.starvation_s_per_point_per_node
+            : (params.strong_per_node_s > 0.0 || params.weak_per_node_s > 0.0
+                   ? 4.5e-11  // Kunpeng NIC-starvation fit (see DESIGN.md)
+                   : 0.0);
+    background_per_step =
+        starvation * local_points * static_cast<double>(cfg.nodes - 1);
+
+    // One-way halo transfer time (payload + parcel framing).
+    transfer = fabric.transfer_time_us(cfg.halo_bytes + 48) * 1e-6;
+    state.resize(cfg.nodes);
+  }
+
+  [[nodiscard]] int neighbours(std::size_t i) const {
+    return (i > 0 ? 1 : 0) + (i + 1 < nodes ? 1 : 0);
+  }
+
+  void start_step(std::size_t i) {
+    node_state& ns = state[i];
+    ns.compute_done = false;
+    ns.halos_pending = neighbours(i);
+    ns.wait_started = -1.0;
+
+    // 1. Halos leave immediately; arrival at the neighbour after the
+    //    modeled transfer (the paper's overlap design).
+    double const t = engine.now();
+    if (i > 0) send_halo(i - 1, ns.step, t);
+    if (i + 1 < nodes) send_halo(i + 1, ns.step, t);
+
+    // 2. Interior compute + per-step runtime overhead + NIC-starvation
+    //    background work.
+    double const interior =
+        (local_points - static_cast<double>(neighbours(i))) / rate;
+    engine.schedule_after(interior + step_overhead + background_per_step,
+                          [this, i] { compute_finished(i); });
+  }
+
+  void send_halo(std::size_t dest, std::size_t step, double sent_at) {
+    ++messages;
+    engine.schedule_at(sent_at + transfer, [this, dest, step] {
+      halo_arrived(dest, step);
+    });
+  }
+
+  void compute_finished(std::size_t i) {
+    node_state& ns = state[i];
+    ns.compute_done = true;
+    if (ns.halos_pending == 0) {
+      finish_step(i);
+    } else {
+      ns.wait_started = engine.now();  // exposed communication begins
+    }
+  }
+
+  void halo_arrived(std::size_t i, std::size_t step) {
+    node_state& ns = state[i];
+    if (step != ns.step) {
+      // Early halo from a faster neighbour's *next* step: buffer it by
+      // re-delivering when this node advances (the px implementation's
+      // step-keyed mailbox). Model: retry at the node's current horizon.
+      pending_early.push_back({i, step});
+      return;
+    }
+    PX_ASSERT(ns.halos_pending > 0);
+    --ns.halos_pending;
+    if (ns.halos_pending == 0 && ns.compute_done) {
+      if (ns.wait_started >= 0.0)
+        ns.exposed_wait += engine.now() - ns.wait_started;
+      finish_step(i);
+    }
+  }
+
+  void finish_step(std::size_t i) {
+    node_state& ns = state[i];
+    // 3. Edge cells (two updates; negligible but kept for fidelity).
+    double const edges = static_cast<double>(neighbours(i)) / rate;
+    engine.schedule_after(edges, [this, i] {
+      node_state& n2 = state[i];
+      ++n2.step;
+      n2.finished_at = engine.now();
+      if (n2.step < cfg.steps) {
+        start_step(i);
+        redeliver_early(i);
+      }
+    });
+  }
+
+  void redeliver_early(std::size_t i) {
+    for (auto it = pending_early.begin(); it != pending_early.end();) {
+      if (it->first == i && it->second == state[i].step) {
+        auto const step = it->second;
+        it = pending_early.erase(it);
+        engine.schedule_after(0.0,
+                              [this, i, step] { halo_arrived(i, step); });
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  cluster_sim_result run() {
+    for (std::size_t i = 0; i < nodes; ++i) start_step(i);
+    engine.run();
+    cluster_sim_result res;
+    for (auto const& ns : state) {
+      PX_ASSERT_MSG(ns.step == cfg.steps, "node did not finish all steps");
+      res.makespan_s = std::max(res.makespan_s, ns.finished_at);
+      res.exposed_wait_s += ns.exposed_wait;
+    }
+    res.messages = messages;
+    res.des_events = engine.events_processed();
+    return res;
+  }
+
+  cluster_sim_config cfg;
+  net::fabric_model fabric;
+  std::size_t nodes;
+  double rate = 0.0;
+  double local_points = 0.0;
+  double step_overhead = 0.0;
+  double background_per_step = 0.0;
+  double transfer = 0.0;
+  std::uint64_t messages = 0;
+  des_engine engine;
+  std::vector<node_state> state;
+  std::vector<std::pair<std::size_t, std::size_t>> pending_early;
+};
+
+}  // namespace
+
+cluster_sim_result simulate_heat1d_cluster(machine const& m,
+                                           net::fabric_model const& fabric,
+                                           cluster_sim_config cfg) {
+  PX_ASSERT(cfg.nodes >= 1 && cfg.steps >= 1);
+  simulation sim(m, fabric, cfg);
+  return sim.run();
+}
+
+net::fabric_model fabric_for(machine const& m) {
+  if (m.short_name == "kunpeng916") return net::hi1616_nic();
+  if (m.short_name == "a64fx") return net::tofu_d();
+  return net::infiniband_edr();
+}
+
+double simulated_strong_time_s(machine const& m, std::size_t nodes) {
+  cluster_sim_config cfg;
+  cfg.nodes = nodes;
+  cfg.steps = heat1d_steps;
+  cfg.total_points = heat1d_strong_points;
+  return simulate_heat1d_cluster(m, fabric_for(m), cfg).makespan_s;
+}
+
+double simulated_weak_time_s(machine const& m, std::size_t nodes) {
+  cluster_sim_config cfg;
+  cfg.nodes = nodes;
+  cfg.steps = heat1d_steps;
+  cfg.total_points =
+      heat1d_weak_points_per_node * static_cast<double>(nodes);
+  return simulate_heat1d_cluster(m, fabric_for(m), cfg).makespan_s;
+}
+
+cluster_sim_result simulate_jacobi2d_cluster(machine const& m,
+                                             net::fabric_model const& fabric,
+                                             cluster2d_config cfg) {
+  // Same protocol shape as the 1D solver — the generic simulation runs it
+  // with 2D parameters: LUPs as "points", the full-node 2D kernel rate,
+  // and whole halo rows on the wire.
+  stencil2d_model model(m);
+  cluster_sim_config base;
+  base.nodes = cfg.nodes;
+  base.steps = cfg.steps;
+  base.total_points = static_cast<double>(cfg.nx) *
+                      static_cast<double>(cfg.ny_total);
+  base.halo_bytes = cfg.nx * cfg.scalar_bytes;
+  base.node_rate_pts_per_s =
+      model.glups(m.total_cores(), cfg.scalar_bytes, cfg.explicit_vector) *
+      1e9;
+  // Reuse the 1D-calibrated per-step runtime overhead; zero starvation
+  // unless the machine is the NIC-starved one (same mechanism applies).
+  base.per_step_overhead_s = -1.0;
+  return simulate_heat1d_cluster(m, fabric, base);
+}
+
+}  // namespace px::arch

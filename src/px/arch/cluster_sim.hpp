@@ -1,0 +1,78 @@
+// px/arch/cluster_sim.hpp
+// Discrete-event simulation of the distributed 1D solver on an N-node
+// cluster of a modeled machine: per step, every node ships its edge cells
+// to both neighbours, computes its interior (hiding the transfer), waits
+// for the two halos, computes its edge cells, then starts the next step.
+// The makespan emerges from the interleaving — the same latency-hiding
+// mechanism the real px solver implements in-process — rather than from a
+// closed-form fit. The Fig 3 bench prints both and their agreement.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "px/arch/machine.hpp"
+#include "px/net/fabric.hpp"
+
+namespace px::arch {
+
+struct cluster_sim_config {
+  std::size_t nodes = 8;
+  std::size_t steps = 100;
+  double total_points = 1.2e9;  // split evenly over nodes
+  // Per-halo-message payload on the wire.
+  std::size_t halo_bytes = 8;
+
+  // Node compute throughput (points/s); 0 = use the machine's calibrated
+  // 1D application rate.
+  double node_rate_pts_per_s = 0.0;
+  // Per-step runtime overhead when distributed (AGAS bookkeeping, parcel
+  // handling); 0 = derive from the machine's calibrated strong-scaling
+  // overhead.
+  double per_step_overhead_s = -1.0;
+  // NIC-starvation background cost (s per local point per extra node and
+  // step); models the Kunpeng 916 host's inability to drive the HCA.
+  double starvation_s_per_point_per_node = -1.0;
+};
+
+struct cluster_sim_result {
+  double makespan_s = 0.0;        // end of the last node's last step
+  double exposed_wait_s = 0.0;    // total time nodes sat waiting on halos
+  std::uint64_t messages = 0;
+  std::uint64_t des_events = 0;
+};
+
+// Simulates the protocol for `m` over `fabric`. Deterministic.
+[[nodiscard]] cluster_sim_result simulate_heat1d_cluster(
+    machine const& m, net::fabric_model const& fabric,
+    cluster_sim_config cfg);
+
+// Convenience wrappers matching the Fig 3 workloads (strong: 1.2e9 points
+// total; weak: 480e6 points per node), using each machine's own fabric
+// preset (Hi1616 NIC for Kunpeng, EDR otherwise, Tofu-D for A64FX).
+[[nodiscard]] double simulated_strong_time_s(machine const& m,
+                                             std::size_t nodes);
+[[nodiscard]] double simulated_weak_time_s(machine const& m,
+                                           std::size_t nodes);
+
+// The fabric preset the paper's clusters pair with each machine.
+[[nodiscard]] net::fabric_model fabric_for(machine const& m);
+
+// Extension experiment: multi-node 2D Jacobi (row-block decomposition,
+// one halo *row* per neighbour per step — nx scalars on the wire, so the
+// fabric's bandwidth term participates, unlike the 1D solver's 8-byte
+// halos). Node compute rate comes from the 2D kernel model at full node.
+struct cluster2d_config {
+  std::size_t nodes = 8;
+  std::size_t steps = 100;
+  std::size_t nx = 8192;
+  std::size_t ny_total = 131072;
+  std::size_t scalar_bytes = 4;
+  bool explicit_vector = true;
+};
+
+[[nodiscard]] cluster_sim_result simulate_jacobi2d_cluster(
+    machine const& m, net::fabric_model const& fabric,
+    cluster2d_config cfg);
+
+}  // namespace px::arch

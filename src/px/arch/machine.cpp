@@ -1,0 +1,183 @@
+#include "px/arch/machine.hpp"
+
+#include <stdexcept>
+
+#include "px/support/topology.hpp"
+
+namespace px::arch {
+
+// Calibration notes. The instruction-model constants {kernel_ops,
+// loop_overhead, autovec_eff} are least-squares fits to the paper's
+// hardware-counter tables (III-VI) over the four data-type variants; the
+// mem_efficiency quadruples {auto-f, explicit-f, auto-d, explicit-d} encode
+// the explicit-vectorization gains reported in §VII-B (Xeon: up to 50%
+// float / 10% double; Kunpeng: up to 80%; TX2: 50-60% float / 40% double;
+// A64FX: 5-15%).
+
+machine xeon_e5_2660v3() {
+  machine m;
+  m.name = "Intel Xeon E5-2660 v3";
+  m.short_name = "xeon";
+  m.clock_ghz = 2.6;
+  m.cores_per_processor = 10;
+  m.processors_per_node = 2;
+  m.threads_per_core = 2;
+  m.vector_pipeline = "Double AVX2 Pipeline";
+  m.vector_bits = 256;
+  m.dp_flops_per_cycle = 16;
+  m.peak_gflops = 832.0;
+  m.numa_domains = 2;  // one per socket
+  m.cache_line_bytes = 64;
+  m.memory_capacity_gb = 128.0;
+  // DDR4-2133, 4 channels/socket: ~59 GB/s copy per socket.
+  m.stream_peak_gbs = 118.0;
+  m.stream_per_core_gbs = 14.0;
+  m.inherent_cache_blocking = false;
+  // Auto-vectorized floats leave ~1/3 of bandwidth on the table (paper: up
+  // to 50% gain from explicit packs); doubles are already bus-saturated
+  // (~10% gain).
+  m.mem_efficiency[0] = 0.62;  // auto float
+  m.mem_efficiency[1] = 0.93;  // explicit float
+  m.mem_efficiency[2] = 0.85;  // auto double
+  m.mem_efficiency[3] = 0.93;  // explicit double
+  m.kernel_ops = 10.24;
+  m.loop_overhead = 0.05;
+  m.autovec_eff = 0.57;  // Table III: ~2x instruction gap scalar vs pack
+  m.ipc = 2.6;
+  return m;
+}
+
+machine kunpeng916() {
+  machine m;
+  m.name = "HiSilicon Kunpeng 916 (Hi1616)";
+  m.short_name = "kunpeng916";
+  m.clock_ghz = 2.4;
+  m.cores_per_processor = 64;
+  m.processors_per_node = 1;
+  m.threads_per_core = 1;
+  m.vector_pipeline = "Single NEON Pipeline";
+  m.vector_bits = 128;
+  m.dp_flops_per_cycle = 4;
+  m.peak_gflops = 614.0;
+  m.numa_domains = 4;  // 16 cores each; the 32->40 and 56->64 dips
+  m.cache_line_bytes = 64;
+  m.memory_capacity_gb = 256.0;
+  // 4x DDR4-2400 channels per die pair: ~110 GB/s node copy.
+  m.stream_peak_gbs = 110.0;
+  m.stream_per_core_gbs = 7.0;
+  m.inherent_cache_blocking = false;
+  // Paper: up to 80% explicit-vectorization gain (backend stalls dominate
+  // the auto-vectorized version despite near-equal instruction counts).
+  m.mem_efficiency[0] = 0.50;
+  m.mem_efficiency[1] = 0.90;
+  m.mem_efficiency[2] = 0.55;
+  m.mem_efficiency[3] = 0.90;
+  m.kernel_ops = 12.2;
+  m.loop_overhead = 0.04;
+  m.autovec_eff = 0.97;  // Table IV: only ~5% instruction-count gap
+  m.ipc = 1.8;
+  // The 56->64-core "sudden decrease" of §VII-B: at full occupancy the
+  // OS/HPX service threads preempt compute on every core. Empirically
+  // large in Fig 5; calibrated so kernel bandwidth at 64 < at 56.
+  m.full_occupancy_penalty = 0.45;
+  return m;
+}
+
+machine thunderx2() {
+  machine m;
+  m.name = "Marvell ThunderX2";
+  m.short_name = "tx2";
+  m.clock_ghz = 2.4;
+  m.cores_per_processor = 32;
+  m.processors_per_node = 1;
+  m.threads_per_core = 4;
+  m.vector_pipeline = "Double NEON Pipeline";
+  m.vector_bits = 128;
+  m.dp_flops_per_cycle = 8;
+  m.peak_gflops = 1228.0;  // Table I value (dual-pipeline node figure)
+  m.numa_domains = 2;
+  m.cache_line_bytes = 64;
+  m.memory_capacity_gb = 256.0;
+  // 8x DDR4-2666 channels: ~235 GB/s node copy.
+  m.stream_peak_gbs = 235.0;
+  m.stream_per_core_gbs = 12.0;
+  m.inherent_cache_blocking = true;  // §VII-B: 49% boost over 3-transfer AI
+  // Paper: 50-60% float / up to 40% double gains; backend stalls drop ~40%
+  // with explicit packs.
+  m.mem_efficiency[0] = 0.60;
+  m.mem_efficiency[1] = 0.95;
+  m.mem_efficiency[2] = 0.68;
+  m.mem_efficiency[3] = 0.95;
+  m.kernel_ops = 13.0;
+  m.loop_overhead = 0.02;
+  m.autovec_eff = 1.08;  // Table VI: auto-vec beats packs on count
+  m.ipc = 2.2;
+  return m;
+}
+
+machine a64fx() {
+  machine m;
+  m.name = "Fujitsu (FX1000) A64FX";
+  m.short_name = "a64fx";
+  m.clock_ghz = 2.2;
+  m.cores_per_processor = 48;
+  m.helper_cores = 4;
+  m.processors_per_node = 1;
+  m.threads_per_core = 1;
+  m.vector_pipeline = "Double SVE 512-bit";
+  m.vector_bits = 512;
+  m.dp_flops_per_cycle = 32;
+  m.peak_gflops = 3379.0;
+  m.numa_domains = 4;  // 4 CMGs x 12 cores
+  m.cache_line_bytes = 256;  // sector cache; drives inherent blocking
+  m.memory_capacity_gb = 32.0;  // HBM2 only (the Fig 7 capacity study)
+  // HBM2 with GCC-compiled STREAM (footnote 2: no Fujitsu-compiler cache
+  // tricks): ~660 GB/s node copy.
+  m.stream_peak_gbs = 660.0;
+  m.stream_per_core_gbs = 38.0;
+  m.inherent_cache_blocking = true;
+  // Paper: 5-15% explicit gains only (GCC's SVE code is already good; the
+  // stall reduction is what's left).
+  m.mem_efficiency[0] = 0.82;
+  m.mem_efficiency[1] = 0.92;
+  m.mem_efficiency[2] = 0.84;
+  m.mem_efficiency[3] = 0.92;
+  m.kernel_ops = 17.4;
+  m.loop_overhead = 0.027;
+  m.autovec_eff = 1.23;  // Table V: auto-vec needs fewer instructions
+  m.ipc = 2.0;
+  return m;
+}
+
+std::vector<machine> paper_machines() {
+  return {xeon_e5_2660v3(), kunpeng916(), thunderx2(), a64fx()};
+}
+
+machine host_machine() {
+  machine m;
+  topology const& topo = host_topology();
+  m.name = "build host";
+  m.short_name = "host";
+  m.clock_ghz = 2.0;  // unknown without cpufreq; nominal
+  m.cores_per_processor = topo.physical_cores;
+  m.processors_per_node = 1;
+  m.threads_per_core =
+      topo.physical_cores > 0 ? topo.logical_cpus / topo.physical_cores : 1;
+  m.vector_bits = 256;
+  m.dp_flops_per_cycle = 8;
+  m.peak_gflops = m.computed_peak_gflops();
+  m.numa_domains = topo.numa_domains;
+  m.stream_peak_gbs = 10.0;  // placeholder; real runs measure
+  m.stream_per_core_gbs = 10.0;
+  return m;
+}
+
+machine machine_by_name(std::string const& short_name) {
+  for (auto& m : paper_machines())
+    if (m.short_name == short_name) return m;
+  if (short_name == "host") return host_machine();
+  throw std::invalid_argument("px::arch: unknown machine '" + short_name +
+                              "'");
+}
+
+}  // namespace px::arch

@@ -1,0 +1,95 @@
+// px/arch/machine.hpp
+// Machine descriptions for the four processors of the paper's Table I plus
+// the build host. Every Table I number is encoded verbatim; the additional
+// fields (NUMA topology, cache lines, STREAM curve parameters, memory
+// capacity) come from the paper's text and public spec sheets and drive the
+// performance models that regenerate the figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace px::arch {
+
+struct machine {
+  std::string name;        // Table I header, e.g. "Intel Xeon E5-2660 v3"
+  std::string short_name;  // identifier used by benches, e.g. "xeon"
+
+  // ---- Table I fields ----------------------------------------------------
+  double clock_ghz = 0.0;
+  std::size_t cores_per_processor = 0;  // compute cores
+  std::size_t helper_cores = 0;         // A64FX: 4 OS/helper cores
+  std::size_t processors_per_node = 0;
+  std::size_t threads_per_core = 0;
+  std::string vector_pipeline;  // e.g. "Double AVX2 Pipeline"
+  std::size_t vector_bits = 0;
+  std::size_t dp_flops_per_cycle = 0;  // per core
+  double peak_gflops = 0.0;            // node, double precision (Table I)
+
+  // ---- topology / memory --------------------------------------------------
+  std::size_t numa_domains = 1;
+  std::size_t cache_line_bytes = 64;
+  double memory_capacity_gb = 0.0;
+
+  // ---- STREAM COPY curve parameters (Fig 2 model) -------------------------
+  double stream_peak_gbs = 0.0;      // saturated full-node copy bandwidth
+  double stream_per_core_gbs = 0.0;  // single-core copy bandwidth
+
+  // ---- 2D-stencil behaviour knobs (calibrated to §VII-B) -----------------
+  // True when large cache lines / sector caches give the inherent
+  // cache-blocking effect (2 instead of 3 transfers/LUP: A64FX, TX2).
+  bool inherent_cache_blocking = false;
+  // Fraction of STREAM bandwidth a stencil variant actually extracts:
+  // {auto float, explicit float, auto double, explicit double}.
+  double mem_efficiency[4] = {0.9, 0.9, 0.9, 0.9};
+  // Instruction model (fitted to Tables III-VI): instructions per LUP =
+  // kernel_ops / W_eff + loop_overhead, W_eff = W * autovec_eff for
+  // compiler-vectorized code and W for explicit packs.
+  double kernel_ops = 10.0;
+  double loop_overhead = 0.05;
+  double autovec_eff = 1.0;
+  double ipc = 2.0;  // sustained non-memory-stalled instructions/cycle
+
+  // Empirical full-occupancy penalty (all cores busy leaves nothing for
+  // the OS/runtime helpers; visible on Kunpeng 916 at 64 cores).
+  double full_occupancy_penalty = 0.0;
+
+  // ---- derived -------------------------------------------------------------
+  [[nodiscard]] std::size_t total_cores() const noexcept {
+    return cores_per_processor * processors_per_node;
+  }
+  [[nodiscard]] std::size_t cores_per_domain() const noexcept {
+    return (total_cores() + numa_domains - 1) / numa_domains;
+  }
+  [[nodiscard]] double domain_bandwidth_gbs() const noexcept {
+    return stream_peak_gbs / static_cast<double>(numa_domains);
+  }
+  // Peak DP GFLOP/s recomputed from the per-core numbers; matches the
+  // Table I "Peak Performance" row (asserted by tests).
+  [[nodiscard]] double computed_peak_gflops() const noexcept {
+    return clock_ghz * static_cast<double>(total_cores()) *
+           static_cast<double>(dp_flops_per_cycle);
+  }
+  // SIMD lanes for a scalar of `bytes` at this machine's vector width.
+  [[nodiscard]] std::size_t lanes(std::size_t bytes) const noexcept {
+    return vector_bits / (8 * bytes);
+  }
+};
+
+// The four paper machines (Table I).
+[[nodiscard]] machine xeon_e5_2660v3();
+[[nodiscard]] machine kunpeng916();
+[[nodiscard]] machine thunderx2();
+[[nodiscard]] machine a64fx();
+
+// All four, in the paper's column order.
+[[nodiscard]] std::vector<machine> paper_machines();
+
+// Best-effort description of the build host (for real-run annotations).
+[[nodiscard]] machine host_machine();
+
+// Lookup by short_name ("xeon", "kunpeng916", "tx2", "a64fx").
+[[nodiscard]] machine machine_by_name(std::string const& short_name);
+
+}  // namespace px::arch

@@ -1,0 +1,105 @@
+#include "px/arch/perf_counters.hpp"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace px::arch {
+namespace {
+
+long perf_event_open(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                     unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+std::uint64_t config_for(perf_event e) {
+  switch (e) {
+    case perf_event::instructions: return PERF_COUNT_HW_INSTRUCTIONS;
+    case perf_event::cycles: return PERF_COUNT_HW_CPU_CYCLES;
+    case perf_event::cache_references: return PERF_COUNT_HW_CACHE_REFERENCES;
+    case perf_event::cache_misses: return PERF_COUNT_HW_CACHE_MISSES;
+    case perf_event::stalled_cycles_backend:
+      return PERF_COUNT_HW_STALLED_CYCLES_BACKEND;
+    case perf_event::stalled_cycles_frontend:
+      return PERF_COUNT_HW_STALLED_CYCLES_FRONTEND;
+  }
+  return PERF_COUNT_HW_INSTRUCTIONS;
+}
+
+}  // namespace
+
+std::string to_string(perf_event e) {
+  switch (e) {
+    case perf_event::instructions: return "instructions";
+    case perf_event::cycles: return "cycles";
+    case perf_event::cache_references: return "cache-references";
+    case perf_event::cache_misses: return "cache-misses";
+    case perf_event::stalled_cycles_backend: return "stalled-cycles-backend";
+    case perf_event::stalled_cycles_frontend:
+      return "stalled-cycles-frontend";
+  }
+  return "unknown";
+}
+
+perf_counter_set::perf_counter_set(std::vector<perf_event> events) {
+  for (perf_event e : events) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config_for(e);
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    int const fd = static_cast<int>(
+        perf_event_open(&attr, 0 /* this thread */, -1, -1, 0));
+    slots_.push_back({e, fd});
+  }
+}
+
+perf_counter_set::~perf_counter_set() {
+  for (auto& s : slots_)
+    if (s.fd >= 0) ::close(s.fd);
+}
+
+bool perf_counter_set::available() const noexcept {
+  for (auto const& s : slots_)
+    if (s.fd >= 0) return true;
+  return false;
+}
+
+bool perf_counter_set::available(perf_event e) const noexcept {
+  for (auto const& s : slots_)
+    if (s.event == e) return s.fd >= 0;
+  return false;
+}
+
+void perf_counter_set::start() {
+  for (auto& s : slots_) {
+    if (s.fd < 0) continue;
+    ioctl(s.fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(s.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void perf_counter_set::stop() {
+  for (auto& s : slots_)
+    if (s.fd >= 0) ioctl(s.fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::optional<std::uint64_t> perf_counter_set::value(perf_event e) const {
+  for (auto const& s : slots_) {
+    if (s.event != e) continue;
+    if (s.fd < 0) return std::nullopt;
+    std::uint64_t count = 0;
+    if (::read(s.fd, &count, sizeof(count)) != sizeof(count))
+      return std::nullopt;
+    return count;
+  }
+  return std::nullopt;
+}
+
+}  // namespace px::arch

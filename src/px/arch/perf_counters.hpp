@@ -1,0 +1,55 @@
+// px/arch/perf_counters.hpp
+// PAPI-style access to hardware counters over Linux perf_event_open, with
+// graceful degradation: containers and locked-down kernels often refuse the
+// syscall, in which case available() is false and reads return nullopt.
+// The benches pair these measurements with the analytic counter model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace px::arch {
+
+enum class perf_event {
+  instructions,
+  cycles,
+  cache_references,
+  cache_misses,
+  stalled_cycles_backend,
+  stalled_cycles_frontend,
+};
+
+[[nodiscard]] std::string to_string(perf_event e);
+
+class perf_counter_set {
+ public:
+  // Opens one counter per event for the calling thread. Events that fail
+  // to open are recorded as unavailable; the rest still work.
+  explicit perf_counter_set(std::vector<perf_event> events);
+  ~perf_counter_set();
+
+  perf_counter_set(perf_counter_set const&) = delete;
+  perf_counter_set& operator=(perf_counter_set const&) = delete;
+
+  // True when at least one requested counter opened.
+  [[nodiscard]] bool available() const noexcept;
+  [[nodiscard]] bool available(perf_event e) const noexcept;
+
+  void start();  // reset + enable
+  void stop();   // disable
+
+  // Counter value accumulated between the last start()/stop(); nullopt for
+  // unavailable events.
+  [[nodiscard]] std::optional<std::uint64_t> value(perf_event e) const;
+
+ private:
+  struct slot {
+    perf_event event;
+    int fd = -1;
+  };
+  std::vector<slot> slots_;
+};
+
+}  // namespace px::arch

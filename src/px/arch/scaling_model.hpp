@@ -1,0 +1,94 @@
+// px/arch/scaling_model.hpp
+// Performance models that regenerate the paper's evaluation figures:
+//   * stencil2d_model  -> Figs 4, 5, 6, 7, 8 (GLUP/s vs cores, four
+//     data-type variants, roofline expected-peak lines)
+//   * heat1d model     -> Fig 3 (distributed strong/weak scaling times)
+//
+// Shapes come from mechanism (roofline over the STREAM curve, NUMA
+// critical-path penalty, compute ceilings from the instruction model);
+// the per-machine efficiency constants are calibrated against §VII (see
+// machine.cpp and EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/arch/counter_model.hpp"
+#include "px/arch/machine.hpp"
+#include "px/arch/roofline.hpp"
+#include "px/arch/stream_model.hpp"
+
+namespace px::arch {
+
+// ---- 2D Jacobi (shared memory) -------------------------------------------
+
+class stencil2d_model {
+ public:
+  explicit stencil2d_model(machine m) : m_(std::move(m)), stream_(m_) {}
+
+  // Memory transfers per LUP this machine/datatype actually pays at a given
+  // core count. 3 is the paper's baseline assumption; 2 when large cache
+  // lines give inherent cache blocking (A64FX always; TX2 floats always,
+  // TX2 doubles only from 16 cores — the "interesting switch" of §VII-B).
+  [[nodiscard]] std::size_t transfers_per_lup(std::size_t scalar_bytes,
+                                              std::size_t cores) const;
+
+  // Predicted kernel performance in GLUP/s.
+  [[nodiscard]] double glups(std::size_t cores, std::size_t scalar_bytes,
+                             bool explicit_vector) const;
+
+  // Roofline guide lines of the figures (GLUP/s at `cores`).
+  [[nodiscard]] double expected_peak_min_glups(std::size_t cores,
+                                               std::size_t scalar_bytes)
+      const;
+  [[nodiscard]] double expected_peak_max_glups(std::size_t cores,
+                                               std::size_t scalar_bytes)
+      const;
+
+  // Execution time for a full benchmark run (grid nx x ny, `steps` sweeps).
+  [[nodiscard]] double run_time_s(std::size_t cores, std::size_t nx,
+                                  std::size_t ny, std::size_t steps,
+                                  std::size_t scalar_bytes,
+                                  bool explicit_vector) const;
+
+  [[nodiscard]] machine const& m() const noexcept { return m_; }
+  [[nodiscard]] stream_model const& stream() const noexcept {
+    return stream_;
+  }
+
+ private:
+  machine m_;
+  stream_model stream_;
+};
+
+// ---- 1D heat equation (distributed) ---------------------------------------
+
+// Per-machine calibration of the distributed 1D solver (fit to the §VII-A
+// headline numbers: Xeon 28 s -> 3.8 s over 8 nodes, A64FX 18 s -> 2.5 s,
+// flat weak scaling at 12 s / 7.5 s; Kunpeng's NIC-starved degradation).
+struct heat1d_params {
+  double node_rate_pts_per_s = 0.0;  // single-node application throughput
+  double strong_overhead_s = 0.0;    // non-overlapped runtime overhead,
+                                     // applied as a * (1 - 1/n)
+  double strong_per_node_s = 0.0;    // exposed comm growing with n (weak NIC)
+  double weak_overhead_s = 0.0;      // flat addition under weak scaling
+  double weak_per_node_s = 0.0;      // rising exposed comm per added node
+};
+
+[[nodiscard]] heat1d_params heat1d_params_for(machine const& m);
+
+// Fig 3 workloads: strong = 1.2e9 points total, weak = 480e6 points/node,
+// both over 100 time steps.
+inline constexpr double heat1d_strong_points = 1.2e9;
+inline constexpr double heat1d_weak_points_per_node = 480e6;
+inline constexpr std::size_t heat1d_steps = 100;
+
+[[nodiscard]] double heat1d_strong_time_s(machine const& m,
+                                          std::size_t nodes);
+[[nodiscard]] double heat1d_weak_time_s(machine const& m, std::size_t nodes);
+
+// Speedup T(1)/T(n) under strong scaling (the paper's 7.36x / 7.2x).
+[[nodiscard]] double heat1d_strong_scaling_factor(machine const& m,
+                                                  std::size_t nodes);
+
+}  // namespace px::arch

@@ -1,0 +1,103 @@
+#include "px/arch/stream_bench.hpp"
+
+#include <cmath>
+
+#include "px/lcos/async.hpp"
+#include "px/parallel/algorithms.hpp"
+#include "px/support/aligned.hpp"
+#include "px/support/timer.hpp"
+
+namespace px::arch {
+namespace {
+
+using dvec = std::vector<double, aligned_allocator<double, 64>>;
+
+struct kernel_desc {
+  char const* name;
+  std::size_t bytes_per_element;  // moved per index per iteration
+};
+
+}  // namespace
+
+std::vector<stream_result> run_stream(px::runtime& rt, stream_config cfg) {
+  std::size_t const n = cfg.array_elements;
+  double const scalar = 3.0;
+
+  return sync_wait(rt, [&]() -> std::vector<stream_result> {
+    block_executor ex(rt.sched());
+    limiting_executor lex(rt.sched(),
+                          cfg.cores == 0 ? rt.num_workers() : cfg.cores);
+    executor const& exec =
+        (cfg.cores == 0 || cfg.cores >= rt.num_workers())
+            ? static_cast<executor const&>(ex)
+            : static_cast<executor const&>(lex);
+    auto policy = execution::par.on(exec);
+
+    dvec a(n), b(n), c(n);
+    // First touch with the same placement the kernels will use.
+    parallel::for_loop(policy, 0, n, [&](std::size_t i) {
+      a[i] = 1.0;
+      b[i] = 2.0;
+      c[i] = 0.0;
+    });
+
+    std::vector<stream_result> results;
+    kernel_desc const kernels[] = {
+        {"copy", 2 * sizeof(double)},
+        {"scale", 2 * sizeof(double)},
+        {"add", 3 * sizeof(double)},
+        {"triad", 3 * sizeof(double)},
+    };
+
+    for (auto const& k : kernels) {
+      stream_result res;
+      res.kernel = k.name;
+      double sum_gbs = 0.0;
+      for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) {
+        high_resolution_timer timer;
+        if (res.kernel == "copy") {
+          parallel::for_loop(policy, 0, n,
+                             [&](std::size_t i) { c[i] = a[i]; });
+        } else if (res.kernel == "scale") {
+          parallel::for_loop(policy, 0, n,
+                             [&](std::size_t i) { b[i] = scalar * c[i]; });
+        } else if (res.kernel == "add") {
+          parallel::for_loop(policy, 0, n,
+                             [&](std::size_t i) { c[i] = a[i] + b[i]; });
+        } else {  // triad
+          parallel::for_loop(policy, 0, n, [&](std::size_t i) {
+            a[i] = b[i] + scalar * c[i];
+          });
+        }
+        double const secs = timer.elapsed();
+        double const gbs =
+            static_cast<double>(n) * k.bytes_per_element / secs / 1e9;
+        res.best_gbs = std::max(res.best_gbs, gbs);
+        sum_gbs += gbs;
+      }
+      res.avg_gbs = sum_gbs / static_cast<double>(cfg.repetitions);
+      results.push_back(res);
+    }
+
+    // STREAM-style verification of the final array contents.
+    double ae = 1.0, be = 2.0, ce = 0.0;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) ce = ae;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) be = scalar * ce;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep) ce = ae + be;
+    for (std::size_t rep = 0; rep < cfg.repetitions; ++rep)
+      ae = be + scalar * ce;
+    bool ok = true;
+    for (std::size_t i = 0; i < n; i += n / 64 + 1)
+      ok = ok && std::abs(a[i] - ae) < 1e-8 && std::abs(b[i] - be) < 1e-8 &&
+           std::abs(c[i] - ce) < 1e-8;
+    for (auto& r : results) r.verified = ok;
+    return results;
+  });
+}
+
+double measure_copy_bandwidth_gbs(px::runtime& rt, stream_config cfg) {
+  auto results = run_stream(rt, cfg);
+  return results.at(0).best_gbs;
+}
+
+}  // namespace px::arch

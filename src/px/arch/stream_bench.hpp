@@ -1,0 +1,39 @@
+// px/arch/stream_bench.hpp
+// Real STREAM kernels (McCalpin) running on the px runtime with NUMA-aware
+// first-touch initialization, used to measure the build host and to
+// validate the code path behind the Fig 2 methodology: ten repetitions,
+// best bandwidth reported, block-placed workers, one thread per core.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "px/runtime/runtime.hpp"
+
+namespace px::arch {
+
+struct stream_result {
+  std::string kernel;     // copy | scale | add | triad
+  double best_gbs = 0.0;  // best over repetitions (paper's metric)
+  double avg_gbs = 0.0;
+  bool verified = false;  // array contents checked after the timed runs
+};
+
+struct stream_config {
+  std::size_t array_elements = 1u << 24;  // doubles per array
+  std::size_t repetitions = 10;
+  std::size_t cores = 0;  // 0 = all workers of the runtime
+};
+
+// Runs COPY/SCALE/ADD/TRIAD on `rt` and returns one result per kernel.
+// Arrays are first-touched by the same block-placed workers that later
+// stream them (the paper's NUMA-aware setup).
+[[nodiscard]] std::vector<stream_result> run_stream(px::runtime& rt,
+                                                    stream_config cfg);
+
+// Convenience: best COPY bandwidth only.
+[[nodiscard]] double measure_copy_bandwidth_gbs(px::runtime& rt,
+                                                stream_config cfg = {});
+
+}  // namespace px::arch

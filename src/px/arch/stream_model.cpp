@@ -1,0 +1,59 @@
+#include "px/arch/stream_model.hpp"
+
+#include <algorithm>
+
+#include "px/support/assert.hpp"
+
+namespace px::arch {
+
+double stream_model::copy_bandwidth_gbs(std::size_t cores) const {
+  PX_ASSERT(cores >= 1);
+  cores = std::min(cores, m_.total_cores());
+  std::size_t const per_domain = m_.cores_per_domain();
+  double const domain_bw = m_.domain_bandwidth_gbs();
+
+  double total = 0.0;
+  std::size_t remaining = cores;
+  while (remaining > 0) {
+    std::size_t const in_domain = std::min(remaining, per_domain);
+    // Linear rise until the domain's controllers saturate.
+    total += std::min(static_cast<double>(in_domain) * m_.stream_per_core_gbs,
+                      domain_bw);
+    remaining -= in_domain;
+  }
+  return total;
+}
+
+double stream_model::kernel_bandwidth_gbs(std::size_t cores) const {
+  PX_ASSERT(cores >= 1);
+  cores = std::min(cores, m_.total_cores());
+  std::size_t const per_domain = m_.cores_per_domain();
+  double bw = copy_bandwidth_gbs(cores);
+
+  // Partial-domain critical path: if the last populated domain holds only
+  // a fraction f of its cores (and is bandwidth-saturated enough for the
+  // imbalance to matter), the bulk-synchronous step pays a penalty
+  // proportional to (1 - f).
+  std::size_t const tail = cores % per_domain;
+  if (tail != 0 && cores > per_domain) {
+    double const f =
+        static_cast<double>(tail) / static_cast<double>(per_domain);
+    bw *= 1.0 - partial_domain_penalty * (1.0 - f);
+  }
+
+  // Full occupancy: nothing left for OS/runtime service threads.
+  if (cores == m_.total_cores() && m_.full_occupancy_penalty > 0.0)
+    bw *= 1.0 - m_.full_occupancy_penalty;
+
+  return bw;
+}
+
+std::vector<stream_point> stream_model::sweep() const {
+  std::vector<stream_point> points;
+  points.reserve(m_.total_cores());
+  for (std::size_t c = 1; c <= m_.total_cores(); ++c)
+    points.push_back({c, copy_bandwidth_gbs(c)});
+  return points;
+}
+
+}  // namespace px::arch

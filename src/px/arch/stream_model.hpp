@@ -1,0 +1,52 @@
+// px/arch/stream_model.hpp
+// STREAM COPY bandwidth as a function of active cores (the Fig 2 curves).
+//
+// Cores fill NUMA domains in contiguous blocks (the paper pins one thread
+// per physical core with hwloc-bind and allocates first-touch). Within a
+// domain, bandwidth rises linearly with cores until the domain's memory
+// controllers saturate; fully-populated domains add their plateaus. A
+// domain that is only *partially* populated extracts less than its
+// pro-rata share (the §VII-B NUMA observation behind the 32->40-core dip),
+// modeled by the partial-domain penalty; full machine occupancy can pay an
+// extra penalty for evicting OS/runtime helper threads (Kunpeng at 64).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/arch/machine.hpp"
+
+namespace px::arch {
+
+struct stream_point {
+  std::size_t cores;
+  double copy_gbs;
+};
+
+class stream_model {
+ public:
+  explicit stream_model(machine m) : m_(std::move(m)) {}
+
+  // Modeled STREAM COPY bandwidth with `cores` active (block placement).
+  [[nodiscard]] double copy_bandwidth_gbs(std::size_t cores) const;
+
+  // Effective bandwidth *available to a bulk-synchronous kernel* at this
+  // core count: the partial-domain imbalance penalizes the whole iteration
+  // because the under-saturated domain is the critical path.
+  [[nodiscard]] double kernel_bandwidth_gbs(std::size_t cores) const;
+
+  // The Fig 2 sweep: bandwidth at every core count 1..total_cores.
+  [[nodiscard]] std::vector<stream_point> sweep() const;
+
+  [[nodiscard]] machine const& m() const noexcept { return m_; }
+
+  // Strength of the partial-domain critical-path penalty (0 = none).
+  // Calibrated so Kunpeng 916 at 40 cores (2 full domains + 8/16) lands
+  // visibly *below* its 32-core point, as in Fig 5.
+  static constexpr double partial_domain_penalty = 0.75;
+
+ private:
+  machine m_;
+};
+
+}  // namespace px::arch

@@ -1,0 +1,70 @@
+// px/dist/collectives.hpp
+// Collective operations over the localities of a domain, built on actions.
+// These are driver-side conveniences (SPMD-style loops are equally valid);
+// each returns futures so collectives overlap with other work.
+#pragma once
+
+#include <vector>
+
+#include "px/dist/distributed_domain.hpp"
+#include "px/lcos/when_all.hpp"
+
+namespace px::dist {
+
+// Invokes Fn(args...) on every locality; element i of the result is
+// locality i's future.
+template <auto Fn, typename... Args>
+auto broadcast(locality& from, Args const&... args)
+    -> std::vector<future<typename detail::fn_sig<decltype(Fn)>::ret>> {
+  using R = typename detail::fn_sig<decltype(Fn)>::ret;
+  std::size_t const n = from.domain().size();
+  std::vector<future<R>> futures;
+  futures.reserve(n);
+  for (std::size_t l = 0; l < n; ++l)
+    futures.push_back(from.call<Fn>(static_cast<std::uint32_t>(l),
+                                    Args(args)...));
+  return futures;
+}
+
+// Broadcast + collect: waits for every locality's result, returned in
+// locality order. Suspends the calling task.
+template <auto Fn, typename... Args>
+auto gather(locality& from, Args const&... args)
+    -> std::vector<typename detail::fn_sig<decltype(Fn)>::ret> {
+  auto futures = broadcast<Fn>(from, args...);
+  std::vector<typename detail::fn_sig<decltype(Fn)>::ret> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+// Broadcast + fold: op(acc, result_i) over localities in order.
+template <auto Fn, typename T, typename Op, typename... Args>
+T reduce(locality& from, T init, Op op, Args const&... args) {
+  auto results = gather<Fn>(from, args...);
+  for (auto& r : results) init = op(std::move(init), std::move(r));
+  return init;
+}
+
+// Splits `data` into `parts` contiguous blocks (sizes differ by <= 1),
+// the decomposition used by scatter-style collectives and the solvers.
+template <typename T>
+std::vector<std::vector<T>> split_blocks(std::vector<T> const& data,
+                                         std::size_t parts) {
+  PX_ASSERT(parts >= 1);
+  std::vector<std::vector<T>> blocks;
+  blocks.reserve(parts);
+  std::size_t const n = data.size();
+  std::size_t const base = n / parts;
+  std::size_t const extra = n % parts;
+  std::size_t lo = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    std::size_t const size = base + (p < extra ? 1 : 0);
+    blocks.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(lo),
+                        data.begin() + static_cast<std::ptrdiff_t>(lo + size));
+    lo += size;
+  }
+  return blocks;
+}
+
+}  // namespace px::dist

@@ -1,0 +1,64 @@
+#include "px/dist/dist_barrier.hpp"
+
+namespace px::dist {
+namespace detail {
+
+std::shared_ptr<barrier_endpoint> barrier_state(locality& here) {
+  constexpr char const name[] = "px.dist.barrier";
+  auto g = here.agas().resolve_name(name);
+  if (!g.valid()) {
+    auto state = std::make_shared<barrier_endpoint>();
+    auto bound = here.agas().bind(state);
+    if (here.agas().register_name(name, bound)) {
+      return state;
+    }
+    // Lost a registration race: drop ours, resolve the winner's.
+    here.agas().unbind(bound);
+    g = here.agas().resolve_name(name);
+  }
+  auto state = here.agas().resolve<barrier_endpoint>(g);
+  PX_ASSERT(state != nullptr);
+  return state;
+}
+
+void barrier_release(locality& here, std::uint64_t generation) {
+  barrier_state(here)->released.put(generation, 1);
+}
+
+void barrier_arrive(locality& here, std::uint64_t generation) {
+  PX_ASSERT_MSG(here.id() == 0, "barrier arrivals route to locality 0");
+  auto state = barrier_state(here);
+  auto const parties =
+      static_cast<std::uint32_t>(here.domain().size());
+  bool complete = false;
+  {
+    std::lock_guard<px::spinlock> guard(state->lock);
+    std::uint32_t const count = ++state->arrivals[generation];
+    if (count == parties) {
+      state->arrivals.erase(generation);
+      complete = true;
+    }
+  }
+  if (complete) {
+    for (std::uint32_t l = 1; l < parties; ++l)
+      here.apply<&barrier_release>(l, generation);
+    state->released.put(generation, 1);  // release the root locally
+  }
+}
+
+PX_REGISTER_ACTION(barrier_release)
+PX_REGISTER_ACTION(barrier_arrive)
+
+}  // namespace detail
+
+void barrier_arrive_and_wait(locality& here, std::uint64_t generation) {
+  auto state = detail::barrier_state(here);
+  if (here.id() == 0) {
+    detail::barrier_arrive(here, generation);
+  } else {
+    here.apply<&detail::barrier_arrive>(0, generation);
+  }
+  (void)state->released.get(generation);  // suspends until released
+}
+
+}  // namespace px::dist

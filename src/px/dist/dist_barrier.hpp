@@ -1,0 +1,45 @@
+// px/dist/dist_barrier.hpp
+// A barrier across localities (hpx::distributed::barrier): SPMD tasks on
+// different localities rendezvous by generation number. Centralized
+// implementation — locality 0 counts arrivals per generation and releases
+// every locality with a parcel; fine at virtual-cluster sizes (a reduction
+// tree is a fabric-topology optimization, not a semantic one).
+//
+// Usage: one participating task per locality calls
+// `px::dist::barrier_arrive_and_wait(here, generation)` with the same
+// generation value; all calls return only after every locality arrived.
+// Generations must be used in any order but each exactly once per
+// locality (a monotonically increasing counter in SPMD code).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "px/dist/distributed_domain.hpp"
+#include "px/stencil/step_mailbox.hpp"
+
+namespace px::dist {
+namespace detail {
+
+// Per-locality barrier endpoint, bound lazily under a symbolic name.
+struct barrier_endpoint {
+  px::spinlock lock;
+  // Root (locality 0) only: arrival counts per generation.
+  std::unordered_map<std::uint64_t, std::uint32_t> arrivals;
+  // All localities: release tokens per generation.
+  px::stencil::step_mailbox<int> released;
+};
+
+std::shared_ptr<barrier_endpoint> barrier_state(locality& here);
+
+// Parcel actions (registered in dist_barrier.cpp).
+void barrier_release(locality& here, std::uint64_t generation);
+void barrier_arrive(locality& here, std::uint64_t generation);
+
+}  // namespace detail
+
+// Blocks (suspends) the calling task until every locality of the domain
+// has arrived at `generation`.
+void barrier_arrive_and_wait(locality& here, std::uint64_t generation);
+
+}  // namespace px::dist

@@ -1,0 +1,120 @@
+#include "px/dist/distributed_domain.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "px/runtime/timer_service.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::dist {
+
+// ---- locality ---------------------------------------------------------
+
+locality::locality(distributed_domain& domain, std::uint32_t id,
+                   scheduler_config cfg)
+    : domain_(domain),
+      id_(id),
+      rt_([&] {
+        cfg.name = "loc" + std::to_string(id);
+        return cfg;
+      }()),
+      agas_(id) {}
+
+void locality::send(parcel::parcel p) {
+  PX_ASSERT(p.source == id_);
+  domain_.route(std::move(p));
+}
+
+void locality::deliver(parcel::parcel p) {
+  if (p.action == parcel::response_action_id) {
+    unique_function<void(parcel::parcel&&)> completion;
+    {
+      std::lock_guard<spinlock> guard(pending_lock_);
+      auto it = pending_.find(p.response_token);
+      PX_ASSERT_MSG(it != pending_.end(),
+                    "response parcel with unknown token");
+      completion = std::move(it->second);
+      pending_.erase(it);
+    }
+    completion(std::move(p));
+    parcels_handled_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  auto const handler = parcel::action_registry::instance().handler(p.action);
+  PX_ASSERT_MSG(handler != nullptr, "parcel for unregistered action");
+  // Message-driven computation: the arriving parcel becomes a task.
+  sched().spawn([this, handler, p = std::move(p)]() mutable {
+    handler(*this, std::move(p));
+    parcels_handled_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+std::uint64_t locality::register_response_slot(
+    unique_function<void(parcel::parcel&&)> completion) {
+  std::lock_guard<spinlock> guard(pending_lock_);
+  std::uint64_t const token = next_token_++;
+  pending_.emplace(token, std::move(completion));
+  return token;
+}
+
+// ---- distributed_domain -------------------------------------------------
+
+distributed_domain::distributed_domain(domain_config cfg)
+    : cfg_(cfg), fabric_(cfg.fabric, cfg.injection_scale) {
+  PX_ASSERT(cfg_.num_localities >= 1);
+  localities_.reserve(cfg_.num_localities);
+  for (std::size_t i = 0; i < cfg_.num_localities; ++i)
+    localities_.push_back(std::make_unique<locality>(
+        *this, static_cast<std::uint32_t>(i), cfg_.locality_cfg));
+}
+
+distributed_domain::~distributed_domain() {
+  wait_all_quiescent();
+  // Localities (and their runtimes) shut down in the unique_ptr dtors.
+}
+
+void distributed_domain::route(parcel::parcel p) {
+  PX_ASSERT_MSG(p.dest < localities_.size(), "parcel to unknown locality");
+  locality& dest = *localities_[p.dest];
+
+  if (p.dest == p.source) {  // intra-node: no wire, no charge
+    dest.deliver(std::move(p));
+    return;
+  }
+
+  std::size_t const bytes = p.wire_size();
+  double const modeled = fabric_.modeled_us(bytes);
+  fabric_.counters().record(bytes, modeled);
+  std::uint64_t const delay_ns = fabric_.injected_delay_ns(bytes);
+
+  if (delay_ns == 0) {
+    dest.deliver(std::move(p));
+    return;
+  }
+
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  rt::timer_service::instance().call_at(
+      rt::timer_service::clock::now() + std::chrono::nanoseconds(delay_ns),
+      [this, &dest, p = std::move(p)]() mutable {
+        dest.deliver(std::move(p));
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      });
+}
+
+void distributed_domain::wait_all_quiescent() {
+  // Parcels can respawn tasks and tasks can send parcels, so iterate until
+  // a full pass observes no activity anywhere.
+  for (;;) {
+    for (auto& loc : localities_) loc->rt().wait_quiescent();
+    if (in_flight_.load(std::memory_order_acquire) == 0) {
+      bool all_quiet = true;
+      for (auto& loc : localities_)
+        if (loc->sched().active_tasks() != 0) all_quiet = false;
+      if (all_quiet) return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace px::dist

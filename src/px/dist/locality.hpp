@@ -1,0 +1,244 @@
+// px/dist/locality.hpp
+// A virtual locality: one ParalleX node inside the process, with its own
+// scheduler pool, AGAS registry and parcel endpoint. N localities wired
+// through a simulated fabric form the virtual cluster the distributed
+// benchmarks run on — the same code path an HPX application takes across
+// real nodes, with the network replaced by the px::net model.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "px/agas/registry.hpp"
+#include "px/lcos/future.hpp"
+#include "px/parcel/action_registry.hpp"
+#include "px/parcel/parcel.hpp"
+#include "px/runtime/runtime.hpp"
+#include "px/serial/archive.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::dist {
+
+class distributed_domain;
+
+namespace detail {
+
+// Signature introspection for action functions. Actions may optionally take
+// the destination locality as their first parameter.
+template <typename F>
+struct fn_sig;
+
+template <typename R, typename... A>
+struct fn_sig<R (*)(A...)> {
+  using ret = R;
+  using args_tuple = std::tuple<std::decay_t<A>...>;
+  static constexpr bool wants_locality = false;
+};
+
+template <typename R, typename... A>
+struct fn_sig<R (*)(locality&, A...)> {
+  using ret = R;
+  using args_tuple = std::tuple<std::decay_t<A>...>;
+  static constexpr bool wants_locality = true;
+};
+
+}  // namespace detail
+
+class locality {
+ public:
+  locality(distributed_domain& domain, std::uint32_t id,
+           scheduler_config cfg);
+
+  locality(locality const&) = delete;
+  locality& operator=(locality const&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] px::runtime& rt() noexcept { return rt_; }
+  [[nodiscard]] px::rt::scheduler& sched() noexcept { return rt_.sched(); }
+  [[nodiscard]] agas::registry& agas() noexcept { return agas_; }
+  [[nodiscard]] distributed_domain& domain() noexcept { return domain_; }
+
+  // ---- typed remote invocation -----------------------------------------
+  // Invokes the registered action Fn on locality `dest`; the returned
+  // future is fulfilled by the response parcel. Fn's result must be
+  // default-constructible and serializable (or void).
+  template <auto Fn, typename... Args>
+  auto call(std::uint32_t dest, Args&&... args)
+      -> future<typename detail::fn_sig<decltype(Fn)>::ret>;
+
+  // Fire-and-forget invocation (hpx::apply on an action).
+  template <auto Fn, typename... Args>
+  void apply(std::uint32_t dest, Args&&... args);
+
+  // ---- raw parcel transport ---------------------------------------------
+  // Routes through the domain fabric (immediate for dest == this).
+  void send(parcel::parcel p);
+  // Entry point for arriving parcels; spawns the handler task here.
+  void deliver(parcel::parcel p);
+
+  [[nodiscard]] std::uint64_t parcels_handled() const noexcept {
+    return parcels_handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t register_response_slot(
+      unique_function<void(parcel::parcel&&)> completion);
+
+  distributed_domain& domain_;
+  std::uint32_t const id_;
+  px::runtime rt_;
+  agas::registry agas_;
+
+  spinlock pending_lock_;
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<std::uint64_t, unique_function<void(parcel::parcel&&)>>
+      pending_;
+  std::atomic<std::uint64_t> parcels_handled_{0};
+};
+
+namespace detail {
+
+// Generic handler instantiated per action function: deserializes the
+// argument tuple, invokes, and (when a response is expected) ships back
+// either the value or the exception message.
+template <auto Fn>
+void invoke_action(locality& here, parcel::parcel&& p) {
+  using sig = fn_sig<decltype(Fn)>;
+  using R = typename sig::ret;
+
+  serial::output_archive response;
+  bool const respond = p.response_token != 0;
+  try {
+    serial::input_archive in(p.payload);
+    typename sig::args_tuple args;
+    in& args;
+    if constexpr (std::is_void_v<R>) {
+      if constexpr (sig::wants_locality) {
+        std::apply([&](auto&&... a) { Fn(here, std::move(a)...); },
+                   std::move(args));
+      } else {
+        std::apply([](auto&&... a) { Fn(std::move(a)...); },
+                   std::move(args));
+      }
+      if (respond) response& std::uint8_t{1};
+    } else {
+      R result = [&] {
+        if constexpr (sig::wants_locality) {
+          return std::apply(
+              [&](auto&&... a) { return Fn(here, std::move(a)...); },
+              std::move(args));
+        } else {
+          return std::apply([](auto&&... a) { return Fn(std::move(a)...); },
+                            std::move(args));
+        }
+      }();
+      if (respond) {
+        response& std::uint8_t{1};
+        response& result;
+      }
+    }
+  } catch (std::exception const& e) {
+    if (!respond) throw;
+    response = serial::output_archive{};
+    response& std::uint8_t{0};
+    response& std::string(e.what());
+  }
+
+  if (respond) {
+    parcel::parcel reply;
+    reply.source = here.id();
+    reply.dest = p.source;
+    reply.action = parcel::response_action_id;
+    reply.response_token = p.response_token;
+    reply.payload = response.take();
+    here.send(std::move(reply));
+  }
+}
+
+// Completion side: decodes a response payload into a shared state.
+template <typename R>
+void complete_response(lcos::detail::shared_state<R>& state,
+                       parcel::parcel&& p) {
+  try {
+    serial::input_archive in(p.payload);
+    std::uint8_t ok = 0;
+    in& ok;
+    if (ok != 0) {
+      if constexpr (std::is_void_v<R>) {
+        state.set_value();
+      } else {
+        R value{};
+        in& value;
+        state.set_value(std::move(value));
+      }
+    } else {
+      std::string message;
+      in& message;
+      state.set_exception(std::make_exception_ptr(
+          std::runtime_error("px remote action failed: " + message)));
+    }
+  } catch (...) {
+    state.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+template <auto Fn, typename... Args>
+auto locality::call(std::uint32_t dest, Args&&... args)
+    -> future<typename detail::fn_sig<decltype(Fn)>::ret> {
+  using sig = detail::fn_sig<decltype(Fn)>;
+  using R = typename sig::ret;
+  PX_ASSERT_MSG(parcel::action_traits<Fn>::id != 0,
+                "action used before PX_REGISTER_ACTION");
+
+  auto state = std::make_shared<lcos::detail::shared_state<R>>();
+  std::uint64_t const token =
+      register_response_slot([state](parcel::parcel&& resp) {
+        detail::complete_response(*state, std::move(resp));
+      });
+
+  typename sig::args_tuple tup(std::forward<Args>(args)...);
+  serial::output_archive out;
+  out& tup;
+
+  parcel::parcel p;
+  p.source = id_;
+  p.dest = dest;
+  p.action = parcel::action_traits<Fn>::id;
+  p.response_token = token;
+  p.payload = out.take();
+  send(std::move(p));
+  return lcos::detail::make_future_from_state(std::move(state));
+}
+
+template <auto Fn, typename... Args>
+void locality::apply(std::uint32_t dest, Args&&... args) {
+  using sig = detail::fn_sig<decltype(Fn)>;
+  PX_ASSERT_MSG(parcel::action_traits<Fn>::id != 0,
+                "action used before PX_REGISTER_ACTION");
+  typename sig::args_tuple tup(std::forward<Args>(args)...);
+  serial::output_archive out;
+  out& tup;
+
+  parcel::parcel p;
+  p.source = id_;
+  p.dest = dest;
+  p.action = parcel::action_traits<Fn>::id;
+  p.payload = out.take();
+  send(std::move(p));
+}
+
+}  // namespace px::dist
+
+// Registers a free function (unqualified name, visible in this TU) as a
+// remotely invocable action. Must appear at namespace scope.
+#define PX_REGISTER_ACTION(fn)                                               \
+  namespace {                                                                \
+  [[maybe_unused]] ::std::uint32_t const px_action_registered_##fn = [] {    \
+    auto const id = ::px::parcel::action_registry::instance().add(           \
+        #fn, &::px::dist::detail::invoke_action<&fn>);                       \
+    ::px::parcel::action_traits<&fn>::id = id;                               \
+    return id;                                                               \
+  }();                                                                       \
+  }

@@ -1,0 +1,55 @@
+// px/dist/migration.hpp
+// AGAS object migration: moves a component's serialized state to another
+// locality while its GID stays valid (the residence bits update, the id
+// does not — ParalleX's "GID persists until object destruction").
+//
+// Types opt in with PX_REGISTER_MIGRATABLE(T); T must be serializable and
+// default-constructible.
+#pragma once
+
+#include "px/dist/distributed_domain.hpp"
+
+namespace px::dist {
+
+// Arrival half, runs on the destination as a parcel action. Returns the
+// GID under which the object is now reachable.
+template <typename T>
+agas::gid migration_arrive(locality& here, agas::gid g,
+                           std::vector<std::byte> bytes) {
+  auto object = std::make_shared<T>(
+      serial::from_bytes<T>(std::span<std::byte const>(bytes)));
+  agas::gid const resident = g.with_locality(here.id());
+  here.agas().bind_existing(resident, std::move(object));
+  return resident;
+}
+
+// Departure half: serializes, unbinds locally, and ships the state. The
+// returned future carries the object's post-migration GID.
+template <typename T>
+future<agas::gid> migrate(locality& from, agas::gid g, std::uint32_t dest) {
+  auto object = from.agas().resolve<T>(g);
+  if (object == nullptr)
+    return make_exceptional_future<agas::gid>(std::make_exception_ptr(
+        std::runtime_error("px::dist::migrate: gid not resident here")));
+  if (dest == from.id()) return make_ready_future(g);
+
+  std::vector<std::byte> bytes = serial::to_bytes(*object);
+  from.agas().unbind(g);
+  return from.call<&migration_arrive<T>>(dest, g, std::move(bytes));
+}
+
+}  // namespace px::dist
+
+// Registers the arrival action for a migratable type (unqualified type
+// name, namespace scope).
+#define PX_REGISTER_MIGRATABLE(T)                                            \
+  namespace {                                                                \
+  [[maybe_unused]] ::std::uint32_t const px_migratable_registered_##T = [] { \
+    auto const id = ::px::parcel::action_registry::instance().add(           \
+        "px.migrate." #T,                                                    \
+        &::px::dist::detail::invoke_action<                                  \
+            &::px::dist::migration_arrive<T>>);                              \
+    ::px::parcel::action_traits<&::px::dist::migration_arrive<T>>::id = id;  \
+    return id;                                                               \
+  }();                                                                       \
+  }

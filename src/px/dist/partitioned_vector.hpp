@@ -1,0 +1,234 @@
+// px/dist/partitioned_vector.hpp
+// A distributed vector in the hpx::partitioned_vector mold: the element
+// range is block-decomposed over the localities, each block living as an
+// AGAS component on its locality. Element access resolves the owning block
+// and either touches local memory or ships a parcel; bulk operations work
+// block-at-a-time.
+//
+// Types opt in with PX_REGISTER_PARTITIONED_VECTOR(T) at namespace scope.
+#pragma once
+
+#include <numeric>
+
+#include "px/dist/distributed_domain.hpp"
+
+namespace px::dist {
+
+template <typename T>
+struct pv_block {
+  std::vector<T> data;
+};
+
+// ---- per-block actions -----------------------------------------------------
+
+template <typename T>
+T pv_get(locality& here, agas::gid g, std::uint64_t index) {
+  auto block = here.agas().resolve<pv_block<T>>(g);
+  if (block == nullptr || index >= block->data.size())
+    throw std::runtime_error("px::dist::partitioned_vector: bad access");
+  return block->data[index];
+}
+
+template <typename T>
+void pv_set(locality& here, agas::gid g, std::uint64_t index, T value) {
+  auto block = here.agas().resolve<pv_block<T>>(g);
+  if (block == nullptr || index >= block->data.size())
+    throw std::runtime_error("px::dist::partitioned_vector: bad access");
+  block->data[index] = std::move(value);
+}
+
+template <typename T>
+agas::gid pv_create_block(locality& here, std::uint64_t count, T init) {
+  auto block = std::make_shared<pv_block<T>>();
+  block->data.assign(count, init);
+  return here.agas().bind(std::move(block));
+}
+
+template <typename T>
+std::vector<T> pv_read_block(locality& here, agas::gid g) {
+  auto block = here.agas().resolve<pv_block<T>>(g);
+  if (block == nullptr)
+    throw std::runtime_error("px::dist::partitioned_vector: unknown block");
+  return block->data;
+}
+
+template <typename T>
+void pv_write_block(locality& here, agas::gid g, std::vector<T> values) {
+  auto block = here.agas().resolve<pv_block<T>>(g);
+  if (block == nullptr || values.size() != block->data.size())
+    throw std::runtime_error("px::dist::partitioned_vector: bad write");
+  block->data = std::move(values);
+}
+
+template <typename T>
+T pv_block_sum(locality& here, agas::gid g) {
+  auto block = here.agas().resolve<pv_block<T>>(g);
+  if (block == nullptr)
+    throw std::runtime_error("px::dist::partitioned_vector: unknown block");
+  return std::accumulate(block->data.begin(), block->data.end(), T{});
+}
+
+template <typename T>
+int pv_destroy_block(locality& here, agas::gid g) {
+  return here.agas().unbind(g) ? 1 : 0;
+}
+
+// ---- the handle --------------------------------------------------------------
+
+template <typename T>
+class partitioned_vector {
+ public:
+  partitioned_vector() = default;
+
+  // Creates one block per locality, filled with `init`. Call from a task
+  // on any locality.
+  static partitioned_vector create(locality& from, std::size_t size,
+                                   T init = T{}) {
+    partitioned_vector pv;
+    pv.size_ = size;
+    std::size_t const nloc = from.domain().size();
+    std::size_t const base = size / nloc;
+    std::size_t const extra = size % nloc;
+    std::vector<future<agas::gid>> pending;
+    std::uint64_t offset = 0;
+    for (std::size_t l = 0; l < nloc; ++l) {
+      std::uint64_t const count = base + (l < extra ? 1 : 0);
+      pv.offsets_.push_back(offset);
+      offset += count;
+      pending.push_back(from.call<&pv_create_block<T>>(
+          static_cast<std::uint32_t>(l), count, T(init)));
+    }
+    for (auto& f : pending) pv.blocks_.push_back(f.get());
+    return pv;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return blocks_.size();
+  }
+  [[nodiscard]] agas::gid block_gid(std::size_t b) const {
+    return blocks_.at(b);
+  }
+
+  // Locality owning element i (for placement-aware callers).
+  [[nodiscard]] std::uint32_t owner_of(std::size_t i) const {
+    return blocks_[block_of(i)].locality();
+  }
+
+  // ---- element access ----------------------------------------------------
+  [[nodiscard]] future<T> get_async(locality& from, std::size_t i) const {
+    std::size_t const b = block_of(i);
+    return from.call<&pv_get<T>>(blocks_[b].locality(), blocks_[b],
+                                 static_cast<std::uint64_t>(i - offsets_[b]));
+  }
+  [[nodiscard]] T get(locality& from, std::size_t i) const {
+    return get_async(from, i).get();
+  }
+
+  [[nodiscard]] future<void> set_async(locality& from, std::size_t i,
+                                       T value) const {
+    std::size_t const b = block_of(i);
+    return from.call<&pv_set<T>>(blocks_[b].locality(), blocks_[b],
+                                 static_cast<std::uint64_t>(i - offsets_[b]),
+                                 std::move(value));
+  }
+  void set(locality& from, std::size_t i, T value) const {
+    set_async(from, i, std::move(value)).get();
+  }
+
+  // ---- bulk operations ------------------------------------------------------
+  // Gathers the full contents (block-parallel).
+  [[nodiscard]] std::vector<T> gather(locality& from) const {
+    std::vector<future<std::vector<T>>> pending;
+    pending.reserve(blocks_.size());
+    for (auto const& g : blocks_)
+      pending.push_back(from.call<&pv_read_block<T>>(g.locality(), g));
+    std::vector<T> out;
+    out.reserve(size_);
+    for (auto& f : pending) {
+      auto block = f.get();
+      out.insert(out.end(), block.begin(), block.end());
+    }
+    return out;
+  }
+
+  // Scatters `values` (must match size()) back into the blocks.
+  void scatter(locality& from, std::vector<T> const& values) const {
+    PX_ASSERT(values.size() == size_);
+    std::vector<future<void>> pending;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      std::size_t const lo = offsets_[b];
+      std::size_t const hi =
+          b + 1 < blocks_.size() ? offsets_[b + 1] : size_;
+      pending.push_back(from.call<&pv_write_block<T>>(
+          blocks_[b].locality(), blocks_[b],
+          std::vector<T>(values.begin() + static_cast<std::ptrdiff_t>(lo),
+                         values.begin() + static_cast<std::ptrdiff_t>(hi))));
+    }
+    for (auto& f : pending) f.get();
+  }
+
+  // Distributed sum: each block reduces locally, partials fold here.
+  [[nodiscard]] T sum(locality& from) const {
+    std::vector<future<T>> pending;
+    pending.reserve(blocks_.size());
+    for (auto const& g : blocks_)
+      pending.push_back(from.call<&pv_block_sum<T>>(g.locality(), g));
+    T total{};
+    for (auto& f : pending) total = total + f.get();
+    return total;
+  }
+
+  // Destroys every block.
+  void destroy(locality& from) {
+    std::vector<future<int>> pending;
+    for (auto const& g : blocks_)
+      pending.push_back(from.call<&pv_destroy_block<T>>(g.locality(), g));
+    for (auto& f : pending) f.get();
+    blocks_.clear();
+    offsets_.clear();
+    size_ = 0;
+  }
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& size_& blocks_& offsets_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t block_of(std::size_t i) const {
+    PX_ASSERT(i < size_);
+    // offsets_ is sorted; blocks are few (one per locality).
+    std::size_t b = blocks_.size() - 1;
+    while (offsets_[b] > i) --b;
+    return b;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<agas::gid> blocks_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace px::dist
+
+#define PX_DETAIL_REGISTER_PV_ACTION(T, fn)                                  \
+  {                                                                          \
+    auto const id = ::px::parcel::action_registry::instance().add(          \
+        "px.pv." #fn "." #T,                                                 \
+        &::px::dist::detail::invoke_action<&::px::dist::fn<T>>);             \
+    ::px::parcel::action_traits<&::px::dist::fn<T>>::id = id;                \
+  }
+
+#define PX_REGISTER_PARTITIONED_VECTOR(T)                                    \
+  namespace {                                                                \
+  [[maybe_unused]] bool const px_pv_registered_##T = [] {                    \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_get)                                  \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_set)                                  \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_create_block)                         \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_read_block)                           \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_write_block)                          \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_block_sum)                            \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_destroy_block)                        \
+    return true;                                                             \
+  }();                                                                       \
+  }

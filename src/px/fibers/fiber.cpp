@@ -1,0 +1,71 @@
+#include "px/fibers/fiber.hpp"
+
+#include "px/support/assert.hpp"
+
+namespace px::fibers {
+namespace {
+
+thread_local fiber* tls_current_fiber = nullptr;
+
+}  // namespace
+
+fiber* fiber::current() noexcept { return tls_current_fiber; }
+
+fiber::fiber(stack stk, unique_function<void()> entry)
+    : stack_(stk), entry_(std::move(entry)) {
+  PX_ASSERT(stack_.valid());
+  PX_ASSERT(entry_);
+  ::getcontext(&context_);
+  context_.uc_stack.ss_sp = stack_.limit;
+  context_.uc_stack.ss_size = stack_.usable_size;
+  context_.uc_link = nullptr;  // termination handled in the trampoline
+
+  // makecontext only forwards ints; split the pointer across two 32-bit
+  // halves (the documented idiom for 64-bit targets).
+  auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&fiber::trampoline),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void fiber::trampoline(unsigned hi, unsigned lo) {
+  auto self = reinterpret_cast<fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  self->run_entry();
+  PX_UNREACHABLE();
+}
+
+void fiber::run_entry() {
+  entry_();
+  entry_.reset();  // release captures before anyone recycles the task
+  state_ = state::finished;
+  fiber* const self = this;
+  tls_current_fiber = nullptr;
+  ::swapcontext(&self->context_, &self->owner_context_);
+  PX_UNREACHABLE();  // a finished fiber is never resumed
+}
+
+void fiber::resume() {
+  PX_ASSERT_MSG(state_ == state::ready || state_ == state::suspended,
+                "resume on running/finished fiber");
+  fiber* const prev = tls_current_fiber;
+  PX_ASSERT_MSG(prev == nullptr, "nested fiber resume is not supported");
+  tls_current_fiber = this;
+  state_ = state::running;
+  ::swapcontext(&owner_context_, &context_);
+  // Back on the owner: the fiber either suspended or finished; both paths
+  // already cleared tls_current_fiber.
+  tls_current_fiber = prev;
+}
+
+void fiber::suspend_to_owner() {
+  PX_ASSERT(tls_current_fiber == this);
+  PX_ASSERT(state_ == state::running);
+  state_ = state::suspended;
+  tls_current_fiber = nullptr;
+  ::swapcontext(&context_, &owner_context_);
+  // Resumed again: resume() has restored tls_current_fiber.
+  state_ = state::running;
+}
+
+}  // namespace px::fibers

@@ -1,0 +1,63 @@
+// px/fibers/fiber.hpp
+// Stackful coroutine over POSIX ucontext. One fiber backs one px task
+// (the paper's "HPX thread"): tasks can suspend mid-execution waiting on a
+// future or an LCO and resume later on any worker.
+//
+// Control-flow contract:
+//   * A worker thread resumes a fiber with resume(); control returns to the
+//     worker either when the fiber calls suspend_to_owner() or when its
+//     entry function finishes.
+//   * Fibers never resume other fibers directly; all transfers go through
+//     the owning worker's context, which keeps scheduling decisions in the
+//     scheduler and out of the synchronisation primitives.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+
+#include "px/fibers/stack.hpp"
+#include "px/support/unique_function.hpp"
+
+namespace px::fibers {
+
+class fiber {
+ public:
+  enum class state : std::uint8_t { ready, running, suspended, finished };
+
+  // The stack remains owned by the caller (pool); the fiber only borrows it.
+  fiber(stack stk, unique_function<void()> entry);
+
+  fiber(fiber const&) = delete;
+  fiber& operator=(fiber const&) = delete;
+
+  // Runs/continues the fiber on the calling OS thread. Returns when the
+  // fiber suspends or finishes. Must not be called on a finished fiber.
+  void resume();
+
+  // Called from *inside* the fiber: saves the fiber context and returns to
+  // whichever resume() call is active. The fiber is left in `suspended`.
+  void suspend_to_owner();
+
+  [[nodiscard]] state current_state() const noexcept { return state_; }
+  [[nodiscard]] bool finished() const noexcept {
+    return state_ == state::finished;
+  }
+  [[nodiscard]] stack const& borrowed_stack() const noexcept { return stack_; }
+
+  // The fiber currently executing on this OS thread, or nullptr when running
+  // on a plain thread/scheduler context.
+  static fiber* current() noexcept;
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_entry();
+
+  stack stack_;
+  unique_function<void()> entry_;
+  ucontext_t context_{};
+  ucontext_t owner_context_{};
+  state state_ = state::ready;
+};
+
+}  // namespace px::fibers

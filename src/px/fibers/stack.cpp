@@ -1,0 +1,95 @@
+#include "px/fibers/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <new>
+
+#include "px/support/assert.hpp"
+#include "px/support/math.hpp"
+
+namespace px::fibers {
+namespace {
+
+std::size_t page_size() noexcept {
+  static std::size_t const ps =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+}  // namespace
+
+stack allocate_stack(std::size_t usable_size) {
+  std::size_t const ps = page_size();
+  usable_size = round_up(usable_size, ps);
+  std::size_t const total = usable_size + ps;  // + guard page
+
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (base == MAP_FAILED) throw std::bad_alloc{};
+  // Guard page at the low end: stack overflow faults instead of corrupting
+  // a neighbouring fiber's stack.
+  if (::mprotect(base, ps, PROT_NONE) != 0) {
+    ::munmap(base, total);
+    throw std::bad_alloc{};
+  }
+
+  stack s;
+  s.base = base;
+  s.limit = static_cast<char*>(base) + ps;
+  s.usable_size = usable_size;
+  return s;
+}
+
+void release_stack(stack const& s) noexcept {
+  if (!s.valid()) return;
+  std::size_t const total = s.usable_size + page_size();
+  ::munmap(s.base, total);
+}
+
+stack_pool::stack_pool(std::size_t stack_size, std::size_t max_cached)
+    : stack_size_(round_up(stack_size, page_size())),
+      max_cached_(max_cached) {}
+
+stack_pool::~stack_pool() {
+  for (auto const& s : free_) release_stack(s);
+}
+
+stack stack_pool::acquire() {
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    if (!free_.empty()) {
+      stack s = free_.back();
+      free_.pop_back();
+      return s;
+    }
+    ++total_allocated_;
+  }
+  return allocate_stack(stack_size_);
+}
+
+void stack_pool::recycle(stack s) noexcept {
+  PX_ASSERT(s.valid());
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    if (free_.size() < max_cached_) {
+      free_.push_back(s);
+      return;
+    }
+    --total_allocated_;
+  }
+  release_stack(s);
+}
+
+std::size_t stack_pool::cached() const noexcept {
+  std::lock_guard<spinlock> guard(lock_);
+  return free_.size();
+}
+
+std::size_t stack_pool::total_allocated() const noexcept {
+  std::lock_guard<spinlock> guard(lock_);
+  return total_allocated_;
+}
+
+}  // namespace px::fibers

@@ -1,0 +1,56 @@
+// px/fibers/stack.hpp
+// mmap-backed fiber stacks with a guard page, and a recycling pool.
+//
+// HPX threads are cheap partly because stacks are pooled; allocating a fresh
+// mmap per task would dominate spawn cost. The pool is per-runtime and
+// protected by a spinlock — stack churn is far colder than task dispatch.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/support/spin.hpp"
+
+namespace px::fibers {
+
+struct stack {
+  void* base = nullptr;   // lowest mapped address (guard page)
+  void* limit = nullptr;  // lowest usable address (above the guard)
+  std::size_t usable_size = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return base != nullptr; }
+  // Stack grows down on every supported target: top is limit + usable_size.
+  [[nodiscard]] void* top() const noexcept {
+    return static_cast<char*>(limit) + usable_size;
+  }
+};
+
+// Maps usable_size bytes of stack plus one PROT_NONE guard page below it.
+// Throws std::bad_alloc on mmap failure.
+stack allocate_stack(std::size_t usable_size);
+void release_stack(stack const& s) noexcept;
+
+class stack_pool {
+ public:
+  explicit stack_pool(std::size_t stack_size, std::size_t max_cached = 256);
+  ~stack_pool();
+
+  stack_pool(stack_pool const&) = delete;
+  stack_pool& operator=(stack_pool const&) = delete;
+
+  stack acquire();
+  void recycle(stack s) noexcept;
+
+  [[nodiscard]] std::size_t stack_size() const noexcept { return stack_size_; }
+  [[nodiscard]] std::size_t cached() const noexcept;
+  [[nodiscard]] std::size_t total_allocated() const noexcept;
+
+ private:
+  std::size_t const stack_size_;
+  std::size_t const max_cached_;
+  mutable spinlock lock_;
+  std::vector<stack> free_;
+  std::size_t total_allocated_ = 0;
+};
+
+}  // namespace px::fibers

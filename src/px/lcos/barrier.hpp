@@ -1,0 +1,56 @@
+// px/lcos/barrier.hpp
+// Cyclic barrier for a fixed party count (hpx::barrier). Phase-counted so a
+// fast arriver spinning into the next phase cannot consume a slow arriver's
+// wake from the previous one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "px/lcos/wait_support.hpp"
+
+namespace px {
+
+class barrier {
+ public:
+  explicit barrier(std::size_t parties) : parties_(parties),
+                                          remaining_(parties) {
+    PX_ASSERT(parties > 0);
+  }
+
+  barrier(barrier const&) = delete;
+  barrier& operator=(barrier const&) = delete;
+
+  // Blocks until all parties of the current phase have arrived.
+  void arrive_and_wait() {
+    lock_.lock();
+    std::uint64_t const my_phase = phase_;
+    PX_ASSERT(remaining_ > 0);
+    if (--remaining_ == 0) {
+      ++phase_;
+      remaining_ = parties_;
+      auto to_wake = lcos::detail::take_all(waiters_);
+      lock_.unlock();
+      lcos::detail::notify_all(std::move(to_wake));
+      return;
+    }
+    lcos::detail::wait_until(lock_, waiters_,
+                             [this, my_phase] { return phase_ != my_phase; });
+    lock_.unlock();
+  }
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  [[nodiscard]] std::uint64_t phase() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return phase_;
+  }
+
+ private:
+  mutable spinlock lock_;
+  std::size_t const parties_;
+  std::size_t remaining_;
+  std::uint64_t phase_ = 0;
+  std::vector<lcos::detail::waiter> waiters_;
+};
+
+}  // namespace px

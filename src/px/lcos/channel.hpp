@@ -1,0 +1,164 @@
+// px/lcos/channel.hpp
+// MPMC channels (hpx::lcos::local::channel). The 1D stencil solver uses a
+// pair of channels per partition boundary for halo exchange — the paper's
+// mechanism for hiding network latencies under compute.
+//
+// `channel<T>`: unbounded; receive() returns a future that is fulfilled by
+// a matching send (possibly before the value arrives — receivers can queue).
+// `bounded_channel<T>`: fixed capacity; send suspends when full, giving
+// pipeline backpressure.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "px/lcos/future.hpp"
+#include "px/lcos/wait_support.hpp"
+
+namespace px {
+
+template <typename T>
+class channel {
+ public:
+  channel() = default;
+  channel(channel const&) = delete;
+  channel& operator=(channel const&) = delete;
+
+  // Delivers a value: hands it to the oldest queued receiver, or buffers it.
+  void send(T value) {
+    lock_.lock();
+    PX_ASSERT_MSG(!closed_, "send on closed channel");
+    if (!pending_receivers_.empty()) {
+      auto state = std::move(pending_receivers_.front());
+      pending_receivers_.pop_front();
+      lock_.unlock();
+      state->set_value(std::move(value));
+      return;
+    }
+    buffer_.push_back(std::move(value));
+    lock_.unlock();
+  }
+
+  // Asynchronous receive: ready immediately if a value is buffered,
+  // otherwise fulfilled by a future send (FIFO among receivers).
+  future<T> receive() {
+    lock_.lock();
+    if (!buffer_.empty()) {
+      T value = std::move(buffer_.front());
+      buffer_.pop_front();
+      lock_.unlock();
+      return make_ready_future(std::move(value));
+    }
+    if (closed_) {
+      lock_.unlock();
+      return make_exceptional_future<T>(std::make_exception_ptr(
+          std::runtime_error("px: receive on closed empty channel")));
+    }
+    auto state = std::make_shared<lcos::detail::shared_state<T>>();
+    pending_receivers_.push_back(state);
+    lock_.unlock();
+    return lcos::detail::make_future_from_state(std::move(state));
+  }
+
+  // Synchronous receive (suspends the task / blocks the thread).
+  T get() { return receive().get(); }
+
+  // Closes the channel: queued receivers beyond the buffered values fail
+  // with an exception, as do later receive() calls on an empty channel.
+  void close() {
+    lock_.lock();
+    closed_ = true;
+    std::deque<std::shared_ptr<lcos::detail::shared_state<T>>> orphans;
+    orphans.swap(pending_receivers_);
+    lock_.unlock();
+    for (auto& state : orphans)
+      state->set_exception(std::make_exception_ptr(
+          std::runtime_error("px: channel closed while receive pending")));
+  }
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return buffer_.size();
+  }
+
+ private:
+  mutable spinlock lock_;
+  bool closed_ = false;
+  std::deque<T> buffer_;
+  std::deque<std::shared_ptr<lcos::detail::shared_state<T>>>
+      pending_receivers_;
+};
+
+template <typename T>
+class bounded_channel {
+ public:
+  explicit bounded_channel(std::size_t capacity) : capacity_(capacity) {
+    PX_ASSERT(capacity > 0);
+  }
+
+  bounded_channel(bounded_channel const&) = delete;
+  bounded_channel& operator=(bounded_channel const&) = delete;
+
+  // Suspends when the buffer is full (backpressure).
+  void send(T value) {
+    lock_.lock();
+    lcos::detail::wait_until(lock_, send_waiters_, [this] {
+      return buffer_.size() < capacity_ || !pending_receivers_.empty();
+    });
+    if (!pending_receivers_.empty()) {
+      auto state = std::move(pending_receivers_.front());
+      pending_receivers_.pop_front();
+      lock_.unlock();
+      state->set_value(std::move(value));
+      return;
+    }
+    buffer_.push_back(std::move(value));
+    lock_.unlock();
+  }
+
+  future<T> receive() {
+    lock_.lock();
+    if (!buffer_.empty()) {
+      T value = std::move(buffer_.front());
+      buffer_.pop_front();
+      // A slot opened: release one blocked sender.
+      std::optional<lcos::detail::waiter> to_wake;
+      if (!send_waiters_.empty()) {
+        to_wake = send_waiters_.front();
+        send_waiters_.erase(send_waiters_.begin());
+      }
+      lock_.unlock();
+      if (to_wake) to_wake->notify();
+      return make_ready_future(std::move(value));
+    }
+    auto state = std::make_shared<lcos::detail::shared_state<T>>();
+    pending_receivers_.push_back(state);
+    std::optional<lcos::detail::waiter> to_wake;
+    if (!send_waiters_.empty()) {
+      to_wake = send_waiters_.front();
+      send_waiters_.erase(send_waiters_.begin());
+    }
+    lock_.unlock();
+    if (to_wake) to_wake->notify();
+    return lcos::detail::make_future_from_state(std::move(state));
+  }
+
+  T get() { return receive().get(); }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return buffer_.size();
+  }
+
+ private:
+  mutable spinlock lock_;
+  std::size_t const capacity_;
+  std::deque<T> buffer_;
+  std::deque<std::shared_ptr<lcos::detail::shared_state<T>>>
+      pending_receivers_;
+  std::vector<lcos::detail::waiter> send_waiters_;
+};
+
+}  // namespace px

@@ -1,0 +1,46 @@
+// px/lcos/event.hpp
+// Manual-reset event: set() releases all current and future waiters until
+// reset(). The simplest LCO; used for one-shot signalling between tasks.
+#pragma once
+
+#include "px/lcos/wait_support.hpp"
+
+namespace px {
+
+class event {
+ public:
+  event() = default;
+  event(event const&) = delete;
+  event& operator=(event const&) = delete;
+
+  void set() {
+    lock_.lock();
+    signaled_ = true;
+    auto to_wake = lcos::detail::take_all(waiters_);
+    lock_.unlock();
+    lcos::detail::notify_all(std::move(to_wake));
+  }
+
+  void reset() {
+    std::lock_guard<spinlock> guard(lock_);
+    signaled_ = false;
+  }
+
+  [[nodiscard]] bool is_set() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return signaled_;
+  }
+
+  void wait() {
+    lock_.lock();
+    lcos::detail::wait_until(lock_, waiters_, [this] { return signaled_; });
+    lock_.unlock();
+  }
+
+ private:
+  mutable spinlock lock_;
+  bool signaled_ = false;
+  std::vector<lcos::detail::waiter> waiters_;
+};
+
+}  // namespace px

@@ -1,0 +1,303 @@
+// px/lcos/future.hpp
+// future / shared_future / promise / packaged_task with HPX-style `then`
+// continuations. Unlike std::future, waiting from inside a px task suspends
+// the lightweight thread instead of blocking the worker — the property the
+// ParalleX model relies on to hide latencies.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "px/lcos/shared_state.hpp"
+#include "px/runtime/runtime.hpp"
+
+namespace px {
+
+template <typename T>
+class future;
+template <typename T>
+class shared_future;
+template <typename T>
+class promise;
+
+namespace lcos::detail {
+
+template <typename T>
+future<T> make_future_from_state(std::shared_ptr<shared_state<T>> state);
+
+// Invokes f(args...) and routes the result/exception into `state`,
+// collapsing void returns.
+template <typename T, typename F, typename... Args>
+void fulfill(shared_state<T>& state, F&& f, Args&&... args) {
+  try {
+    if constexpr (std::is_void_v<T>) {
+      std::forward<F>(f)(std::forward<Args>(args)...);
+      state.set_value();
+    } else {
+      state.set_value(std::forward<F>(f)(std::forward<Args>(args)...));
+    }
+  } catch (...) {
+    state.set_exception(std::current_exception());
+  }
+}
+
+// Scheduler to use for spawned continuations/async from the current
+// context; asserts when called off-worker without an explicit runtime.
+inline rt::scheduler& ambient_scheduler() {
+  rt::worker* w = rt::worker::current();
+  PX_ASSERT_MSG(w != nullptr,
+                "px::async/then off a worker thread needs an explicit "
+                "runtime argument");
+  return w->owner();
+}
+
+}  // namespace lcos::detail
+
+template <typename T>
+class future {
+ public:
+  using value_type = T;
+
+  future() = default;
+  future(future&&) = default;
+  future& operator=(future&&) = default;
+  future(future const&) = delete;
+  future& operator=(future const&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const noexcept {
+    PX_ASSERT(valid());
+    return state_->is_ready();
+  }
+  [[nodiscard]] bool has_exception() const noexcept {
+    PX_ASSERT(valid());
+    return state_->has_exception();
+  }
+
+  void wait() const {
+    PX_ASSERT(valid());
+    state_->wait();
+  }
+
+  // Consumes the future (like std::future::get).
+  T get() {
+    PX_ASSERT(valid());
+    auto state = std::move(state_);
+    return state->get();
+  }
+
+  // Attaches a continuation receiving the *ready* future; returns a future
+  // for the continuation's result. The continuation runs as a fresh px task
+  // on `sched` (defaulting to the calling worker's scheduler).
+  template <typename F>
+  auto then(F&& f) -> future<std::invoke_result_t<F, future<T>>> {
+    return then_on(lcos::detail::ambient_scheduler(), std::forward<F>(f));
+  }
+
+  template <typename F>
+  auto then_on(rt::scheduler& sched, F&& f)
+      -> future<std::invoke_result_t<F, future<T>>> {
+    using R = std::invoke_result_t<F, future<T>>;
+    PX_ASSERT(valid());
+    auto next = std::make_shared<lcos::detail::shared_state<R>>();
+    auto prev = std::move(state_);
+    prev->add_continuation(
+        [prev, next, &sched, fn = std::decay_t<F>(std::forward<F>(f))]()
+            mutable {
+          sched.spawn([prev = std::move(prev), next = std::move(next),
+                       fn = std::move(fn)]() mutable {
+            lcos::detail::fulfill(*next, std::move(fn),
+                                  lcos::detail::make_future_from_state(
+                                      std::move(prev)));
+          });
+        });
+    return lcos::detail::make_future_from_state(std::move(next));
+  }
+
+  shared_future<T> share();
+
+  // Internal: state access for when_all/dataflow plumbing.
+  [[nodiscard]] std::shared_ptr<lcos::detail::shared_state<T>> const&
+  raw_state() const noexcept {
+    return state_;
+  }
+  [[nodiscard]] std::shared_ptr<lcos::detail::shared_state<T>>
+  release_state() noexcept {
+    return std::move(state_);
+  }
+
+ private:
+  template <typename U>
+  friend future<U> lcos::detail::make_future_from_state(
+      std::shared_ptr<lcos::detail::shared_state<U>> state);
+
+  explicit future(std::shared_ptr<lcos::detail::shared_state<T>> s)
+      : state_(std::move(s)) {}
+
+  std::shared_ptr<lcos::detail::shared_state<T>> state_;
+};
+
+namespace lcos::detail {
+template <typename T>
+future<T> make_future_from_state(std::shared_ptr<shared_state<T>> state) {
+  return future<T>(std::move(state));
+}
+}  // namespace lcos::detail
+
+template <typename T>
+class shared_future {
+ public:
+  shared_future() = default;
+  // Consumes the unique future, taking over its state.
+  shared_future(future<T>&& f) : state_(f.release_state()) {}
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] bool is_ready() const noexcept { return state_->is_ready(); }
+  void wait() const { state_->wait(); }
+
+  // Returns a const reference (T) or void; does not consume.
+  decltype(auto) get() const {
+    PX_ASSERT(valid());
+    return state_->get_cref();
+  }
+
+ private:
+  std::shared_ptr<lcos::detail::shared_state<T>> state_;
+};
+
+template <typename T>
+shared_future<T> future<T>::share() {
+  return shared_future<T>(std::move(*this));
+}
+
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<lcos::detail::shared_state<T>>()) {}
+  promise(promise&&) = default;
+  promise& operator=(promise&&) = default;
+  promise(promise const&) = delete;
+  promise& operator=(promise const&) = delete;
+
+  ~promise() {
+    // A promise abandoned before fulfilment reports broken_promise.
+    if (state_ && !retrieved_fulfilled_ && !state_->is_ready())
+      state_->set_exception(std::make_exception_ptr(
+          std::runtime_error("px: broken promise")));
+  }
+
+  future<T> get_future() {
+    PX_ASSERT_MSG(!future_retrieved_, "get_future called twice");
+    future_retrieved_ = true;
+    return lcos::detail::make_future_from_state(state_);
+  }
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    PX_ASSERT(state_ != nullptr);
+    retrieved_fulfilled_ = true;
+    state_->set_value(std::forward<Args>(args)...);
+  }
+
+  void set_exception(std::exception_ptr e) {
+    PX_ASSERT(state_ != nullptr);
+    retrieved_fulfilled_ = true;
+    state_->set_exception(std::move(e));
+  }
+
+ private:
+  std::shared_ptr<lcos::detail::shared_state<T>> state_;
+  bool future_retrieved_ = false;
+  bool retrieved_fulfilled_ = false;
+};
+
+// Ready-made futures (hpx::make_ready_future).
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& value) {
+  auto state =
+      std::make_shared<lcos::detail::shared_state<std::decay_t<T>>>();
+  state->set_value(std::forward<T>(value));
+  return lcos::detail::make_future_from_state(std::move(state));
+}
+
+inline future<void> make_ready_future() {
+  auto state = std::make_shared<lcos::detail::shared_state<void>>();
+  state->set_value();
+  return lcos::detail::make_future_from_state(std::move(state));
+}
+
+template <typename T>
+future<T> make_exceptional_future(std::exception_ptr e) {
+  auto state = std::make_shared<lcos::detail::shared_state<T>>();
+  state->set_exception(std::move(e));
+  return lcos::detail::make_future_from_state(std::move(state));
+}
+
+// Flattens future<future<T>> -> future<T> (hpx::future::unwrap). The
+// result becomes ready when the *inner* future does; exceptions from
+// either level propagate.
+template <typename T>
+future<T> unwrap(future<future<T>>&& outer) {
+  auto out = std::make_shared<lcos::detail::shared_state<T>>();
+  auto outer_state = outer.release_state();
+  outer_state->add_continuation([outer_state, out] {
+    if (auto e = outer_state->exception()) {
+      out->set_exception(e);
+      return;
+    }
+    future<T> inner = outer_state->get();
+    auto inner_state = inner.release_state();
+    inner_state->add_continuation([inner_state, out] {
+      if (auto e = inner_state->exception()) {
+        out->set_exception(e);
+        return;
+      }
+      if constexpr (std::is_void_v<T>) {
+        inner_state->get();
+        out->set_value();
+      } else {
+        out->set_value(inner_state->get());
+      }
+    });
+  });
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+template <typename Signature>
+class packaged_task;
+
+template <typename R, typename... Args>
+class packaged_task<R(Args...)> {
+ public:
+  packaged_task() = default;
+
+  template <typename F>
+    requires std::is_invocable_r_v<R, std::decay_t<F>&, Args...>
+  explicit packaged_task(F&& f)
+      : fn_(std::forward<F>(f)),
+        state_(std::make_shared<lcos::detail::shared_state<R>>()) {}
+
+  packaged_task(packaged_task&&) = default;
+  packaged_task& operator=(packaged_task&&) = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  future<R> get_future() {
+    PX_ASSERT(valid());
+    return lcos::detail::make_future_from_state(state_);
+  }
+
+  void operator()(Args... args) {
+    PX_ASSERT(valid() && fn_);
+    lcos::detail::fulfill(*state_, std::move(fn_),
+                          std::forward<Args>(args)...);
+    fn_.reset();
+  }
+
+ private:
+  unique_function<R(Args...)> fn_;
+  std::shared_ptr<lcos::detail::shared_state<R>> state_;
+};
+
+}  // namespace px

@@ -1,0 +1,56 @@
+// px/lcos/latch.hpp
+// Single-use countdown latch (hpx::latch). The workhorse behind bulk
+// execution: parallel algorithms spawn N chunk tasks and wait on a latch.
+#pragma once
+
+#include <cstddef>
+
+#include "px/lcos/wait_support.hpp"
+
+namespace px {
+
+class latch {
+ public:
+  explicit latch(std::ptrdiff_t count) : count_(count) {
+    PX_ASSERT(count >= 0);
+  }
+
+  latch(latch const&) = delete;
+  latch& operator=(latch const&) = delete;
+
+  void count_down(std::ptrdiff_t n = 1) {
+    lock_.lock();
+    PX_ASSERT_MSG(count_ >= n, "latch counted below zero");
+    count_ -= n;
+    if (count_ == 0) {
+      auto to_wake = lcos::detail::take_all(waiters_);
+      lock_.unlock();
+      lcos::detail::notify_all(std::move(to_wake));
+      return;
+    }
+    lock_.unlock();
+  }
+
+  [[nodiscard]] bool try_wait() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return count_ == 0;
+  }
+
+  void wait() {
+    lock_.lock();
+    lcos::detail::wait_until(lock_, waiters_, [this] { return count_ == 0; });
+    lock_.unlock();
+  }
+
+  void arrive_and_wait(std::ptrdiff_t n = 1) {
+    count_down(n);
+    wait();
+  }
+
+ private:
+  mutable spinlock lock_;
+  std::ptrdiff_t count_;
+  std::vector<lcos::detail::waiter> waiters_;
+};
+
+}  // namespace px

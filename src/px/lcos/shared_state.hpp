@@ -1,0 +1,132 @@
+// px/lcos/shared_state.hpp
+// The shared state behind future/promise. One-shot: transitions from empty
+// to {value | exception} exactly once, then notifies waiters and runs
+// attached continuations. Continuations run inline on the fulfilling thread
+// (the HPX default); anything that needs a fresh task spawns one itself.
+#pragma once
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "px/lcos/wait_support.hpp"
+#include "px/support/spin.hpp"
+#include "px/support/unique_function.hpp"
+
+namespace px::lcos::detail {
+
+class shared_state_base {
+ public:
+  shared_state_base() = default;
+  virtual ~shared_state_base() = default;
+  shared_state_base(shared_state_base const&) = delete;
+  shared_state_base& operator=(shared_state_base const&) = delete;
+
+  [[nodiscard]] bool is_ready() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return ready_;
+  }
+
+  void wait() {
+    lock_.lock();
+    wait_until(lock_, waiters_, [this] { return ready_; });
+    lock_.unlock();
+  }
+
+  void set_exception(std::exception_ptr e) {
+    lock_.lock();
+    PX_ASSERT_MSG(!ready_, "shared state fulfilled twice");
+    exception_ = std::move(e);
+    finalize_locked();
+  }
+
+  // Runs `fn` once the state is ready; immediately if it already is.
+  void add_continuation(unique_function<void()> fn) {
+    lock_.lock();
+    if (ready_) {
+      lock_.unlock();
+      fn();
+      return;
+    }
+    continuations_.push_back(std::move(fn));
+    lock_.unlock();
+  }
+
+  [[nodiscard]] std::exception_ptr exception() const noexcept {
+    return exception_;  // only read after is_ready()
+  }
+  [[nodiscard]] bool has_exception() const noexcept {
+    std::lock_guard<spinlock> guard(lock_);
+    return ready_ && exception_ != nullptr;
+  }
+
+ protected:
+  // Precondition: lock_ held, !ready_. Releases the lock.
+  void finalize_locked() {
+    ready_ = true;
+    auto to_wake = take_all(waiters_);
+    std::vector<unique_function<void()>> to_run;
+    to_run.swap(continuations_);
+    lock_.unlock();
+    notify_all(std::move(to_wake));
+    for (auto& fn : to_run) fn();
+  }
+
+  mutable spinlock lock_;
+  bool ready_ = false;
+  std::exception_ptr exception_;
+  std::vector<waiter> waiters_;
+  std::vector<unique_function<void()>> continuations_;
+};
+
+template <typename T>
+class shared_state final : public shared_state_base {
+ public:
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    lock_.lock();
+    PX_ASSERT_MSG(!ready_, "shared state fulfilled twice");
+    value_.emplace(std::forward<Args>(args)...);
+    finalize_locked();
+  }
+
+  // Moves the value out (future::get semantics). Rethrows a stored
+  // exception.
+  T get() {
+    wait();
+    if (exception_) std::rethrow_exception(exception_);
+    PX_ASSERT(value_.has_value());
+    return std::move(*value_);
+  }
+
+  // Const access for shared_future::get.
+  T const& get_cref() {
+    wait();
+    if (exception_) std::rethrow_exception(exception_);
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class shared_state<void> final : public shared_state_base {
+ public:
+  void set_value() {
+    lock_.lock();
+    PX_ASSERT_MSG(!ready_, "shared state fulfilled twice");
+    finalize_locked();
+  }
+
+  void get() {
+    wait();
+    if (exception_) std::rethrow_exception(exception_);
+  }
+
+  void get_cref() { get(); }
+};
+
+}  // namespace px::lcos::detail

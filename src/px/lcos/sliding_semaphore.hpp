@@ -1,0 +1,66 @@
+// px/lcos/sliding_semaphore.hpp
+// Sliding semaphore (hpx::sliding_semaphore): waiters block until a
+// monotonically increasing "signal" value comes within a fixed distance of
+// their requested value. The canonical use is throttling futurization
+// depth in time-stepped codes: step t waits on signal(t - max_outstanding)
+// so at most max_outstanding steps of futures exist at once — unbounded
+// DAG growth (and its memory) is capped without serializing the pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "px/lcos/wait_support.hpp"
+
+namespace px {
+
+class sliding_semaphore {
+ public:
+  // max_difference: how far ahead of the last signalled value a waiter may
+  // proceed. lower_limit: initial signal value.
+  explicit sliding_semaphore(std::int64_t max_difference,
+                             std::int64_t lower_limit = 0)
+      : max_difference_(max_difference), signalled_(lower_limit) {
+    PX_ASSERT(max_difference >= 0);
+  }
+
+  sliding_semaphore(sliding_semaphore const&) = delete;
+  sliding_semaphore& operator=(sliding_semaphore const&) = delete;
+
+  // Blocks until signal(s) with s >= value - max_difference has happened.
+  void wait(std::int64_t value) {
+    lock_.lock();
+    lcos::detail::wait_until(lock_, waiters_, [this, value] {
+      return value - max_difference_ <= signalled_;
+    });
+    lock_.unlock();
+  }
+
+  [[nodiscard]] bool try_wait(std::int64_t value) {
+    std::lock_guard<spinlock> guard(lock_);
+    return value - max_difference_ <= signalled_;
+  }
+
+  // Advances the signal to max(current, value) and releases every waiter
+  // whose window now covers it.
+  void signal(std::int64_t value) {
+    lock_.lock();
+    if (value > signalled_) signalled_ = value;
+    auto to_wake = lcos::detail::take_all(waiters_);
+    lock_.unlock();
+    // Waiters whose predicate still fails re-register inside wait_until.
+    lcos::detail::notify_all(std::move(to_wake));
+  }
+
+  [[nodiscard]] std::int64_t signalled() const {
+    std::lock_guard<spinlock> guard(lock_);
+    return signalled_;
+  }
+
+ private:
+  mutable spinlock lock_;
+  std::int64_t const max_difference_;
+  std::int64_t signalled_;
+  std::vector<lcos::detail::waiter> waiters_;
+};
+
+}  // namespace px

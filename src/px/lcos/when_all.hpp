@@ -1,0 +1,218 @@
+// px/lcos/when_all.hpp
+// Composition over groups of futures (hpx::when_all / hpx::when_any).
+// when_all returns the input futures, all ready, so callers can harvest
+// values or exceptions individually.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "px/lcos/async.hpp"
+#include "px/lcos/future.hpp"
+
+namespace px {
+
+// Variadic form: future<tuple<future<T>...>>.
+template <typename... Ts>
+auto when_all(future<Ts>&&... inputs)
+    -> future<std::tuple<future<Ts>...>> {
+  using result_t = std::tuple<future<Ts>...>;
+  auto out = std::make_shared<lcos::detail::shared_state<result_t>>();
+  auto states = std::make_tuple(inputs.release_state()...);
+  lcos::detail::on_all_ready(states, [out, states]() mutable {
+    std::apply(
+        [&](auto&&... st) {
+          out->set_value(result_t(
+              lcos::detail::make_future_from_state(std::move(st))...));
+        },
+        std::move(states));
+  });
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+// Range form: future<vector<future<T>>>.
+template <typename T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>>&& inputs) {
+  using result_t = std::vector<future<T>>;
+  auto out = std::make_shared<lcos::detail::shared_state<result_t>>();
+
+  auto states = std::make_shared<
+      std::vector<std::shared_ptr<lcos::detail::shared_state<T>>>>();
+  states->reserve(inputs.size());
+  for (auto& f : inputs) states->push_back(f.release_state());
+  inputs.clear();
+
+  if (states->empty()) {
+    out->set_value(result_t{});
+    return lcos::detail::make_future_from_state(std::move(out));
+  }
+
+  struct block_t {
+    std::atomic<std::size_t> remaining;
+  };
+  auto block = std::make_shared<block_t>();
+  block->remaining.store(states->size(), std::memory_order_relaxed);
+
+  for (auto const& st : *states) {
+    st->add_continuation([out, states, block] {
+      if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        result_t ready;
+        ready.reserve(states->size());
+        for (auto& s : *states)
+          ready.push_back(
+              lcos::detail::make_future_from_state(std::move(s)));
+        out->set_value(std::move(ready));
+      }
+    });
+  }
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+// Result of when_any: which input fired first plus all the inputs back.
+template <typename T>
+struct when_any_result {
+  std::size_t index = 0;
+  std::vector<future<T>> futures;
+};
+
+template <typename T>
+future<when_any_result<T>> when_any(std::vector<future<T>>&& inputs) {
+  using result_t = when_any_result<T>;
+  auto out = std::make_shared<lcos::detail::shared_state<result_t>>();
+
+  auto states = std::make_shared<
+      std::vector<std::shared_ptr<lcos::detail::shared_state<T>>>>();
+  states->reserve(inputs.size());
+  for (auto& f : inputs) states->push_back(f.release_state());
+  inputs.clear();
+  PX_ASSERT_MSG(!states->empty(), "when_any of zero futures");
+
+  struct block_t {
+    std::atomic<bool> fired{false};
+  };
+  auto block = std::make_shared<block_t>();
+
+  for (std::size_t i = 0; i < states->size(); ++i) {
+    (*states)[i]->add_continuation([out, states, block, i] {
+      bool expected = false;
+      if (!block->fired.compare_exchange_strong(expected, true)) return;
+      result_t result;
+      result.index = i;
+      result.futures.reserve(states->size());
+      // Hand back every input; un-ready ones keep their shared state alive
+      // through the returned futures.
+      for (auto& s : *states)
+        result.futures.push_back(
+            lcos::detail::make_future_from_state(
+                std::shared_ptr<lcos::detail::shared_state<T>>(s)));
+      out->set_value(std::move(result));
+    });
+  }
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+// Blocks (or suspends) until every future in the range is ready.
+template <typename T>
+void wait_all(std::vector<future<T>> const& futures) {
+  for (auto const& f : futures) f.wait();
+}
+
+// when_some(k, futures): ready when at least k inputs are ready; returns
+// the indices that were ready at trigger time plus all the futures.
+template <typename T>
+struct when_some_result {
+  std::vector<std::size_t> indices;
+  std::vector<future<T>> futures;
+};
+
+template <typename T>
+future<when_some_result<T>> when_some(std::size_t k,
+                                      std::vector<future<T>>&& inputs) {
+  using result_t = when_some_result<T>;
+  PX_ASSERT_MSG(k <= inputs.size(), "when_some: k exceeds input count");
+  auto out = std::make_shared<lcos::detail::shared_state<result_t>>();
+
+  auto states = std::make_shared<
+      std::vector<std::shared_ptr<lcos::detail::shared_state<T>>>>();
+  states->reserve(inputs.size());
+  for (auto& f : inputs) states->push_back(f.release_state());
+  inputs.clear();
+
+  struct block_t {
+    spinlock lock;
+    std::vector<std::size_t> ready;
+    bool fired = false;
+  };
+  auto block = std::make_shared<block_t>();
+
+  if (k == 0) {
+    out->set_value(result_t{{},
+                            [&] {
+                              std::vector<future<T>> fs;
+                              for (auto& s : *states)
+                                fs.push_back(
+                                    lcos::detail::make_future_from_state(
+                                        std::move(s)));
+                              return fs;
+                            }()});
+    return lcos::detail::make_future_from_state(std::move(out));
+  }
+
+  for (std::size_t i = 0; i < states->size(); ++i) {
+    (*states)[i]->add_continuation([out, states, block, i, k] {
+      std::vector<std::size_t> snapshot;
+      {
+        std::lock_guard<spinlock> guard(block->lock);
+        block->ready.push_back(i);
+        if (block->fired || block->ready.size() != k) return;
+        block->fired = true;
+        snapshot = block->ready;
+      }
+      result_t result;
+      result.indices = std::move(snapshot);
+      result.futures.reserve(states->size());
+      for (auto& s : *states)
+        result.futures.push_back(lcos::detail::make_future_from_state(
+            std::shared_ptr<lcos::detail::shared_state<T>>(s)));
+      out->set_value(std::move(result));
+    });
+  }
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+// when_each(f, futures): invokes f(index, ready_future) as each input
+// becomes ready (from the fulfilling context); the returned future fires
+// after the last callback.
+template <typename T, typename F>
+future<void> when_each(F&& f, std::vector<future<T>>&& inputs) {
+  auto out = std::make_shared<lcos::detail::shared_state<void>>();
+  if (inputs.empty()) {
+    out->set_value();
+    return lcos::detail::make_future_from_state(std::move(out));
+  }
+
+  struct block_t {
+    std::atomic<std::size_t> remaining;
+    std::decay_t<F> fn;
+    explicit block_t(std::size_t n, F&& fn_in)
+        : remaining(n), fn(std::forward<F>(fn_in)) {}
+  };
+  auto block = std::make_shared<block_t>(inputs.size(), std::forward<F>(f));
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto state = inputs[i].release_state();
+    state->add_continuation([out, block, state, i] {
+      block->fn(i, lcos::detail::make_future_from_state(
+                       std::shared_ptr<lcos::detail::shared_state<T>>(
+                           state)));
+      if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        out->set_value();
+    });
+  }
+  inputs.clear();
+  return lcos::detail::make_future_from_state(std::move(out));
+}
+
+}  // namespace px

@@ -1,0 +1,25 @@
+#include "px/net/fabric.hpp"
+
+namespace px::net {
+
+fabric_model infiniband_edr() {
+  // EDR IB: ~1 us MPI latency, ~12 GB/s effective point-to-point.
+  return fabric_model{"InfiniBand EDR", 1.0, 12.0, 0.5};
+}
+
+fabric_model hi1616_nic() {
+  // Same wire, weak host: the Hi1616 cannot drive the HCA. Effective
+  // bandwidth collapses by ~8x and software overhead balloons, matching the
+  // paper's observation that weak scaling degrades with node count.
+  return fabric_model{"Hi1616-hosted InfiniBand", 2.5, 1.5, 6.0};
+}
+
+fabric_model tofu_d() {
+  // Tofu-D: ~0.5 us latency, ~6.8 GB/s per link x multiple lanes; use an
+  // effective 6.8 GB/s single-lane figure with low overhead.
+  return fabric_model{"Tofu-D", 0.5, 6.8, 0.4};
+}
+
+fabric_model loopback() { return fabric_model{"loopback", 0.0, 1e9, 0.0}; }
+
+}  // namespace px::net

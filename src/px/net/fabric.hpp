@@ -1,0 +1,104 @@
+// px/net/fabric.hpp
+// Interconnect models for the virtual cluster. The paper's distributed runs
+// use InfiniBand (well exploited by Xeon/ThunderX2/A64FX hosts, poorly by
+// the Kunpeng 916 Hi1616 node — its bottleneck is the processor's inability
+// to feed the NIC, see §VII-A). We model a link by the classic
+// latency/bandwidth (alpha-beta) cost:
+//
+//     T(bytes) = latency + per_message_overhead + bytes / bandwidth
+//
+// The fabric both *accounts* modeled time at paper scale and *injects* a
+// scaled-down real delay into in-process parcel delivery, so latency hiding
+// in the runtime is genuinely exercised.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace px::net {
+
+struct fabric_model {
+  std::string name;
+  double latency_us = 1.0;          // one-way wire latency
+  double bandwidth_gbytes_s = 10.0; // effective point-to-point bandwidth
+  double per_message_overhead_us = 0.5;  // injection/software overhead
+
+  // One-way transfer time in microseconds for a message of `bytes`.
+  [[nodiscard]] double transfer_time_us(std::size_t bytes) const noexcept {
+    return latency_us + per_message_overhead_us +
+           static_cast<double>(bytes) / (bandwidth_gbytes_s * 1e3);
+  }
+};
+
+// EDR InfiniBand as exploited by a capable host (Xeon E5 / ThunderX2).
+[[nodiscard]] fabric_model infiniband_edr();
+
+// The same wire behind a Kunpeng 916 / Hi1616 host. The paper: "the network
+// performance on the Hi1616 nodes is unsatisfactory and the processor is
+// not able to exploit the capabilities of the InfiniBand network". Modeled
+// as high software overhead and a fraction of the link bandwidth.
+[[nodiscard]] fabric_model hi1616_nic();
+
+// Tofu-D, the A64FX/FX1000 interconnect.
+[[nodiscard]] fabric_model tofu_d();
+
+// Zero-cost loopback for single-locality tests.
+[[nodiscard]] fabric_model loopback();
+
+// Per-locality traffic accounting (modeled time, not wall clock).
+struct traffic_counters {
+  std::atomic<std::uint64_t> messages{0};
+  std::atomic<std::uint64_t> bytes{0};
+  // microseconds, fixed-point (x1000) to keep the counter atomic.
+  std::atomic<std::uint64_t> modeled_us_x1000{0};
+
+  void record(std::size_t message_bytes, double modeled_us) noexcept {
+    messages.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(message_bytes, std::memory_order_relaxed);
+    modeled_us_x1000.fetch_add(
+        static_cast<std::uint64_t>(modeled_us * 1000.0),
+        std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double modeled_us() const noexcept {
+    return static_cast<double>(
+               modeled_us_x1000.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+};
+
+// A fabric instance: the model plus the injection scale used to convert
+// modeled microseconds into real sleeps during in-process runs. scale 0
+// disables injection (delivery is immediate; accounting still happens).
+class fabric {
+ public:
+  explicit fabric(fabric_model model, double injection_scale = 1.0) noexcept
+      : model_(std::move(model)), injection_scale_(injection_scale) {}
+
+  [[nodiscard]] fabric_model const& model() const noexcept { return model_; }
+  [[nodiscard]] double injection_scale() const noexcept {
+    return injection_scale_;
+  }
+
+  // Modeled one-way time and the real delay to inject for a message.
+  [[nodiscard]] double modeled_us(std::size_t bytes) const noexcept {
+    return model_.transfer_time_us(bytes);
+  }
+  [[nodiscard]] std::uint64_t injected_delay_ns(
+      std::size_t bytes) const noexcept {
+    return static_cast<std::uint64_t>(modeled_us(bytes) * injection_scale_ *
+                                      1000.0);
+  }
+
+  traffic_counters& counters() noexcept { return counters_; }
+  traffic_counters const& counters() const noexcept { return counters_; }
+
+ private:
+  fabric_model model_;
+  double injection_scale_;
+  traffic_counters counters_;
+};
+
+}  // namespace px::net

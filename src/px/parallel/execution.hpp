@@ -1,0 +1,55 @@
+// px/parallel/execution.hpp
+// Execution policies in the ISO C++ style HPX exposes: px::execution::seq,
+// px::execution::par, composable with `.on(executor)` and `.with(chunk)`.
+#pragma once
+
+#include <cstddef>
+
+#include "px/parallel/executors.hpp"
+
+namespace px::execution {
+
+struct sequenced_policy {};
+inline constexpr sequenced_policy seq{};
+
+class parallel_policy {
+ public:
+  constexpr parallel_policy() = default;
+
+  // Binds an executor (and thereby a scheduler). Without one, algorithms
+  // use the calling worker's scheduler with default placement.
+  [[nodiscard]] parallel_policy on(executor const& ex) const noexcept {
+    parallel_policy p = *this;
+    p.exec_ = &ex;
+    return p;
+  }
+
+  // Fixes the per-task chunk size (elements per spawned task); 0 = auto.
+  [[nodiscard]] parallel_policy with(std::size_t chunk_size) const noexcept {
+    parallel_policy p = *this;
+    p.chunk_size_ = chunk_size;
+    return p;
+  }
+
+  [[nodiscard]] executor const* bound_executor() const noexcept {
+    return exec_;
+  }
+  [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
+
+ private:
+  executor const* exec_ = nullptr;
+  std::size_t chunk_size_ = 0;
+};
+
+inline constexpr parallel_policy par{};
+
+// Chunking heuristic: over-decompose 8x relative to the worker count so the
+// stealing scheduler can absorb imbalance, but never below 1 element.
+[[nodiscard]] inline std::size_t auto_num_chunks(std::size_t n,
+                                                 std::size_t workers) {
+  if (n == 0) return 0;
+  std::size_t const target = workers * 8;
+  return n < target ? n : target;
+}
+
+}  // namespace px::execution

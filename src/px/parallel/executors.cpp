@@ -1,0 +1,22 @@
+#include "px/parallel/executors.hpp"
+
+namespace px {
+
+int block_executor::placement(std::size_t index,
+                              std::size_t count) const noexcept {
+  std::size_t const workers = sched().num_workers();
+  if (count == 0) return 0;
+  // Contiguous blocks: chunks [0, count/workers) on worker 0, etc.
+  std::size_t const w = index * workers / count;
+  return static_cast<int>(w < workers ? w : workers - 1);
+}
+
+int limiting_executor::placement(std::size_t index,
+                                 std::size_t count) const noexcept {
+  (void)count;
+  std::size_t const usable =
+      limit_ < sched().num_workers() ? limit_ : sched().num_workers();
+  return static_cast<int>(index % usable);
+}
+
+}  // namespace px

@@ -1,0 +1,69 @@
+// px/parallel/executors.hpp
+// Executors place algorithm chunks onto workers. The block executor mirrors
+// the paper's NUMA-aware setup: chunk i of N always lands on the same worker
+// (block-cyclic over the pool), so the worker that first touches a block of
+// memory is the worker that keeps computing on it — Linux first-touch then
+// places pages in that worker's NUMA domain.
+#pragma once
+
+#include <cstddef>
+
+#include "px/runtime/scheduler.hpp"
+
+namespace px {
+
+class executor {
+ public:
+  explicit executor(rt::scheduler& sched) noexcept : sched_(&sched) {}
+  virtual ~executor() = default;
+
+  [[nodiscard]] rt::scheduler& sched() const noexcept { return *sched_; }
+
+  // Initial-placement hint for chunk `index` out of `count`, or -1 for
+  // "anywhere" (work stealing balances).
+  [[nodiscard]] virtual int placement(std::size_t index,
+                                      std::size_t count) const noexcept {
+    (void)index;
+    (void)count;
+    return -1;
+  }
+
+ private:
+  rt::scheduler* sched_;
+};
+
+// Default executor: tasks enter the calling worker's deque and migrate via
+// stealing.
+class thread_pool_executor final : public executor {
+ public:
+  using executor::executor;
+};
+
+// Deterministic block placement: chunks are divided into contiguous runs,
+// one run per worker (the shape of OpenMP schedule(static), which the paper
+// compares its allocator against).
+class block_executor final : public executor {
+ public:
+  using executor::executor;
+
+  [[nodiscard]] int placement(std::size_t index,
+                              std::size_t count) const noexcept override;
+};
+
+// Restricts execution to the first `limit` workers — how the figure benches
+// sweep "cores used" without rebuilding the runtime.
+class limiting_executor final : public executor {
+ public:
+  limiting_executor(rt::scheduler& sched, std::size_t limit) noexcept
+      : executor(sched), limit_(limit == 0 ? 1 : limit) {}
+
+  [[nodiscard]] int placement(std::size_t index,
+                              std::size_t count) const noexcept override;
+
+  [[nodiscard]] std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  std::size_t limit_;
+};
+
+}  // namespace px

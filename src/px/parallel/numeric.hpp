@@ -1,0 +1,105 @@
+// px/parallel/numeric.hpp
+// Parallel prefix sums and numeric scans. inclusive_scan/exclusive_scan use
+// the classic two-pass chunk algorithm: per-chunk partial reductions, a
+// serial pass over the (few) chunk totals, then a parallel re-sweep adding
+// chunk offsets.
+#pragma once
+
+#include <iterator>
+#include <vector>
+
+#include "px/parallel/algorithms.hpp"
+
+namespace px::parallel {
+
+template <typename InIt, typename OutIt, typename T, typename Op>
+OutIt inclusive_scan(execution::sequenced_policy, InIt first, InIt last,
+                     OutIt out, T init, Op op) {
+  T acc = std::move(init);
+  for (; first != last; ++first, ++out) {
+    acc = op(std::move(acc), *first);
+    *out = acc;
+  }
+  return out;
+}
+
+template <typename InIt, typename OutIt, typename T, typename Op>
+OutIt inclusive_scan(execution::parallel_policy const& policy, InIt first,
+                     InIt last, OutIt out, T init, Op op) {
+  auto const n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) return out;
+
+  rt::scheduler& sched = policy.bound_executor() != nullptr
+                             ? policy.bound_executor()->sched()
+                             : lcos::detail::ambient_scheduler();
+  std::size_t const num_chunks =
+      policy.chunk_size() > 0
+          ? div_ceil(n, policy.chunk_size())
+          : execution::auto_num_chunks(n, sched.num_workers());
+
+  // Pass 1: local scans into the output, recording each chunk's total.
+  std::vector<T> totals(num_chunks, init);
+  detail::bulk_run(policy, n,
+                   [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+                     T acc = first[static_cast<std::ptrdiff_t>(lo)];
+                     out[static_cast<std::ptrdiff_t>(lo)] = acc;
+                     for (std::size_t i = lo + 1; i < hi; ++i) {
+                       acc = op(std::move(acc),
+                                first[static_cast<std::ptrdiff_t>(i)]);
+                       out[static_cast<std::ptrdiff_t>(i)] = acc;
+                     }
+                     totals[chunk] = std::move(acc);
+                   });
+
+  // Serial pass over chunk totals -> exclusive offsets.
+  std::vector<T> offsets(num_chunks, init);
+  T running = std::move(init);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    offsets[c] = running;
+    running = op(std::move(running), std::move(totals[c]));
+  }
+
+  // Pass 2: add offsets (chunk 0 keeps only init).
+  detail::bulk_run(policy, n,
+                   [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+                     T const& off = offsets[chunk];
+                     for (std::size_t i = lo; i < hi; ++i)
+                       out[static_cast<std::ptrdiff_t>(i)] =
+                           op(T(off), std::move(out[static_cast<
+                                                    std::ptrdiff_t>(i)]));
+                   });
+  return out + static_cast<std::ptrdiff_t>(n);
+}
+
+template <typename InIt, typename OutIt, typename T, typename Op>
+OutIt exclusive_scan(execution::sequenced_policy, InIt first, InIt last,
+                     OutIt out, T init, Op op) {
+  T acc = std::move(init);
+  for (; first != last; ++first, ++out) {
+    T next = op(T(acc), *first);
+    *out = std::move(acc);
+    acc = std::move(next);
+  }
+  return out;
+}
+
+template <typename InIt, typename OutIt, typename T, typename Op>
+OutIt exclusive_scan(execution::parallel_policy const& policy, InIt first,
+                     InIt last, OutIt out, T init, Op op) {
+  auto const n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) return out;
+  // inclusive scan, then shift right by one in parallel (reading the
+  // inclusive value at i-1).
+  std::vector<T> inclusive(n);
+  parallel::inclusive_scan(policy, first, last, inclusive.begin(), init,
+                           op);
+  detail::bulk_run(policy, n,
+                   [&](std::size_t lo, std::size_t hi, std::size_t) {
+                     for (std::size_t i = lo; i < hi; ++i)
+                       out[static_cast<std::ptrdiff_t>(i)] =
+                           i == 0 ? init : inclusive[i - 1];
+                   });
+  return out + static_cast<std::ptrdiff_t>(n);
+}
+
+}  // namespace px::parallel

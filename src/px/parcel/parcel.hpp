@@ -1,0 +1,33 @@
+// px/parcel/parcel.hpp
+// The active message of the ParalleX model: "ships functions to the objects
+// they operate on". A parcel names a destination locality (and optionally a
+// component GID), an action, and carries the serialized argument payload.
+// `response_token` links a reply back to the future the caller is holding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "px/agas/gid.hpp"
+
+namespace px::parcel {
+
+struct parcel {
+  std::uint32_t source = 0;          // sending locality
+  std::uint32_t dest = 0;            // receiving locality
+  std::uint32_t action = 0;          // action_registry id; 0 = response
+  std::uint64_t response_token = 0;  // 0 = fire-and-forget
+  agas::gid target{};                // component target (optional)
+  std::vector<std::byte> payload;
+
+  // Bytes on the (modeled) wire: payload plus a fixed header estimate that
+  // matches a realistic parcelport framing.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return payload.size() + 48;
+  }
+};
+
+inline constexpr std::uint32_t response_action_id = 0;
+
+}  // namespace px::parcel

@@ -1,0 +1,26 @@
+// px/px.hpp
+// Umbrella header for the px runtime: everything an application needs to
+// write ParalleX-style task-parallel code (runtime, futures, LCOs, parallel
+// algorithms). Substrate layers (simd, dist, arch, stencil) have their own
+// umbrella headers.
+#pragma once
+
+#include "px/lcos/async.hpp"
+#include "px/lcos/barrier.hpp"
+#include "px/lcos/channel.hpp"
+#include "px/lcos/event.hpp"
+#include "px/lcos/future.hpp"
+#include "px/lcos/latch.hpp"
+#include "px/lcos/mutex.hpp"
+#include "px/lcos/semaphore.hpp"
+#include "px/lcos/sliding_semaphore.hpp"
+#include "px/lcos/when_all.hpp"
+#include "px/parallel/algorithms.hpp"
+#include "px/parallel/execution.hpp"
+#include "px/parallel/executors.hpp"
+#include "px/parallel/numeric.hpp"
+#include "px/parallel/query.hpp"
+#include "px/parallel/sort.hpp"
+#include "px/runtime/runtime.hpp"
+#include "px/runtime/trace.hpp"
+#include "px/support/timer.hpp"

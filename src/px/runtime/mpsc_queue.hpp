@@ -1,0 +1,46 @@
+// px/runtime/mpsc_queue.hpp
+// Multi-producer single-consumer intrusive-free FIFO used as each worker's
+// injection queue: wakes arriving from other workers (or external threads)
+// land here and are drained by the owner. A simple two-lock Michael–Scott
+// style queue with a spinlock is sufficient — wakes are orders of magnitude
+// rarer than local pushes/pops.
+#pragma once
+
+#include <deque>
+#include <mutex>
+
+#include "px/support/cache.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::rt {
+
+template <typename T>
+class mpsc_queue {
+ public:
+  void push(T* value) {
+    std::lock_guard<spinlock> guard(lock_);
+    items_.push_back(value);
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
+  }
+
+  T* pop() {
+    if (approx_size_.load(std::memory_order_relaxed) == 0) return nullptr;
+    std::lock_guard<spinlock> guard(lock_);
+    if (items_.empty()) return nullptr;
+    T* value = items_.front();
+    items_.pop_front();
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
+    return value;
+  }
+
+  [[nodiscard]] bool empty_estimate() const noexcept {
+    return approx_size_.load(std::memory_order_relaxed) == 0;
+  }
+
+ private:
+  alignas(cache_line_size) spinlock lock_;
+  std::deque<T*> items_;
+  std::atomic<std::size_t> approx_size_{0};
+};
+
+}  // namespace px::rt

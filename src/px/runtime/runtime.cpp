@@ -1,0 +1,90 @@
+#include "px/runtime/runtime.hpp"
+
+#include "px/runtime/timer_service.hpp"
+#include "px/support/assert.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace px {
+namespace {
+
+// scheduler* -> runtime* registry so worker threads can recover the facade.
+// Registration happens before workers start and removal after they join, so
+// lookups from live workers always succeed.
+std::mutex registry_mutex;
+std::unordered_map<rt::scheduler const*, runtime*>& registry() {
+  static std::unordered_map<rt::scheduler const*, runtime*> map;
+  return map;
+}
+
+}  // namespace
+
+runtime::runtime(scheduler_config cfg)
+    : sched_(std::make_unique<rt::scheduler>(std::move(cfg))) {
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    registry().emplace(sched_.get(), this);
+  }
+  sched_->start();
+}
+
+runtime::~runtime() {
+  shutdown();
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  registry().erase(sched_.get());
+}
+
+void runtime::post(unique_function<void()> work, int worker_hint) {
+  sched_->spawn(std::move(work), worker_hint);
+}
+
+void runtime::wait_quiescent() { sched_->wait_quiescent(); }
+
+void runtime::shutdown() { sched_->stop(); }
+
+runtime* runtime::current() noexcept {
+  rt::worker* w = rt::worker::current();
+  if (w == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry().find(&w->owner());
+  return it != registry().end() ? it->second : nullptr;
+}
+
+namespace this_task {
+
+bool on_task() noexcept {
+  rt::worker* w = rt::worker::current();
+  return w != nullptr && w->current_task() != nullptr &&
+         fibers::fiber::current() != nullptr;
+}
+
+void yield() {
+  rt::worker* w = rt::worker::current();
+  PX_ASSERT_MSG(w != nullptr && w->current_task() != nullptr,
+                "this_task::yield outside a px task");
+  w->yield_current();
+}
+
+void sleep_for(std::chrono::nanoseconds d) {
+  rt::worker* w = rt::worker::current();
+  PX_ASSERT_MSG(w != nullptr && w->current_task() != nullptr,
+                "this_task::sleep_for outside a px task");
+  rt::task* t = w->current_task();
+  rt::timer_service::instance().wake_at(
+      rt::timer_service::clock::now() + d, t);
+  w->suspend_current();
+}
+
+std::size_t worker_index() noexcept {
+  rt::worker* w = rt::worker::current();
+  return w != nullptr ? w->index() : static_cast<std::size_t>(-1);
+}
+
+std::size_t numa_domain() noexcept {
+  rt::worker* w = rt::worker::current();
+  return w != nullptr ? w->numa_domain() : 0;
+}
+
+}  // namespace this_task
+}  // namespace px

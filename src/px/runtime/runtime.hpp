@@ -1,0 +1,71 @@
+// px/runtime/runtime.hpp
+// Public runtime entry points. A `runtime` is one "locality" in ParalleX
+// terms: its own worker pool, stack pool and task queues. Multiple runtimes
+// can coexist in one process — the distributed layer builds virtual
+// multi-node domains out of them.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <memory>
+
+#include "px/runtime/scheduler.hpp"
+
+namespace px {
+
+using rt::scheduler_config;
+
+class runtime {
+ public:
+  // Starts worker threads immediately.
+  explicit runtime(scheduler_config cfg = {});
+  ~runtime();
+
+  runtime(runtime const&) = delete;
+  runtime& operator=(runtime const&) = delete;
+
+  // Fire-and-forget task submission (hpx::post / hpx::apply).
+  void post(unique_function<void()> work, int worker_hint = -1);
+
+  // Blocks the calling (external) thread until every task has finished.
+  void wait_quiescent();
+
+  // Stops accepting work, waits for quiescence and joins the workers.
+  // Idempotent; also called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] rt::scheduler& sched() noexcept { return *sched_; }
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return sched_->num_workers();
+  }
+
+  // The runtime owning the calling worker thread, or nullptr when called
+  // from an external thread.
+  static runtime* current() noexcept;
+
+ private:
+  std::unique_ptr<rt::scheduler> sched_;
+};
+
+// Operations available to code running *inside* a px task.
+namespace this_task {
+
+// True when the caller executes on a px worker fiber.
+[[nodiscard]] bool on_task() noexcept;
+
+// Cooperatively reschedules the current task (FIFO) and runs other work.
+void yield();
+
+// Suspends the current task for at least the given duration (timer-driven,
+// the worker is free to run other tasks meanwhile).
+void sleep_for(std::chrono::nanoseconds d);
+
+// Index of the executing worker within its runtime, or SIZE_MAX outside.
+[[nodiscard]] std::size_t worker_index() noexcept;
+
+// Virtual NUMA domain of the executing worker (0 outside a task).
+[[nodiscard]] std::size_t numa_domain() noexcept;
+
+}  // namespace this_task
+
+}  // namespace px

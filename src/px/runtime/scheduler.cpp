@@ -1,0 +1,162 @@
+#include "px/runtime/scheduler.hpp"
+
+#include "px/support/affinity.hpp"
+#include "px/support/assert.hpp"
+#include "px/support/env.hpp"
+#include "px/support/topology.hpp"
+
+namespace px::rt {
+
+scheduler_config scheduler_config::from_env() {
+  scheduler_config cfg;
+  if (auto v = env_size("PX_WORKERS")) cfg.num_workers = *v;
+  if (auto v = env_size("PX_STACK_SIZE")) cfg.stack_size = *v;
+  if (auto v = env_bool("PX_PIN_THREADS")) cfg.pin_threads = *v;
+  if (auto v = env_size("PX_NUMA_DOMAINS")) cfg.numa_domains = *v;
+  return cfg;
+}
+
+scheduler::scheduler(scheduler_config cfg)
+    : cfg_([&] {
+        if (cfg.num_workers == 0)
+          cfg.num_workers = host_topology().physical_cores;
+        if (cfg.numa_domains == 0) cfg.numa_domains = 1;
+        return cfg;
+      }()),
+      stacks_(cfg_.stack_size) {
+  workers_.reserve(cfg_.num_workers);
+  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+    // Stripe workers across virtual NUMA domains in contiguous blocks, the
+    // way cores map to domains on the paper's machines (e.g. Kunpeng 916:
+    // 64 cores over 4 domains -> 16 consecutive cores per domain).
+    std::size_t const per_domain =
+        (cfg_.num_workers + cfg_.numa_domains - 1) / cfg_.numa_domains;
+    workers_.push_back(
+        std::make_unique<worker>(*this, i, i / per_domain));
+  }
+}
+
+scheduler::~scheduler() {
+  if (state_.load() == run_state::running) stop();
+}
+
+void scheduler::start() {
+  PX_ASSERT(state_.load() == run_state::constructed);
+  state_.store(run_state::running, std::memory_order_release);
+  threads_.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    threads_.emplace_back([this, i] {
+      name_this_thread(cfg_.name + "-w" + std::to_string(i));
+      if (cfg_.pin_threads) {
+        auto const& pus = host_topology().physical_pus;
+        (void)pin_this_thread(pus[i % pus.size()]);
+      }
+      workers_[i]->run();
+    });
+  }
+}
+
+void scheduler::wait_quiescent() {
+  std::unique_lock<std::mutex> lock(quiesce_mutex_);
+  quiesce_cv_.wait(lock, [this] {
+    return active_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void scheduler::stop() {
+  if (state_.load() != run_state::running) return;
+  wait_quiescent();
+  state_.store(run_state::stopping, std::memory_order_release);
+  notify_all_workers();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  state_.store(run_state::stopped, std::memory_order_release);
+}
+
+void scheduler::spawn(unique_function<void()> work, int hint) {
+  PX_ASSERT_MSG(running(), "spawn on a scheduler that is not running");
+  auto* t = new task(*this, std::move(work), hint);
+  t->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+
+  if (hint >= 0 && static_cast<std::size_t>(hint) < workers_.size()) {
+    // Hinted tasks go through the target's injection queue, which only its
+    // owner pops — placement is strict (required for first-touch NUMA
+    // affinity; a stolen first-touch chunk would scatter pages).
+    worker& target = *workers_[static_cast<std::size_t>(hint)];
+    target.push_injection(t);
+    target.notify();
+    return;
+  }
+  enqueue_ready(t);
+}
+
+void scheduler::wake(task* t) {
+  PX_ASSERT(t != nullptr && t->owner == this);
+  int const prev = t->phase.exchange(task::st_woken,
+                                     std::memory_order_acq_rel);
+  PX_ASSERT_MSG(prev != task::st_ready, "waking a task that is queued");
+  PX_ASSERT_MSG(prev != task::st_woken, "double wake of a suspended task");
+  if (prev == task::st_suspended) enqueue_ready(t);
+  // prev == st_running: the suspending worker's CAS will fail and requeue.
+}
+
+void scheduler::enqueue_ready(task* t, bool prefer_local) {
+  worker* const w = worker::current();
+  if (prefer_local && w != nullptr && &w->owner() == this) {
+    w->push_local(t);
+    notify_one_worker();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    global_queue_.push_back(t);
+    global_size_.store(global_queue_.size(), std::memory_order_relaxed);
+  }
+  notify_one_worker();
+}
+
+task* scheduler::pop_global() {
+  if (global_size_.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(global_mutex_);
+  if (global_queue_.empty()) return nullptr;
+  task* t = global_queue_.front();
+  global_queue_.pop_front();
+  global_size_.store(global_queue_.size(), std::memory_order_relaxed);
+  return t;
+}
+
+void scheduler::retire(task* t) {
+  if (t->fib != nullptr) {
+    PX_ASSERT(t->fib->finished());
+    stacks_.recycle(t->stk);
+    delete t->fib;
+    t->fib = nullptr;
+  }
+  delete t;
+  if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(quiesce_mutex_);
+    quiesce_cv_.notify_all();
+  }
+}
+
+void scheduler::notify_one_worker() {
+  // Round-robin scan starting past the last notified worker; stops at the
+  // first parked one. Cheap because parked_ is a relaxed-ish flag read.
+  std::size_t const n = workers_.size();
+  std::size_t const start = round_robin_.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i)
+    if (workers_[(start + i) % n]->notify()) return;
+}
+
+void scheduler::notify_all_workers() {
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->park_mutex_);
+    w->notified_ = true;
+    w->park_cv_.notify_one();
+  }
+}
+
+}  // namespace px::rt

@@ -1,0 +1,130 @@
+// px/runtime/scheduler.hpp
+// The task scheduler: owns the workers, the stack pool, the global overflow
+// queue for submissions from external threads, and the quiescence counter
+// used for clean shutdown.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "px/fibers/stack.hpp"
+#include "px/runtime/task.hpp"
+#include "px/runtime/worker.hpp"
+#include "px/support/unique_function.hpp"
+
+namespace px::rt {
+
+struct scheduler_config {
+  std::size_t num_workers = 0;          // 0: one per physical core
+  std::size_t stack_size = 128 * 1024;  // usable bytes per fiber stack
+  bool pin_threads = false;             // hwloc-bind-style one thread/core
+  // Workers are striped over this many virtual NUMA domains; the block
+  // executor uses the striping to emulate first-touch placement.
+  std::size_t numa_domains = 1;
+  std::string name = "px";
+
+  // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS on
+  // top of the defaults — the --hpx:threads-style knobs of §VI.
+  [[nodiscard]] static scheduler_config from_env();
+};
+
+class scheduler {
+ public:
+  explicit scheduler(scheduler_config cfg);
+  ~scheduler();
+
+  scheduler(scheduler const&) = delete;
+  scheduler& operator=(scheduler const&) = delete;
+
+  void start();
+  // Blocks until all spawned tasks have completed.
+  void wait_quiescent();
+  // wait_quiescent + join all worker threads.
+  void stop();
+
+  // Creates and enqueues a task. `hint` >= 0 pins the initial placement to
+  // that worker's queue (used by the block executor for NUMA affinity).
+  void spawn(unique_function<void()> work, int hint = -1);
+
+  // Wake protocol entry point used by LCOs; see task.hpp for the contract.
+  void wake(task* t);
+
+  // Re-enqueue a ready task (wake winner or yield path).
+  void enqueue_ready(task* t, bool prefer_local = true);
+
+  // Called by workers when a task's fiber finishes.
+  void retire(task* t);
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] worker& worker_at(std::size_t i) { return *workers_[i]; }
+  [[nodiscard]] fibers::stack_pool& stacks() noexcept { return stacks_; }
+  [[nodiscard]] scheduler_config const& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] bool running() const noexcept {
+    return state_.load(std::memory_order_acquire) == run_state::running;
+  }
+  [[nodiscard]] std::uint64_t tasks_spawned() const noexcept {
+    return tasks_spawned_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t active_tasks() const noexcept {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  // Pool-wide scheduling statistics, summed over workers. Racy reads of
+  // monotone counters: fine for monitoring, not for synchronization.
+  [[nodiscard]] worker_stats aggregate_stats() const noexcept {
+    worker_stats total;
+    for (auto const& w : workers_) {
+      auto const& s = w->stats();
+      total.tasks_executed += s.tasks_executed;
+      total.steals += s.steals;
+      total.failed_steal_rounds += s.failed_steal_rounds;
+      total.parks += s.parks;
+      total.yields += s.yields;
+      total.busy_ns += s.busy_ns;
+    }
+    return total;
+  }
+
+ private:
+  friend class worker;
+
+  task* pop_global();
+  void notify_one_worker();
+  void notify_all_workers();
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return state_.load(std::memory_order_acquire) == run_state::stopping;
+  }
+
+  enum class run_state { constructed, running, stopping, stopped };
+
+  scheduler_config const cfg_;
+  fibers::stack_pool stacks_;
+  std::vector<std::unique_ptr<worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex global_mutex_;
+  std::deque<task*> global_queue_;
+  std::atomic<std::size_t> global_size_{0};
+
+  std::atomic<run_state> state_{run_state::constructed};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> tasks_spawned_{0};
+  std::atomic<std::uint64_t> next_task_id_{1};
+  std::atomic<std::size_t> round_robin_{0};
+
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
+};
+
+}  // namespace px::rt

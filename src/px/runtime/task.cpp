@@ -1,0 +1,20 @@
+#include "px/runtime/task.hpp"
+
+#include <new>
+
+#include "px/support/assert.hpp"
+
+namespace px::rt {
+
+task::~task() {
+  PX_ASSERT_MSG(fib == nullptr, "task destroyed while fiber alive");
+}
+
+void task::materialize(fibers::stack s) {
+  PX_ASSERT(fib == nullptr);
+  PX_ASSERT(work);
+  stk = s;
+  fib = new fibers::fiber(stk, std::move(work));
+}
+
+}  // namespace px::rt

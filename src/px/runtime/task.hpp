@@ -1,0 +1,56 @@
+// px/runtime/task.hpp
+// Task descriptor — the unit the scheduler moves around ("HPX thread" in the
+// paper's terminology). A task owns no stack until it first runs; stacks are
+// borrowed from the scheduler's pool and returned when the task finishes.
+//
+// Suspension/wake protocol (lock-free, two-party):
+//   The fiber side registers with an LCO and swaps back to the worker, which
+//   then tries CAS(running -> suspended). The waker side unconditionally
+//   exchanges the state to `woken`:
+//     * exchange saw `suspended`  -> waker re-enqueues the task;
+//     * exchange saw `running`    -> the worker's CAS fails and the worker
+//                                    re-enqueues (wake arrived mid-swap).
+//   Exactly one party re-enqueues, so a task is never in two queues.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "px/fibers/fiber.hpp"
+#include "px/fibers/stack.hpp"
+#include "px/support/unique_function.hpp"
+
+namespace px::rt {
+
+class scheduler;
+
+class task {
+ public:
+  enum state : int {
+    st_ready = 0,      // in some queue, waiting for a worker
+    st_running = 1,    // executing (or mid-suspend) on a worker
+    st_suspended = 2,  // parked on an LCO wait list
+    st_woken = 3,      // wake raced with suspension; must be re-enqueued
+  };
+
+  task(scheduler& sched, unique_function<void()> entry,
+       int placement_hint = -1) noexcept
+      : owner(&sched), work(std::move(entry)), hint(placement_hint) {}
+
+  task(task const&) = delete;
+  task& operator=(task const&) = delete;
+  ~task();
+
+  // Lazily creates the fiber on the borrowed stack. Called by the worker.
+  void materialize(fibers::stack stk);
+
+  scheduler* owner;
+  unique_function<void()> work;  // consumed by materialize()
+  fibers::fiber* fib = nullptr;
+  fibers::stack stk{};
+  std::atomic<int> phase{st_ready};
+  int hint;             // preferred worker (block executor) or -1
+  std::uint64_t id = 0; // debug id assigned by the scheduler
+};
+
+}  // namespace px::rt

@@ -1,0 +1,80 @@
+#include "px/runtime/timer_service.hpp"
+
+#include <algorithm>
+
+#include "px/runtime/scheduler.hpp"
+#include "px/support/affinity.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::rt {
+
+timer_service& timer_service::instance() {
+  static timer_service service;
+  return service;
+}
+
+timer_service::timer_service() : thread_([this] { loop(); }) {}
+
+timer_service::~timer_service() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+}
+
+void timer_service::wake_at(clock::time_point deadline, task* t) {
+  PX_ASSERT(t != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    heap_.push(entry{deadline, next_seq_++, t, nullptr});
+  }
+  cv_.notify_one();
+}
+
+void timer_service::call_at(clock::time_point deadline,
+                            unique_function<void()> fn) {
+  PX_ASSERT(fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    heap_.push(entry{deadline, next_seq_++, nullptr, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+std::size_t timer_service::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+void timer_service::loop() {
+  name_this_thread("px-timer");
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    if (stop_) return;
+    if (heap_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !heap_.empty(); });
+      continue;
+    }
+    auto const now = clock::now();
+    if (heap_.top().deadline > now) {
+      cv_.wait_until(lock, heap_.top().deadline);
+      continue;
+    }
+    // Move the due entry out; priority_queue::top() is const so the move
+    // goes through a const_cast, which is safe because pop() follows
+    // immediately and nothing else can observe the moved-from entry.
+    entry due = std::move(const_cast<entry&>(heap_.top()));
+    heap_.pop();
+    lock.unlock();
+    if (due.waiter != nullptr) {
+      due.waiter->owner->wake(due.waiter);
+    } else {
+      due.fn();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace px::rt

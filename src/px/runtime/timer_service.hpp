@@ -1,0 +1,62 @@
+// px/runtime/timer_service.hpp
+// Process-wide deadline service. Suspended tasks register a wake time; a
+// single timer thread (shared by all runtimes/localities) fires the wakes.
+// Also used by the simulated fabric to deliver parcels after their modeled
+// network delay without burning a worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "px/runtime/task.hpp"
+#include "px/support/unique_function.hpp"
+
+namespace px::rt {
+
+class timer_service {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  static timer_service& instance();
+
+  // Wakes `t` (via its owner's wake protocol) at or after `deadline`.
+  void wake_at(clock::time_point deadline, task* t);
+
+  // Runs `fn` on the timer thread at or after `deadline`. `fn` must be
+  // cheap and non-blocking; anything heavier should spawn a task.
+  void call_at(clock::time_point deadline, unique_function<void()> fn);
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  timer_service();
+  ~timer_service();
+
+  void loop();
+
+  struct entry {
+    clock::time_point deadline;
+    std::uint64_t seq;              // FIFO tie-break for equal deadlines:
+                                    // parcels submitted in order must not
+                                    // overtake each other on a tie
+    task* waiter;                   // either this ...
+    unique_function<void()> fn;     // ... or this
+    bool operator>(entry const& o) const {
+      if (deadline != o.deadline) return deadline > o.deadline;
+      return seq > o.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace px::rt

@@ -1,0 +1,110 @@
+#include "px/runtime/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "px/runtime/worker.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::trace {
+namespace {
+
+struct event {
+  char const* name;  // static strings only
+  std::uint64_t task_id;
+  std::uint64_t begin_us;
+  std::uint64_t duration_us;
+  std::uint32_t worker_lane;
+};
+
+std::atomic<bool> g_enabled{false};
+px::spinlock g_lock;
+std::vector<event>& events() {
+  static std::vector<event> v;
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t now_us() noexcept {
+  static auto const epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void enable() {
+  std::lock_guard<px::spinlock> guard(g_lock);
+  events().clear();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_release); }
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void record_slice(char const* name, std::uint64_t task_id,
+                  std::uint64_t begin_us, std::uint64_t duration_us,
+                  std::uint32_t worker_lane) {
+  if (!enabled()) return;
+  std::lock_guard<px::spinlock> guard(g_lock);
+  events().push_back({name, task_id, begin_us, duration_us, worker_lane});
+}
+
+std::size_t event_count() {
+  std::lock_guard<px::spinlock> guard(g_lock);
+  return events().size();
+}
+
+std::string to_json() {
+  std::lock_guard<px::spinlock> guard(g_lock);
+  std::string out;
+  out.reserve(events().size() * 96 + 64);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (auto const& e : events()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += e.name;
+    out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.worker_lane);
+    out += ",\"ts\":";
+    out += std::to_string(e.begin_us);
+    out += ",\"dur\":";
+    out += std::to_string(e.duration_us);
+    out += ",\"args\":{\"task\":";
+    out += std::to_string(e.task_id);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool write_json_file(std::string const& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_json();
+  return static_cast<bool>(f);
+}
+
+scoped_region::scoped_region(char const* name) noexcept
+    : name_(name), begin_us_(0), active_(enabled()) {
+  if (active_) begin_us_ = now_us();
+}
+
+scoped_region::~scoped_region() {
+  if (!active_) return;
+  std::uint64_t const end = now_us();
+  rt::worker* w = rt::worker::current();
+  record_slice(name_, 0, begin_us_, end > begin_us_ ? end - begin_us_ : 0,
+               w != nullptr ? static_cast<std::uint32_t>(w->index()) : 999);
+}
+
+}  // namespace px::trace

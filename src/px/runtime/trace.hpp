@@ -1,0 +1,55 @@
+// px/runtime/trace.hpp
+// Task-level tracing in the Chrome trace-event format (chrome://tracing /
+// Perfetto "traceEvents"). When enabled, every task execution slice is
+// recorded with its worker lane; the dump visualizes scheduling, stealing
+// and suspension gaps — the observability layer behind the grain-size
+// analyses of §VII-B.
+//
+// Off by default and designed so the disabled path costs one relaxed
+// atomic load per task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace px::trace {
+
+// Starts recording (clears any previous events).
+void enable();
+// Stops recording; events remain available until the next enable().
+void disable();
+[[nodiscard]] bool enabled() noexcept;
+
+// Records one complete slice (begin + duration). Thread-safe.
+void record_slice(char const* name, std::uint64_t task_id,
+                  std::uint64_t begin_us, std::uint64_t duration_us,
+                  std::uint32_t worker_lane);
+
+[[nodiscard]] std::size_t event_count();
+
+// Serializes everything recorded so far as a Chrome trace JSON document.
+[[nodiscard]] std::string to_json();
+
+// Convenience: write to_json() to a file; returns false on I/O failure.
+bool write_json_file(std::string const& path);
+
+// Microseconds since an arbitrary process-stable epoch (steady clock).
+[[nodiscard]] std::uint64_t now_us() noexcept;
+
+// User-annotated region: records one named slice covering the scope's
+// lifetime on the current worker's lane (lane 999 off-worker). `name` must
+// be a string literal or otherwise outlive the trace dump.
+class scoped_region {
+ public:
+  explicit scoped_region(char const* name) noexcept;
+  ~scoped_region();
+  scoped_region(scoped_region const&) = delete;
+  scoped_region& operator=(scoped_region const&) = delete;
+
+ private:
+  char const* name_;
+  std::uint64_t begin_us_;
+  bool active_;
+};
+
+}  // namespace px::trace

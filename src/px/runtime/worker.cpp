@@ -1,0 +1,172 @@
+#include "px/runtime/worker.hpp"
+
+#include <chrono>
+
+#include "px/runtime/scheduler.hpp"
+#include "px/runtime/trace.hpp"
+#include "px/support/assert.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::rt {
+namespace {
+
+thread_local worker* tls_worker = nullptr;
+
+// Drain injections at least this often even when local work never dries up,
+// so yielded tasks and cross-thread wakes cannot starve.
+constexpr std::uint64_t injection_poll_period = 61;
+
+}  // namespace
+
+worker* worker::current() noexcept { return tls_worker; }
+
+worker::worker(scheduler& sched, std::size_t index, std::size_t numa_domain)
+    : sched_(sched),
+      index_(index),
+      numa_(numa_domain),
+      rng_(0x5eedbeef ^ (index * 0x9e3779b97f4a7c15ull)) {}
+
+void worker::run() {
+  tls_worker = this;
+  backoff idle_backoff;
+  while (true) {
+    task* t = find_work();
+    if (t != nullptr) {
+      idle_backoff.reset();
+      execute(t);
+      continue;
+    }
+    if (sched_.stop_requested()) break;
+    ++stats_.failed_steal_rounds;
+    if (idle_backoff.yielding()) {
+      park();
+      idle_backoff.reset();
+    } else {
+      idle_backoff.pause();
+    }
+  }
+  tls_worker = nullptr;
+}
+
+task* worker::find_work() {
+  // Periodic poll of the cold queues keeps fairness: without it a worker
+  // whose own queues never drain (e.g. one yield-spinning task cycling
+  // through the injection queue) would starve external submissions.
+  if (stats_.tasks_executed % injection_poll_period == 0) {
+    if (task* t = sched_.pop_global()) return t;
+    if (task* t = injection_.pop()) return t;
+  }
+  if (task* t = deque_.pop()) return t;
+  if (task* t = injection_.pop()) return t;
+  if (task* t = try_steal()) return t;
+  if (task* t = sched_.pop_global()) return t;
+  return nullptr;
+}
+
+task* worker::try_steal() {
+  std::size_t const n = sched_.num_workers();
+  if (n <= 1) return nullptr;
+  // Two full random rounds before giving up; the caller backs off/parks.
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    std::size_t victim = rng_.below(n);
+    if (victim == index_) continue;
+    if (task* t = sched_.worker_at(victim).deque_.steal()) {
+      ++stats_.steals;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void worker::execute(task* t) {
+  t->phase.store(task::st_running, std::memory_order_relaxed);
+  if (t->fib == nullptr) t->materialize(sched_.stacks().acquire());
+
+  current_ = t;
+  yield_requested_ = false;
+  suspend_requested_ = false;
+  bool const tracing = trace::enabled();
+  std::uint64_t const begin_us = tracing ? trace::now_us() : 0;
+  auto const begin_clock = std::chrono::steady_clock::now();
+  t->fib->resume();
+  stats_.busy_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin_clock)
+          .count());
+  if (tracing) {
+    std::uint64_t const end_us = trace::now_us();
+    trace::record_slice("task", t->id, begin_us,
+                        end_us > begin_us ? end_us - begin_us : 0,
+                        static_cast<std::uint32_t>(index_));
+  }
+  current_ = nullptr;
+  ++stats_.tasks_executed;
+
+  if (t->fib->finished()) {
+    sched_.retire(t);
+    return;
+  }
+
+  if (yield_requested_) {
+    ++stats_.yields;
+    t->phase.store(task::st_ready, std::memory_order_release);
+    // FIFO via our own injection queue: other ready tasks run first.
+    injection_.push(t);
+    return;
+  }
+
+  PX_ASSERT_MSG(suspend_requested_,
+                "fiber returned control without yield/suspend/finish");
+  // Complete the suspension handshake (see task.hpp).
+  int expected = task::st_running;
+  if (!t->phase.compare_exchange_strong(expected, task::st_suspended,
+                                        std::memory_order_acq_rel)) {
+    PX_ASSERT(expected == task::st_woken);
+    sched_.enqueue_ready(t);
+  }
+}
+
+void worker::yield_current() {
+  PX_ASSERT(current_ != nullptr);
+  PX_ASSERT(fibers::fiber::current() == current_->fib);
+  yield_requested_ = true;
+  current_->fib->suspend_to_owner();
+}
+
+void worker::suspend_current() {
+  PX_ASSERT(current_ != nullptr);
+  PX_ASSERT(fibers::fiber::current() == current_->fib);
+  suspend_requested_ = true;
+  current_->fib->suspend_to_owner();
+}
+
+void worker::park() {
+  // Final recheck under the parked flag: a producer that enqueued between
+  // our last poll and here will observe parked_ and call notify().
+  parked_.store(true, std::memory_order_seq_cst);
+  if (has_local_work() || sched_.global_size_.load() > 0 ||
+      sched_.stop_requested()) {
+    parked_.store(false, std::memory_order_release);
+    return;
+  }
+  ++stats_.parks;
+  std::unique_lock<std::mutex> lock(park_mutex_);
+  // Bounded wait guards against a lost notify from stealable (non-local)
+  // work appearing on a sibling deque, which nobody signals us about.
+  park_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                    [this] { return notified_; });
+  notified_ = false;
+  parked_.store(false, std::memory_order_release);
+}
+
+bool worker::notify() {
+  if (!parked_.load(std::memory_order_seq_cst)) return false;
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    notified_ = true;
+  }
+  park_cv_.notify_one();
+  return true;
+}
+
+}  // namespace px::rt

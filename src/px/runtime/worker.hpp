@@ -1,0 +1,95 @@
+// px/runtime/worker.hpp
+// One worker per OS thread. Owns a Chase–Lev deque of ready tasks and an
+// MPSC injection queue for wakes/yields, steals from siblings when idle,
+// and parks on its own condition variable when the whole pool runs dry.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "px/runtime/mpsc_queue.hpp"
+#include "px/runtime/task.hpp"
+#include "px/runtime/ws_deque.hpp"
+#include "px/support/random.hpp"
+
+namespace px::rt {
+
+class scheduler;
+
+struct worker_stats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_rounds = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t yields = 0;
+  // Wall time spent executing task slices (excludes queue management and
+  // parking) — busy_ns / wall time is the worker's utilization.
+  std::uint64_t busy_ns = 0;
+};
+
+class worker {
+ public:
+  worker(scheduler& sched, std::size_t index, std::size_t numa_domain);
+
+  worker(worker const&) = delete;
+  worker& operator=(worker const&) = delete;
+
+  // Main loop; runs until the scheduler stops and work is drained.
+  void run();
+
+  // Owner-side push (spawn or wake landing on our own thread).
+  void push_local(task* t) { deque_.push(t); }
+
+  // Cross-thread push; the scheduler pairs this with a notify.
+  void push_injection(task* t) { injection_.push(t); }
+
+  // Unparks this worker if it is (or is about to go) parked. Returns true
+  // when a parked worker was actually signalled.
+  bool notify();
+
+  // --- called from within a running fiber (via this_task) ----------------
+  // Re-enqueues the current task FIFO and switches to other work.
+  void yield_current();
+  // Swaps out the current task; the caller must already have registered it
+  // with a waker that will call scheduler::wake(task*).
+  void suspend_current();
+
+  [[nodiscard]] task* current_task() const noexcept { return current_; }
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] std::size_t numa_domain() const noexcept { return numa_; }
+  [[nodiscard]] scheduler& owner() const noexcept { return sched_; }
+  [[nodiscard]] worker_stats const& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool has_local_work() const noexcept {
+    return deque_.size_estimate() > 0 || !injection_.empty_estimate();
+  }
+
+  // Worker bound to the calling OS thread, or nullptr on external threads.
+  static worker* current() noexcept;
+
+ private:
+  friend class scheduler;
+
+  task* find_work();
+  task* try_steal();
+  void execute(task* t);
+  void park();
+
+  scheduler& sched_;
+  std::size_t const index_;
+  std::size_t const numa_;
+  ws_deque<task> deque_;
+  mpsc_queue<task> injection_;
+  xoshiro256ss rng_;
+  task* current_ = nullptr;
+  bool yield_requested_ = false;
+  bool suspend_requested_ = false;
+  worker_stats stats_;
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  bool notified_ = false;
+  std::atomic<bool> parked_{false};
+};
+
+}  // namespace px::rt

@@ -1,0 +1,126 @@
+// px/runtime/ws_deque.hpp
+// Chase–Lev work-stealing deque with the memory orderings from Lê, Pop,
+// Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak
+// Memory Models" (PPoPP'13). The owner pushes/pops at the bottom (LIFO, for
+// locality); thieves steal from the top (FIFO, for coarse-grain theft).
+//
+// Grown arrays are retired, not freed, until the deque is destroyed: a thief
+// may still be reading the old array after the owner swaps in a bigger one.
+// The retirees are tiny (pointer arrays) so this costs nothing in practice.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "px/support/assert.hpp"
+#include "px/support/cache.hpp"
+
+namespace px::rt {
+
+template <typename T>
+class ws_deque {
+  struct ring {
+    explicit ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]) {}
+    ~ring() { delete[] slots; }
+
+    std::int64_t const capacity;
+    std::int64_t const mask;
+    std::atomic<T*>* const slots;
+
+    T* get(std::int64_t i) const noexcept {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* v) noexcept {
+      slots[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit ws_deque(std::int64_t initial_capacity = 256)
+      : array_(new ring(initial_capacity)) {
+    PX_ASSERT((initial_capacity & (initial_capacity - 1)) == 0);
+  }
+
+  ws_deque(ws_deque const&) = delete;
+  ws_deque& operator=(ws_deque const&) = delete;
+
+  ~ws_deque() {
+    delete array_.load(std::memory_order_relaxed);
+    for (ring* r : retired_) delete r;
+  }
+
+  // Owner only.
+  void push(T* value) {
+    std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t const t = top_.load(std::memory_order_acquire);
+    ring* a = array_.load(std::memory_order_relaxed);
+    if (b - t > a->capacity - 1) a = grow(a, b, t);
+    a->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only. Returns nullptr when empty.
+  T* pop() {
+    std::int64_t const b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* const a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    T* value = nullptr;
+    if (t <= b) {
+      value = a->get(b);
+      if (t == b) {
+        // Last element: race with thieves via CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          value = nullptr;  // a thief won
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  // Any thread. Returns nullptr when empty or when losing a race (callers
+  // treat both as "try elsewhere").
+  T* steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t const b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    ring* const a = array_.load(std::memory_order_acquire);
+    T* const value = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;
+    return value;
+  }
+
+  // Approximate (racy) size; scheduling heuristics only.
+  [[nodiscard]] std::int64_t size_estimate() const noexcept {
+    std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t const t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  ring* grow(ring* old, std::int64_t b, std::int64_t t) {
+    ring* bigger = new ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    array_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  alignas(cache_line_size) std::atomic<std::int64_t> top_{0};
+  alignas(cache_line_size) std::atomic<std::int64_t> bottom_{0};
+  alignas(cache_line_size) std::atomic<ring*> array_;
+  std::vector<ring*> retired_;  // owner-only
+};
+
+}  // namespace px::rt

@@ -1,0 +1,48 @@
+// px/simd/abi.hpp
+// Vector-ABI presets matching the pipelines in the paper's Table I, plus
+// native-width detection for the build target. Widths are lanes of T for a
+// given register size in bits.
+#pragma once
+
+#include <cstddef>
+
+#include "px/simd/pack.hpp"
+
+namespace px::simd::abi {
+
+template <typename T, std::size_t Bits>
+inline constexpr std::size_t lanes_v = Bits / (8 * sizeof(T));
+
+// NEON: 128-bit (Kunpeng 916 single pipeline, ThunderX2 double pipeline).
+template <typename T>
+using neon128 = pack<T, lanes_v<T, 128>>;
+
+// AVX2: 256-bit (Xeon E5-2660 v3 double pipeline).
+template <typename T>
+using avx2 = pack<T, lanes_v<T, 256>>;
+
+// AVX-512 / SVE-512: 512-bit (A64FX double SVE pipeline; the paper fixes
+// -msve-vector-bits=512).
+template <typename T>
+using sve512 = pack<T, lanes_v<T, 512>>;
+
+// Widest vector unit of the *build* target, detected from predefines. The
+// figure benches use native packs for real kernel runs and the machine
+// model for the four paper platforms.
+inline constexpr std::size_t native_vector_bits =
+#if defined(__AVX512F__)
+    512;
+#elif defined(__AVX2__) || defined(__AVX__)
+    256;
+#elif defined(__ARM_FEATURE_SVE_BITS) && __ARM_FEATURE_SVE_BITS > 0
+    __ARM_FEATURE_SVE_BITS;
+#elif defined(__SSE2__) || defined(__ARM_NEON)
+    128;
+#else
+    128;  // generic vectors still compile; GCC emulates lanes
+#endif
+
+template <typename T>
+using native = pack<T, lanes_v<T, native_vector_bits>>;
+
+}  // namespace px::simd::abi

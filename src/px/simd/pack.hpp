@@ -1,0 +1,249 @@
+// px/simd/pack.hpp
+// Portable explicit-vectorization pack type, the NSIMD role in the paper.
+//
+// pack<T, W> wraps a GCC vector-extension value of W lanes of T. The width
+// is a compile-time constant for exactly the reason the paper gives for
+// choosing GCC on SVE hardware: their Grid-style containers and STL vectors
+// need sized types, so the SVE vector length is fixed at compile time
+// (-msve-vector-bits) rather than discovered at runtime.
+//
+// All operations lower to GCC generic vector ops, which the backend maps to
+// NEON/AVX2/SVE as available, with scalar fallback otherwise — one source
+// for every ISA, like NSIMD/Inastemp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <cmath>
+#include <type_traits>
+
+#include "px/support/assert.hpp"
+
+namespace px::simd {
+
+namespace detail {
+
+// Integer lane type of the same width as T, required by __builtin_shuffle
+// masks and produced by vector comparisons.
+template <typename T>
+struct mask_int {
+  using type = std::conditional_t<
+      sizeof(T) == 1, std::int8_t,
+      std::conditional_t<
+          sizeof(T) == 2, std::int16_t,
+          std::conditional_t<sizeof(T) == 4, std::int32_t, std::int64_t>>>;
+};
+template <typename T>
+using mask_int_t = typename mask_int<T>::type;
+
+}  // namespace detail
+
+template <typename T, std::size_t W>
+struct pack {
+  static_assert(std::is_arithmetic_v<T>, "pack lanes must be arithmetic");
+  static_assert(W >= 2 && (W & (W - 1)) == 0,
+                "pack width must be a power of two >= 2");
+
+  using value_type = T;
+  using mask_lane = detail::mask_int_t<T>;
+  static constexpr std::size_t width = W;
+  static constexpr std::size_t alignment = W * sizeof(T);
+
+  typedef T vector_type __attribute__((vector_size(W * sizeof(T))));
+  typedef mask_lane mask_type __attribute__((vector_size(W * sizeof(T))));
+
+  vector_type v;
+
+  pack() = default;
+  // Broadcast: every lane = s (the GCC vector-scalar splat).
+  pack(T s) : v(vector_type{} + s) {}
+
+  // Wraps a raw vector value. A converting constructor cannot coexist with
+  // the broadcast one: GCC does not distinguish the attributed vector
+  // typedef from T in template function signatures (PR's around
+  // vector_size mangling), so this is a named factory instead.
+  [[nodiscard]] static pack raw(vector_type u) noexcept {
+    pack p;
+    p.v = u;
+    return p;
+  }
+
+  [[nodiscard]] T operator[](std::size_t lane) const noexcept {
+    PX_ASSERT_DEBUG(lane < W);
+    return v[lane];
+  }
+  void set(std::size_t lane, T value) noexcept {
+    PX_ASSERT_DEBUG(lane < W);
+    v[lane] = value;
+  }
+
+  // -- element-wise arithmetic ------------------------------------------
+  friend pack operator+(pack a, pack b) noexcept { return raw(a.v + b.v); }
+  friend pack operator-(pack a, pack b) noexcept { return raw(a.v - b.v); }
+  friend pack operator*(pack a, pack b) noexcept { return raw(a.v * b.v); }
+  friend pack operator/(pack a, pack b) noexcept { return raw(a.v / b.v); }
+  friend pack operator-(pack a) noexcept { return raw(-a.v); }
+
+  pack& operator+=(pack b) noexcept { v += b.v; return *this; }
+  pack& operator-=(pack b) noexcept { v -= b.v; return *this; }
+  pack& operator*=(pack b) noexcept { v *= b.v; return *this; }
+  pack& operator/=(pack b) noexcept { v /= b.v; return *this; }
+
+  // -- comparisons (lane masks: all-ones for true, zero for false) -------
+  friend mask_type cmp_eq(pack a, pack b) noexcept { return a.v == b.v; }
+  friend mask_type cmp_lt(pack a, pack b) noexcept { return a.v < b.v; }
+  friend mask_type cmp_le(pack a, pack b) noexcept { return a.v <= b.v; }
+};
+
+// ---- memory ---------------------------------------------------------------
+
+template <typename P>
+[[nodiscard]] inline P load_aligned(typename P::value_type const* p) noexcept {
+  PX_ASSERT_DEBUG(reinterpret_cast<std::uintptr_t>(p) % P::alignment == 0);
+  return P::raw(*reinterpret_cast<typename P::vector_type const*>(
+      static_cast<void const*>(p)));
+}
+
+template <typename P>
+[[nodiscard]] inline P load_unaligned(
+    typename P::value_type const* p) noexcept {
+  P out;
+  std::memcpy(&out.v, p, sizeof(out.v));
+  return out;
+}
+
+template <typename T, std::size_t W>
+inline void store_aligned(T* p, pack<T, W> value) noexcept {
+  PX_ASSERT_DEBUG((reinterpret_cast<std::uintptr_t>(p) %
+                   pack<T, W>::alignment) == 0);
+  *reinterpret_cast<typename pack<T, W>::vector_type*>(
+      static_cast<void*>(p)) = value.v;
+}
+
+template <typename T, std::size_t W>
+inline void store_unaligned(T* p, pack<T, W> value) noexcept {
+  std::memcpy(p, &value.v, sizeof(value.v));
+}
+
+// ---- math -------------------------------------------------------------
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> min(pack<T, W> a, pack<T, W> b) noexcept {
+  return pack<T, W>::raw(a.v < b.v ? a.v : b.v);
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> max(pack<T, W> a, pack<T, W> b) noexcept {
+  return pack<T, W>::raw(a.v > b.v ? a.v : b.v);
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> abs(pack<T, W> a) noexcept {
+  return pack<T, W>::raw(a.v < T(0) ? -a.v : a.v);
+}
+
+// Fused multiply-add a*b + c. GCC contracts the generic expression into FMA
+// instructions where the target has them (-mfma / SVE fmla).
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> fma(pack<T, W> a, pack<T, W> b,
+                                    pack<T, W> c) noexcept {
+  return pack<T, W>::raw(a.v * b.v + c.v);
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> sqrt(pack<T, W> a) noexcept {
+  pack<T, W> out;
+  for (std::size_t l = 0; l < W; ++l) out.v[l] = std::sqrt(a.v[l]);
+  return out;
+}
+
+// select(mask, a, b): lane-wise mask ? a : b.
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> select(typename pack<T, W>::mask_type m,
+                                       pack<T, W> a, pack<T, W> b) noexcept {
+  return pack<T, W>::raw(m ? a.v : b.v);
+}
+
+// ---- horizontal reductions -------------------------------------------
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline T reduce_add(pack<T, W> a) noexcept {
+  // Tree reduction keeps FP error O(log W) and vectorizes well.
+  if constexpr (W == 2) {
+    return a.v[0] + a.v[1];
+  } else {
+    pack<T, W / 2> lo, hi;
+    for (std::size_t l = 0; l < W / 2; ++l) {
+      lo.v[l] = a.v[l];
+      hi.v[l] = a.v[l + W / 2];
+    }
+    return reduce_add(lo + hi);
+  }
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline T reduce_min(pack<T, W> a) noexcept {
+  T m = a.v[0];
+  for (std::size_t l = 1; l < W; ++l) m = a.v[l] < m ? a.v[l] : m;
+  return m;
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline T reduce_max(pack<T, W> a) noexcept {
+  T m = a.v[0];
+  for (std::size_t l = 1; l < W; ++l) m = a.v[l] > m ? a.v[l] : m;
+  return m;
+}
+
+// ---- lane shuffles (the Virtual Node Scheme halo operations) -----------
+
+// rotate_up: lane l receives lane l-1; lane 0 receives lane W-1.
+//   [a0 a1 a2 a3] -> [a3 a0 a1 a2]
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> rotate_up(pack<T, W> a) noexcept {
+  typename pack<T, W>::mask_type idx;
+  for (std::size_t l = 0; l < W; ++l)
+    idx[l] = static_cast<typename pack<T, W>::mask_lane>((l + W - 1) % W);
+  return pack<T, W>::raw(__builtin_shuffle(a.v, idx));
+}
+
+// rotate_down: lane l receives lane l+1; lane W-1 receives lane 0.
+//   [a0 a1 a2 a3] -> [a1 a2 a3 a0]
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> rotate_down(pack<T, W> a) noexcept {
+  typename pack<T, W>::mask_type idx;
+  for (std::size_t l = 0; l < W; ++l)
+    idx[l] = static_cast<typename pack<T, W>::mask_lane>((l + 1) % W);
+  return pack<T, W>::raw(__builtin_shuffle(a.v, idx));
+}
+
+// shift_up_insert: like rotate_up but lane 0 takes `carry` instead of the
+// wrapped lane — the operation a VNS stencil needs at virtual-node seams.
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> shift_up_insert(pack<T, W> a,
+                                                T carry) noexcept {
+  pack<T, W> r = rotate_up(a);
+  r.v[0] = carry;
+  return r;
+}
+
+template <typename T, std::size_t W>
+[[nodiscard]] inline pack<T, W> shift_down_insert(pack<T, W> a,
+                                                  T carry) noexcept {
+  pack<T, W> r = rotate_down(a);
+  r.v[W - 1] = carry;
+  return r;
+}
+
+// Lane extraction helpers for seam handling.
+template <typename T, std::size_t W>
+[[nodiscard]] inline T first_lane(pack<T, W> a) noexcept {
+  return a.v[0];
+}
+template <typename T, std::size_t W>
+[[nodiscard]] inline T last_lane(pack<T, W> a) noexcept {
+  return a.v[W - 1];
+}
+
+}  // namespace px::simd

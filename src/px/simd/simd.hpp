@@ -1,0 +1,9 @@
+// px/simd/simd.hpp — umbrella for the portable SIMD substrate.
+#pragma once
+
+#include "px/simd/abi.hpp"
+#include "px/simd/pack.hpp"
+#include "px/simd/traits.hpp"
+#include "px/simd/vla.hpp"
+#include "px/simd/vns.hpp"
+#include "px/support/aligned.hpp"

@@ -1,0 +1,39 @@
+// px/simd/traits.hpp
+// Type classification for generic kernels — the paper's custom `get_type`
+// meta-class (Listing 2, line 17) that lets one stencil template serve both
+// scalar containers and pack containers.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+#include "px/simd/pack.hpp"
+
+namespace px::simd {
+
+template <typename T>
+struct is_pack : std::false_type {};
+template <typename T, std::size_t W>
+struct is_pack<pack<T, W>> : std::true_type {};
+template <typename T>
+inline constexpr bool is_pack_v = is_pack<T>::value;
+
+// get_type<T>::type is the scalar lane type: T itself for scalars, the lane
+// type for packs.
+template <typename T>
+struct get_type {
+  using type = T;
+  static constexpr std::size_t width = 1;
+};
+template <typename T, std::size_t W>
+struct get_type<pack<T, W>> {
+  using type = T;
+  static constexpr std::size_t width = W;
+};
+template <typename T>
+using get_type_t = typename get_type<T>::type;
+
+template <typename T>
+inline constexpr std::size_t lane_count_v = get_type<T>::width;
+
+}  // namespace px::simd

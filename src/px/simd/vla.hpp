@@ -1,0 +1,65 @@
+// px/simd/vla.hpp
+// Runtime vector-length dispatch — the façade the paper's conclusion asks
+// for: "Further development is required to integrate custom containers to
+// work with __sizeless_struct".
+//
+// SVE's native types are sizeless, so they cannot live inside STL vectors
+// or Grid-style containers; the paper therefore fixed the width at compile
+// time (GCC's -msve-vector-bits). px::simd keeps widths compile-time for
+// the same reason, but this header restores *source-level* vector-length
+// agnosticism: a kernel written once against a generic pack parameter is
+// instantiated for every plausible width, and the width is chosen at run
+// time — e.g. from the hardware, a config knob, or a tuning sweep.
+//
+//   double sum = px::simd::dispatch_width<float>(bits, [&](auto tag) {
+//     using pack_t = typename decltype(tag)::type;   // pack<float, W>
+//     return run_kernel<pack_t>(...);
+//   });
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "px/simd/abi.hpp"
+#include "px/simd/pack.hpp"
+
+namespace px::simd {
+
+template <typename P>
+struct width_tag {
+  using type = P;
+  static constexpr std::size_t width = P::width;
+  static constexpr std::size_t bits = P::width * sizeof(typename P::value_type) * 8;
+};
+
+// Invokes f with the pack type of lane type T and the requested register
+// width. Supported widths are the SVE-legal subset that also covers NEON
+// and AVX: 128, 256, 512, 1024, 2048 bits (SVE allows any multiple of 128;
+// the power-of-two subset is what pack<> supports and what real silicon
+// ships). Throws std::invalid_argument otherwise.
+template <typename T, typename F>
+decltype(auto) dispatch_width(std::size_t bits, F&& f) {
+  switch (bits) {
+    case 128:
+      return f(width_tag<pack<T, abi::lanes_v<T, 128>>>{});
+    case 256:
+      return f(width_tag<pack<T, abi::lanes_v<T, 256>>>{});
+    case 512:
+      return f(width_tag<pack<T, abi::lanes_v<T, 512>>>{});
+    case 1024:
+      return f(width_tag<pack<T, abi::lanes_v<T, 1024>>>{});
+    case 2048:
+      return f(width_tag<pack<T, abi::lanes_v<T, 2048>>>{});
+    default:
+      throw std::invalid_argument(
+          "px::simd::dispatch_width: unsupported vector width");
+  }
+}
+
+// The build target's preferred width (what `prctl(PR_SVE_GET_VL)` would
+// answer on SVE hardware; here: the widest unit the compiler targets).
+[[nodiscard]] inline std::size_t runtime_vector_bits() noexcept {
+  return abi::native_vector_bits;
+}
+
+}  // namespace px::simd

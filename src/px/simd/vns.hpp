@@ -1,0 +1,65 @@
+// px/simd/vns.hpp
+// Virtual Node Scheme (Boyle et al., Grid QCD) data layout.
+//
+// A row of n = W * nv scalars is split into W contiguous segments ("virtual
+// nodes") of nv elements; pack j carries the j-th element of every segment:
+//
+//     P[j][lane l] = s[l * nv + j],   j in [0, nv), l in [0, W)
+//
+// A unit-stride stencil neighbour s[x±1] then becomes the *whole-pack*
+// neighbour P[j±1] — no per-lane shuffles in the inner loop. Only the
+// segment seams (j = 0 and j = nv-1) need a lane rotation, the "halo
+// shuffle" of the paper's Listing 2.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "px/simd/pack.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::simd::vns {
+
+// Which lane / pack slot a scalar index x lands in, for nv packs per row.
+[[nodiscard]] constexpr std::size_t lane_of(std::size_t x,
+                                            std::size_t nv) noexcept {
+  return x / nv;
+}
+[[nodiscard]] constexpr std::size_t slot_of(std::size_t x,
+                                            std::size_t nv) noexcept {
+  return x % nv;
+}
+
+// Scalar row -> VNS packs. src.size() must equal W * nv.
+template <typename T, std::size_t W>
+void encode(std::span<T const> src, pack<T, W>* dst, std::size_t nv) {
+  PX_ASSERT(src.size() == W * nv);
+  for (std::size_t j = 0; j < nv; ++j)
+    for (std::size_t l = 0; l < W; ++l) dst[j].v[l] = src[l * nv + j];
+}
+
+// VNS packs -> scalar row.
+template <typename T, std::size_t W>
+void decode(pack<T, W> const* src, std::span<T> dst, std::size_t nv) {
+  PX_ASSERT(dst.size() == W * nv);
+  for (std::size_t j = 0; j < nv; ++j)
+    for (std::size_t l = 0; l < W; ++l) dst[l * nv + j] = src[j].v[l];
+}
+
+// Left-neighbour pack for slot 0: lane l needs s[l*nv - 1], i.e. the last
+// slot of segment l-1 — rotate_up of P[nv-1] with the row's left ghost
+// value entering lane 0.
+template <typename T, std::size_t W>
+[[nodiscard]] pack<T, W> left_seam(pack<T, W> last_pack, T left_ghost) {
+  return shift_up_insert(last_pack, left_ghost);
+}
+
+// Right-neighbour pack for slot nv-1: lane l needs s[(l+1)*nv], the first
+// slot of segment l+1 — rotate_down of P[0] with the row's right ghost
+// entering lane W-1.
+template <typename T, std::size_t W>
+[[nodiscard]] pack<T, W> right_seam(pack<T, W> first_pack, T right_ghost) {
+  return shift_down_insert(first_pack, right_ghost);
+}
+
+}  // namespace px::simd::vns

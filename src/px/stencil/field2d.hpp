@@ -1,0 +1,200 @@
+// px/stencil/field2d.hpp
+// The Grid abstraction of the paper's Listing 2: a 2D field whose cell type
+// is either a scalar (float/double — the compiler-auto-vectorized path) or
+// a px::simd::pack (the explicitly vectorized path, stored in the Virtual
+// Node Scheme layout).
+//
+// Storage layout per row: [ghost | interior cells | ghost], and one ghost
+// row above and below. For scalar cells the ghosts are the Dirichlet
+// boundary values themselves; for pack cells the ghosts are *halo packs*
+// derived from the row's edge packs and the per-row boundary scalars via
+// the VNS seam rotations — the halos the kernel "shuffles" after each
+// update (Listing 2 line 18).
+//
+// With halos in place, the 5-point update is branch-free for both cell
+// types:  next(s,y) = (c(s-1,y)+c(s+1,y)+c(s,y-1)+c(s,y+1)) * 0.25.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/simd/simd.hpp"
+#include "px/support/aligned.hpp"
+#include "px/support/assert.hpp"
+#include "px/support/math.hpp"
+
+namespace px::stencil {
+
+template <typename Cell>
+class field2d {
+ public:
+  using cell_type = Cell;
+  using scalar = simd::get_type_t<Cell>;
+  static constexpr std::size_t lanes = simd::lane_count_v<Cell>;
+  static constexpr bool vectorized = simd::is_pack_v<Cell>;
+
+  // nx: interior scalars per row (must divide by the lane count);
+  // ny: interior rows.
+  field2d(std::size_t nx, std::size_t ny)
+      : nx_(nx), ny_(ny), cells_(nx / lanes), stride_(cells_ + 2) {
+    PX_ASSERT_MSG(nx % lanes == 0, "row length must be a lane multiple");
+    PX_ASSERT(nx >= lanes && ny >= 1);
+    storage_.assign(stride_ * (ny_ + 2), Cell(scalar(0)));
+    if constexpr (vectorized) {
+      ghost_left_.assign(ny_ + 2, scalar(0));
+      ghost_right_.assign(ny_ + 2, scalar(0));
+    }
+  }
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  // Interior cells per row (nx / lanes).
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+  [[nodiscard]] std::size_t row_stride() const noexcept { return stride_; }
+
+  // Cell access in storage coordinates: s in [0, cells()+2), y in
+  // [0, ny()+2); (0, *) / (cells+1, *) are column ghosts, rows 0 and ny+1
+  // are row ghosts.
+  [[nodiscard]] Cell& cell(std::size_t s, std::size_t y) noexcept {
+    PX_ASSERT_DEBUG(s < stride_ && y < ny_ + 2);
+    return storage_[y * stride_ + s];
+  }
+  [[nodiscard]] Cell const& cell(std::size_t s, std::size_t y)
+      const noexcept {
+    PX_ASSERT_DEBUG(s < stride_ && y < ny_ + 2);
+    return storage_[y * stride_ + s];
+  }
+
+  // Raw row pointer (storage coordinates), for the hot kernels.
+  [[nodiscard]] Cell* row(std::size_t y) noexcept {
+    return storage_.data() + y * stride_;
+  }
+  [[nodiscard]] Cell const* row(std::size_t y) const noexcept {
+    return storage_.data() + y * stride_;
+  }
+
+  // ---- scalar element view (interior coordinates) ------------------------
+  // x in [0, nx), y in [0, ny). For packs this resolves the VNS mapping:
+  // lane l of cell j holds scalar x = l * cells() + j, i.e. lane = x /
+  // cells(), slot = x % cells().
+  [[nodiscard]] scalar get(std::size_t x, std::size_t y) const noexcept {
+    PX_ASSERT_DEBUG(x < nx_ && y < ny_);
+    if constexpr (vectorized) {
+      return cell(1 + simd::vns::slot_of(x, cells_), y + 1)
+          .v[simd::vns::lane_of(x, cells_)];
+    } else {
+      return cell(1 + x, y + 1);
+    }
+  }
+
+  void set(std::size_t x, std::size_t y, scalar v) noexcept {
+    PX_ASSERT_DEBUG(x < nx_ && y < ny_);
+    if constexpr (vectorized) {
+      cell(1 + simd::vns::slot_of(x, cells_), y + 1)
+          .v[simd::vns::lane_of(x, cells_)] = v;
+    } else {
+      cell(1 + x, y + 1) = v;
+    }
+  }
+
+  // ---- boundary handling -----------------------------------------------
+  // Dirichlet values along the four edges. Row ghosts are stored directly
+  // as cells; column ghosts are scalars per row (materialized into halo
+  // packs by refresh_row_halos for pack fields).
+  void set_left_boundary(std::size_t y, scalar v) noexcept {
+    if constexpr (vectorized) {
+      ghost_left_[y + 1] = v;
+    } else {
+      cell(0, y + 1) = v;
+    }
+  }
+  void set_right_boundary(std::size_t y, scalar v) noexcept {
+    if constexpr (vectorized) {
+      ghost_right_[y + 1] = v;
+    } else {
+      cell(cells_ + 1, y + 1) = v;
+    }
+  }
+  // Top/bottom boundary rows: scalar x-indexed writes into the ghost rows.
+  void set_top_boundary(std::size_t x, scalar v) noexcept {
+    write_ghost_row(0, x, v);
+  }
+  void set_bottom_boundary(std::size_t x, scalar v) noexcept {
+    write_ghost_row(ny_ + 1, x, v);
+  }
+
+  [[nodiscard]] scalar left_boundary(std::size_t y) const noexcept {
+    if constexpr (vectorized) {
+      return ghost_left_[y + 1];
+    } else {
+      return cell(0, y + 1);
+    }
+  }
+  [[nodiscard]] scalar right_boundary(std::size_t y) const noexcept {
+    if constexpr (vectorized) {
+      return ghost_right_[y + 1];
+    } else {
+      return cell(cells_ + 1, y + 1);
+    }
+  }
+  [[nodiscard]] scalar top_boundary_value(std::size_t x) const noexcept {
+    return read_ghost_row(0, x);
+  }
+  [[nodiscard]] scalar bottom_boundary_value(std::size_t x) const noexcept {
+    return read_ghost_row(ny_ + 1, x);
+  }
+
+  // Recomputes the halo packs of storage row y from the row's edge packs
+  // and boundary scalars — the per-row "shuffle" of Listing 2. No-op for
+  // scalar fields (their ghosts are stored directly).
+  void refresh_row_halos(std::size_t y) noexcept {
+    if constexpr (vectorized) {
+      Cell* r = row(y);
+      r[0] = simd::vns::left_seam(r[cells_], ghost_left_[y]);
+      r[cells_ + 1] = simd::vns::right_seam(r[1], ghost_right_[y]);
+    } else {
+      (void)y;
+    }
+  }
+
+  // Refreshes every row's halos (after bulk initialization).
+  void refresh_all_halos() noexcept {
+    for (std::size_t y = 0; y < ny_ + 2; ++y) refresh_row_halos(y);
+  }
+
+  // Bytes of interior data (for bandwidth accounting).
+  [[nodiscard]] std::size_t interior_bytes() const noexcept {
+    return nx_ * ny_ * sizeof(scalar);
+  }
+
+ private:
+  void write_ghost_row(std::size_t storage_y, std::size_t x,
+                       scalar v) noexcept {
+    PX_ASSERT_DEBUG(x < nx_);
+    if constexpr (vectorized) {
+      cell(1 + simd::vns::slot_of(x, cells_), storage_y)
+          .v[simd::vns::lane_of(x, cells_)] = v;
+    } else {
+      cell(1 + x, storage_y) = v;
+    }
+  }
+
+  [[nodiscard]] scalar read_ghost_row(std::size_t storage_y,
+                                      std::size_t x) const noexcept {
+    PX_ASSERT_DEBUG(x < nx_);
+    if constexpr (vectorized) {
+      return cell(1 + simd::vns::slot_of(x, cells_), storage_y)
+          .v[simd::vns::lane_of(x, cells_)];
+    } else {
+      return cell(1 + x, storage_y);
+    }
+  }
+
+  std::size_t nx_, ny_, cells_, stride_;
+  std::vector<Cell, aligned_allocator<Cell, 64>> storage_;
+  // Pack fields only: Dirichlet scalars for the row seams (indexed by
+  // storage row).
+  std::vector<scalar> ghost_left_, ghost_right_;
+};
+
+}  // namespace px::stencil

@@ -1,0 +1,39 @@
+#include "px/stencil/heat1d.hpp"
+
+#include <cmath>
+
+namespace px::stencil {
+
+void heat1d_partition_update(
+    std::vector<double, aligned_allocator<double, 64>> const& in,
+    std::vector<double, aligned_allocator<double, 64>>& out, std::size_t lo,
+    std::size_t hi, double k) {
+  std::size_t const nx = in.size();
+  PX_ASSERT(hi <= nx && lo <= hi);
+  if (lo == hi) return;
+
+  std::size_t x = lo;
+  if (x == 0) {  // global left boundary: Dirichlet, carried over
+    out[0] = in[0];
+    ++x;
+  }
+  std::size_t last = hi;
+  bool const touches_right = hi == nx;
+  if (touches_right) --last;
+
+  for (; x < last; ++x)
+    out[x] = heat_update(in[x - 1], in[x], in[x + 1], k);
+
+  if (touches_right && hi > lo) out[nx - 1] = in[nx - 1];
+}
+
+std::vector<double> heat1d_sine_initial(std::size_t nx) {
+  std::vector<double> u(nx);
+  double const pi = std::acos(-1.0);
+  for (std::size_t x = 0; x < nx; ++x)
+    u[x] = std::sin(pi * static_cast<double>(x) /
+                    static_cast<double>(nx - 1));
+  return u;
+}
+
+}  // namespace px::stencil

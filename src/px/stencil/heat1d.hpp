@@ -1,0 +1,68 @@
+// px/stencil/heat1d.hpp
+// The paper's 1D benchmark: explicit finite-difference heat equation
+// (Eq. 2/3, 3-point stencil). The shared-memory solver mirrors Listing 1:
+// the domain is split into `partitions` local partitions and every time
+// step runs one hpx-style for_each over them, with partition 0 and the
+// last partition handling the domain boundaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/parallel/algorithms.hpp"
+#include "px/support/aligned.hpp"
+#include "px/support/timer.hpp"
+
+namespace px::stencil {
+
+struct heat1d_config {
+  std::size_t nx = 1 << 20;     // stencil points
+  std::size_t steps = 100;      // time steps (the paper iterates 100)
+  std::size_t partitions = 0;   // 0: auto (8x workers)
+  double alpha = 1.0;           // diffusion constant
+  double dt = 0.0;              // 0: the largest stable step (k = 0.25)
+  double dx = 1.0;
+
+  // The update coefficient k = alpha * dt / dx^2 of Eq. 3; stability
+  // requires k <= 0.5.
+  [[nodiscard]] double k() const noexcept {
+    double const step = dt > 0.0 ? dt : 0.25 * dx * dx / alpha;
+    return alpha * step / (dx * dx);
+  }
+};
+
+struct heat1d_result {
+  double seconds = 0.0;
+  double points_per_second = 0.0;
+  std::vector<double> values;  // final temperature field
+};
+
+// Eq. 3 for one cell.
+[[nodiscard]] inline double heat_update(double left, double centre,
+                                        double right, double k) noexcept {
+  return centre + k * (left - 2.0 * centre + right);
+}
+
+// One partition's sweep: updates out[lo, hi) from in, treating the global
+// domain boundaries (x = 0 and x = nx-1) as fixed Dirichlet cells, exactly
+// like Listing 1's three stencil_update branches.
+void heat1d_partition_update(std::vector<double,
+                                         aligned_allocator<double, 64>> const&
+                                 in,
+                             std::vector<double,
+                                         aligned_allocator<double, 64>>& out,
+                             std::size_t lo, std::size_t hi, double k);
+
+// Shared-memory solve on the given policy; `initial` sizes the domain.
+template <typename Policy>
+heat1d_result run_heat1d(Policy const& policy,
+                         std::vector<double> const& initial,
+                         heat1d_config cfg);
+
+// Default initial condition used across tests and benches: a half-sine,
+// whose exact decay is known (see reference.hpp).
+[[nodiscard]] std::vector<double> heat1d_sine_initial(std::size_t nx);
+
+}  // namespace px::stencil
+
+#include "px/stencil/heat1d_impl.hpp"

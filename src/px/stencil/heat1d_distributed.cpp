@@ -1,0 +1,213 @@
+#include "px/stencil/heat1d_distributed.hpp"
+
+#include <memory>
+
+#include "px/lcos/channel.hpp"
+#include "px/parallel/algorithms.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/step_mailbox.hpp"
+#include "px/support/timer.hpp"
+
+namespace px::stencil {
+namespace {
+
+// Per-locality solver state, reachable by halo parcels through a symbolic
+// AGAS name.
+struct heat_block_state {
+  step_mailbox<double> from_left;
+  step_mailbox<double> from_right;
+};
+
+constexpr char const state_name[] = "px.stencil.heat1d.state";
+
+std::shared_ptr<heat_block_state> resolve_state(px::dist::locality& here) {
+  // The halo parcel can only arrive after the prepare phase registered the
+  // state (the driver synchronizes on prepare before starting solves).
+  auto g = here.agas().resolve_name(state_name);
+  PX_ASSERT_MSG(g.valid(), "heat1d state not prepared on this locality");
+  auto state = here.agas().resolve<heat_block_state>(g);
+  PX_ASSERT(state != nullptr);
+  return state;
+}
+
+// ---- actions ------------------------------------------------------------
+
+int heat_prepare(px::dist::locality& here) {
+  auto state = std::make_shared<heat_block_state>();
+  auto g = here.agas().bind(state);
+  here.agas().register_name(state_name, g);
+  return static_cast<int>(here.id());
+}
+
+void heat_halo_put(px::dist::locality& here, std::uint32_t step,
+                   std::uint8_t from_side_left, double value) {
+  auto state = resolve_state(here);
+  // from_side_left == 1: the sender is our left neighbour.
+  if (from_side_left != 0)
+    state->from_left.put(step, value);
+  else
+    state->from_right.put(step, value);
+}
+
+int heat_teardown(px::dist::locality& here) {
+  auto g = here.agas().resolve_name(state_name);
+  if (g.valid()) {
+    here.agas().unbind(g);
+    here.agas().unregister_name(state_name);
+  }
+  return 0;
+}
+
+struct block_args {
+  std::uint64_t nx_total = 0;
+  std::uint64_t steps = 0;
+  double k = 0.0;
+  std::vector<double> initial;  // this locality's block
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& nx_total& steps& k& initial;
+  }
+};
+
+std::pair<std::size_t, std::size_t> block_bounds(std::size_t nx,
+                                                 std::size_t parts,
+                                                 std::size_t index) {
+  std::size_t const base = nx / parts;
+  std::size_t const extra = nx % parts;
+  std::size_t const lo = index * base + (index < extra ? index : extra);
+  return {lo, lo + base + (index < extra ? 1 : 0)};
+}
+
+std::vector<double> heat_solve_block(px::dist::locality& here,
+                                     block_args args) {
+  auto state = resolve_state(here);
+  std::size_t const nloc = here.domain().size();
+  std::uint32_t const my = here.id();
+  bool const has_left = my > 0;
+  bool const has_right = my + 1 < nloc;
+  std::size_t const n = args.initial.size();
+  PX_ASSERT(n >= 2);
+  double const k = args.k;
+
+  using buffer = std::vector<double, aligned_allocator<double, 64>>;
+  buffer u[2];
+  u[0].assign(args.initial.begin(), args.initial.end());
+  u[1].assign(n, 0.0);
+
+  auto policy = execution::par;
+
+  for (std::uint32_t t = 0; t < args.steps; ++t) {
+    buffer const& curr = u[t % 2];
+    buffer& next = u[(t + 1) % 2];
+
+    // 1. Ship edges first so the transfer overlaps the interior update.
+    if (has_left)
+      here.apply<&heat_halo_put>(my - 1, t, std::uint8_t{0}, curr.front());
+    if (has_right)
+      here.apply<&heat_halo_put>(my + 1, t, std::uint8_t{1}, curr.back());
+
+    // 2. Interior: cells [1, n-1) need no remote data.
+    std::size_t const parts = std::min<std::size_t>(
+        here.sched().num_workers() * 4, std::max<std::size_t>(n / 512, 1));
+    parallel::for_loop(policy, 0, parts, [&](std::size_t i) {
+      auto const [lo, hi] = block_bounds(n - 2, parts, i);
+      for (std::size_t x = 1 + lo; x < 1 + hi; ++x)
+        next[x] = heat_update(curr[x - 1], curr[x], curr[x + 1], k);
+    });
+
+    // 3. Edges: remote halo (suspends until the parcel lands) or global
+    //    Dirichlet boundary.
+    if (has_left) {
+      double const value = state->from_left.get(t);
+      next[0] = heat_update(value, curr[0], curr[1], k);
+    } else {
+      next[0] = curr[0];
+    }
+    if (has_right) {
+      double const value = state->from_right.get(t);
+      next[n - 1] = heat_update(curr[n - 2], curr[n - 1], value, k);
+    } else {
+      next[n - 1] = curr[n - 1];
+    }
+  }
+
+  buffer const& fin = u[args.steps % 2];
+  return {fin.begin(), fin.end()};
+}
+
+}  // namespace
+
+PX_REGISTER_ACTION(heat_prepare)
+PX_REGISTER_ACTION(heat_halo_put)
+PX_REGISTER_ACTION(heat_solve_block)
+PX_REGISTER_ACTION(heat_teardown)
+
+dist_heat_result run_distributed_heat1d(px::dist::distributed_domain& dom,
+                                        std::vector<double> const& initial,
+                                        dist_heat_config cfg) {
+  cfg.nx_total = initial.size();
+  std::size_t const nloc = dom.size();
+  PX_ASSERT(cfg.nx_total >= 2 * nloc);
+
+  std::uint64_t const messages_before =
+      dom.fabric().counters().messages.load();
+
+  auto result = dom.run([&](px::dist::locality& loc0) -> dist_heat_result {
+    // Phase 1: prepare every locality (registers the halo channels).
+    {
+      std::vector<future<int>> ready;
+      ready.reserve(nloc);
+      for (std::size_t l = 0; l < nloc; ++l)
+        ready.push_back(loc0.call<&heat_prepare>(
+            static_cast<std::uint32_t>(l)));
+      for (auto& f : ready) f.get();
+    }
+
+    // Phase 2: scatter blocks and solve.
+    high_resolution_timer timer;
+    std::vector<future<std::vector<double>>> blocks;
+    blocks.reserve(nloc);
+    for (std::size_t l = 0; l < nloc; ++l) {
+      auto const [lo, hi] = block_bounds(cfg.nx_total, nloc, l);
+      block_args args;
+      args.nx_total = cfg.nx_total;
+      args.steps = cfg.steps;
+      args.k = cfg.k;
+      args.initial.assign(initial.begin() + static_cast<std::ptrdiff_t>(lo),
+                          initial.begin() + static_cast<std::ptrdiff_t>(hi));
+      blocks.push_back(loc0.call<&heat_solve_block>(
+          static_cast<std::uint32_t>(l), std::move(args)));
+    }
+
+    dist_heat_result res;
+    res.values.reserve(cfg.nx_total);
+    for (auto& f : blocks) {
+      auto block = f.get();
+      res.values.insert(res.values.end(), block.begin(), block.end());
+    }
+    res.seconds = timer.elapsed();
+
+    // Phase 3: teardown.
+    {
+      std::vector<future<int>> done;
+      done.reserve(nloc);
+      for (std::size_t l = 0; l < nloc; ++l)
+        done.push_back(loc0.call<&heat_teardown>(
+            static_cast<std::uint32_t>(l)));
+      for (auto& f : done) f.get();
+    }
+    return res;
+  });
+
+  result.points_per_second =
+      result.seconds > 0.0
+          ? static_cast<double>(cfg.nx_total) *
+                static_cast<double>(cfg.steps) / result.seconds
+          : 0.0;
+  result.halo_messages =
+      dom.fabric().counters().messages.load() - messages_before;
+  return result;
+}
+
+}  // namespace px::stencil

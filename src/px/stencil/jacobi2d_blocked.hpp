@@ -1,0 +1,81 @@
+// px/stencil/jacobi2d_blocked.hpp
+// Cache-blocked 2D Jacobi. §VII-B: "A cache blocked version of 2D stencil
+// essentially reduces the number of memory transfers per iteration, in our
+// case, by one. This results in a 49% performance boost over the
+// previously expected results." A64FX and ThunderX2 get this effect for
+// free from their long cache lines; on short-line machines it must be
+// implemented — this is that implementation, used by the cache-blocking
+// ablation bench.
+//
+// The traversal processes the grid in row bands sized so that three band
+// rows stay cache-resident between the read of row y as "south neighbour"
+// and its reuse as "centre" and "north neighbour": the classic 3->2
+// transfers/LUP reduction. Semantics are identical to the plain kernel
+// (Jacobi reads only `curr`), so any band size gives bitwise-equal
+// results — verified by the tests.
+#pragma once
+
+#include "px/parallel/algorithms.hpp"
+#include "px/stencil/field2d.hpp"
+#include "px/stencil/jacobi2d.hpp"
+
+namespace px::stencil {
+
+struct blocked_config {
+  // Rows per band; 0 = derive from a cache budget.
+  std::size_t band_rows = 0;
+  // Cache budget per worker used when band_rows == 0.
+  std::size_t cache_bytes = 256 * 1024;
+};
+
+template <typename Cell>
+std::size_t derive_band_rows(field2d<Cell> const& f, blocked_config cfg) {
+  if (cfg.band_rows != 0) return cfg.band_rows;
+  std::size_t const row_bytes = f.row_stride() * sizeof(Cell);
+  // Three live rows of curr + one of next per band row; keep it within
+  // the cache budget, minimum 2 rows per band.
+  std::size_t rows = cfg.cache_bytes / (4 * row_bytes);
+  return rows < 2 ? 2 : rows;
+}
+
+// One blocked sweep: bands are parallel tasks; each band walks its rows in
+// order, maximizing reuse of the rows it just touched.
+template <typename Cell, typename Policy>
+void jacobi2d_blocked_sweep(Policy const& policy, field2d<Cell> const& curr,
+                            field2d<Cell>& next, std::size_t band_rows) {
+  std::size_t const ny = curr.ny();
+  std::size_t const bands = px::div_ceil(ny, band_rows);
+  parallel::for_loop(policy, 0, bands, [&](std::size_t band) {
+    std::size_t const lo = 1 + band * band_rows;
+    std::size_t const hi = std::min(lo + band_rows, ny + 1);
+    for (std::size_t y = lo; y < hi; ++y)
+      jacobi2d_row_update(curr, next, y);
+  });
+}
+
+template <typename Cell, typename Policy>
+jacobi2d_result run_jacobi2d_blocked(Policy const& policy,
+                                     field2d<Cell>& u0, field2d<Cell>& u1,
+                                     std::size_t steps,
+                                     blocked_config cfg = {}) {
+  PX_ASSERT(u0.nx() == u1.nx() && u0.ny() == u1.ny());
+  std::size_t const band_rows = derive_band_rows(u0, cfg);
+  field2d<Cell>* grids[2] = {&u0, &u1};
+
+  high_resolution_timer timer;
+  for (std::size_t t = 0; t < steps; ++t)
+    jacobi2d_blocked_sweep(policy, *grids[t % 2], *grids[(t + 1) % 2],
+                           band_rows);
+
+  jacobi2d_result res;
+  res.seconds = timer.elapsed();
+  res.steps = steps;
+  res.final_index = steps % 2;
+  double const lups = static_cast<double>(u0.nx()) *
+                      static_cast<double>(u0.ny()) *
+                      static_cast<double>(steps);
+  res.glups = res.seconds > 0.0 ? lups / res.seconds / 1e9 : 0.0;
+  return res;
+}
+
+}  // namespace px::stencil

@@ -1,0 +1,66 @@
+// px/stencil/step_mailbox.hpp
+// Halo values keyed by time step. Parcel handlers are ordinary tasks and
+// may execute out of order on a multi-worker locality, so the distributed
+// solvers match halos by step instead of assuming FIFO arrival.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "px/lcos/shared_state.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::stencil {
+
+template <typename T>
+class step_mailbox {
+ public:
+  void put(std::uint64_t key, T value) {
+    std::shared_ptr<px::lcos::detail::shared_state<T>> waiter;
+    {
+      std::lock_guard<px::spinlock> guard(lock_);
+      auto it = waiters_.find(key);
+      if (it != waiters_.end()) {
+        waiter = std::move(it->second);
+        waiters_.erase(it);
+      } else {
+        values_.emplace(key, std::move(value));
+        return;
+      }
+    }
+    waiter->set_value(std::move(value));
+  }
+
+  // Suspends the calling task until the value for `key` has arrived.
+  T get(std::uint64_t key) {
+    std::shared_ptr<px::lcos::detail::shared_state<T>> state;
+    {
+      std::lock_guard<px::spinlock> guard(lock_);
+      auto it = values_.find(key);
+      if (it != values_.end()) {
+        T v = std::move(it->second);
+        values_.erase(it);
+        return v;
+      }
+      state = std::make_shared<px::lcos::detail::shared_state<T>>();
+      waiters_.emplace(key, state);
+    }
+    return state->get();
+  }
+
+  [[nodiscard]] std::size_t pending_values() const {
+    std::lock_guard<px::spinlock> guard(lock_);
+    return values_.size();
+  }
+
+ private:
+  mutable px::spinlock lock_;
+  std::unordered_map<std::uint64_t, T> values_;
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<px::lcos::detail::shared_state<T>>>
+      waiters_;
+};
+
+}  // namespace px::stencil

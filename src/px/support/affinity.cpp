@@ -1,0 +1,26 @@
+#include "px/support/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+namespace px {
+
+bool pin_this_thread(std::size_t cpu) noexcept {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (cpu >= CPU_SETSIZE) return false;
+  CPU_SET(static_cast<int>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+void name_this_thread(std::string const& name) noexcept {
+  std::string trimmed = name.substr(0, 15);
+  (void)pthread_setname_np(pthread_self(), trimmed.c_str());
+}
+
+std::size_t hardware_concurrency() noexcept {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace px

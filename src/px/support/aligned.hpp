@@ -1,0 +1,67 @@
+// px/support/aligned.hpp
+// Aligned heap allocation and an allocator usable with std::vector.
+//
+// SIMD packs require their natural alignment; the stencil grids additionally
+// align rows to cache-line boundaries so per-row first-touch placement does
+// not straddle lines owned by two NUMA domains.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+
+#include "px/support/assert.hpp"
+
+namespace px {
+
+[[nodiscard]] inline void* aligned_alloc_bytes(std::size_t bytes,
+                                               std::size_t alignment) {
+  PX_ASSERT_MSG((alignment & (alignment - 1)) == 0,
+                "alignment must be a power of two");
+  if (bytes == 0) bytes = alignment;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  std::size_t const rounded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+inline void aligned_free(void* p) noexcept { std::free(p); }
+
+// Minimal C++20 allocator with static alignment. Propagates on copy (it is
+// stateless) and compares equal across instantiations of the same alignment.
+template <typename T, std::size_t Alignment = alignof(T)>
+class aligned_allocator {
+  static_assert(Alignment >= alignof(T),
+                "alignment must be at least the type's natural alignment");
+
+ public:
+  using value_type = T;
+  static constexpr std::size_t alignment = Alignment;
+
+  template <typename U>
+  struct rebind {
+    using other = aligned_allocator<U, (Alignment > alignof(U) ? Alignment
+                                                               : alignof(U))>;
+  };
+
+  aligned_allocator() = default;
+  template <typename U, std::size_t A>
+  aligned_allocator(aligned_allocator<U, A> const&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc{};
+    return static_cast<T*>(aligned_alloc_bytes(n * sizeof(T), Alignment));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { aligned_free(p); }
+
+  friend bool operator==(aligned_allocator const&,
+                         aligned_allocator const&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace px

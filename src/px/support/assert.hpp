@@ -1,0 +1,41 @@
+// px/support/assert.hpp
+// Assertion macros for the px runtime.
+//
+// PX_ASSERT is active in all build types: a runtime system with silent
+// invariant violations is undebuggable, and the cost of the checks is
+// negligible next to task-scheduling work. PX_ASSERT_DEBUG compiles out in
+// release builds and is used on hot paths (per-task, per-steal).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace px::detail {
+
+[[noreturn]] inline void assertion_failure(char const* expr, char const* file,
+                                           int line, char const* msg) noexcept {
+  std::fprintf(stderr, "px: assertion '%s' failed at %s:%d%s%s\n", expr, file,
+               line, msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace px::detail
+
+#define PX_ASSERT(expr)                                                   \
+  (static_cast<bool>(expr)                                                \
+       ? void(0)                                                          \
+       : ::px::detail::assertion_failure(#expr, __FILE__, __LINE__, nullptr))
+
+#define PX_ASSERT_MSG(expr, msg)                                          \
+  (static_cast<bool>(expr)                                                \
+       ? void(0)                                                          \
+       : ::px::detail::assertion_failure(#expr, __FILE__, __LINE__, (msg)))
+
+#if defined(NDEBUG)
+#define PX_ASSERT_DEBUG(expr) void(0)
+#else
+#define PX_ASSERT_DEBUG(expr) PX_ASSERT(expr)
+#endif
+
+#define PX_UNREACHABLE()                                                  \
+  ::px::detail::assertion_failure("unreachable", __FILE__, __LINE__, nullptr)

@@ -1,0 +1,30 @@
+// px/support/cache.hpp
+// Cache-line constants and false-sharing protection.
+#pragma once
+
+#include <cstddef>
+
+namespace px {
+
+// std::hardware_destructive_interference_size is still flaky across
+// compilers; 64 bytes is correct for every x86-64 and Armv8 part in the
+// paper's Table I except A64FX (256 B sectors built from 64 B lines, which
+// the machine model captures separately).
+inline constexpr std::size_t cache_line_size = 64;
+
+// Pads T to a whole number of cache lines so adjacent instances never share
+// a line. Used for per-worker counters and queue indices.
+template <typename T>
+struct alignas(cache_line_size) cache_aligned {
+  T value{};
+
+  cache_aligned() = default;
+  explicit cache_aligned(T v) : value(static_cast<T&&>(v)) {}
+
+  T& operator*() noexcept { return value; }
+  T const& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  T const* operator->() const noexcept { return &value; }
+};
+
+}  // namespace px

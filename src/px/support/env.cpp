@@ -1,0 +1,46 @@
+#include "px/support/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace px {
+
+std::optional<std::string> env_string(char const* name) {
+  char const* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<std::size_t> env_size(char const* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+std::optional<double> env_double(char const* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<bool> env_bool(char const* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  std::string lower(*s);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  return std::nullopt;
+}
+
+}  // namespace px

@@ -1,0 +1,24 @@
+// px/support/env.hpp
+// Environment-variable configuration, the same knob style HPX exposes via
+// --hpx:threads etc. All px knobs use the PX_ prefix.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace px {
+
+// Raw lookup; nullopt when unset or empty.
+std::optional<std::string> env_string(char const* name);
+
+// Parses an unsigned integer; nullopt when unset, empty or malformed.
+std::optional<std::size_t> env_size(char const* name);
+
+// Parses a double; nullopt when unset or malformed.
+std::optional<double> env_double(char const* name);
+
+// Recognises 1/0, true/false, yes/no, on/off (case-insensitive).
+std::optional<bool> env_bool(char const* name);
+
+}  // namespace px

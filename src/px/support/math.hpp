@@ -1,0 +1,36 @@
+// px/support/math.hpp
+// Small integer helpers shared by partitioners, grids and the machine model.
+#pragma once
+
+#include <cstddef>
+
+namespace px {
+
+// Ceiling division for non-negative integers.
+template <typename T>
+[[nodiscard]] constexpr T div_ceil(T num, T den) noexcept {
+  return (num + den - 1) / den;
+}
+
+template <typename T>
+[[nodiscard]] constexpr T round_up(T value, T multiple) noexcept {
+  return div_ceil(value, multiple) * multiple;
+}
+
+template <typename T>
+[[nodiscard]] constexpr T round_down(T value, T multiple) noexcept {
+  return value / multiple * multiple;
+}
+
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Largest power of two <= v (v must be nonzero).
+[[nodiscard]] constexpr std::size_t floor_pow2(std::size_t v) noexcept {
+  std::size_t r = 1;
+  while (r * 2 <= v) r *= 2;
+  return r;
+}
+
+}  // namespace px

@@ -1,0 +1,56 @@
+// px/support/random.hpp
+// xoshiro256** — a fast, high-quality PRNG used for steal-victim selection
+// and for workload generators. std::mt19937 is too heavy for the steal path.
+#pragma once
+
+#include <cstdint>
+
+namespace px {
+
+class xoshiro256ss {
+ public:
+  explicit xoshiro256ss(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t operator()() noexcept {
+    std::uint64_t const result = rotl(s_[1] * 5, 7) * 9;
+    std::uint64_t const t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    __extension__ using u128 = unsigned __int128;
+    return static_cast<std::uint64_t>((static_cast<u128>(operator()()) *
+                                       bound) >>
+                                      64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace px

@@ -1,0 +1,35 @@
+// px/support/timer.hpp
+// Wall-clock timing, mirroring hpx::util::high_resolution_timer which the
+// paper's Listing 2 uses to time the 2D stencil loop.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace px {
+
+class high_resolution_timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  high_resolution_timer() noexcept : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  // Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_nanoseconds() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace px

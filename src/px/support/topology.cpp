@@ -1,0 +1,98 @@
+#include "px/support/topology.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "px/support/affinity.hpp"
+
+namespace px {
+namespace {
+
+// Parses a sysfs cpulist such as "0-3,8,10-11" into explicit ids.
+std::vector<std::size_t> parse_cpulist(std::string const& text) {
+  std::vector<std::size_t> ids;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t next = text.find(',', pos);
+    std::string token = text.substr(pos, next - pos);
+    if (!token.empty() && token.back() == '\n') token.pop_back();
+    if (!token.empty()) {
+      std::size_t dash = token.find('-');
+      if (dash == std::string::npos) {
+        ids.push_back(std::stoull(token));
+      } else {
+        std::size_t lo = std::stoull(token.substr(0, dash));
+        std::size_t hi = std::stoull(token.substr(dash + 1));
+        for (std::size_t i = lo; i <= hi; ++i) ids.push_back(i);
+      }
+    }
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return ids;
+}
+
+std::string read_first_line(std::string const& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+}  // namespace
+
+topology detect_topology() {
+  topology topo;
+  topo.logical_cpus = hardware_concurrency();
+  topo.numa_of.assign(topo.logical_cpus, 0);
+
+  // NUMA domains from /sys/devices/system/node/nodeN/cpulist.
+  std::size_t domains = 0;
+  for (std::size_t node = 0; node < 64; ++node) {
+    std::string path = "/sys/devices/system/node/node" +
+                       std::to_string(node) + "/cpulist";
+    std::string line = read_first_line(path);
+    if (line.empty()) {
+      if (node == 0) continue;  // node0 may be absent in containers
+      break;
+    }
+    ++domains;
+    for (std::size_t cpu : parse_cpulist(line))
+      if (cpu < topo.logical_cpus) topo.numa_of[cpu] = node;
+  }
+  topo.numa_domains = std::max<std::size_t>(domains, 1);
+
+  // Physical cores: group logical CPUs by thread_siblings_list and take the
+  // first sibling of each group.
+  std::set<std::size_t> seen_cores;
+  for (std::size_t cpu = 0; cpu < topo.logical_cpus; ++cpu) {
+    std::string path = "/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+                       "/topology/thread_siblings_list";
+    std::string line = read_first_line(path);
+    if (line.empty()) {
+      topo.physical_pus.push_back(cpu);  // no SMT info: assume 1 thread/core
+      continue;
+    }
+    auto siblings = parse_cpulist(line);
+    if (siblings.empty()) siblings.push_back(cpu);
+    std::size_t const leader = *std::min_element(siblings.begin(),
+                                                 siblings.end());
+    if (seen_cores.insert(leader).second) topo.physical_pus.push_back(leader);
+  }
+  if (topo.physical_pus.empty()) topo.physical_pus.push_back(0);
+  std::sort(topo.physical_pus.begin(), topo.physical_pus.end());
+  topo.physical_pus.erase(
+      std::unique(topo.physical_pus.begin(), topo.physical_pus.end()),
+      topo.physical_pus.end());
+  topo.physical_cores = topo.physical_pus.size();
+  return topo;
+}
+
+topology const& host_topology() {
+  static topology const topo = detect_topology();
+  return topo;
+}
+
+}  // namespace px

@@ -1,0 +1,30 @@
+// px/support/topology.hpp
+// Host topology description. A thin stand-in for hwloc: enough to pin one
+// worker per physical core and to attribute workers to NUMA domains for the
+// first-touch block executor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace px {
+
+struct topology {
+  std::size_t logical_cpus = 1;
+  std::size_t physical_cores = 1;
+  std::size_t numa_domains = 1;
+  // numa_of[cpu] -> domain index; sized logical_cpus.
+  std::vector<std::size_t> numa_of;
+  // For SMT machines, the first logical CPU of each physical core — the set
+  // the paper pins to ("we pin to the physical PUs").
+  std::vector<std::size_t> physical_pus;
+};
+
+// Detects the host topology from sysfs; degrades to a flat single-domain
+// description when sysfs is unavailable (containers).
+topology detect_topology();
+
+// Process-wide cached copy of detect_topology().
+topology const& host_topology();
+
+}  // namespace px

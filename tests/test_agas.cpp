@@ -1,0 +1,139 @@
+// Tests for AGAS: GID semantics, the per-locality registry, symbolic names.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "px/agas/gid.hpp"
+#include "px/agas/registry.hpp"
+#include "px/serial/archive.hpp"
+
+namespace {
+
+using px::agas::gid;
+using px::agas::invalid_gid;
+using px::agas::registry;
+
+TEST(Gid, InvalidByDefault) {
+  gid g;
+  EXPECT_FALSE(g.valid());
+  EXPECT_EQ(g, invalid_gid);
+}
+
+TEST(Gid, EncodesLocalityAndId) {
+  gid g = gid::make(7, 12345);
+  EXPECT_TRUE(g.valid());
+  EXPECT_EQ(g.locality(), 7u);
+  EXPECT_EQ(g.birthplace(), 7u);
+  EXPECT_EQ(g.id(), 12345u);
+}
+
+TEST(Gid, MigrationUpdatesResidenceNotIdentity) {
+  gid g = gid::make(1, 99);
+  gid moved = g.with_locality(4);
+  EXPECT_EQ(moved.locality(), 4u);
+  EXPECT_EQ(moved.birthplace(), 1u);  // birthplace is stable
+  EXPECT_EQ(moved.id(), 99u);
+  EXPECT_NE(moved, g);
+}
+
+TEST(Gid, OrderingAndHash) {
+  gid a = gid::make(0, 1), b = gid::make(0, 2), c = gid::make(1, 1);
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<gid>{}(a), std::hash<gid>{}(b));
+  std::set<gid> s{a, b, c};
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Gid, SerializationRoundtrip) {
+  gid g = gid::make(3, 0xabcdef);
+  auto bytes = px::serial::to_bytes(g);
+  auto back = px::serial::from_bytes<gid>(
+      std::span<std::byte const>(bytes.data(), bytes.size()));
+  EXPECT_EQ(back, g);
+}
+
+TEST(Gid, ToStringIsStable) {
+  gid g = gid::make(2, 255);
+  EXPECT_EQ(g.to_string(), "{00000002.00000002:00000000000000ff}");
+}
+
+TEST(Registry, BindResolveUnbind) {
+  registry reg(0);
+  auto obj = std::make_shared<int>(41);
+  gid g = reg.bind(obj);
+  EXPECT_TRUE(g.valid());
+  EXPECT_TRUE(reg.contains(g));
+  auto resolved = reg.resolve<int>(g);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(*resolved, 41);
+  EXPECT_TRUE(reg.unbind(g));
+  EXPECT_FALSE(reg.contains(g));
+  EXPECT_EQ(reg.resolve<int>(g), nullptr);
+  EXPECT_FALSE(reg.unbind(g));
+}
+
+TEST(Registry, TypeSafetyOnResolve) {
+  registry reg(0);
+  gid g = reg.bind(std::make_shared<int>(1));
+  EXPECT_EQ(reg.resolve<double>(g), nullptr);  // wrong type
+  EXPECT_NE(reg.resolve<int>(g), nullptr);
+}
+
+TEST(Registry, GidsAreUniqueAndResidentHere) {
+  registry reg(5);
+  std::set<gid> seen;
+  for (int i = 0; i < 100; ++i) {
+    gid g = reg.new_gid();
+    EXPECT_EQ(g.locality(), 5u);
+    EXPECT_TRUE(seen.insert(g).second);
+  }
+}
+
+TEST(Registry, BindExistingForMigrationArrival) {
+  registry reg(2);
+  gid foreign = gid::make(0, 7).with_locality(2);
+  reg.bind_existing(foreign, std::make_shared<std::string>("moved"));
+  auto s = reg.resolve<std::string>(foreign);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, "moved");
+}
+
+TEST(Registry, SymbolicNames) {
+  registry reg(0);
+  gid g = reg.bind(std::make_shared<int>(9));
+  EXPECT_TRUE(reg.register_name("answer", g));
+  EXPECT_FALSE(reg.register_name("answer", g));  // duplicate
+  EXPECT_EQ(reg.resolve_name("answer"), g);
+  EXPECT_EQ(reg.resolve_name("missing"), invalid_gid);
+  EXPECT_TRUE(reg.unregister_name("answer"));
+  EXPECT_EQ(reg.resolve_name("answer"), invalid_gid);
+}
+
+TEST(Registry, SharedOwnershipKeepsObjectAlive) {
+  registry reg(0);
+  std::weak_ptr<int> weak;
+  gid g;
+  {
+    auto obj = std::make_shared<int>(3);
+    weak = obj;
+    g = reg.bind(std::move(obj));
+  }
+  EXPECT_FALSE(weak.expired());  // registry holds it
+  reg.unbind(g);
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(Registry, SizeTracksBindings) {
+  registry reg(0);
+  EXPECT_EQ(reg.size(), 0u);
+  gid a = reg.bind(std::make_shared<int>(1));
+  gid b = reg.bind(std::make_shared<int>(2));
+  EXPECT_EQ(reg.size(), 2u);
+  reg.unbind(a);
+  EXPECT_EQ(reg.size(), 1u);
+  reg.unbind(b);
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Additional px::arch coverage: the 2D cluster simulation, model
+// cross-properties between the STREAM/stencil/counter models, and the
+// machine/fabric pairings the benches rely on.
+#include <gtest/gtest.h>
+
+#include "px/arch/cluster_sim.hpp"
+#include "px/arch/counter_model.hpp"
+#include "px/arch/scaling_model.hpp"
+#include "px/arch/stream_model.hpp"
+
+namespace {
+
+using namespace px::arch;
+namespace net = px::net;
+
+TEST(Cluster2dSim, SingleNodeMatchesKernelModel) {
+  machine m = a64fx();
+  cluster2d_config cfg;
+  cfg.nodes = 1;
+  auto res = simulate_jacobi2d_cluster(m, net::tofu_d(), cfg);
+  stencil2d_model model(m);
+  double const expect =
+      model.run_time_s(m.total_cores(), cfg.nx, cfg.ny_total, cfg.steps,
+                       cfg.scalar_bytes, cfg.explicit_vector);
+  EXPECT_NEAR(res.makespan_s / expect, 1.0, 0.01);
+  EXPECT_EQ(res.messages, 0u);
+}
+
+TEST(Cluster2dSim, ScalesDownWithNodes) {
+  for (auto const& m : {xeon_e5_2660v3(), a64fx(), thunderx2()}) {
+    double prev = 1e18;
+    for (std::size_t n : {1u, 2u, 4u, 8u}) {
+      cluster2d_config cfg;
+      cfg.nodes = n;
+      auto res = simulate_jacobi2d_cluster(m, fabric_for(m), cfg);
+      EXPECT_LT(res.makespan_s, prev) << m.short_name << " " << n;
+      prev = res.makespan_s;
+    }
+  }
+}
+
+TEST(Cluster2dSim, HaloRowsAreChargedByRowLength) {
+  machine m = xeon_e5_2660v3();
+  cluster2d_config cfg;
+  cfg.nodes = 4;
+  cfg.steps = 10;
+  auto res = simulate_jacobi2d_cluster(m, net::infiniband_edr(), cfg);
+  EXPECT_EQ(res.messages, 2u * 3u * 10u);
+  // Halo rows (nx floats = 32 KiB) still hide fully under ~10^8-LUP step
+  // compute on EDR.
+  EXPECT_LT(res.exposed_wait_s, 1e-3);
+}
+
+TEST(Cluster2dSim, TinyBlocksExposeBandwidthCost) {
+  machine m = xeon_e5_2660v3();
+  cluster2d_config cfg;
+  cfg.nodes = 8;
+  cfg.steps = 20;
+  cfg.ny_total = 64;  // 8 rows per node: microseconds of compute per step
+  cfg.nx = 65536;     // 256 KiB halo rows
+  // 0.005 GB/s: each halo row takes ~52 ms — beyond even the per-step
+  // runtime-overhead allowance, so waits must surface.
+  net::fabric_model thin{"thin", 1.0, 0.005, 0.5};
+  auto res = simulate_jacobi2d_cluster(m, thin, cfg);
+  EXPECT_GT(res.exposed_wait_s, 0.01);
+}
+
+TEST(FabricPairing, MatchesPaperClusters) {
+  EXPECT_EQ(fabric_for(kunpeng916()).name, net::hi1616_nic().name);
+  EXPECT_EQ(fabric_for(a64fx()).name, net::tofu_d().name);
+  EXPECT_EQ(fabric_for(xeon_e5_2660v3()).name, net::infiniband_edr().name);
+  EXPECT_EQ(fabric_for(thunderx2()).name, net::infiniband_edr().name);
+}
+
+// ---- cross-model consistency ----------------------------------------------
+
+TEST(ModelConsistency, StencilModelNeverExceedsRooflinePeaks) {
+  for (auto const& m : paper_machines()) {
+    stencil2d_model model(m);
+    for (std::size_t c = 1; c <= m.total_cores(); c += 5) {
+      for (std::size_t bytes : {4u, 8u}) {
+        for (bool ev : {false, true}) {
+          double const perf = model.glups(c, bytes, ev);
+          // Nothing beats the 2-transfer roofline at copy bandwidth.
+          EXPECT_LE(perf, model.expected_peak_max_glups(c, bytes) + 1e-9)
+              << m.short_name << " c=" << c;
+          EXPECT_GT(perf, 0.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(ModelConsistency, CounterModelMonotoneInVectorWidth) {
+  // Wider machines retire fewer instructions per LUP for the same kernel
+  // (explicit path).
+  kernel_spec k;
+  k.explicit_vector = true;
+  k.scalar_bytes = 4;
+  double const neon =
+      estimate_jacobi_counters(kunpeng916(), k).instructions;
+  double const avx2 =
+      estimate_jacobi_counters(xeon_e5_2660v3(), k).instructions;
+  double const sve =
+      estimate_jacobi_counters(a64fx(), k).instructions;
+  EXPECT_GT(neon, avx2);
+  EXPECT_GT(avx2, sve);
+}
+
+TEST(ModelConsistency, StrongTimesScaleWithNodeRate) {
+  // Faster single-node machines stay faster at every node count (capable
+  // fabrics; Kunpeng excluded by its NIC term).
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    EXPECT_LT(heat1d_strong_time_s(a64fx(), n),
+              heat1d_strong_time_s(thunderx2(), n));
+    EXPECT_LT(heat1d_strong_time_s(thunderx2(), n),
+              heat1d_strong_time_s(xeon_e5_2660v3(), n));
+  }
+}
+
+TEST(ModelConsistency, StreamSweepMatchesPointQueries) {
+  for (auto const& m : paper_machines()) {
+    stream_model sm(m);
+    auto pts = sm.sweep();
+    for (auto const& p : pts)
+      ASSERT_DOUBLE_EQ(p.copy_gbs, sm.copy_bandwidth_gbs(p.cores))
+          << m.short_name;
+  }
+}
+
+TEST(ModelConsistency, KernelSpecLupsArithmetic) {
+  kernel_spec k;
+  k.nx = 100;
+  k.ny = 200;
+  k.iterations = 3;
+  EXPECT_DOUBLE_EQ(k.lups(), 60000.0);
+}
+
+TEST(ModelConsistency, VariantIndexOrderMatchesPaperTables) {
+  EXPECT_EQ(variant_index(4, false), 0u);  // Float
+  EXPECT_EQ(variant_index(4, true), 1u);   // Vector Float
+  EXPECT_EQ(variant_index(8, false), 2u);  // Double
+  EXPECT_EQ(variant_index(8, true), 3u);   // Vector Double
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// Tests for async/post/sync_wait/dataflow.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "px/lcos/async.hpp"
+
+namespace {
+
+struct AsyncTest : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 3;
+    return c;
+  }()};
+};
+
+TEST_F(AsyncTest, AsyncOnReturnsValue) {
+  auto f = px::async_on(rt, [] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(AsyncTest, AsyncForwardsArguments) {
+  auto f = px::async_on(rt, [](int a, std::string s) {
+    return s + std::to_string(a);
+  }, 7, std::string("x"));
+  EXPECT_EQ(f.get(), "x7");
+}
+
+TEST_F(AsyncTest, AsyncVoidResult) {
+  std::atomic<bool> ran{false};
+  auto f = px::async_on(rt, [&ran] { ran.store(true); });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_F(AsyncTest, AsyncPropagatesException) {
+  auto f = px::async_on(rt, []() -> int { throw std::runtime_error("e"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(AsyncTest, NestedAsyncUsesAmbientScheduler) {
+  int result = px::sync_wait(rt, [] {
+    auto f = px::async([] { return px::async([] { return 5; }).get() + 1; });
+    return f.get();
+  });
+  EXPECT_EQ(result, 6);
+}
+
+TEST_F(AsyncTest, PostFireAndForget) {
+  std::atomic<int> n{0};
+  px::post_on(rt.sched(), [&n] { n.fetch_add(1); });
+  px::post_on(rt.sched(), [&n](int k) { n.fetch_add(k); }, 4);
+  rt.wait_quiescent();
+  EXPECT_EQ(n.load(), 5);
+}
+
+TEST_F(AsyncTest, SyncWaitReturnsTaskResult) {
+  EXPECT_EQ(px::sync_wait(rt, [](int x) { return x * 3; }, 5), 15);
+}
+
+TEST_F(AsyncTest, SyncWaitPropagatesException) {
+  EXPECT_THROW(px::sync_wait(rt, [] { throw std::logic_error("z"); }),
+               std::logic_error);
+}
+
+TEST_F(AsyncTest, DataflowCombinesTwoFutures) {
+  int result = px::sync_wait(rt, [] {
+    auto a = px::async([] { return 10; });
+    auto b = px::async([] { return 32; });
+    auto c = px::dataflow(
+        [](px::future<int> x, px::future<int> y) { return x.get() + y.get(); },
+        std::move(a), std::move(b));
+    return c.get();
+  });
+  EXPECT_EQ(result, 42);
+}
+
+TEST_F(AsyncTest, DataflowMixedTypes) {
+  auto result = px::sync_wait(rt, [] {
+    auto a = px::async([] { return 2; });
+    auto b = px::async([] { return std::string("ab"); });
+    return px::dataflow(
+               [](px::future<int> x, px::future<std::string> y) {
+                 return y.get() + std::to_string(x.get());
+               },
+               std::move(a), std::move(b))
+        .get();
+  });
+  EXPECT_EQ(result, "ab2");
+}
+
+TEST_F(AsyncTest, DataflowWaitsForSlowInput) {
+  auto result = px::sync_wait(rt, [] {
+    auto slow = px::async([] {
+      px::this_task::sleep_for(std::chrono::milliseconds(30));
+      return 1;
+    });
+    auto fast = px::make_ready_future(2);
+    return px::dataflow(
+               [](px::future<int> a, px::future<int> b) {
+                 return a.get() + b.get();
+               },
+               std::move(slow), std::move(fast))
+        .get();
+  });
+  EXPECT_EQ(result, 3);
+}
+
+TEST_F(AsyncTest, DataflowChain) {
+  // A small DAG: d = (a+b) * c, all through dataflow.
+  auto result = px::sync_wait(rt, [] {
+    auto a = px::async([] { return 3; });
+    auto b = px::async([] { return 4; });
+    auto ab = px::dataflow(
+        [](px::future<int> x, px::future<int> y) { return x.get() + y.get(); },
+        std::move(a), std::move(b));
+    auto c = px::async([] { return 6; });
+    return px::dataflow(
+               [](px::future<int> s, px::future<int> m) {
+                 return s.get() * m.get();
+               },
+               std::move(ab), std::move(c))
+        .get();
+  });
+  EXPECT_EQ(result, 42);
+}
+
+TEST_F(AsyncTest, ManyConcurrentAsyncs) {
+  long total = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    futs.reserve(500);
+    for (int i = 0; i < 500; ++i)
+      futs.push_back(px::async([i] { return i; }));
+    long sum = 0;
+    for (auto& f : futs) sum += f.get();
+    return sum;
+  });
+  EXPECT_EQ(total, 500L * 499 / 2);
+}
+
+}  // namespace

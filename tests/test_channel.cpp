@@ -1,0 +1,167 @@
+// Tests for channel / bounded_channel, including the MPMC stress and the
+// halo-exchange pattern the 1D solver uses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "px/px.hpp"
+
+namespace {
+
+struct ChannelTest : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 4;
+    return c;
+  }()};
+};
+
+TEST_F(ChannelTest, SendThenReceive) {
+  px::channel<int> ch;
+  ch.send(42);
+  EXPECT_EQ(ch.buffered(), 1u);
+  EXPECT_EQ(ch.get(), 42);
+  EXPECT_EQ(ch.buffered(), 0u);
+}
+
+TEST_F(ChannelTest, ReceiveBeforeSend) {
+  px::channel<int> ch;
+  auto f = ch.receive();
+  EXPECT_FALSE(f.is_ready());
+  ch.send(7);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST_F(ChannelTest, FifoOrderAmongValues) {
+  px::channel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.send(i);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ch.get(), i);
+}
+
+TEST_F(ChannelTest, FifoOrderAmongReceivers) {
+  px::channel<int> ch;
+  auto f1 = ch.receive();
+  auto f2 = ch.receive();
+  ch.send(1);
+  ch.send(2);
+  EXPECT_EQ(f1.get(), 1);
+  EXPECT_EQ(f2.get(), 2);
+}
+
+TEST_F(ChannelTest, MoveOnlyPayload) {
+  px::channel<std::unique_ptr<int>> ch;
+  ch.send(std::make_unique<int>(9));
+  EXPECT_EQ(*ch.get(), 9);
+}
+
+TEST_F(ChannelTest, CloseFailsPendingReceivers) {
+  px::channel<int> ch;
+  auto f = ch.receive();
+  ch.close();
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_THROW(ch.receive().get(), std::runtime_error);
+}
+
+TEST_F(ChannelTest, CloseKeepsBufferedValuesReadable) {
+  px::channel<int> ch;
+  ch.send(5);
+  ch.close();
+  EXPECT_EQ(ch.get(), 5);
+  EXPECT_THROW(ch.receive().get(), std::runtime_error);
+}
+
+TEST_F(ChannelTest, TaskSuspendsOnEmptyChannel) {
+  px::channel<int> ch;
+  auto result = px::sync_wait(rt, [&ch] {
+    px::post([&ch] {
+      px::this_task::sleep_for(std::chrono::milliseconds(15));
+      ch.send(3);
+    });
+    return ch.get();  // suspends the fiber
+  });
+  EXPECT_EQ(result, 3);
+}
+
+TEST_F(ChannelTest, MpmcStressDeliversEverythingOnce) {
+  px::channel<int> ch;
+  constexpr int producers = 4, consumers = 4, per_producer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> received{0};
+
+  for (int c = 0; c < consumers; ++c)
+    rt.post([&] {
+      for (;;) {
+        int v = ch.get();
+        if (v < 0) return;
+        sum.fetch_add(v);
+        received.fetch_add(1);
+      }
+    });
+  for (int p = 0; p < producers; ++p)
+    rt.post([&, p] {
+      for (int i = 0; i < per_producer; ++i)
+        ch.send(p * per_producer + i + 1);
+    });
+  rt.post([&] {
+    while (received.load() < producers * per_producer)
+      px::this_task::yield();
+    for (int c = 0; c < consumers; ++c) ch.send(-1);
+  });
+  rt.wait_quiescent();
+  long const n = producers * per_producer;
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+}
+
+TEST_F(ChannelTest, BoundedBackpressureBlocksSender) {
+  px::bounded_channel<int> ch(2);
+  std::atomic<int> sent{0};
+  rt.post([&] {
+    for (int i = 0; i < 5; ++i) {
+      ch.send(i);
+      sent.fetch_add(1);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_LE(sent.load(), 3);  // 2 buffered + possibly 1 in flight
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ch.get(), i);
+  rt.wait_quiescent();
+  EXPECT_EQ(sent.load(), 5);
+}
+
+TEST_F(ChannelTest, BoundedRendezvousWithWaitingReceiver) {
+  px::bounded_channel<int> ch(1);
+  auto f = ch.receive();
+  rt.post([&] { ch.send(11); });
+  EXPECT_EQ(f.get(), 11);
+}
+
+TEST_F(ChannelTest, HaloExchangePattern) {
+  // Two "partitions" exchanging boundary values every step, the 1D stencil
+  // communication pattern.
+  px::channel<double> to_left, to_right;
+  constexpr int steps = 50;
+  auto left_final = px::async_on(rt, [&] {
+    double edge = 1.0;
+    for (int t = 0; t < steps; ++t) {
+      to_right.send(edge);
+      double const neighbour = to_left.get();
+      edge = 0.5 * (edge + neighbour);
+    }
+    return edge;
+  });
+  auto right_final = px::async_on(rt, [&] {
+    double edge = 3.0;
+    for (int t = 0; t < steps; ++t) {
+      to_left.send(edge);
+      double const neighbour = to_right.get();
+      edge = 0.5 * (edge + neighbour);
+    }
+    return edge;
+  });
+  EXPECT_NEAR(left_final.get(), 2.0, 1e-9);
+  EXPECT_NEAR(right_final.get(), 2.0, 1e-9);
+}
+
+}  // namespace

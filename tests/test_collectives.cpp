@@ -1,0 +1,262 @@
+// Tests for distributed collectives (broadcast/gather/reduce), block
+// splitting, the remote channel component, and when_some/when_each.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "px/dist/collectives.hpp"
+#include "px/dist/dist_barrier.hpp"
+#include "px/dist/remote_channel.hpp"
+#include "px/lcos/when_all.hpp"
+
+namespace {
+
+int locality_id_action(px::dist::locality& here) {
+  return static_cast<int>(here.id());
+}
+long square_action(long x) { return x * x; }
+
+std::atomic<int> pre_barrier_count{0};
+std::atomic<int> post_barrier_min_seen{-1};
+
+// SPMD participant: records arrival, hits the barrier twice, checks that
+// nobody passed barrier g before all arrived at g.
+int barrier_participant(px::dist::locality& here, std::uint64_t rounds) {
+  int violations = 0;
+  for (std::uint64_t g = 0; g < rounds; ++g) {
+    pre_barrier_count.fetch_add(1);
+    px::dist::barrier_arrive_and_wait(here, g);
+    // After the barrier, every participant of round g has incremented.
+    if (pre_barrier_count.load() <
+        static_cast<int>((g + 1) * here.domain().size()))
+      ++violations;
+  }
+  return violations;
+}
+
+}  // namespace
+
+PX_REGISTER_ACTION(locality_id_action)
+PX_REGISTER_ACTION(square_action)
+PX_REGISTER_ACTION(barrier_participant)
+PX_REGISTER_REMOTE_CHANNEL(double)
+
+namespace {
+
+px::dist::domain_config cfg(std::size_t n) {
+  px::dist::domain_config c;
+  c.num_localities = n;
+  c.locality_cfg.num_workers = 2;
+  c.injection_scale = 0.001;
+  return c;
+}
+
+TEST(Collectives, BroadcastHitsEveryLocality) {
+  px::dist::distributed_domain dom(cfg(4));
+  auto ids = dom.run([](px::dist::locality& loc0) {
+    auto futs = px::dist::broadcast<&locality_id_action>(loc0);
+    std::vector<int> got;
+    for (auto& f : futs) got.push_back(f.get());
+    return got;
+  });
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Collectives, GatherReturnsInLocalityOrder) {
+  px::dist::distributed_domain dom(cfg(3));
+  auto squares = dom.run([](px::dist::locality& loc0) {
+    return px::dist::gather<&square_action>(loc0, 3L);
+  });
+  EXPECT_EQ(squares, (std::vector<long>{9, 9, 9}));
+}
+
+TEST(Collectives, ReduceFoldsResults) {
+  px::dist::distributed_domain dom(cfg(4));
+  long sum = dom.run([](px::dist::locality& loc0) {
+    // Each locality returns its id; sum = 0+1+2+3.
+    auto ids = px::dist::gather<&locality_id_action>(loc0);
+    (void)ids;
+    return px::dist::reduce<&locality_id_action>(loc0, 0L, std::plus<>{});
+  });
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(Collectives, SplitBlocksCoversEverythingOnce) {
+  std::vector<int> data(103);
+  std::iota(data.begin(), data.end(), 0);
+  for (std::size_t parts : {1u, 2u, 5u, 103u}) {
+    auto blocks = px::dist::split_blocks(data, parts);
+    ASSERT_EQ(blocks.size(), parts);
+    std::vector<int> flat;
+    std::size_t max_size = 0, min_size = data.size();
+    for (auto const& b : blocks) {
+      flat.insert(flat.end(), b.begin(), b.end());
+      max_size = std::max(max_size, b.size());
+      min_size = std::min(min_size, b.size());
+    }
+    EXPECT_EQ(flat, data) << parts;
+    EXPECT_LE(max_size - min_size, 1u) << parts;
+  }
+}
+
+TEST(RemoteChannel, CrossLocalitySendReceive) {
+  px::dist::distributed_domain dom(cfg(3));
+  double received = dom.run([](px::dist::locality& loc0) {
+    auto ch = px::dist::remote_channel<double>::create(loc0);
+    // Locality 2 sends into loc0's channel through a parcel.
+    auto& remote = loc0.domain().at(2);
+    px::sync_wait(remote.rt(), [&] {
+      ch.send(remote, 6.25);
+      return 0;
+    });
+    return ch.receive(loc0).get();
+  });
+  EXPECT_DOUBLE_EQ(received, 6.25);
+}
+
+TEST(RemoteChannel, LocalSendSkipsFabric) {
+  px::dist::distributed_domain dom(cfg(2));
+  auto const msgs0 = dom.fabric().counters().messages.load();
+  double v = dom.run([](px::dist::locality& loc0) {
+    auto ch = px::dist::remote_channel<double>::create(loc0);
+    ch.send(loc0, 1.5);
+    double out = ch.receive(loc0).get();
+    ch.close(loc0);
+    return out;
+  });
+  dom.wait_all_quiescent();
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_EQ(dom.fabric().counters().messages.load(), msgs0);
+}
+
+TEST(RemoteChannel, HandleSurvivesSerialization) {
+  px::dist::distributed_domain dom(cfg(2));
+  double v = dom.run([](px::dist::locality& loc0) {
+    auto ch = px::dist::remote_channel<double>::create(loc0);
+    auto bytes = px::serial::to_bytes(ch);
+    auto copy = px::serial::from_bytes<px::dist::remote_channel<double>>(
+        std::span<std::byte const>(bytes));
+    copy.send(loc0, 9.5);
+    return ch.receive(loc0).get();
+  });
+  EXPECT_DOUBLE_EQ(v, 9.5);
+}
+
+TEST(DistBarrier, SynchronizesAllLocalities) {
+  pre_barrier_count.store(0);
+  px::dist::distributed_domain dom(cfg(4));
+  int total_violations = dom.run([](px::dist::locality& loc0) {
+    auto futs =
+        px::dist::broadcast<&barrier_participant>(loc0, std::uint64_t{5});
+    int v = 0;
+    for (auto& f : futs) v += f.get();
+    return v;
+  });
+  EXPECT_EQ(total_violations, 0);
+  EXPECT_EQ(pre_barrier_count.load(), 20);
+}
+
+TEST(DistBarrier, SingleLocalityIsTrivial) {
+  pre_barrier_count.store(0);
+  px::dist::distributed_domain dom(cfg(1));
+  int v = dom.run([](px::dist::locality& loc0) {
+    return barrier_participant(loc0, 3);
+  });
+  EXPECT_EQ(v, 0);
+}
+
+TEST(DistBarrier, ReusableAcrossManyGenerations) {
+  pre_barrier_count.store(0);
+  px::dist::distributed_domain dom(cfg(3));
+  int v = dom.run([](px::dist::locality& loc0) {
+    auto futs =
+        px::dist::broadcast<&barrier_participant>(loc0, std::uint64_t{25});
+    int total = 0;
+    for (auto& f : futs) total += f.get();
+    return total;
+  });
+  EXPECT_EQ(v, 0);
+}
+
+// ---- when_some / when_each (new future combinators) ----------------------
+
+struct CombinatorTest : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 3;
+    return c;
+  }()};
+};
+
+TEST_F(CombinatorTest, WhenSomeFiresAtK) {
+  auto result = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 5; ++i)
+      futs.push_back(px::async([i] {
+        px::this_task::sleep_for(std::chrono::milliseconds(
+            i < 2 ? 1 : 100));
+        return i;
+      }));
+    auto some = px::when_some(2, std::move(futs)).get();
+    return some.indices.size();
+  });
+  EXPECT_EQ(result, 2u);
+}
+
+TEST_F(CombinatorTest, WhenSomeZeroIsImmediate) {
+  auto ready = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    futs.push_back(px::async([] {
+      px::this_task::sleep_for(std::chrono::milliseconds(30));
+      return 1;
+    }));
+    auto f = px::when_some(0, std::move(futs));
+    return f.is_ready();
+  });
+  EXPECT_TRUE(ready);
+}
+
+TEST_F(CombinatorTest, WhenSomeRemainingFuturesUsable) {
+  auto total = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 4; ++i)
+      futs.push_back(px::async([i] { return i + 1; }));
+    auto some = px::when_some(2, std::move(futs)).get();
+    int sum = 0;
+    for (auto& f : some.futures) sum += f.get();
+    return sum;
+  });
+  EXPECT_EQ(total, 10);
+}
+
+TEST_F(CombinatorTest, WhenEachSeesEveryCompletion) {
+  auto result = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 8; ++i)
+      futs.push_back(px::async([i] { return i; }));
+    std::atomic<int> sum{0};
+    std::atomic<int> calls{0};
+    px::when_each(
+        [&](std::size_t, px::future<int> f) {
+          sum.fetch_add(f.get());
+          calls.fetch_add(1);
+        },
+        std::move(futs))
+        .get();
+    return std::make_pair(sum.load(), calls.load());
+  });
+  EXPECT_EQ(result.first, 28);
+  EXPECT_EQ(result.second, 8);
+}
+
+TEST_F(CombinatorTest, WhenEachEmptyIsImmediate) {
+  bool ready = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    auto f = px::when_each([](std::size_t, px::future<int>) {},
+                           std::move(futs));
+    return f.is_ready();
+  });
+  EXPECT_TRUE(ready);
+}
+
+}  // namespace

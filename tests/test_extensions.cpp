@@ -1,0 +1,115 @@
+// Tests for the extension features: runtime vector-length dispatch (the
+// paper-conclusion SVE façade), env-driven scheduler config, and scheduler
+// statistics.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "px/px.hpp"
+#include "px/simd/simd.hpp"
+
+namespace {
+
+// ---- VLA dispatch -----------------------------------------------------------
+
+TEST(VlaDispatch, SelectsRequestedWidth) {
+  for (std::size_t bits : {128u, 256u, 512u, 1024u, 2048u}) {
+    std::size_t const lanes = px::simd::dispatch_width<float>(
+        bits, [](auto tag) { return decltype(tag)::width; });
+    EXPECT_EQ(lanes, bits / 32) << bits;
+    std::size_t const dlanes = px::simd::dispatch_width<double>(
+        bits, [](auto tag) { return decltype(tag)::width; });
+    EXPECT_EQ(dlanes, bits / 64) << bits;
+  }
+}
+
+TEST(VlaDispatch, RejectsUnsupportedWidths) {
+  EXPECT_THROW(px::simd::dispatch_width<float>(
+                   96, [](auto) { return 0; }),
+               std::invalid_argument);
+  EXPECT_THROW(px::simd::dispatch_width<float>(
+                   384, [](auto) { return 0; }),
+               std::invalid_argument);
+}
+
+TEST(VlaDispatch, KernelRunsAtRuntimeChosenWidth) {
+  // One generic kernel, width picked at run time — the "portable SVE"
+  // programming model.
+  std::vector<float> data(256);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<float>(i);
+  for (std::size_t bits : {128u, 256u, 512u}) {
+    float sum = px::simd::dispatch_width<float>(bits, [&](auto tag) {
+      using pack_t = typename decltype(tag)::type;
+      pack_t acc(0.0f);
+      for (std::size_t i = 0; i < data.size(); i += pack_t::width)
+        acc += px::simd::load_unaligned<pack_t>(&data[i]);
+      return px::simd::reduce_add(acc);
+    });
+    EXPECT_FLOAT_EQ(sum, 255.0f * 256.0f / 2.0f) << bits;
+  }
+}
+
+TEST(VlaDispatch, RuntimeBitsReportsBuildTarget) {
+  EXPECT_EQ(px::simd::runtime_vector_bits(),
+            px::simd::abi::native_vector_bits);
+  EXPECT_GE(px::simd::runtime_vector_bits(), 128u);
+}
+
+// ---- env-driven config -----------------------------------------------------
+
+TEST(EnvConfig, ReadsKnobs) {
+  ::setenv("PX_WORKERS", "3", 1);
+  ::setenv("PX_STACK_SIZE", "262144", 1);
+  ::setenv("PX_PIN_THREADS", "no", 1);
+  ::setenv("PX_NUMA_DOMAINS", "2", 1);
+  auto cfg = px::scheduler_config::from_env();
+  EXPECT_EQ(cfg.num_workers, 3u);
+  EXPECT_EQ(cfg.stack_size, 262144u);
+  EXPECT_FALSE(cfg.pin_threads);
+  EXPECT_EQ(cfg.numa_domains, 2u);
+  ::unsetenv("PX_WORKERS");
+  ::unsetenv("PX_STACK_SIZE");
+  ::unsetenv("PX_PIN_THREADS");
+  ::unsetenv("PX_NUMA_DOMAINS");
+  auto defaults = px::scheduler_config::from_env();
+  EXPECT_EQ(defaults.num_workers, 0u);
+}
+
+TEST(EnvConfig, RuntimeHonoursWorkerCount) {
+  ::setenv("PX_WORKERS", "2", 1);
+  px::runtime rt(px::scheduler_config::from_env());
+  EXPECT_EQ(rt.num_workers(), 2u);
+  ::unsetenv("PX_WORKERS");
+}
+
+// ---- scheduler stats --------------------------------------------------------
+
+TEST(SchedulerStats, CountsExecutionsAndYields) {
+  px::scheduler_config cfg;
+  cfg.num_workers = 2;
+  px::runtime rt(cfg);
+  for (int i = 0; i < 100; ++i)
+    rt.post([] { px::this_task::yield(); });
+  rt.wait_quiescent();
+  auto const stats = rt.sched().aggregate_stats();
+  // Every yield re-executes the task, so executions > spawned and yields
+  // equal the task count.
+  EXPECT_GE(stats.tasks_executed, 200u);
+  EXPECT_EQ(stats.yields, 100u);
+}
+
+TEST(SchedulerStats, MonotoneAcrossBatches) {
+  px::scheduler_config cfg;
+  cfg.num_workers = 2;
+  px::runtime rt(cfg);
+  rt.post([] {});
+  rt.wait_quiescent();
+  auto const before = rt.sched().aggregate_stats().tasks_executed;
+  for (int i = 0; i < 50; ++i) rt.post([] {});
+  rt.wait_quiescent();
+  auto const after = rt.sched().aggregate_stats().tasks_executed;
+  EXPECT_GE(after, before + 50);
+}
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Tests for the interconnect models: alpha-beta cost math, preset ordering
+// (capable hosts vs the Hi1616), counters, injection scaling.
+#include <gtest/gtest.h>
+
+#include "px/net/fabric.hpp"
+
+namespace {
+
+using namespace px::net;
+
+TEST(FabricModel, AlphaBetaCost) {
+  fabric_model m{"test", 2.0, 10.0, 1.0};  // 2us + 1us + bytes/10GB/s
+  EXPECT_DOUBLE_EQ(m.transfer_time_us(0), 3.0);
+  // 10 GB/s = 10e3 bytes/us: 1 MB -> 100us + 3us
+  EXPECT_NEAR(m.transfer_time_us(1000000), 103.0, 1e-9);
+}
+
+TEST(FabricModel, LatencyDominatesSmallMessages) {
+  auto ib = infiniband_edr();
+  double const t8 = ib.transfer_time_us(8);
+  double const t16 = ib.transfer_time_us(16);
+  EXPECT_NEAR(t8, t16, 0.01);  // both latency-bound
+  EXPECT_GT(t8, ib.latency_us);
+}
+
+TEST(FabricModel, BandwidthDominatesLargeMessages) {
+  auto ib = infiniband_edr();
+  double const t1m = ib.transfer_time_us(1 << 20);
+  double const t2m = ib.transfer_time_us(1 << 21);
+  EXPECT_GT(t2m / t1m, 1.8);  // nearly linear in size
+}
+
+TEST(FabricModel, Hi1616IsWorseThanCapableHosts) {
+  auto ib = infiniband_edr();
+  auto weak = hi1616_nic();
+  auto tofu = tofu_d();
+  for (std::size_t bytes : {64u, 4096u, 1u << 20}) {
+    EXPECT_GT(weak.transfer_time_us(bytes), ib.transfer_time_us(bytes))
+        << bytes;
+    EXPECT_GT(weak.transfer_time_us(bytes), tofu.transfer_time_us(bytes))
+        << bytes;
+  }
+}
+
+TEST(FabricModel, LoopbackIsEffectivelyFree) {
+  auto lb = loopback();
+  EXPECT_LT(lb.transfer_time_us(1 << 20), 0.01);
+}
+
+TEST(Fabric, InjectionScaleConvertsModeledTime) {
+  fabric f(fabric_model{"t", 10.0, 1.0, 0.0}, 2.0);
+  // 1000 bytes at 1 GB/s = 1us transfer + 10us latency = 11us modeled.
+  EXPECT_NEAR(f.modeled_us(1000), 11.0, 1e-9);
+  EXPECT_EQ(f.injected_delay_ns(1000), 22000u);  // x2 scale
+  fabric none(fabric_model{"t", 10.0, 1.0, 0.0}, 0.0);
+  EXPECT_EQ(none.injected_delay_ns(1000), 0u);
+}
+
+TEST(Fabric, CountersAccumulate) {
+  fabric f(infiniband_edr(), 0.0);
+  f.counters().record(100, 1.5);
+  f.counters().record(200, 2.25);
+  EXPECT_EQ(f.counters().messages.load(), 2u);
+  EXPECT_EQ(f.counters().bytes.load(), 300u);
+  EXPECT_NEAR(f.counters().modeled_us(), 3.75, 1e-3);
+}
+
+}  // namespace

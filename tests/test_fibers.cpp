@@ -1,0 +1,153 @@
+// Tests for px/fibers: guarded stacks, the stack pool, and fiber
+// suspend/resume semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "px/fibers/fiber.hpp"
+#include "px/fibers/stack.hpp"
+
+namespace {
+
+using px::fibers::allocate_stack;
+using px::fibers::fiber;
+using px::fibers::release_stack;
+using px::fibers::stack;
+using px::fibers::stack_pool;
+
+TEST(Stack, AllocatesUsableMemory) {
+  stack s = allocate_stack(64 * 1024);
+  ASSERT_TRUE(s.valid());
+  EXPECT_GE(s.usable_size, 64u * 1024u);
+  // Touch the whole usable region.
+  auto* p = static_cast<volatile char*>(s.limit);
+  for (std::size_t i = 0; i < s.usable_size; i += 4096) p[i] = 1;
+  release_stack(s);
+}
+
+TEST(Stack, SizeRoundedToPages) {
+  stack s = allocate_stack(1000);
+  EXPECT_EQ(s.usable_size % 4096, 0u);
+  release_stack(s);
+}
+
+TEST(StackPool, RecyclesStacks) {
+  stack_pool pool(64 * 1024);
+  stack a = pool.acquire();
+  void* const base = a.base;
+  pool.recycle(a);
+  EXPECT_EQ(pool.cached(), 1u);
+  stack b = pool.acquire();
+  EXPECT_EQ(b.base, base);  // LIFO reuse
+  pool.recycle(b);
+}
+
+TEST(StackPool, CapsCachedStacks) {
+  stack_pool pool(16 * 1024, 2);
+  stack s1 = pool.acquire(), s2 = pool.acquire(), s3 = pool.acquire();
+  pool.recycle(s1);
+  pool.recycle(s2);
+  pool.recycle(s3);  // exceeds the cap; released to the OS
+  EXPECT_EQ(pool.cached(), 2u);
+}
+
+TEST(Fiber, RunsToCompletion) {
+  stack s = allocate_stack(64 * 1024);
+  int x = 0;
+  fiber f(s, [&x] { x = 42; });
+  EXPECT_EQ(f.current_state(), fiber::state::ready);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+  release_stack(s);
+}
+
+TEST(Fiber, SuspendAndResume) {
+  stack s = allocate_stack(64 * 1024);
+  std::vector<int> order;
+  fiber* self = nullptr;
+  fiber f(s, [&] {
+    order.push_back(1);
+    self->suspend_to_owner();
+    order.push_back(3);
+    self->suspend_to_owner();
+    order.push_back(5);
+  });
+  self = &f;
+  f.resume();
+  order.push_back(2);
+  EXPECT_EQ(f.current_state(), fiber::state::suspended);
+  f.resume();
+  order.push_back(4);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  release_stack(s);
+}
+
+TEST(Fiber, CurrentTracksExecutingFiber) {
+  stack s = allocate_stack(64 * 1024);
+  fiber* observed = reinterpret_cast<fiber*>(1);
+  fiber f(s, [&] { observed = fiber::current(); });
+  EXPECT_EQ(fiber::current(), nullptr);
+  f.resume();
+  EXPECT_EQ(observed, &f);
+  EXPECT_EQ(fiber::current(), nullptr);
+  release_stack(s);
+}
+
+TEST(Fiber, ManySequentialFibersReuseOneStack) {
+  stack_pool pool(64 * 1024);
+  int sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    stack s = pool.acquire();
+    fiber f(s, [&sum, i] { sum += i; });
+    f.resume();
+    EXPECT_TRUE(f.finished());
+    pool.recycle(s);
+  }
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+  EXPECT_LE(pool.total_allocated(), 2u);
+}
+
+TEST(Fiber, DeepStackUsageWithinLimit) {
+  stack s = allocate_stack(256 * 1024);
+  // Use ~100 KiB of stack inside the fiber; must not fault.
+  int result = 0;
+  fiber f(s, [&result] {
+    volatile char buffer[100 * 1024];
+    buffer[0] = 1;
+    buffer[sizeof(buffer) - 1] = 2;
+    result = buffer[0] + buffer[sizeof(buffer) - 1];
+  });
+  f.resume();
+  EXPECT_EQ(result, 3);
+  release_stack(s);
+}
+
+TEST(Fiber, InterleavedFibers) {
+  stack s1 = allocate_stack(64 * 1024), s2 = allocate_stack(64 * 1024);
+  std::vector<int> order;
+  fiber *p1 = nullptr, *p2 = nullptr;
+  fiber f1(s1, [&] {
+    order.push_back(1);
+    p1->suspend_to_owner();
+    order.push_back(4);
+  });
+  fiber f2(s2, [&] {
+    order.push_back(2);
+    p2->suspend_to_owner();
+    order.push_back(3);
+  });
+  p1 = &f1;
+  p2 = &f2;
+  f1.resume();
+  f2.resume();
+  f2.resume();
+  f1.resume();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  release_stack(s1);
+  release_stack(s2);
+}
+
+}  // namespace

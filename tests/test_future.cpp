@@ -1,0 +1,174 @@
+// Tests for future/promise/shared_future/packaged_task and `then`
+// continuations, from both external threads and px tasks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "px/lcos/async.hpp"
+#include "px/lcos/future.hpp"
+
+namespace {
+
+struct RuntimeFixture : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 3;
+    return c;
+  }()};
+};
+
+TEST_F(RuntimeFixture, PromiseDeliversValue) {
+  px::promise<int> p;
+  auto f = p.get_future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.is_ready());
+  p.set_value(42);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 42);
+  EXPECT_FALSE(f.valid());  // get consumes
+}
+
+TEST_F(RuntimeFixture, PromiseDeliversException) {
+  px::promise<int> p;
+  auto f = p.get_future();
+  p.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_TRUE(f.has_exception());
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(RuntimeFixture, BrokenPromiseReported) {
+  px::future<int> f;
+  {
+    px::promise<int> p;
+    f = p.get_future();
+  }
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(RuntimeFixture, VoidFuture) {
+  px::promise<void> p;
+  auto f = p.get_future();
+  p.set_value();
+  EXPECT_NO_THROW(f.get());
+}
+
+TEST_F(RuntimeFixture, MoveOnlyValueType) {
+  px::promise<std::unique_ptr<int>> p;
+  auto f = p.get_future();
+  p.set_value(std::make_unique<int>(9));
+  auto v = f.get();
+  EXPECT_EQ(*v, 9);
+}
+
+TEST_F(RuntimeFixture, MakeReadyFuture) {
+  auto f = px::make_ready_future(std::string("hi"));
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), "hi");
+  auto v = px::make_ready_future();
+  EXPECT_TRUE(v.is_ready());
+}
+
+TEST_F(RuntimeFixture, MakeExceptionalFuture) {
+  auto f = px::make_exceptional_future<int>(
+      std::make_exception_ptr(std::logic_error("x")));
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(RuntimeFixture, ExternalThreadBlocksOnGet) {
+  px::promise<int> p;
+  auto f = p.get_future();
+  rt.post([&p] {
+    px::this_task::sleep_for(std::chrono::milliseconds(20));
+    p.set_value(5);
+  });
+  EXPECT_EQ(f.get(), 5);  // main thread blocks until the task fulfils
+}
+
+TEST_F(RuntimeFixture, TaskSuspendsOnGet) {
+  auto result = px::sync_wait(rt, [] {
+    px::promise<int> p;
+    auto f = p.get_future();
+    px::post([&p] {
+      px::this_task::sleep_for(std::chrono::milliseconds(10));
+      p.set_value(7);
+    });
+    return f.get();  // suspends this fiber, frees the worker
+  });
+  EXPECT_EQ(result, 7);
+}
+
+TEST_F(RuntimeFixture, ThenChainsValue) {
+  auto result = px::sync_wait(rt, [] {
+    auto f = px::async([] { return 10; });
+    auto g = f.then([](px::future<int> x) { return x.get() * 2; });
+    auto h = g.then([](px::future<int> x) { return x.get() + 2; });
+    return h.get();
+  });
+  EXPECT_EQ(result, 22);
+}
+
+TEST_F(RuntimeFixture, ThenOnReadyFutureStillRuns) {
+  auto result = px::sync_wait(rt, [] {
+    auto f = px::make_ready_future(3);
+    return f.then([](px::future<int> x) { return x.get() + 4; }).get();
+  });
+  EXPECT_EQ(result, 7);
+}
+
+TEST_F(RuntimeFixture, ThenPropagatesException) {
+  auto threw = px::sync_wait(rt, [] {
+    auto f = px::async([]() -> int { throw std::runtime_error("inner"); });
+    auto g = f.then([](px::future<int> x) {
+      try {
+        x.get();
+        return false;
+      } catch (std::runtime_error const&) {
+        return true;
+      }
+    });
+    return g.get();
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(RuntimeFixture, SharedFutureMultipleGets) {
+  px::promise<int> p;
+  px::shared_future<int> sf = p.get_future().share();
+  p.set_value(11);
+  EXPECT_EQ(sf.get(), 11);
+  EXPECT_EQ(sf.get(), 11);
+  auto sf2 = sf;  // copies share state
+  EXPECT_EQ(sf2.get(), 11);
+}
+
+TEST_F(RuntimeFixture, PackagedTaskDeliversResult) {
+  px::packaged_task<int(int, int)> task([](int a, int b) { return a + b; });
+  auto f = task.get_future();
+  task(20, 22);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(RuntimeFixture, PackagedTaskDeliversException) {
+  px::packaged_task<int()> task([]() -> int { throw std::domain_error("d"); });
+  auto f = task.get_future();
+  task();
+  EXPECT_THROW(f.get(), std::domain_error);
+}
+
+TEST_F(RuntimeFixture, ManyWaitersOnOneState) {
+  px::promise<int> p;
+  px::shared_future<int> sf = p.get_future().share();
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 50; ++i)
+    rt.post([sf, &sum] { sum.fetch_add(sf.get()); });
+  rt.post([&p] {
+    px::this_task::sleep_for(std::chrono::milliseconds(15));
+    p.set_value(2);
+  });
+  rt.wait_quiescent();
+  EXPECT_EQ(sum.load(), 100);
+}
+
+}  // namespace

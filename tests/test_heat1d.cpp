@@ -1,0 +1,129 @@
+// Tests for the shared-memory 1D heat solver: agreement with the serial
+// reference and the analytic sine-mode decay, partition-count sweeps,
+// stability checks.
+#include <gtest/gtest.h>
+
+#include "px/px.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/reference.hpp"
+
+namespace {
+
+using namespace px::stencil;
+
+px::scheduler_config cfg3() {
+  px::scheduler_config c;
+  c.num_workers = 3;
+  return c;
+}
+
+TEST(Heat1dConfig, DefaultTimeStepIsStable) {
+  heat1d_config cfg;
+  EXPECT_DOUBLE_EQ(cfg.k(), 0.25);
+  cfg.alpha = 2.0;
+  EXPECT_DOUBLE_EQ(cfg.k(), 0.25);  // dt auto-adjusts to stay stable
+  cfg.dt = 0.1;
+  cfg.dx = 1.0;
+  EXPECT_DOUBLE_EQ(cfg.k(), 0.2);
+}
+
+TEST(Heat1d, MatchesSerialReference) {
+  px::runtime rt(cfg3());
+  auto initial = heat1d_sine_initial(1000);
+  heat1d_config cfg;
+  cfg.steps = 50;
+  auto result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  auto ref = reference_heat1d(initial, 50, cfg.k());
+  EXPECT_LT(max_abs_diff(result.values, ref), 1e-13);
+}
+
+TEST(Heat1d, MatchesAnalyticSineDecay) {
+  px::runtime rt(cfg3());
+  constexpr std::size_t nx = 2001;
+  auto initial = heat1d_sine_initial(nx);
+  heat1d_config cfg;
+  cfg.steps = 200;
+  auto result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  auto analytic = analytic_heat1d_sine(nx, cfg.steps, cfg.k());
+  EXPECT_LT(max_abs_diff(result.values, analytic), 1e-10);
+}
+
+class Heat1dPartitions : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Heat1dPartitions, PartitionCountDoesNotChangeTheAnswer) {
+  px::runtime rt(cfg3());
+  auto initial = heat1d_sine_initial(503);  // prime-ish: ragged partitions
+  heat1d_config cfg;
+  cfg.steps = 30;
+  cfg.partitions = GetParam();
+  auto result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  auto ref = reference_heat1d(initial, 30, cfg.k());
+  EXPECT_LT(max_abs_diff(result.values, ref), 1e-13)
+      << "partitions=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, Heat1dPartitions,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 251, 503));
+
+TEST(Heat1d, DirichletBoundariesAreFixed) {
+  px::runtime rt(cfg3());
+  std::vector<double> initial(100, 0.0);
+  initial.front() = 5.0;
+  initial.back() = -3.0;
+  heat1d_config cfg;
+  cfg.steps = 40;
+  auto result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  EXPECT_DOUBLE_EQ(result.values.front(), 5.0);
+  EXPECT_DOUBLE_EQ(result.values.back(), -3.0);
+  // Heat flows inward from the hot boundary.
+  EXPECT_GT(result.values[1], 0.0);
+  EXPECT_LT(result.values[98], 0.0);
+}
+
+TEST(Heat1d, EnergyDecaysMonotonically) {
+  // The discrete maximum principle: max |u| never grows for k <= 1/2.
+  auto u = heat1d_sine_initial(301);
+  double prev_max = 1.0;
+  for (int rounds = 0; rounds < 5; ++rounds) {
+    u = reference_heat1d(u, 20, 0.25);
+    double mx = 0;
+    for (double v : u) mx = std::max(mx, std::abs(v));
+    EXPECT_LE(mx, prev_max + 1e-15);
+    prev_max = mx;
+  }
+  EXPECT_LT(prev_max, 1.0);
+}
+
+TEST(Heat1d, ReportsThroughput) {
+  px::runtime rt(cfg3());
+  auto initial = heat1d_sine_initial(10000);
+  heat1d_config cfg;
+  cfg.steps = 20;
+  auto result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  EXPECT_GT(result.points_per_second, 0.0);
+  EXPECT_EQ(result.values.size(), 10000u);
+}
+
+TEST(Heat1d, SequencedPolicyMatchesParallel) {
+  px::runtime rt(cfg3());
+  auto initial = heat1d_sine_initial(777);
+  heat1d_config cfg;
+  cfg.steps = 25;
+  auto par_result = px::sync_wait(rt, [&] {
+    return run_heat1d(px::execution::par, initial, cfg);
+  });
+  auto seq_result = run_heat1d(px::execution::seq, initial, cfg);
+  EXPECT_LT(max_abs_diff(par_result.values, seq_result.values), 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// End-to-end integration tests combining runtime, LCOs, parallel
+// algorithms, SIMD kernels and the distributed layer — the full stack the
+// paper's benchmarks exercise.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+
+#include "px/px.hpp"
+#include "px/simd/simd.hpp"
+#include "px/stencil/stencil.hpp"
+
+namespace {
+
+long fib_action(px::dist::locality& here, int n);
+
+}  // namespace
+
+// Recursive remote fan-out: locality L computes fib(n) by delegating the
+// two subproblems to (L+1) % size and itself.
+namespace {
+long fib_action(px::dist::locality& here, int n) {
+  if (n < 2) return n;
+  auto next = static_cast<std::uint32_t>((here.id() + 1) %
+                                         here.domain().size());
+  auto a = here.call<&fib_action>(next, n - 1);
+  auto b = here.call<&fib_action>(here.id(), n - 2);
+  return a.get() + b.get();
+}
+}  // namespace
+PX_REGISTER_ACTION(fib_action)
+
+namespace {
+
+TEST(Integration, FutureFanOutFanIn) {
+  px::scheduler_config c;
+  c.num_workers = 4;
+  px::runtime rt(c);
+  // Tree of async tasks: sum of 1..256 via recursive splitting.
+  std::function<long(long, long)> sum_range = [&](long lo, long hi) -> long {
+    if (hi - lo <= 16) {
+      long s = 0;
+      for (long i = lo; i < hi; ++i) s += i;
+      return s;
+    }
+    long mid = lo + (hi - lo) / 2;
+    auto left = px::async([&, lo, mid] { return sum_range(lo, mid); });
+    long right = sum_range(mid, hi);
+    return left.get() + right;
+  };
+  long total = px::sync_wait(rt, [&] { return sum_range(1, 257); });
+  EXPECT_EQ(total, 256L * 257 / 2);
+}
+
+TEST(Integration, PipelineWithChannelsAndSimd) {
+  // Stage 1 produces rows, stage 2 squares them with packs, stage 3 sums.
+  px::scheduler_config c;
+  c.num_workers = 3;
+  px::runtime rt(c);
+  using pk = px::simd::pack<double, 4>;
+  px::channel<std::vector<double>> raw, squared;
+  constexpr int rows = 32, row_len = 64;
+
+  rt.post([&] {
+    for (int r = 0; r < rows; ++r)
+      raw.send(std::vector<double>(row_len, static_cast<double>(r)));
+  });
+  rt.post([&] {
+    for (int r = 0; r < rows; ++r) {
+      auto row = raw.get();
+      for (std::size_t i = 0; i < row.size(); i += pk::width) {
+        pk v = px::simd::load_unaligned<pk>(row.data() + i);
+        px::simd::store_unaligned(row.data() + i, v * v);
+      }
+      squared.send(std::move(row));
+    }
+  });
+  auto total = px::async_on(rt, [&] {
+    double s = 0;
+    for (int r = 0; r < rows; ++r) {
+      auto row = squared.get();
+      s += std::accumulate(row.begin(), row.end(), 0.0);
+    }
+    return s;
+  });
+  double expect = 0;
+  for (int r = 0; r < rows; ++r) expect += row_len * double(r) * double(r);
+  EXPECT_DOUBLE_EQ(total.get(), expect);
+}
+
+TEST(Integration, RemoteRecursionAcrossLocalities) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 3;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.0;
+  px::dist::distributed_domain dom(cfg);
+  long const fib10 = dom.run([](px::dist::locality& loc0) {
+    return fib_action(loc0, 10);
+  });
+  EXPECT_EQ(fib10, 55);
+}
+
+TEST(Integration, JacobiOnBlockExecutorMatchesReference) {
+  // The paper's NUMA setup: block executor + 2 virtual NUMA domains.
+  px::scheduler_config c;
+  c.num_workers = 4;
+  c.numa_domains = 2;
+  px::runtime rt(c);
+  px::block_executor ex(rt.sched());
+  auto policy = px::execution::par.on(ex);
+
+  using namespace px::stencil;
+  constexpr std::size_t nx = 32, ny = 16, steps = 12;
+  field2d<double> u0(nx, ny), u1(nx, ny);
+  init_dirichlet_problem(u0);
+  init_dirichlet_problem(u1);
+  px::sync_wait(rt, [&] {
+    return run_jacobi2d(policy, u0, u1, steps);
+  });
+
+  field2d<double> r0(nx, ny), r1(nx, ny);
+  init_dirichlet_problem(r0);
+  init_dirichlet_problem(r1);
+  run_jacobi2d(px::execution::seq, r0, r1, steps);
+  for (std::size_t y = 0; y < ny; ++y)
+    for (std::size_t x = 0; x < nx; ++x)
+      ASSERT_EQ(u0.get(x, y), r0.get(x, y));
+}
+
+TEST(Integration, HeatSolversAgreeSharedVsDistributed) {
+  // The same problem through both implementations (Listing 1 vs the
+  // parcel-based solver) gives identical answers.
+  auto initial = px::stencil::heat1d_sine_initial(600);
+  constexpr std::size_t steps = 20;
+
+  px::scheduler_config c;
+  c.num_workers = 2;
+  px::runtime rt(c);
+  px::stencil::heat1d_config hc;
+  hc.steps = steps;
+  auto shared = px::sync_wait(rt, [&] {
+    return px::stencil::run_heat1d(px::execution::par, initial, hc);
+  });
+
+  px::dist::domain_config dc;
+  dc.num_localities = 3;
+  dc.locality_cfg.num_workers = 2;
+  dc.injection_scale = 0.001;
+  px::dist::distributed_domain dom(dc);
+  px::stencil::dist_heat_config dhc;
+  dhc.steps = steps;
+  auto distributed = px::stencil::run_distributed_heat1d(dom, initial, dhc);
+
+  EXPECT_LT(px::stencil::max_abs_diff(shared.values, distributed.values),
+            1e-15);
+}
+
+TEST(Integration, DataflowDrivenStencilSteps) {
+  // Time steps chained by dataflow instead of a loop: step t+1 depends on
+  // the future of step t — a pure ParalleX formulation.
+  px::scheduler_config c;
+  c.num_workers = 3;
+  px::runtime rt(c);
+  auto initial = px::stencil::heat1d_sine_initial(300);
+  double const k = 0.25;
+
+  auto result = px::sync_wait(rt, [&] {
+    auto step = [k](std::vector<double> u) {
+      std::vector<double> next(u.size());
+      next.front() = u.front();
+      next.back() = u.back();
+      for (std::size_t x = 1; x + 1 < u.size(); ++x)
+        next[x] = u[x] + k * (u[x - 1] - 2.0 * u[x] + u[x + 1]);
+      return next;
+    };
+    auto fut = px::make_ready_future(initial);
+    for (int t = 0; t < 15; ++t)
+      fut = fut.then([step](px::future<std::vector<double>> prev) {
+        return step(prev.get());
+      });
+    return fut.get();
+  });
+  auto ref = px::stencil::reference_heat1d(initial, 15, k);
+  EXPECT_LT(px::stencil::max_abs_diff(result, ref), 1e-15);
+}
+
+TEST(Integration, StressManySmallTasksWithSuspensions) {
+  px::scheduler_config c;
+  c.num_workers = 4;
+  px::runtime rt(c);
+  std::atomic<long> completed{0};
+  px::counting_semaphore sem(8);
+  for (int i = 0; i < 2000; ++i)
+    rt.post([&] {
+      sem.acquire();
+      if (completed.load() % 64 == 0) px::this_task::yield();
+      sem.release();
+      completed.fetch_add(1);
+    });
+  rt.wait_quiescent();
+  EXPECT_EQ(completed.load(), 2000);
+}
+
+}  // namespace

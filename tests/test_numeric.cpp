@@ -1,0 +1,122 @@
+// Tests for parallel scans (inclusive/exclusive) against their sequential
+// counterparts, including non-commutative operations and size sweeps.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "px/px.hpp"
+
+namespace {
+
+struct NumericTest : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 4;
+    return c;
+  }()};
+};
+
+class ScanSizes : public NumericTest,
+                  public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(ScanSizes, InclusiveScanMatchesSequential) {
+  std::size_t const n = GetParam();
+  std::vector<long> in(n);
+  for (std::size_t i = 0; i < n; ++i)
+    in[i] = static_cast<long>((i * 7 + 3) % 23);
+  std::vector<long> expect(n), got(n);
+  px::parallel::inclusive_scan(px::execution::seq, in.begin(), in.end(),
+                               expect.begin(), 0L, std::plus<>{});
+  px::sync_wait(rt, [&] {
+    px::parallel::inclusive_scan(px::execution::par, in.begin(), in.end(),
+                                 got.begin(), 0L, std::plus<>{});
+    return 0;
+  });
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(ScanSizes, ExclusiveScanMatchesSequential) {
+  std::size_t const n = GetParam();
+  std::vector<long> in(n, 2);
+  std::vector<long> expect(n), got(n);
+  px::parallel::exclusive_scan(px::execution::seq, in.begin(), in.end(),
+                               expect.begin(), 100L, std::plus<>{});
+  px::sync_wait(rt, [&] {
+    px::parallel::exclusive_scan(px::execution::par, in.begin(), in.end(),
+                                 got.begin(), 100L, std::plus<>{});
+    return 0;
+  });
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(1, 2, 3, 17, 64, 100, 1000,
+                                           10000));
+
+TEST_F(NumericTest, InclusiveScanEmptyRange) {
+  std::vector<int> in, out;
+  px::sync_wait(rt, [&] {
+    px::parallel::inclusive_scan(px::execution::par, in.begin(), in.end(),
+                                 out.begin(), 0, std::plus<>{});
+    return 0;
+  });
+  SUCCEED();
+}
+
+TEST_F(NumericTest, InclusiveScanNonCommutativeOp) {
+  // String concatenation is associative but not commutative: the scan must
+  // preserve order.
+  std::vector<std::string> in{"a", "b", "c", "d", "e", "f", "g", "h",
+                              "i", "j", "k", "l", "m", "n", "o", "p"};
+  std::vector<std::string> expect(in.size()), got(in.size());
+  px::parallel::inclusive_scan(px::execution::seq, in.begin(), in.end(),
+                               expect.begin(), std::string{},
+                               std::plus<>{});
+  px::sync_wait(rt, [&] {
+    px::parallel::inclusive_scan(px::execution::par.with(3), in.begin(),
+                                 in.end(), got.begin(), std::string{},
+                                 std::plus<>{});
+    return 0;
+  });
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(got.back(), "abcdefghijklmnop");
+}
+
+TEST_F(NumericTest, InclusiveScanWithInit) {
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> got(3);
+  px::sync_wait(rt, [&] {
+    px::parallel::inclusive_scan(px::execution::par, in.begin(), in.end(),
+                                 got.begin(), 10, std::plus<>{});
+    return 0;
+  });
+  EXPECT_EQ(got, (std::vector<int>{11, 13, 16}));
+}
+
+TEST_F(NumericTest, ExclusiveScanFirstElementIsInit) {
+  std::vector<int> in{5, 6, 7};
+  std::vector<int> got(3);
+  px::sync_wait(rt, [&] {
+    px::parallel::exclusive_scan(px::execution::par, in.begin(), in.end(),
+                                 got.begin(), 1, std::plus<>{});
+    return 0;
+  });
+  EXPECT_EQ(got, (std::vector<int>{1, 6, 12}));
+}
+
+TEST_F(NumericTest, ScanInPlace) {
+  // Output aliasing the input is allowed (each pass reads before writing
+  // within its own index).
+  std::vector<long> v(5000, 1);
+  px::sync_wait(rt, [&] {
+    px::parallel::inclusive_scan(px::execution::par, v.begin(), v.end(),
+                                 v.begin(), 0L, std::plus<>{});
+    return 0;
+  });
+  for (std::size_t i = 0; i < v.size(); ++i)
+    ASSERT_EQ(v[i], static_cast<long>(i + 1));
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for the AGAS-backed partitioned vector.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "px/dist/partitioned_vector.hpp"
+
+PX_REGISTER_PARTITIONED_VECTOR(double)
+PX_REGISTER_PARTITIONED_VECTOR(long)
+
+namespace {
+
+px::dist::domain_config cfg(std::size_t n) {
+  px::dist::domain_config c;
+  c.num_localities = n;
+  c.locality_cfg.num_workers = 2;
+  c.injection_scale = 0.0005;
+  return c;
+}
+
+TEST(PartitionedVector, CreateSpreadsBlocksOverLocalities) {
+  px::dist::distributed_domain dom(cfg(4));
+  dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 103, 1.5);
+    EXPECT_EQ(pv.size(), 103u);
+    EXPECT_EQ(pv.num_blocks(), 4u);
+    for (std::size_t b = 0; b < 4; ++b)
+      EXPECT_EQ(pv.block_gid(b).locality(), b);
+    pv.destroy(loc0);
+    return 0;
+  });
+}
+
+TEST(PartitionedVector, GetSetAcrossLocalities) {
+  px::dist::distributed_domain dom(cfg(3));
+  dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 30, 0.0);
+    // Write every 7th element, read all back.
+    for (std::size_t i = 0; i < 30; i += 7)
+      pv.set(loc0, i, static_cast<double>(i) * 1.5);
+    for (std::size_t i = 0; i < 30; ++i) {
+      double const expect = i % 7 == 0 ? static_cast<double>(i) * 1.5 : 0.0;
+      EXPECT_DOUBLE_EQ(pv.get(loc0, i), expect) << i;
+    }
+    pv.destroy(loc0);
+    return 0;
+  });
+}
+
+TEST(PartitionedVector, OwnerOfMatchesBlockDecomposition) {
+  px::dist::distributed_domain dom(cfg(4));
+  dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<long>::create(loc0, 16, 0L);
+    // 16 over 4 localities: 4 each.
+    EXPECT_EQ(pv.owner_of(0), 0u);
+    EXPECT_EQ(pv.owner_of(3), 0u);
+    EXPECT_EQ(pv.owner_of(4), 1u);
+    EXPECT_EQ(pv.owner_of(15), 3u);
+    pv.destroy(loc0);
+    return 0;
+  });
+}
+
+TEST(PartitionedVector, GatherScatterRoundtrip) {
+  px::dist::distributed_domain dom(cfg(3));
+  dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<long>::create(loc0, 50, 0L);
+    std::vector<long> values(50);
+    std::iota(values.begin(), values.end(), 100L);
+    pv.scatter(loc0, values);
+    auto back = pv.gather(loc0);
+    EXPECT_EQ(back, values);
+    pv.destroy(loc0);
+    return 0;
+  });
+}
+
+TEST(PartitionedVector, DistributedSum) {
+  px::dist::distributed_domain dom(cfg(4));
+  long total = dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<long>::create(loc0, 1000, 0L);
+    std::vector<long> values(1000);
+    std::iota(values.begin(), values.end(), 1L);
+    pv.scatter(loc0, values);
+    long const s = pv.sum(loc0);
+    pv.destroy(loc0);
+    return s;
+  });
+  EXPECT_EQ(total, 1000L * 1001 / 2);
+}
+
+TEST(PartitionedVector, HandleSerializes) {
+  px::dist::distributed_domain dom(cfg(2));
+  double v = dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 10, 0.0);
+    pv.set(loc0, 7, 3.25);
+    auto bytes = px::serial::to_bytes(pv);
+    auto copy =
+        px::serial::from_bytes<px::dist::partitioned_vector<double>>(
+            std::span<std::byte const>(bytes));
+    double const out = copy.get(loc0, 7);
+    pv.destroy(loc0);
+    return out;
+  });
+  EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(PartitionedVector, OutOfRangeAccessFails) {
+  px::dist::distributed_domain dom(cfg(2));
+  bool threw = dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 10, 0.0);
+    bool caught = false;
+    try {
+      // In-range block index is enforced locally, so poke a stale gid.
+      auto g = pv.block_gid(1);
+      (void)loc0.call<&px::dist::pv_get<double>>(g.locality(), g,
+                                                 std::uint64_t{999})
+          .get();
+    } catch (std::runtime_error const&) {
+      caught = true;
+    }
+    pv.destroy(loc0);
+    return caught;
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST(PartitionedVector, AccessAfterDestroyFails) {
+  px::dist::distributed_domain dom(cfg(2));
+  bool threw = dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 8, 1.0);
+    auto g = pv.block_gid(1);
+    pv.destroy(loc0);
+    try {
+      (void)loc0.call<&px::dist::pv_read_block<double>>(g.locality(), g)
+          .get();
+      return false;
+    } catch (std::runtime_error const&) {
+      return true;
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+TEST(PartitionedVector, SingleLocalityDegenerate) {
+  px::dist::distributed_domain dom(cfg(1));
+  long total = dom.run([](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<long>::create(loc0, 5, 3L);
+    long const s = pv.sum(loc0);
+    pv.destroy(loc0);
+    return s;
+  });
+  EXPECT_EQ(total, 15);
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+// Tests for the roofline model (Eq. 1) and the paper's arithmetic
+// intensities of §V-B.
+#include <gtest/gtest.h>
+
+#include "px/arch/roofline.hpp"
+
+namespace {
+
+using namespace px::arch;
+
+TEST(Roofline, Eq1MemoryBound) {
+  // AI * BW below CP: memory bound.
+  EXPECT_DOUBLE_EQ(attainable(1000.0, 1.0 / 24.0, 120.0), 5.0);
+}
+
+TEST(Roofline, Eq1ComputeBound) {
+  EXPECT_DOUBLE_EQ(attainable(10.0, 1.0, 120.0), 10.0);
+}
+
+TEST(Roofline, Eq1Crossover) {
+  // At AI = CP/BW the two limits meet.
+  double const cp = 832.0, bw = 118.0;
+  double const ai = cp / bw;
+  EXPECT_NEAR(attainable(cp, ai, bw), cp, 1e-9);
+  EXPECT_LT(attainable(cp, ai * 0.5, bw), cp);
+}
+
+TEST(Roofline, PaperArithmeticIntensities) {
+  // §V-B: "the AI for floats and doubles are 1/12 LUP/Byte and 1/24
+  // LUP/Byte" assuming three transfers per LUP.
+  EXPECT_DOUBLE_EQ(stencil_ai(4, 3), 1.0 / 12.0);
+  EXPECT_DOUBLE_EQ(stencil_ai(8, 3), 1.0 / 24.0);
+  // Cache-blocking behaviour (two transfers): 1/8 and 1/16 (§VII-B).
+  EXPECT_DOUBLE_EQ(stencil_ai(4, 2), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stencil_ai(8, 2), 1.0 / 16.0);
+}
+
+TEST(Roofline, ExpectedPeaks) {
+  double const bw = 240.0;
+  EXPECT_DOUBLE_EQ(expected_peak_min(4, bw), bw / 12.0);
+  EXPECT_DOUBLE_EQ(expected_peak_max(4, bw), bw / 8.0);
+  EXPECT_DOUBLE_EQ(expected_peak_min(8, bw), bw / 24.0);
+  EXPECT_DOUBLE_EQ(expected_peak_max(8, bw), bw / 16.0);
+  // The 49% boost the paper reports is exactly max/min = 3/2.
+  EXPECT_NEAR(expected_peak_max(4, bw) / expected_peak_min(4, bw), 1.5,
+              1e-12);
+}
+
+TEST(Roofline, ComputePeakGlups) {
+  // 5-point Jacobi: 4 FLOPs per LUP; floats run at twice the DP rate.
+  EXPECT_DOUBLE_EQ(compute_peak_glups(832.0, 8), 208.0);
+  EXPECT_DOUBLE_EQ(compute_peak_glups(832.0, 4), 416.0);
+}
+
+TEST(Roofline, MonotoneInBandwidth) {
+  double prev = 0.0;
+  for (double bw = 10.0; bw <= 1000.0; bw += 10.0) {
+    double const p = attainable(50.0, 1.0 / 12.0, bw);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_DOUBLE_EQ(prev, 50.0);  // saturates at CP (needs bw >= 600)
+}
+
+}  // namespace

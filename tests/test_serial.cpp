@@ -1,0 +1,226 @@
+// Tests for the serialization archives: round trips for every supported
+// type, nested containers, user types, and underflow detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "px/serial/archive.hpp"
+#include "px/support/random.hpp"
+
+namespace {
+
+template <typename T>
+T roundtrip(T const& value) {
+  auto bytes = px::serial::to_bytes(value);
+  return px::serial::from_bytes<T>(
+      std::span<std::byte const>(bytes.data(), bytes.size()));
+}
+
+TEST(Serial, Arithmetic) {
+  EXPECT_EQ(roundtrip(42), 42);
+  EXPECT_EQ(roundtrip(-17L), -17L);
+  EXPECT_EQ(roundtrip(3.25), 3.25);
+  EXPECT_EQ(roundtrip(1.5f), 1.5f);
+  EXPECT_EQ(roundtrip(true), true);
+  EXPECT_EQ(roundtrip(std::uint8_t{255}), 255);
+  EXPECT_EQ(roundtrip(std::uint64_t{0xdeadbeefcafebabeull}),
+            0xdeadbeefcafebabeull);
+}
+
+enum class colour : std::uint16_t { red = 3, green = 77 };
+
+TEST(Serial, Enum) { EXPECT_EQ(roundtrip(colour::green), colour::green); }
+
+TEST(Serial, Strings) {
+  EXPECT_EQ(roundtrip(std::string("")), "");
+  EXPECT_EQ(roundtrip(std::string("hello world")), "hello world");
+  std::string with_nul("a\0b", 3);
+  EXPECT_EQ(roundtrip(with_nul), with_nul);
+}
+
+TEST(Serial, TrivialVector) {
+  std::vector<double> v{1.0, 2.5, -3.75};
+  EXPECT_EQ(roundtrip(v), v);
+  EXPECT_EQ(roundtrip(std::vector<int>{}), std::vector<int>{});
+}
+
+TEST(Serial, NonTrivialVector) {
+  std::vector<std::string> v{"a", "", "long string with spaces"};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Serial, NestedVector) {
+  std::vector<std::vector<int>> v{{1, 2}, {}, {3}};
+  EXPECT_EQ(roundtrip(v), v);
+}
+
+TEST(Serial, PairTupleArray) {
+  auto p = std::make_pair(std::string("k"), 9);
+  EXPECT_EQ(roundtrip(p), p);
+  auto t = std::make_tuple(1, 2.5, std::string("x"));
+  EXPECT_EQ(roundtrip(t), t);
+  std::array<int, 4> a{5, 6, 7, 8};
+  EXPECT_EQ(roundtrip(a), a);
+}
+
+TEST(Serial, Maps) {
+  std::map<std::string, int> m{{"a", 1}, {"b", 2}};
+  EXPECT_EQ(roundtrip(m), m);
+  std::unordered_map<int, std::string> um{{1, "x"}, {2, "y"}};
+  EXPECT_EQ(roundtrip(um), um);
+}
+
+TEST(Serial, Optional) {
+  EXPECT_EQ(roundtrip(std::optional<int>{}), std::nullopt);
+  EXPECT_EQ(roundtrip(std::optional<int>{5}), 5);
+  EXPECT_EQ(roundtrip(std::optional<std::string>{"s"}),
+            std::optional<std::string>{"s"});
+}
+
+struct custom_point {
+  double x = 0, y = 0;
+  std::vector<int> tags;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& x& y& tags;
+  }
+  bool operator==(custom_point const&) const = default;
+};
+
+TEST(Serial, MemberSerializeHook) {
+  custom_point p{1.5, -2.5, {1, 2, 3}};
+  EXPECT_EQ(roundtrip(p), p);
+}
+
+struct adl_type {
+  int v = 0;
+  bool operator==(adl_type const&) const = default;
+};
+
+template <typename Archive>
+void serialize(Archive& ar, adl_type& t) {
+  ar& t.v;
+}
+
+TEST(Serial, AdlSerializeHook) {
+  adl_type t{33};
+  EXPECT_EQ(roundtrip(t), t);
+}
+
+TEST(Serial, NestedUserTypes) {
+  std::vector<custom_point> v{{1, 2, {3}}, {4, 5, {}}};
+  EXPECT_EQ(roundtrip(v), v);
+  std::map<std::string, custom_point> m{{"p", {9, 8, {7}}}};
+  EXPECT_EQ(roundtrip(m), m);
+}
+
+TEST(Serial, MultipleValuesInOneArchive) {
+  px::serial::output_archive out;
+  out& 42& std::string("mid")& 2.5;
+  auto bytes = out.take();
+  px::serial::input_archive in(
+      std::span<std::byte const>(bytes.data(), bytes.size()));
+  int a = 0;
+  std::string s;
+  double d = 0;
+  in& a& s& d;
+  EXPECT_EQ(a, 42);
+  EXPECT_EQ(s, "mid");
+  EXPECT_EQ(d, 2.5);
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Serial, UnderflowThrows) {
+  auto bytes = px::serial::to_bytes(1);  // 4 bytes
+  px::serial::input_archive in(
+      std::span<std::byte const>(bytes.data(), bytes.size()));
+  double d;
+  EXPECT_THROW(in& d, std::runtime_error);
+}
+
+TEST(Serial, LargePayload) {
+  std::vector<double> big(100000);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<double>(i) * 0.5;
+  EXPECT_EQ(roundtrip(big), big);
+}
+
+// ---- randomized structural property tests ---------------------------------
+
+struct random_record {
+  std::int32_t id = 0;
+  std::string name;
+  std::vector<double> samples;
+  std::map<std::string, std::int64_t> tags;
+  std::optional<std::pair<int, int>> range;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& id& name& samples& tags& range;
+  }
+  bool operator==(random_record const&) const = default;
+};
+
+class SerialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialFuzz, RandomNestedStructuresRoundtrip) {
+  px::xoshiro256ss rng(GetParam());
+  auto rand_string = [&] {
+    std::string s;
+    auto const len = rng.below(20);
+    for (std::uint64_t i = 0; i < len; ++i)
+      s.push_back(static_cast<char>('a' + rng.below(26)));
+    return s;
+  };
+
+  std::vector<random_record> records(rng.below(8) + 1);
+  for (auto& r : records) {
+    r.id = static_cast<std::int32_t>(rng());
+    r.name = rand_string();
+    r.samples.resize(rng.below(50));
+    for (auto& s : r.samples) s = rng.uniform() * 1e6 - 5e5;
+    auto const ntags = rng.below(5);
+    for (std::uint64_t i = 0; i < ntags; ++i)
+      r.tags[rand_string()] = static_cast<std::int64_t>(rng());
+    if (rng.below(2) == 0)
+      r.range = std::make_pair(static_cast<int>(rng.below(100)),
+                               static_cast<int>(rng.below(100)));
+  }
+  EXPECT_EQ(roundtrip(records), records);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(Serial, SpecialFloatValuesSurvive) {
+  std::vector<double> specials{
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      std::numeric_limits<double>::epsilon(),
+  };
+  auto back = roundtrip(specials);
+  ASSERT_EQ(back.size(), specials.size());
+  for (std::size_t i = 0; i < specials.size(); ++i)
+    EXPECT_EQ(std::memcmp(&back[i], &specials[i], sizeof(double)), 0) << i;
+  // NaN separately (NaN != NaN).
+  double const nan = std::numeric_limits<double>::quiet_NaN();
+  double const back_nan = roundtrip(nan);
+  EXPECT_TRUE(std::isnan(back_nan));
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Tests for px::simd::pack across lane types and widths (typed test suite),
+// checking every operation against scalar reference math.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "px/simd/simd.hpp"
+
+namespace {
+
+using px::simd::pack;
+
+template <typename P>
+class PackTest : public ::testing::Test {};
+
+using PackTypes =
+    ::testing::Types<pack<float, 4>, pack<float, 8>, pack<float, 16>,
+                     pack<double, 2>, pack<double, 4>, pack<double, 8>,
+                     pack<int, 4>, pack<int, 8>>;
+TYPED_TEST_SUITE(PackTest, PackTypes);
+
+template <typename P>
+P iota_pack(typename P::value_type start = 1) {
+  P p;
+  for (std::size_t l = 0; l < P::width; ++l)
+    p.set(l, static_cast<typename P::value_type>(start +
+                                                 typename P::value_type(l)));
+  return p;
+}
+
+TYPED_TEST(PackTest, BroadcastFillsAllLanes) {
+  TypeParam p(typename TypeParam::value_type(3));
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(p[l], typename TypeParam::value_type(3));
+}
+
+TYPED_TEST(PackTest, ElementwiseArithmetic) {
+  auto a = iota_pack<TypeParam>(1);
+  auto b = iota_pack<TypeParam>(10);
+  auto sum = a + b;
+  auto diff = b - a;
+  auto prod = a * b;
+  for (std::size_t l = 0; l < TypeParam::width; ++l) {
+    EXPECT_EQ(sum[l], a[l] + b[l]);
+    EXPECT_EQ(diff[l], b[l] - a[l]);
+    EXPECT_EQ(prod[l], a[l] * b[l]);
+  }
+}
+
+TYPED_TEST(PackTest, CompoundAssignment) {
+  auto a = iota_pack<TypeParam>(1);
+  auto b = a;
+  b += a;
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(b[l], a[l] + a[l]);
+  b -= a;
+  for (std::size_t l = 0; l < TypeParam::width; ++l) EXPECT_EQ(b[l], a[l]);
+  b *= a;
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(b[l], a[l] * a[l]);
+}
+
+TYPED_TEST(PackTest, MinMaxAbs) {
+  auto a = iota_pack<TypeParam>(1);
+  auto b = iota_pack<TypeParam>(typename TypeParam::value_type(
+      -static_cast<int>(TypeParam::width)));
+  auto mn = px::simd::min(a, b);
+  auto mx = px::simd::max(a, b);
+  auto ab = px::simd::abs(b);
+  for (std::size_t l = 0; l < TypeParam::width; ++l) {
+    EXPECT_EQ(mn[l], std::min(a[l], b[l]));
+    EXPECT_EQ(mx[l], std::max(a[l], b[l]));
+    EXPECT_EQ(ab[l], b[l] < 0 ? -b[l] : b[l]);
+  }
+}
+
+TYPED_TEST(PackTest, ReduceAdd) {
+  auto a = iota_pack<TypeParam>(1);
+  typename TypeParam::value_type expect{};
+  for (std::size_t l = 0; l < TypeParam::width; ++l) expect += a[l];
+  EXPECT_EQ(px::simd::reduce_add(a), expect);
+}
+
+TYPED_TEST(PackTest, ReduceMinMax) {
+  auto a = iota_pack<TypeParam>(5);
+  EXPECT_EQ(px::simd::reduce_min(a), a[0]);
+  EXPECT_EQ(px::simd::reduce_max(a), a[TypeParam::width - 1]);
+}
+
+TYPED_TEST(PackTest, LoadStoreUnaligned) {
+  std::vector<typename TypeParam::value_type> buf(TypeParam::width + 1);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<typename TypeParam::value_type>(i);
+  // Deliberately offset by one element to exercise the unaligned path.
+  auto p = px::simd::load_unaligned<TypeParam>(buf.data() + 1);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(p[l], buf[l + 1]);
+  std::vector<typename TypeParam::value_type> out(TypeParam::width + 1);
+  px::simd::store_unaligned(out.data() + 1, p);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(out[l + 1], buf[l + 1]);
+}
+
+TYPED_TEST(PackTest, LoadStoreAligned) {
+  std::vector<typename TypeParam::value_type,
+              px::aligned_allocator<typename TypeParam::value_type,
+                                    TypeParam::alignment>>
+      buf(TypeParam::width);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<typename TypeParam::value_type>(i + 2);
+  auto p = px::simd::load_aligned<TypeParam>(buf.data());
+  px::simd::store_aligned(buf.data(), p + p);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(buf[l], static_cast<typename TypeParam::value_type>(2 * (l + 2)));
+}
+
+TYPED_TEST(PackTest, RotateUpDown) {
+  auto a = iota_pack<TypeParam>(0);
+  auto up = px::simd::rotate_up(a);
+  auto down = px::simd::rotate_down(a);
+  constexpr std::size_t w = TypeParam::width;
+  for (std::size_t l = 0; l < w; ++l) {
+    EXPECT_EQ(up[l], a[(l + w - 1) % w]) << "lane " << l;
+    EXPECT_EQ(down[l], a[(l + 1) % w]) << "lane " << l;
+  }
+}
+
+TYPED_TEST(PackTest, ShiftInsert) {
+  auto a = iota_pack<TypeParam>(0);
+  auto const carry = typename TypeParam::value_type(99);
+  auto up = px::simd::shift_up_insert(a, carry);
+  auto down = px::simd::shift_down_insert(a, carry);
+  constexpr std::size_t w = TypeParam::width;
+  EXPECT_EQ(up[0], carry);
+  for (std::size_t l = 1; l < w; ++l) EXPECT_EQ(up[l], a[l - 1]);
+  EXPECT_EQ(down[w - 1], carry);
+  for (std::size_t l = 0; l + 1 < w; ++l) EXPECT_EQ(down[l], a[l + 1]);
+  EXPECT_EQ(px::simd::first_lane(a), a[0]);
+  EXPECT_EQ(px::simd::last_lane(a), a[w - 1]);
+}
+
+TYPED_TEST(PackTest, Select) {
+  auto a = iota_pack<TypeParam>(0);
+  auto b = iota_pack<TypeParam>(100);
+  auto mask = cmp_lt(a, TypeParam(typename TypeParam::value_type(
+                            TypeParam::width / 2)));
+  auto sel = px::simd::select(mask, a, b);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_EQ(sel[l], l < TypeParam::width / 2 ? a[l] : b[l]);
+}
+
+// Floating-point only ops.
+template <typename P>
+class FloatPackTest : public ::testing::Test {};
+using FloatPackTypes = ::testing::Types<pack<float, 4>, pack<float, 8>,
+                                        pack<double, 2>, pack<double, 4>,
+                                        pack<double, 8>>;
+TYPED_TEST_SUITE(FloatPackTest, FloatPackTypes);
+
+TYPED_TEST(FloatPackTest, Division) {
+  auto a = iota_pack<TypeParam>(2);
+  auto b = iota_pack<TypeParam>(1);
+  auto q = a / b;
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_NEAR(static_cast<double>(q[l]),
+                static_cast<double>(a[l]) / static_cast<double>(b[l]),
+                1e-6);
+}
+
+TYPED_TEST(FloatPackTest, SqrtLanewise) {
+  auto a = iota_pack<TypeParam>(1);
+  auto s = px::simd::sqrt(a * a);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_NEAR(static_cast<double>(s[l]), static_cast<double>(a[l]), 1e-5);
+}
+
+TYPED_TEST(FloatPackTest, FmaMatchesMulAdd) {
+  auto a = iota_pack<TypeParam>(1);
+  auto b = iota_pack<TypeParam>(2);
+  auto c = iota_pack<TypeParam>(3);
+  auto f = px::simd::fma(a, b, c);
+  for (std::size_t l = 0; l < TypeParam::width; ++l)
+    EXPECT_NEAR(static_cast<double>(f[l]),
+                static_cast<double>(a[l]) * static_cast<double>(b[l]) +
+                    static_cast<double>(c[l]),
+                1e-5);
+}
+
+TEST(PackTraits, Classification) {
+  static_assert(px::simd::is_pack_v<pack<float, 8>>);
+  static_assert(!px::simd::is_pack_v<float>);
+  static_assert(std::is_same_v<px::simd::get_type_t<pack<double, 4>>,
+                               double>);
+  static_assert(std::is_same_v<px::simd::get_type_t<double>, double>);
+  static_assert(px::simd::lane_count_v<pack<float, 8>> == 8);
+  static_assert(px::simd::lane_count_v<float> == 1);
+  SUCCEED();
+}
+
+TEST(PackAbi, PaperPipelineWidths) {
+  // NEON 128-bit: 4 floats / 2 doubles (Kunpeng 916, ThunderX2).
+  static_assert(px::simd::abi::neon128<float>::width == 4);
+  static_assert(px::simd::abi::neon128<double>::width == 2);
+  // AVX2 256-bit: 8 floats / 4 doubles (Xeon E5).
+  static_assert(px::simd::abi::avx2<float>::width == 8);
+  static_assert(px::simd::abi::avx2<double>::width == 4);
+  // SVE 512-bit: 16 floats / 8 doubles (A64FX, -msve-vector-bits=512).
+  static_assert(px::simd::abi::sve512<float>::width == 16);
+  static_assert(px::simd::abi::sve512<double>::width == 8);
+  SUCCEED();
+}
+
+TEST(PackAlignment, MatchesVectorSize) {
+  using fpack8 = pack<float, 8>;
+  using dpack8 = pack<double, 8>;
+  using fpack16 = pack<float, 16>;
+  EXPECT_EQ(alignof(fpack8), 32u);
+  EXPECT_EQ(sizeof(dpack8), 64u);
+  EXPECT_EQ(fpack16::alignment, 64u);
+}
+
+}  // namespace

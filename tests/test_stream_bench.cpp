@@ -1,0 +1,51 @@
+// Tests for the real STREAM kernels running on the px runtime (small
+// arrays — this validates the code path and verification, not bandwidth).
+#include <gtest/gtest.h>
+
+#include "px/arch/stream_bench.hpp"
+
+namespace {
+
+px::scheduler_config cfg2() {
+  px::scheduler_config c;
+  c.num_workers = 2;
+  return c;
+}
+
+TEST(StreamBench, RunsAllFourKernelsVerified) {
+  px::runtime rt(cfg2());
+  px::arch::stream_config cfg;
+  cfg.array_elements = 1 << 16;
+  cfg.repetitions = 3;
+  auto results = px::arch::run_stream(rt, cfg);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].kernel, "copy");
+  EXPECT_EQ(results[1].kernel, "scale");
+  EXPECT_EQ(results[2].kernel, "add");
+  EXPECT_EQ(results[3].kernel, "triad");
+  for (auto const& r : results) {
+    EXPECT_TRUE(r.verified) << r.kernel;
+    EXPECT_GT(r.best_gbs, 0.0) << r.kernel;
+    EXPECT_GE(r.best_gbs, r.avg_gbs * 0.999) << r.kernel;
+  }
+}
+
+TEST(StreamBench, CopyBandwidthHelper) {
+  px::runtime rt(cfg2());
+  px::arch::stream_config cfg;
+  cfg.array_elements = 1 << 15;
+  cfg.repetitions = 2;
+  EXPECT_GT(px::arch::measure_copy_bandwidth_gbs(rt, cfg), 0.0);
+}
+
+TEST(StreamBench, CoreLimitedRunWorks) {
+  px::runtime rt(cfg2());
+  px::arch::stream_config cfg;
+  cfg.array_elements = 1 << 14;
+  cfg.repetitions = 2;
+  cfg.cores = 1;
+  auto results = px::arch::run_stream(rt, cfg);
+  for (auto const& r : results) EXPECT_TRUE(r.verified);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Tests for the STREAM bandwidth model behind Fig 2 and the NUMA effects
+// behind the Fig 5/8 performance dips.
+#include <gtest/gtest.h>
+
+#include "px/arch/stream_model.hpp"
+
+namespace {
+
+using namespace px::arch;
+
+TEST(StreamModel, SingleCoreBandwidthIsPerCore) {
+  for (auto const& m : paper_machines()) {
+    stream_model sm(m);
+    EXPECT_DOUBLE_EQ(sm.copy_bandwidth_gbs(1), m.stream_per_core_gbs)
+        << m.short_name;
+  }
+}
+
+TEST(StreamModel, FullNodeReachesStreamPeak) {
+  for (auto const& m : paper_machines()) {
+    stream_model sm(m);
+    EXPECT_NEAR(sm.copy_bandwidth_gbs(m.total_cores()), m.stream_peak_gbs,
+                m.stream_peak_gbs * 0.01)
+        << m.short_name;
+  }
+}
+
+TEST(StreamModel, CopyBandwidthIsMonotoneNondecreasing) {
+  for (auto const& m : paper_machines()) {
+    stream_model sm(m);
+    double prev = 0.0;
+    for (std::size_t c = 1; c <= m.total_cores(); ++c) {
+      double const bw = sm.copy_bandwidth_gbs(c);
+      EXPECT_GE(bw, prev - 1e-9) << m.short_name << " cores " << c;
+      prev = bw;
+    }
+  }
+}
+
+TEST(StreamModel, SaturatesWithinADomain) {
+  machine m = kunpeng916();  // 16 cores/domain, 27.5 GB/s per domain
+  stream_model sm(m);
+  double const dom = m.domain_bandwidth_gbs();
+  // Late in the domain, adding cores stops helping.
+  EXPECT_NEAR(sm.copy_bandwidth_gbs(16), dom, 1e-9);
+  EXPECT_NEAR(sm.copy_bandwidth_gbs(8), dom, dom * 0.5);
+  EXPECT_LT(sm.copy_bandwidth_gbs(2), dom);
+}
+
+TEST(StreamModel, SweepCoversAllCoreCounts) {
+  stream_model sm(xeon_e5_2660v3());
+  auto pts = sm.sweep();
+  ASSERT_EQ(pts.size(), 20u);
+  EXPECT_EQ(pts.front().cores, 1u);
+  EXPECT_EQ(pts.back().cores, 20u);
+}
+
+TEST(StreamModel, KernelBandwidthDipsWithPartialDomain) {
+  // The §VII-B observation on Kunpeng 916: 40 cores (2.5 domains) performs
+  // *worse* than 32 cores (2 full domains).
+  stream_model sm(kunpeng916());
+  EXPECT_LT(sm.kernel_bandwidth_gbs(40), sm.kernel_bandwidth_gbs(32));
+  // And recovers by 48 (3 full domains).
+  EXPECT_GT(sm.kernel_bandwidth_gbs(48), sm.kernel_bandwidth_gbs(32));
+}
+
+TEST(StreamModel, KernelBandwidthDipsAtFullOccupancyOnKunpeng) {
+  // The 56->64 core dip: full occupancy evicts OS/runtime threads.
+  stream_model sm(kunpeng916());
+  EXPECT_LT(sm.kernel_bandwidth_gbs(64), sm.kernel_bandwidth_gbs(56));
+}
+
+TEST(StreamModel, NoFullOccupancyDipOnA64FX) {
+  // A64FX has 4 dedicated helper cores; 48 compute cores carry no penalty.
+  stream_model sm(a64fx());
+  EXPECT_GT(sm.kernel_bandwidth_gbs(48), sm.kernel_bandwidth_gbs(47));
+}
+
+TEST(StreamModel, KernelNeverExceedsCopy) {
+  for (auto const& m : paper_machines()) {
+    stream_model sm(m);
+    for (std::size_t c = 1; c <= m.total_cores(); ++c)
+      EXPECT_LE(sm.kernel_bandwidth_gbs(c), sm.copy_bandwidth_gbs(c) + 1e-9)
+          << m.short_name << " cores " << c;
+  }
+}
+
+TEST(StreamModel, Fig2ShapeA64FXDominates) {
+  // At every core count up to 48, A64FX's HBM2 curve sits far above the
+  // DDR machines — the headline of Fig 2.
+  stream_model a(a64fx()), x(xeon_e5_2660v3()), k(kunpeng916()),
+      t(thunderx2());
+  for (std::size_t c : {1u, 8u, 16u, 20u}) {
+    EXPECT_GT(a.copy_bandwidth_gbs(c), x.copy_bandwidth_gbs(c)) << c;
+    EXPECT_GT(a.copy_bandwidth_gbs(c), k.copy_bandwidth_gbs(c)) << c;
+    EXPECT_GT(a.copy_bandwidth_gbs(c), t.copy_bandwidth_gbs(c)) << c;
+  }
+}
+
+}  // namespace

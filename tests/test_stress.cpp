@@ -1,0 +1,228 @@
+// Stress and randomized-property tests across the whole stack: heavy task
+// churn with suspensions, random dataflow DAGs validated against serial
+// evaluation, cross-locality rings, and randomized stencil shapes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "px/px.hpp"
+#include "px/dist/distributed_domain.hpp"
+#include "px/support/random.hpp"
+
+namespace {
+
+// Forward the token around the ring; when hops run out, signal the flag's
+// owning locality (the terminal hop may land anywhere on the ring).
+struct ring_done {
+  px::event done;
+  std::atomic<std::uint64_t> token{0};
+};
+
+void ring_finish(px::dist::locality& here, std::uint64_t token,
+                 px::agas::gid done_flag) {
+  auto flag = here.agas().resolve<ring_done>(done_flag);
+  PX_ASSERT(flag != nullptr);
+  flag->token.store(token);
+  flag->done.set();
+}
+
+void ring_hop(px::dist::locality& here, std::uint32_t hops_left,
+              std::uint64_t token, px::agas::gid done_flag) {
+  if (hops_left == 0) {
+    here.apply<&ring_finish>(done_flag.locality(), token, done_flag);
+    return;
+  }
+  auto next = static_cast<std::uint32_t>((here.id() + 1) %
+                                         here.domain().size());
+  here.apply<&ring_hop>(next, hops_left - 1, token + here.id(), done_flag);
+}
+
+}  // namespace
+
+PX_REGISTER_ACTION(ring_finish)
+PX_REGISTER_ACTION(ring_hop)
+
+namespace {
+
+px::scheduler_config wcfg(std::size_t w) {
+  px::scheduler_config c;
+  c.num_workers = w;
+  return c;
+}
+
+TEST(Stress, TaskChurnWithMixedSuspensions) {
+  px::runtime rt(wcfg(4));
+  constexpr int n = 5000;
+  std::atomic<long> sum{0};
+  px::counting_semaphore sem(16);
+  px::channel<int> relay;
+  px::xoshiro256ss rng(1);
+
+  // A relay consumer that echoes back.
+  std::atomic<bool> stop{false};
+  rt.post([&] {
+    for (;;) {
+      int v = relay.get();
+      if (v < 0) return;
+      sum.fetch_add(v % 3);
+    }
+  });
+
+  for (int i = 0; i < n; ++i) {
+    switch (rng.below(4)) {
+      case 0:
+        rt.post([&sum, i] { sum.fetch_add(i % 5); });
+        break;
+      case 1:
+        rt.post([&] {
+          sem.acquire();
+          px::this_task::yield();
+          sem.release();
+          sum.fetch_add(1);
+        });
+        break;
+      case 2:
+        rt.post([&relay, i] { relay.send(i); });
+        break;
+      default:
+        rt.post([&sum] {
+          auto f = px::async([] { return 2; });
+          sum.fetch_add(f.get());
+        });
+        break;
+    }
+  }
+  // Drain: wait until everything but the relay consumer is done, then
+  // poison it.
+  while (rt.sched().active_tasks() > 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  relay.send(-1);
+  rt.wait_quiescent();
+  (void)stop;
+  EXPECT_GT(sum.load(), 0);
+  EXPECT_GE(rt.sched().tasks_spawned(), static_cast<std::uint64_t>(n));
+}
+
+TEST(Stress, RandomDataflowDagMatchesSerialEvaluation) {
+  px::runtime rt(wcfg(3));
+  // Build a random DAG over 60 nodes: node i depends on up to two earlier
+  // nodes; value = 1 + sum of dependency values (mod large prime).
+  constexpr std::size_t n = 60;
+  px::xoshiro256ss rng(7);
+  std::vector<std::array<int, 2>> deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    deps[i][0] = i == 0 ? -1 : static_cast<int>(rng.below(i));
+    deps[i][1] = i < 2 ? -1 : static_cast<int>(rng.below(i));
+  }
+
+  // Serial evaluation.
+  std::vector<long> serial(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    long v = 1;
+    for (int d : deps[i])
+      if (d >= 0) v += serial[static_cast<std::size_t>(d)];
+    serial[i] = v % 1000003;
+  }
+
+  // Futurized evaluation.
+  auto result = px::sync_wait(rt, [&] {
+    std::vector<px::shared_future<long>> nodes;
+    nodes.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto d0 = deps[i][0];
+      auto d1 = deps[i][1];
+      px::shared_future<long> left =
+          d0 >= 0 ? nodes[static_cast<std::size_t>(d0)]
+                  : px::shared_future<long>(px::make_ready_future(0L));
+      px::shared_future<long> right =
+          d1 >= 0 ? nodes[static_cast<std::size_t>(d1)]
+                  : px::shared_future<long>(px::make_ready_future(0L));
+      nodes.emplace_back(px::async([left, right] {
+        return (1 + left.get() + right.get()) % 1000003;
+      }));
+    }
+    std::vector<long> out;
+    for (auto& f : nodes) out.push_back(f.get());
+    return out;
+  });
+  EXPECT_EQ(result, serial);
+}
+
+TEST(Stress, ParcelRingAcrossLocalities) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 5;
+  cfg.locality_cfg.num_workers = 1;
+  cfg.injection_scale = 0.0;
+  px::dist::distributed_domain dom(cfg);
+
+  std::uint64_t token = dom.run([](px::dist::locality& loc0) {
+    auto flag = std::make_shared<ring_done>();
+    auto g = loc0.agas().bind(flag);
+    // 25 hops around 5 localities starting at 1.
+    loc0.apply<&ring_hop>(1, 25, 0, g);
+    flag->done.wait();
+    loc0.agas().unbind(g);
+    return flag->token.load();
+  });
+  // Sum of here.id() over hops 1..25 starting at locality 1 around a
+  // 5-ring: ids cycle 1,2,3,4,0,...; 25 hops cover 5 full cycles of
+  // (1+2+3+4+0)=10 each.
+  EXPECT_EQ(token, 50u);
+}
+
+TEST(Stress, ManyLocalitiesManyCalls) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 8;
+  cfg.locality_cfg.num_workers = 1;
+  cfg.injection_scale = 0.0002;
+  px::dist::distributed_domain dom(cfg);
+  // Reuse the registered square action from other TUs is not possible —
+  // keep it self-contained with ring_hop only, plus raw churn through
+  // migrations of tasks... simple: hammer ring_hop fan-out.
+  dom.run([](px::dist::locality& loc0) {
+    std::vector<std::shared_ptr<ring_done>> flags;
+    std::vector<px::agas::gid> gids;
+    for (int i = 0; i < 20; ++i) {
+      auto flag = std::make_shared<ring_done>();
+      gids.push_back(loc0.agas().bind(flag));
+      flags.push_back(flag);
+      loc0.apply<&ring_hop>(static_cast<std::uint32_t>(i % 8), 16, 0,
+                            gids.back());
+    }
+    for (auto& f : flags) f->done.wait();
+    for (auto& g : gids) loc0.agas().unbind(g);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+  SUCCEED();
+}
+
+TEST(Stress, NestedForEachUnderChurn) {
+  px::runtime rt(wcfg(4));
+  std::atomic<long> total{0};
+  for (int round = 0; round < 5; ++round) {
+    rt.post([&total] {
+      std::vector<int> v(2000, 1);
+      px::parallel::for_each(px::execution::par, v.begin(), v.end(),
+                             [](int& x) { x += 1; });
+      total.fetch_add(
+          px::parallel::reduce(px::execution::par, v.begin(), v.end(), 0L,
+                               std::plus<>{}));
+    });
+  }
+  rt.wait_quiescent();
+  EXPECT_EQ(total.load(), 5L * 2000 * 2);
+}
+
+TEST(Stress, RepeatedRuntimeLifecycles) {
+  // Runtimes must come and go cleanly (stack pools, timer interactions).
+  for (int i = 0; i < 15; ++i) {
+    px::runtime rt(wcfg(2));
+    std::atomic<int> n{0};
+    for (int j = 0; j < 50; ++j) rt.post([&n] { n.fetch_add(1); });
+    rt.wait_quiescent();
+    ASSERT_EQ(n.load(), 50) << "iteration " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Tests for the Virtual Node Scheme layout: index mapping, encode/decode
+// round trips, and seam (halo) construction.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "px/simd/simd.hpp"
+
+namespace {
+
+using px::simd::pack;
+namespace vns = px::simd::vns;
+
+TEST(Vns, IndexMapping) {
+  // nv = 4 packs, W lanes: x = l*nv + j.
+  constexpr std::size_t nv = 4;
+  EXPECT_EQ(vns::lane_of(0, nv), 0u);
+  EXPECT_EQ(vns::slot_of(0, nv), 0u);
+  EXPECT_EQ(vns::lane_of(3, nv), 0u);
+  EXPECT_EQ(vns::slot_of(3, nv), 3u);
+  EXPECT_EQ(vns::lane_of(4, nv), 1u);
+  EXPECT_EQ(vns::slot_of(4, nv), 0u);
+  EXPECT_EQ(vns::lane_of(11, nv), 2u);
+  EXPECT_EQ(vns::slot_of(11, nv), 3u);
+}
+
+template <typename T, std::size_t W>
+void roundtrip_case(std::size_t nv) {
+  std::vector<T> src(W * nv);
+  std::iota(src.begin(), src.end(), T(1));
+  std::vector<pack<T, W>> packs(nv);
+  vns::encode<T, W>(std::span<T const>(src), packs.data(), nv);
+
+  // Check the defining property P[j][l] == s[l*nv + j].
+  for (std::size_t j = 0; j < nv; ++j)
+    for (std::size_t l = 0; l < W; ++l)
+      ASSERT_EQ(packs[j][l], src[l * nv + j]);
+
+  std::vector<T> back(W * nv, T(0));
+  vns::decode<T, W>(packs.data(), std::span<T>(back), nv);
+  EXPECT_EQ(back, src);
+}
+
+TEST(Vns, EncodeDecodeRoundtripFloatW4) { roundtrip_case<float, 4>(8); }
+TEST(Vns, EncodeDecodeRoundtripFloatW8) { roundtrip_case<float, 8>(5); }
+TEST(Vns, EncodeDecodeRoundtripDoubleW2) { roundtrip_case<double, 2>(16); }
+TEST(Vns, EncodeDecodeRoundtripDoubleW8) { roundtrip_case<double, 8>(3); }
+TEST(Vns, EncodeDecodeSingleSlot) { roundtrip_case<float, 4>(1); }
+
+TEST(Vns, LeftSeamProvidesLeftNeighboursOfSlotZero) {
+  // Row s[0..W*nv), packs P. The left neighbour of scalar x = l*nv is
+  // s[l*nv - 1]; for lane 0 it is the ghost.
+  constexpr std::size_t W = 4, nv = 4;
+  std::vector<float> src(W * nv);
+  std::iota(src.begin(), src.end(), 0.0f);
+  std::vector<pack<float, W>> P(nv);
+  vns::encode<float, W>(std::span<float const>(src), P.data(), nv);
+
+  float const ghost = -7.0f;
+  auto seam = vns::left_seam(P[nv - 1], ghost);
+  EXPECT_EQ(seam[0], ghost);
+  for (std::size_t l = 1; l < W; ++l)
+    EXPECT_EQ(seam[l], src[l * nv - 1]) << "lane " << l;
+}
+
+TEST(Vns, RightSeamProvidesRightNeighboursOfLastSlot) {
+  // The right neighbour of scalar x = l*nv + (nv-1) is s[(l+1)*nv]; for
+  // the last lane it is the ghost.
+  constexpr std::size_t W = 4, nv = 5;
+  std::vector<double> src(W * nv);
+  std::iota(src.begin(), src.end(), 0.0);
+  std::vector<pack<double, W>> P(nv);
+  vns::encode<double, W>(std::span<double const>(src), P.data(), nv);
+
+  double const ghost = 123.0;
+  auto seam = vns::right_seam(P[0], ghost);
+  EXPECT_EQ(seam[W - 1], ghost);
+  for (std::size_t l = 0; l + 1 < W; ++l)
+    EXPECT_EQ(seam[l], src[(l + 1) * nv]) << "lane " << l;
+}
+
+TEST(Vns, ThreePointStencilViaPackNeighboursMatchesScalar) {
+  // Full property check: a 3-point stencil computed in VNS layout equals
+  // the scalar stencil. This is the exact structure of the 2D kernel's
+  // x-direction neighbours.
+  constexpr std::size_t W = 8, nv = 6, n = W * nv;
+  std::vector<double> src(n);
+  for (std::size_t i = 0; i < n; ++i)
+    src[i] = std::sin(0.1 * static_cast<double>(i));
+  double const gl = -1.5, gr = 2.5;  // row ghosts
+
+  // Scalar reference.
+  std::vector<double> expect(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    double const left = x == 0 ? gl : src[x - 1];
+    double const right = x == n - 1 ? gr : src[x + 1];
+    expect[x] = 0.25 * (left + right) + 0.5 * src[x];
+  }
+
+  // VNS computation.
+  std::vector<pack<double, W>> P(nv), out(nv);
+  vns::encode<double, W>(std::span<double const>(src), P.data(), nv);
+  auto const lseam = vns::left_seam(P[nv - 1], gl);
+  auto const rseam = vns::right_seam(P[0], gr);
+  for (std::size_t j = 0; j < nv; ++j) {
+    auto const left = j == 0 ? lseam : P[j - 1];
+    auto const right = j == nv - 1 ? rseam : P[j + 1];
+    out[j] = (left + right) * pack<double, W>(0.25) +
+             P[j] * pack<double, W>(0.5);
+  }
+  std::vector<double> got(n);
+  vns::decode<double, W>(out.data(), std::span<double>(got), nv);
+
+  for (std::size_t x = 0; x < n; ++x)
+    ASSERT_DOUBLE_EQ(got[x], expect[x]) << "x=" << x;
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for when_all / when_any / wait_all composition.
+#include <gtest/gtest.h>
+
+#include "px/lcos/when_all.hpp"
+
+namespace {
+
+struct WhenAllTest : ::testing::Test {
+  px::runtime rt{[] {
+    px::scheduler_config c;
+    c.num_workers = 3;
+    return c;
+  }()};
+};
+
+TEST_F(WhenAllTest, VariadicDeliversAllValues) {
+  auto result = px::sync_wait(rt, [] {
+    auto a = px::async([] { return 1; });
+    auto b = px::async([] { return std::string("two"); });
+    auto all = px::when_all(std::move(a), std::move(b));
+    auto [fa, fb] = all.get();
+    return std::make_pair(fa.get(), fb.get());
+  });
+  EXPECT_EQ(result.first, 1);
+  EXPECT_EQ(result.second, "two");
+}
+
+TEST_F(WhenAllTest, VectorFormAllReady) {
+  auto sum = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 20; ++i)
+      futs.push_back(px::async([i] {
+        if (i % 3 == 0)
+          px::this_task::sleep_for(std::chrono::milliseconds(5));
+        return i;
+      }));
+    auto ready = px::when_all(std::move(futs)).get();
+    int s = 0;
+    for (auto& f : ready) {
+      EXPECT_TRUE(f.is_ready());
+      s += f.get();
+    }
+    return s;
+  });
+  EXPECT_EQ(sum, 190);
+}
+
+TEST_F(WhenAllTest, EmptyVectorIsImmediatelyReady) {
+  auto ok = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    auto all = px::when_all(std::move(futs));
+    return all.is_ready() && all.get().empty();
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(WhenAllTest, ExceptionsSurfacePerFuture) {
+  auto counts = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 10; ++i)
+      futs.push_back(px::async([i]() -> int {
+        if (i % 2 == 0) throw std::runtime_error("even");
+        return i;
+      }));
+    auto ready = px::when_all(std::move(futs)).get();
+    int ok = 0, failed = 0;
+    for (auto& f : ready) {
+      try {
+        (void)f.get();
+        ++ok;
+      } catch (std::runtime_error const&) {
+        ++failed;
+      }
+    }
+    return std::make_pair(ok, failed);
+  });
+  EXPECT_EQ(counts.first, 5);
+  EXPECT_EQ(counts.second, 5);
+}
+
+TEST_F(WhenAllTest, WhenAnyReturnsFirstIndex) {
+  auto idx = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    futs.push_back(px::async([] {
+      px::this_task::sleep_for(std::chrono::milliseconds(80));
+      return 0;
+    }));
+    futs.push_back(px::async([] { return 1; }));
+    futs.push_back(px::async([] {
+      px::this_task::sleep_for(std::chrono::milliseconds(80));
+      return 2;
+    }));
+    auto any = px::when_any(std::move(futs)).get();
+    EXPECT_EQ(any.futures.size(), 3u);
+    EXPECT_TRUE(any.futures[any.index].is_ready());
+    return any.index;
+  });
+  EXPECT_EQ(idx, 1u);
+}
+
+TEST_F(WhenAllTest, WhenAnyRemainingFuturesStayUsable) {
+  auto total = px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 4; ++i)
+      futs.push_back(px::async([i] {
+        px::this_task::sleep_for(std::chrono::milliseconds(5 * i));
+        return i + 1;
+      }));
+    auto any = px::when_any(std::move(futs)).get();
+    int sum = 0;
+    for (auto& f : any.futures) sum += f.get();  // waits for the rest too
+    return sum;
+  });
+  EXPECT_EQ(total, 10);
+}
+
+TEST_F(WhenAllTest, WaitAllBlocksUntilAllReady) {
+  px::sync_wait(rt, [] {
+    std::vector<px::future<int>> futs;
+    for (int i = 0; i < 8; ++i)
+      futs.push_back(px::async([i] {
+        px::this_task::sleep_for(std::chrono::milliseconds(2 * i));
+        return i;
+      }));
+    px::wait_all(futs);
+    for (auto& f : futs) EXPECT_TRUE(f.is_ready());
+    return 0;
+  });
+}
+
+TEST_F(WhenAllTest, WhenAllOfWhenAll) {
+  auto v = px::sync_wait(rt, [] {
+    auto a = px::when_all(px::async([] { return 1; }),
+                          px::async([] { return 2; }));
+    auto b = px::async([] { return 3; });
+    auto outer = px::when_all(std::move(a), std::move(b));
+    auto [fa, fb] = outer.get();
+    auto [f1, f2] = fa.get();
+    return f1.get() + f2.get() + fb.get();
+  });
+  EXPECT_EQ(v, 6);
+}
+
+}  // namespace

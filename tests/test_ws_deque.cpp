@@ -1,0 +1,127 @@
+// Tests for the Chase-Lev work-stealing deque: single-owner semantics,
+// LIFO pop / FIFO steal ordering, growth, and a multi-thief stress test
+// checking that every pushed item is claimed exactly once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "px/runtime/ws_deque.hpp"
+
+namespace {
+
+TEST(WsDeque, EmptyPopAndStealReturnNull) {
+  px::rt::ws_deque<int> dq;
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WsDeque, OwnerPopIsLifo) {
+  px::rt::ws_deque<int> dq;
+  int a = 1, b = 2, c = 3;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.pop(), &c);
+  EXPECT_EQ(dq.pop(), &b);
+  EXPECT_EQ(dq.pop(), &a);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, StealIsFifo) {
+  px::rt::ws_deque<int> dq;
+  int a = 1, b = 2, c = 3;
+  dq.push(&a);
+  dq.push(&b);
+  dq.push(&c);
+  EXPECT_EQ(dq.steal(), &a);
+  EXPECT_EQ(dq.steal(), &b);
+  EXPECT_EQ(dq.steal(), &c);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(WsDeque, MixedPopAndSteal) {
+  px::rt::ws_deque<int> dq;
+  int v[4] = {0, 1, 2, 3};
+  for (auto& x : v) dq.push(&x);
+  EXPECT_EQ(dq.steal(), &v[0]);
+  EXPECT_EQ(dq.pop(), &v[3]);
+  EXPECT_EQ(dq.steal(), &v[1]);
+  EXPECT_EQ(dq.pop(), &v[2]);
+  EXPECT_EQ(dq.pop(), nullptr);
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  px::rt::ws_deque<int> dq(4);
+  std::vector<int> vals(1000);
+  for (auto& v : vals) dq.push(&v);
+  EXPECT_EQ(dq.size_estimate(), 1000);
+  for (int i = 999; i >= 0; --i) ASSERT_EQ(dq.pop(), &vals[i]);
+}
+
+TEST(WsDeque, SizeEstimate) {
+  px::rt::ws_deque<int> dq;
+  int a = 0;
+  EXPECT_EQ(dq.size_estimate(), 0);
+  dq.push(&a);
+  dq.push(&a);
+  EXPECT_EQ(dq.size_estimate(), 2);
+  (void)dq.pop();
+  EXPECT_EQ(dq.size_estimate(), 1);
+}
+
+// Concurrency stress: one owner pushing/popping, several thieves stealing.
+// Every element must be claimed exactly once across all parties.
+TEST(WsDeque, ConcurrentStealStress) {
+  constexpr int n_items = 50000;
+  constexpr int n_thieves = 3;
+  px::rt::ws_deque<int> dq(64);
+  std::vector<int> items(n_items);
+  for (int i = 0; i < n_items; ++i) items[i] = i;
+
+  std::vector<std::atomic<int>> claimed(n_items);
+  for (auto& c : claimed) c.store(0);
+
+  std::atomic<bool> done{false};
+  std::atomic<long> stolen{0}, popped{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < n_thieves; ++t)
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* p = dq.steal()) {
+          claimed[*p].fetch_add(1);
+          stolen.fetch_add(1);
+        }
+      }
+      // Final drain after the owner finished.
+      while (int* p = dq.steal()) {
+        claimed[*p].fetch_add(1);
+        stolen.fetch_add(1);
+      }
+    });
+
+  // Owner: push all, popping a few along the way.
+  for (int i = 0; i < n_items; ++i) {
+    dq.push(&items[i]);
+    if (i % 7 == 0) {
+      if (int* p = dq.pop()) {
+        claimed[*p].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    }
+  }
+  while (int* p = dq.pop()) {
+    claimed[*p].fetch_add(1);
+    popped.fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(stolen.load() + popped.load(), n_items);
+  for (int i = 0; i < n_items; ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
+}  // namespace
