@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_blocking.dir/ablation_cache_blocking.cpp.o"
+  "CMakeFiles/ablation_cache_blocking.dir/ablation_cache_blocking.cpp.o.d"
+  "ablation_cache_blocking"
+  "ablation_cache_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

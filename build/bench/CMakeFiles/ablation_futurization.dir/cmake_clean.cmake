@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_futurization.dir/ablation_futurization.cpp.o"
+  "CMakeFiles/ablation_futurization.dir/ablation_futurization.cpp.o.d"
+  "ablation_futurization"
+  "ablation_futurization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_futurization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_grain_size.dir/ablation_grain_size.cpp.o"
+  "CMakeFiles/ablation_grain_size.dir/ablation_grain_size.cpp.o.d"
+  "ablation_grain_size"
+  "ablation_grain_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_grain_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

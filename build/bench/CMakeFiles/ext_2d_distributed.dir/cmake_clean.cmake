@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_2d_distributed.dir/ext_2d_distributed.cpp.o"
+  "CMakeFiles/ext_2d_distributed.dir/ext_2d_distributed.cpp.o.d"
+  "ext_2d_distributed"
+  "ext_2d_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_2d_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_stream.dir/fig2_stream.cpp.o"
+  "CMakeFiles/fig2_stream.dir/fig2_stream.cpp.o.d"
+  "fig2_stream"
+  "fig2_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_2d_xeon.dir/fig4_2d_xeon.cpp.o"
+  "CMakeFiles/fig4_2d_xeon.dir/fig4_2d_xeon.cpp.o.d"
+  "fig4_2d_xeon"
+  "fig4_2d_xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_2d_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_2d_xeon.
+# This may be replaced when dependencies are built.

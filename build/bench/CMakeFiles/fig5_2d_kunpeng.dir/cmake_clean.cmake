@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_2d_kunpeng.dir/fig5_2d_kunpeng.cpp.o"
+  "CMakeFiles/fig5_2d_kunpeng.dir/fig5_2d_kunpeng.cpp.o.d"
+  "fig5_2d_kunpeng"
+  "fig5_2d_kunpeng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_2d_kunpeng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_2d_kunpeng.
+# This may be replaced when dependencies are built.

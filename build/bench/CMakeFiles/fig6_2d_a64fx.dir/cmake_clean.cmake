@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_2d_a64fx.dir/fig6_2d_a64fx.cpp.o"
+  "CMakeFiles/fig6_2d_a64fx.dir/fig6_2d_a64fx.cpp.o.d"
+  "fig6_2d_a64fx"
+  "fig6_2d_a64fx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_2d_a64fx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_2d_tx2.dir/fig8_2d_tx2.cpp.o"
+  "CMakeFiles/fig8_2d_tx2.dir/fig8_2d_tx2.cpp.o.d"
+  "fig8_2d_tx2"
+  "fig8_2d_tx2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_2d_tx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

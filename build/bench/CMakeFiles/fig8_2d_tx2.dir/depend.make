@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_2d_tx2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fiber.dir/micro_fiber.cpp.o"
+  "CMakeFiles/micro_fiber.dir/micro_fiber.cpp.o.d"
+  "micro_fiber"
+  "micro_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

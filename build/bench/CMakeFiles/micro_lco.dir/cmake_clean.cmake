@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lco.dir/micro_lco.cpp.o"
+  "CMakeFiles/micro_lco.dir/micro_lco.cpp.o.d"
+  "micro_lco"
+  "micro_lco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

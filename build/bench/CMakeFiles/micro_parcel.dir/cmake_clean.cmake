@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_parcel.dir/micro_parcel.cpp.o"
+  "CMakeFiles/micro_parcel.dir/micro_parcel.cpp.o.d"
+  "micro_parcel"
+  "micro_parcel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

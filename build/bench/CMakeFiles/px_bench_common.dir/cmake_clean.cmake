@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/px_bench_common.dir/bench_common.cpp.o.d"
+  "libpx_bench_common.a"
+  "libpx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

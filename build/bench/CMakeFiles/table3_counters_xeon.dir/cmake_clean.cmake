@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_counters_xeon.dir/table3_counters_xeon.cpp.o"
+  "CMakeFiles/table3_counters_xeon.dir/table3_counters_xeon.cpp.o.d"
+  "table3_counters_xeon"
+  "table3_counters_xeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_counters_xeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

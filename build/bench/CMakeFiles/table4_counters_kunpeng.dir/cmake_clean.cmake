@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_counters_kunpeng.dir/table4_counters_kunpeng.cpp.o"
+  "CMakeFiles/table4_counters_kunpeng.dir/table4_counters_kunpeng.cpp.o.d"
+  "table4_counters_kunpeng"
+  "table4_counters_kunpeng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_counters_kunpeng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_counters_tx2.dir/table6_counters_tx2.cpp.o"
+  "CMakeFiles/table6_counters_tx2.dir/table6_counters_tx2.cpp.o.d"
+  "table6_counters_tx2"
+  "table6_counters_tx2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_counters_tx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_counters_tx2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_dot.dir/distributed_dot.cpp.o"
+  "CMakeFiles/distributed_dot.dir/distributed_dot.cpp.o.d"
+  "distributed_dot"
+  "distributed_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat1d_cluster.dir/heat1d_cluster.cpp.o"
+  "CMakeFiles/heat1d_cluster.dir/heat1d_cluster.cpp.o.d"
+  "heat1d_cluster"
+  "heat1d_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat1d_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

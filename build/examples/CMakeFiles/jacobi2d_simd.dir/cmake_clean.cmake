@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi2d_simd.dir/jacobi2d_simd.cpp.o"
+  "CMakeFiles/jacobi2d_simd.dir/jacobi2d_simd.cpp.o.d"
+  "jacobi2d_simd"
+  "jacobi2d_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi2d_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/px/arch/cluster_sim.cpp" "src/CMakeFiles/px_arch.dir/px/arch/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/cluster_sim.cpp.o.d"
+  "/root/repo/src/px/arch/counter_model.cpp" "src/CMakeFiles/px_arch.dir/px/arch/counter_model.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/counter_model.cpp.o.d"
+  "/root/repo/src/px/arch/machine.cpp" "src/CMakeFiles/px_arch.dir/px/arch/machine.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/machine.cpp.o.d"
+  "/root/repo/src/px/arch/perf_counters.cpp" "src/CMakeFiles/px_arch.dir/px/arch/perf_counters.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/perf_counters.cpp.o.d"
+  "/root/repo/src/px/arch/roofline.cpp" "src/CMakeFiles/px_arch.dir/px/arch/roofline.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/roofline.cpp.o.d"
+  "/root/repo/src/px/arch/scaling_model.cpp" "src/CMakeFiles/px_arch.dir/px/arch/scaling_model.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/scaling_model.cpp.o.d"
+  "/root/repo/src/px/arch/stream_bench.cpp" "src/CMakeFiles/px_arch.dir/px/arch/stream_bench.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/stream_bench.cpp.o.d"
+  "/root/repo/src/px/arch/stream_model.cpp" "src/CMakeFiles/px_arch.dir/px/arch/stream_model.cpp.o" "gcc" "src/CMakeFiles/px_arch.dir/px/arch/stream_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/px_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/px_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_arch.dir/px/arch/cluster_sim.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/cluster_sim.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/counter_model.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/counter_model.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/machine.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/machine.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/perf_counters.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/perf_counters.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/roofline.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/roofline.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/scaling_model.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/scaling_model.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/stream_bench.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/stream_bench.cpp.o.d"
+  "CMakeFiles/px_arch.dir/px/arch/stream_model.cpp.o"
+  "CMakeFiles/px_arch.dir/px/arch/stream_model.cpp.o.d"
+  "libpx_arch.a"
+  "libpx_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/px/fibers/fiber.cpp" "src/CMakeFiles/px_core.dir/px/fibers/fiber.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/fibers/fiber.cpp.o.d"
+  "/root/repo/src/px/fibers/stack.cpp" "src/CMakeFiles/px_core.dir/px/fibers/stack.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/fibers/stack.cpp.o.d"
+  "/root/repo/src/px/parallel/executors.cpp" "src/CMakeFiles/px_core.dir/px/parallel/executors.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/parallel/executors.cpp.o.d"
+  "/root/repo/src/px/runtime/runtime.cpp" "src/CMakeFiles/px_core.dir/px/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/runtime.cpp.o.d"
+  "/root/repo/src/px/runtime/scheduler.cpp" "src/CMakeFiles/px_core.dir/px/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/px/runtime/task.cpp" "src/CMakeFiles/px_core.dir/px/runtime/task.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/task.cpp.o.d"
+  "/root/repo/src/px/runtime/timer_service.cpp" "src/CMakeFiles/px_core.dir/px/runtime/timer_service.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/timer_service.cpp.o.d"
+  "/root/repo/src/px/runtime/trace.cpp" "src/CMakeFiles/px_core.dir/px/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/trace.cpp.o.d"
+  "/root/repo/src/px/runtime/worker.cpp" "src/CMakeFiles/px_core.dir/px/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/px_core.dir/px/runtime/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/px_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

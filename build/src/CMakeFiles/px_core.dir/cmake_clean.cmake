@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_core.dir/px/fibers/fiber.cpp.o"
+  "CMakeFiles/px_core.dir/px/fibers/fiber.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/fibers/stack.cpp.o"
+  "CMakeFiles/px_core.dir/px/fibers/stack.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/parallel/executors.cpp.o"
+  "CMakeFiles/px_core.dir/px/parallel/executors.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/runtime.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/runtime.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/scheduler.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/scheduler.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/task.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/task.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/timer_service.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/timer_service.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/trace.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/trace.cpp.o.d"
+  "CMakeFiles/px_core.dir/px/runtime/worker.cpp.o"
+  "CMakeFiles/px_core.dir/px/runtime/worker.cpp.o.d"
+  "libpx_core.a"
+  "libpx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/px/agas/gid.cpp" "src/CMakeFiles/px_dist.dir/px/agas/gid.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/agas/gid.cpp.o.d"
+  "/root/repo/src/px/agas/registry.cpp" "src/CMakeFiles/px_dist.dir/px/agas/registry.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/agas/registry.cpp.o.d"
+  "/root/repo/src/px/dist/dist_barrier.cpp" "src/CMakeFiles/px_dist.dir/px/dist/dist_barrier.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/dist/dist_barrier.cpp.o.d"
+  "/root/repo/src/px/dist/distributed_domain.cpp" "src/CMakeFiles/px_dist.dir/px/dist/distributed_domain.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/dist/distributed_domain.cpp.o.d"
+  "/root/repo/src/px/net/fabric.cpp" "src/CMakeFiles/px_dist.dir/px/net/fabric.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/net/fabric.cpp.o.d"
+  "/root/repo/src/px/parcel/action_registry.cpp" "src/CMakeFiles/px_dist.dir/px/parcel/action_registry.cpp.o" "gcc" "src/CMakeFiles/px_dist.dir/px/parcel/action_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/px_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/px_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_dist.dir/px/agas/gid.cpp.o"
+  "CMakeFiles/px_dist.dir/px/agas/gid.cpp.o.d"
+  "CMakeFiles/px_dist.dir/px/agas/registry.cpp.o"
+  "CMakeFiles/px_dist.dir/px/agas/registry.cpp.o.d"
+  "CMakeFiles/px_dist.dir/px/dist/dist_barrier.cpp.o"
+  "CMakeFiles/px_dist.dir/px/dist/dist_barrier.cpp.o.d"
+  "CMakeFiles/px_dist.dir/px/dist/distributed_domain.cpp.o"
+  "CMakeFiles/px_dist.dir/px/dist/distributed_domain.cpp.o.d"
+  "CMakeFiles/px_dist.dir/px/net/fabric.cpp.o"
+  "CMakeFiles/px_dist.dir/px/net/fabric.cpp.o.d"
+  "CMakeFiles/px_dist.dir/px/parcel/action_registry.cpp.o"
+  "CMakeFiles/px_dist.dir/px/parcel/action_registry.cpp.o.d"
+  "libpx_dist.a"
+  "libpx_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_stencil.dir/px/stencil/heat1d.cpp.o"
+  "CMakeFiles/px_stencil.dir/px/stencil/heat1d.cpp.o.d"
+  "CMakeFiles/px_stencil.dir/px/stencil/heat1d_distributed.cpp.o"
+  "CMakeFiles/px_stencil.dir/px/stencil/heat1d_distributed.cpp.o.d"
+  "CMakeFiles/px_stencil.dir/px/stencil/jacobi2d_distributed.cpp.o"
+  "CMakeFiles/px_stencil.dir/px/stencil/jacobi2d_distributed.cpp.o.d"
+  "CMakeFiles/px_stencil.dir/px/stencil/reference.cpp.o"
+  "CMakeFiles/px_stencil.dir/px/stencil/reference.cpp.o.d"
+  "libpx_stencil.a"
+  "libpx_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

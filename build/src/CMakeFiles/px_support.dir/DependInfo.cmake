@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/px/support/affinity.cpp" "src/CMakeFiles/px_support.dir/px/support/affinity.cpp.o" "gcc" "src/CMakeFiles/px_support.dir/px/support/affinity.cpp.o.d"
+  "/root/repo/src/px/support/env.cpp" "src/CMakeFiles/px_support.dir/px/support/env.cpp.o" "gcc" "src/CMakeFiles/px_support.dir/px/support/env.cpp.o.d"
+  "/root/repo/src/px/support/topology.cpp" "src/CMakeFiles/px_support.dir/px/support/topology.cpp.o" "gcc" "src/CMakeFiles/px_support.dir/px/support/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/px_support.dir/px/support/affinity.cpp.o"
+  "CMakeFiles/px_support.dir/px/support/affinity.cpp.o.d"
+  "CMakeFiles/px_support.dir/px/support/env.cpp.o"
+  "CMakeFiles/px_support.dir/px/support/env.cpp.o.d"
+  "CMakeFiles/px_support.dir/px/support/topology.cpp.o"
+  "CMakeFiles/px_support.dir/px/support/topology.cpp.o.d"
+  "libpx_support.a"
+  "libpx_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/px_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpx_support.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agas.dir/test_agas.cpp.o"
+  "CMakeFiles/test_agas.dir/test_agas.cpp.o.d"
+  "test_agas"
+  "test_agas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch_extra.dir/test_arch_extra.cpp.o"
+  "CMakeFiles/test_arch_extra.dir/test_arch_extra.cpp.o.d"
+  "test_arch_extra"
+  "test_arch_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_heat.dir/test_dist_heat.cpp.o"
+  "CMakeFiles/test_dist_heat.dir/test_dist_heat.cpp.o.d"
+  "test_dist_heat"
+  "test_dist_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

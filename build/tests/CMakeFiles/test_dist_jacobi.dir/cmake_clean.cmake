@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_jacobi.dir/test_dist_jacobi.cpp.o"
+  "CMakeFiles/test_dist_jacobi.dir/test_dist_jacobi.cpp.o.d"
+  "test_dist_jacobi"
+  "test_dist_jacobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fibers.dir/test_fibers.cpp.o"
+  "CMakeFiles/test_fibers.dir/test_fibers.cpp.o.d"
+  "test_fibers"
+  "test_fibers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fibers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_field2d.dir/test_field2d.cpp.o"
+  "CMakeFiles/test_field2d.dir/test_field2d.cpp.o.d"
+  "test_field2d"
+  "test_field2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_field2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

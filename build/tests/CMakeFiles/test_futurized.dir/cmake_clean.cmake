@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_futurized.dir/test_futurized.cpp.o"
+  "CMakeFiles/test_futurized.dir/test_futurized.cpp.o.d"
+  "test_futurized"
+  "test_futurized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_futurized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

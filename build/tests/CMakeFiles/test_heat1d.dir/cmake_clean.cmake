@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heat1d.dir/test_heat1d.cpp.o"
+  "CMakeFiles/test_heat1d.dir/test_heat1d.cpp.o.d"
+  "test_heat1d"
+  "test_heat1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heat1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

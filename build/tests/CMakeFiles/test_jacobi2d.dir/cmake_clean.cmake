@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jacobi2d.dir/test_jacobi2d.cpp.o"
+  "CMakeFiles/test_jacobi2d.dir/test_jacobi2d.cpp.o.d"
+  "test_jacobi2d"
+  "test_jacobi2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jacobi2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

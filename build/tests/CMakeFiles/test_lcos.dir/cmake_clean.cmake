@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcos.dir/test_lcos.cpp.o"
+  "CMakeFiles/test_lcos.dir/test_lcos.cpp.o.d"
+  "test_lcos"
+  "test_lcos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

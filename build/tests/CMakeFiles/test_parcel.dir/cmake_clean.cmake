@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parcel.dir/test_parcel.cpp.o"
+  "CMakeFiles/test_parcel.dir/test_parcel.cpp.o.d"
+  "test_parcel"
+  "test_parcel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parcel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

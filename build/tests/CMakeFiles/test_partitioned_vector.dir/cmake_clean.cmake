@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_vector.dir/test_partitioned_vector.cpp.o"
+  "CMakeFiles/test_partitioned_vector.dir/test_partitioned_vector.cpp.o.d"
+  "test_partitioned_vector"
+  "test_partitioned_vector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

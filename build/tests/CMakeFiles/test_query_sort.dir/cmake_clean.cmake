@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_sort.dir/test_query_sort.cpp.o"
+  "CMakeFiles/test_query_sort.dir/test_query_sort.cpp.o.d"
+  "test_query_sort"
+  "test_query_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

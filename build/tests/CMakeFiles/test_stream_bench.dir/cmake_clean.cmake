@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_bench.dir/test_stream_bench.cpp.o"
+  "CMakeFiles/test_stream_bench.dir/test_stream_bench.cpp.o.d"
+  "test_stream_bench"
+  "test_stream_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_model.dir/test_stream_model.cpp.o"
+  "CMakeFiles/test_stream_model.dir/test_stream_model.cpp.o.d"
+  "test_stream_model"
+  "test_stream_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vns.dir/test_vns.cpp.o"
+  "CMakeFiles/test_vns.dir/test_vns.cpp.o.d"
+  "test_vns"
+  "test_vns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

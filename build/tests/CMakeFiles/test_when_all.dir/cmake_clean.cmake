@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_when_all.dir/test_when_all.cpp.o"
+  "CMakeFiles/test_when_all.dir/test_when_all.cpp.o.d"
+  "test_when_all"
+  "test_when_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_when_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

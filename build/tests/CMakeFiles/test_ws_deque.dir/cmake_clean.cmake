@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ws_deque.dir/test_ws_deque.cpp.o"
+  "CMakeFiles/test_ws_deque.dir/test_ws_deque.cpp.o.d"
+  "test_ws_deque"
+  "test_ws_deque.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ws_deque.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
