@@ -25,12 +25,12 @@ struct outcome {
 template <typename Run>
 outcome measure(px::runtime& rt, std::vector<double> const& initial,
                 std::vector<double> const& ref, Run&& run) {
-  auto const before = rt.sched().aggregate_stats().tasks_executed;
+  auto const before = rt.stats().tasks_executed;
   px::high_resolution_timer timer;
   auto values = px::sync_wait(rt, run);
   outcome o;
   o.seconds = timer.elapsed();
-  o.tasks = rt.sched().aggregate_stats().tasks_executed - before;
+  o.tasks = rt.stats().tasks_executed - before;
   o.max_err = px::stencil::max_abs_diff(values, ref);
   (void)initial;
   return o;

@@ -33,12 +33,12 @@ int main() {
     field2d<float> u0(nx, ny), u1(nx, ny);
     init_dirichlet_problem(u0);
     init_dirichlet_problem(u1);
-    auto const before = rt.sched().aggregate_stats();
+    auto const before = rt.stats();
     auto result = px::sync_wait(rt, [&] {
       return run_jacobi2d(px::execution::par.with(rows_per_task), u0, u1,
                           steps);
     });
-    auto const after = rt.sched().aggregate_stats();
+    auto const after = rt.stats();
     std::printf("%9zu | %11zu | %7.0f | %11llu | %llu\n", rows_per_task,
                 (ny + rows_per_task - 1) / rows_per_task,
                 result.glups * 1e3,

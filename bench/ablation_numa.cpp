@@ -38,7 +38,7 @@ double triad(px::runtime& rt, bool matching_placement) {
   constexpr std::size_t n = 1 << 21;
   using dvec = std::vector<double, px::aligned_allocator<double, 64>>;
   dvec a(n), b(n), c(n);
-  px::block_executor block_ex(rt.sched());
+  px::block_executor block_ex(rt);
   auto touch_policy = px::execution::par.on(block_ex);
 
   // First touch with block placement...

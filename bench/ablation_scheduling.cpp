@@ -44,8 +44,8 @@ int main() {
   px::runtime rt(cfg);
   constexpr std::size_t rows = 256, reps = 6;
 
-  px::block_executor block_ex(rt.sched());
-  px::thread_pool_executor pool_ex(rt.sched());
+  px::block_executor block_ex(rt);
+  px::thread_pool_executor pool_ex(rt);
 
   double const stealing =
       run_sweep(rt, px::execution::par.on(pool_ex).with(1), rows, reps);

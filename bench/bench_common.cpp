@@ -10,6 +10,37 @@
 
 namespace px::bench {
 
+counter_probe::counter_probe()
+    : begin_(counters::registry::instance().take_snapshot()) {}
+
+std::string counter_probe::row_suffix() const {
+  auto const d =
+      counters::delta(begin_, counters::registry::instance().take_snapshot());
+  // Per-worker paths share a metric suffix; summing by suffix folds them
+  // into one pool-wide number per metric.
+  auto sum_suffix = [&](std::string const& suffix) {
+    std::uint64_t total = 0;
+    for (auto const& s : d.samples)
+      if (s.path.size() >= suffix.size() &&
+          s.path.compare(s.path.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+        total += s.value;
+    return total;
+  };
+  char buf[192];
+  std::snprintf(
+      buf, sizeof buf,
+      "[counters: tasks=%llu steals=%llu yields=%llu stack_hits=%llu "
+      "stack_misses=%llu parcels=%llu]",
+      static_cast<unsigned long long>(sum_suffix("/tasks_executed")),
+      static_cast<unsigned long long>(sum_suffix("/steals")),
+      static_cast<unsigned long long>(sum_suffix("/yields")),
+      static_cast<unsigned long long>(sum_suffix("/pool_hits")),
+      static_cast<unsigned long long>(sum_suffix("/pool_misses")),
+      static_cast<unsigned long long>(sum_suffix("/parcel/messages_sent")));
+  return buf;
+}
+
 void print_header(std::string const& experiment,
                   std::string const& caption) {
   std::printf("==============================================================="
@@ -131,14 +162,30 @@ double host_variant_mlups(px::runtime& rt, std::size_t nx, std::size_t ny,
 void host_validate_2d(std::size_t nx, std::size_t ny, std::size_t steps) {
   px::runtime rt{px::scheduler_config{}};
   using px::simd::abi::native;
-  double const fa = host_variant_mlups<float>(rt, nx, ny, steps);
-  double const fp = host_variant_mlups<native<float>>(rt, nx, ny, steps);
-  double const da = host_variant_mlups<double>(rt, nx, ny, steps);
-  double const dp = host_variant_mlups<native<double>>(rt, nx, ny, steps);
-  std::printf("\nhost validation (%zux%zu, %zu steps, real run): "
-              "float %.0f/%.0f MLUP/s (auto/pack), double %.0f/%.0f — "
-              "pack speedup %.2fx / %.2fx\n",
-              nx, ny, steps, fa, fp, da, dp, fp / fa, dp / da);
+  // One timing row per variant, each with the counter deltas it produced.
+  auto timed_row = [](char const* label, auto run) {
+    counter_probe probe;
+    double const mlups = run();
+    std::printf("  %-11s %8.0f MLUP/s  %s\n", label, mlups,
+                probe.row_suffix().c_str());
+    return mlups;
+  };
+  std::printf("\nhost validation (%zux%zu, %zu steps, real run):\n", nx, ny,
+              steps);
+  double const fa = timed_row("float-auto", [&] {
+    return host_variant_mlups<float>(rt, nx, ny, steps);
+  });
+  double const fp = timed_row("float-pack", [&] {
+    return host_variant_mlups<native<float>>(rt, nx, ny, steps);
+  });
+  double const da = timed_row("double-auto", [&] {
+    return host_variant_mlups<double>(rt, nx, ny, steps);
+  });
+  double const dp = timed_row("double-pack", [&] {
+    return host_variant_mlups<native<double>>(rt, nx, ny, steps);
+  });
+  std::printf("  pack speedup: float %.2fx, double %.2fx\n", fp / fa,
+              dp / da);
 }
 
 bool write_csv(std::string const& experiment,

@@ -17,8 +17,26 @@
 #include "px/arch/machine.hpp"
 #include "px/arch/scaling_model.hpp"
 #include "px/arch/stream_model.hpp"
+#include "px/counters/counters.hpp"
 
 namespace px::bench {
+
+// Brackets one timed region with registry snapshots so a timing row can
+// carry the runtime activity behind it. Construction snapshots every
+// /px/... counter; row_suffix() takes the closing snapshot and formats the
+// interesting deltas (tasks executed, steals, yields, stack-pool traffic,
+// parcels) as a bracketed suffix for the bench row.
+class counter_probe {
+ public:
+  counter_probe();
+
+  // Formats the deltas since construction; call once, at the end of the
+  // region.
+  [[nodiscard]] std::string row_suffix() const;
+
+ private:
+  counters::snapshot begin_;
+};
 
 // Prints the banner shared by all generators.
 void print_header(std::string const& experiment, std::string const& caption);

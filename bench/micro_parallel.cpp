@@ -73,7 +73,7 @@ BENCHMARK(BM_SequentialBaselineForEach);
 
 void BM_BlockExecutorForLoop(benchmark::State& state) {
   auto& rt = shared_rt();
-  px::block_executor ex(rt.sched());
+  px::block_executor ex(rt);
   auto policy = px::execution::par.on(ex);
   std::size_t const n = 1 << 16;
   std::vector<double> v(n, 1.0);

@@ -32,7 +32,7 @@ int main() {
 
   std::string const path = "/tmp/px_jacobi_trace.json";
   bool const wrote = px::trace::write_json_file(path);
-  auto const stats = rt.sched().aggregate_stats();
+  auto const stats = rt.stats();
 
   std::printf("2D Jacobi %zux%zu, %zu steps: %.1f MLUP/s\n", nx, ny, steps,
               result.glups * 1e3);
@@ -51,6 +51,21 @@ int main() {
               busy_s, rt.num_workers(), elapsed,
               100.0 * busy_s /
                   (elapsed * static_cast<double>(rt.num_workers())));
+  // Dump the full performance-counter registry next to the trace: every
+  // /px/... path the runtime registered (scheduler, per-worker, stacks,
+  // parcel, timer, net, trace), one JSON snapshot.
+  std::string const counters_path = "/tmp/px_counters.json";
+  bool const counters_wrote = px::counters::write_json_file(counters_path);
+  auto const snap = px::counters::registry::instance().take_snapshot();
+  std::printf("counters: %zu paths%s%s\n", snap.samples.size(),
+              counters_wrote ? " written to " : " (write failed: ",
+              counters_wrote ? counters_path.c_str() : counters_path.c_str());
+  std::uint64_t spawned = 0;
+  px::counters::registry::instance().value_of(
+      "/px/scheduler{" + rt.counter_instance() + "}/tasks_spawned", spawned);
+  std::printf("counters: /px/scheduler{%s}/tasks_spawned = %llu\n",
+              rt.counter_instance().c_str(),
+              static_cast<unsigned long long>(spawned));
   std::printf("\nOpen the JSON in https://ui.perfetto.dev to see the "
               "per-worker task timeline.\n");
   return 0;

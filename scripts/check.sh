@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: fresh configure, full build, full test suite.
+# Run from anywhere; builds into <repo>/build.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j
+cd "$repo/build" && ctest --output-on-failure -j

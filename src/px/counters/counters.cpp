@@ -1,0 +1,357 @@
+#include "px/counters/counters.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "px/runtime/trace.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::counters {
+
+char const* kind_name(kind k) noexcept {
+  return k == kind::monotone ? "monotone" : "gauge";
+}
+
+// ---- snapshot -----------------------------------------------------------
+
+sample const* snapshot::find(std::string const& path) const noexcept {
+  // Samples are sorted by path (take_snapshot) — but a parsed or
+  // hand-built snapshot may not be, so fall back to a linear scan.
+  auto it = std::find_if(samples.begin(), samples.end(),
+                         [&](sample const& s) { return s.path == path; });
+  return it == samples.end() ? nullptr : &*it;
+}
+
+std::string snapshot::to_json() const {
+  std::string out;
+  out.reserve(samples.size() * 72 + 48);
+  out += "{\"timestamp_ns\":";
+  out += std::to_string(timestamp_ns);
+  out += ",\"counters\":[";
+  bool first = true;
+  for (auto const& s : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":\"";
+    out += s.path;  // registration forbids '"' and control chars
+    out += "\",\"kind\":\"";
+    out += kind_name(s.k);
+    out += "\",\"value\":";
+    out += std::to_string(s.value);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string snapshot::to_csv() const {
+  std::string out = "path,kind,value\n";
+  out.reserve(out.size() + samples.size() * 48);
+  for (auto const& s : samples) {
+    out += s.path;
+    out += ',';
+    out += kind_name(s.k);
+    out += ',';
+    out += std::to_string(s.value);
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(char const* what) {
+  throw std::runtime_error(std::string("px::counters parse error: ") + what);
+}
+
+// Advances past `token` (which must occur at or after `pos`) and returns
+// the position one past it.
+std::size_t expect(std::string const& text, std::size_t pos,
+                   char const* token) {
+  std::size_t const at = text.find(token, pos);
+  if (at == std::string::npos) parse_fail(token);
+  return at + std::string::traits_type::length(token);
+}
+
+std::uint64_t parse_uint(std::string const& text, std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+    parse_fail("expected integer");
+  std::uint64_t v = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  return v;
+}
+
+kind parse_kind(std::string const& word) {
+  if (word == "monotone") return kind::monotone;
+  if (word == "gauge") return kind::gauge;
+  parse_fail("unknown counter kind");
+}
+
+}  // namespace
+
+snapshot parse_json(std::string const& text) {
+  snapshot snap;
+  std::size_t pos = expect(text, 0, "{\"timestamp_ns\":");
+  snap.timestamp_ns = parse_uint(text, pos);
+  pos = expect(text, pos, "\"counters\":[");
+  // Empty array: the next structural char is the closing bracket.
+  while (true) {
+    std::size_t const obj = text.find('{', pos);
+    std::size_t const close = text.find(']', pos);
+    if (close == std::string::npos) parse_fail("unterminated counters array");
+    if (obj == std::string::npos || close < obj) break;
+    sample s;
+    pos = expect(text, obj, "\"path\":\"");
+    std::size_t const path_end = text.find('"', pos);
+    if (path_end == std::string::npos) parse_fail("unterminated path");
+    s.path = text.substr(pos, path_end - pos);
+    pos = expect(text, path_end, "\"kind\":\"");
+    std::size_t const kind_end = text.find('"', pos);
+    if (kind_end == std::string::npos) parse_fail("unterminated kind");
+    s.k = parse_kind(text.substr(pos, kind_end - pos));
+    pos = expect(text, kind_end, "\"value\":");
+    s.value = parse_uint(text, pos);
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+snapshot parse_csv(std::string const& text) {
+  snapshot snap;  // CSV carries no timestamp; stays 0
+  std::size_t pos = 0;
+  bool header = true;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string const line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (header) {
+      if (line != "path,kind,value") parse_fail("bad csv header");
+      header = false;
+      continue;
+    }
+    std::size_t const c1 = line.find(',');
+    std::size_t const c2 =
+        c1 == std::string::npos ? std::string::npos : line.find(',', c1 + 1);
+    if (c2 == std::string::npos) parse_fail("bad csv row");
+    sample s;
+    s.path = line.substr(0, c1);
+    s.k = parse_kind(line.substr(c1 + 1, c2 - c1 - 1));
+    std::size_t vpos = 0;
+    std::string const value = line.substr(c2 + 1);
+    s.value = parse_uint(value, vpos);
+    if (vpos != value.size()) parse_fail("trailing csv garbage");
+    snap.samples.push_back(std::move(s));
+  }
+  if (header) parse_fail("missing csv header");
+  return snap;
+}
+
+snapshot delta(snapshot const& begin, snapshot const& end) {
+  snapshot out;
+  out.timestamp_ns = end.timestamp_ns;
+  out.samples.reserve(end.samples.size());
+  for (auto const& s : end.samples) {
+    sample d = s;
+    if (s.k == kind::monotone) {
+      if (sample const* b = begin.find(s.path))
+        d.value = s.value >= b->value ? s.value - b->value : 0;
+    }
+    out.samples.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ---- registry -----------------------------------------------------------
+
+struct registry::entry {
+  std::uint64_t id = 0;
+  std::string path;
+  kind k = kind::monotone;
+  counter const* cell = nullptr;            // either this ...
+  std::function<std::uint64_t()> read;      // ... or this
+};
+
+struct registry::impl {
+  mutable std::mutex mutex;
+  std::vector<entry> entries;  // registration order; last same-path wins
+  std::uint64_t next_id = 1;
+  std::map<std::string, std::uint64_t> instance_counts;
+};
+
+namespace {
+
+void validate_path(std::string const& path) {
+  PX_ASSERT_MSG(!path.empty() && path.front() == '/',
+                "counter paths are absolute: /px/...");
+  for (char const c : path)
+    PX_ASSERT_MSG(c >= 0x20 && c != '"' && c != ',' && c != '\\',
+                  "counter paths must not contain '\"', ',', '\\' or "
+                  "control characters");
+}
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+registry::registry() : self_(new impl) {
+  // Builtin process-wide counters: present (at zero) from the first
+  // snapshot, so consumers can rely on the namespace existing even before
+  // the producing subsystem runs.
+  auto reg_cell = [this](char const* path, kind k, counter const& cell) {
+    entry e;
+    e.id = self_->next_id++;
+    e.path = path;
+    e.k = k;
+    e.cell = &cell;
+    self_->entries.push_back(std::move(e));
+  };
+  reg_cell("/px/parcel/messages_sent", kind::monotone,
+           builtin_.parcel_messages_sent);
+  reg_cell("/px/parcel/bytes_sent", kind::monotone,
+           builtin_.parcel_bytes_sent);
+  reg_cell("/px/parcel/parcels_delivered", kind::monotone,
+           builtin_.parcels_delivered);
+  reg_cell("/px/parcel/actions_registered", kind::monotone,
+           builtin_.actions_registered);
+  reg_cell("/px/net/messages", kind::monotone, builtin_.net_messages);
+  reg_cell("/px/net/bytes", kind::monotone, builtin_.net_bytes);
+  reg_cell("/px/net/modeled_us", kind::monotone, builtin_.net_modeled_us);
+  reg_cell("/px/timer/wakes_scheduled", kind::monotone,
+           builtin_.timer_wakes);
+  reg_cell("/px/timer/callbacks_scheduled", kind::monotone,
+           builtin_.timer_callbacks);
+
+  entry trace_events;
+  trace_events.id = self_->next_id++;
+  trace_events.path = "/px/trace/events";
+  trace_events.k = kind::gauge;  // resets on trace::enable()
+  trace_events.read = [] {
+    return static_cast<std::uint64_t>(trace::event_count());
+  };
+  self_->entries.push_back(std::move(trace_events));
+}
+
+registry& registry::instance() {
+  // Leaked singleton (never destroyed): producers with static storage
+  // duration — shared benchmark runtimes, late atexit tasks — may still
+  // unregister or bump builtins during process teardown.
+  static registry* const r = new registry();
+  return *r;
+}
+
+std::uint64_t registry::add(std::string path, kind k, counter const& cell) {
+  validate_path(path);
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  entry e;
+  e.id = self_->next_id++;
+  e.path = std::move(path);
+  e.k = k;
+  e.cell = &cell;
+  self_->entries.push_back(std::move(e));
+  return self_->entries.back().id;
+}
+
+std::uint64_t registry::add(std::string path, kind k,
+                            std::function<std::uint64_t()> read) {
+  validate_path(path);
+  PX_ASSERT(read != nullptr);
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  entry e;
+  e.id = self_->next_id++;
+  e.path = std::move(path);
+  e.k = k;
+  e.read = std::move(read);
+  self_->entries.push_back(std::move(e));
+  return self_->entries.back().id;
+}
+
+void registry::remove(std::uint64_t id) noexcept {
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  auto it = std::find_if(self_->entries.begin(), self_->entries.end(),
+                         [id](entry const& e) { return e.id == id; });
+  if (it != self_->entries.end()) self_->entries.erase(it);
+}
+
+std::string registry::unique_instance(std::string const& base) {
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  std::uint64_t const n = ++self_->instance_counts[base];
+  return n == 1 ? base : base + "-" + std::to_string(n);
+}
+
+snapshot registry::take_snapshot() const {
+  snapshot snap;
+  snap.timestamp_ns = steady_now_ns();
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  // Later registrations shadow earlier ones with the same path; the map
+  // both deduplicates and sorts.
+  std::map<std::string, sample> by_path;
+  for (auto const& e : self_->entries) {
+    sample s;
+    s.path = e.path;
+    s.k = e.k;
+    s.value = e.cell != nullptr ? e.cell->load() : e.read();
+    by_path[s.path] = std::move(s);
+  }
+  snap.samples.reserve(by_path.size());
+  for (auto& [path, s] : by_path) snap.samples.push_back(std::move(s));
+  return snap;
+}
+
+bool registry::value_of(std::string const& path, std::uint64_t& out) const {
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  // Reverse scan: last registration wins, matching take_snapshot.
+  for (auto it = self_->entries.rbegin(); it != self_->entries.rend(); ++it) {
+    if (it->path == path) {
+      out = it->cell != nullptr ? it->cell->load() : it->read();
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t registry::size() const {
+  std::lock_guard<std::mutex> lock(self_->mutex);
+  return self_->entries.size();
+}
+
+builtin_counters& builtin() { return registry::instance().builtin(); }
+
+// ---- registration -------------------------------------------------------
+
+void registration::add(std::string path, kind k, counter const& cell) {
+  ids_.push_back(registry::instance().add(std::move(path), k, cell));
+}
+
+void registration::add(std::string path, kind k,
+                       std::function<std::uint64_t()> read) {
+  ids_.push_back(
+      registry::instance().add(std::move(path), k, std::move(read)));
+}
+
+void registration::release() noexcept {
+  for (std::uint64_t const id : ids_) registry::instance().remove(id);
+  ids_.clear();
+}
+
+bool write_json_file(std::string const& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << registry::instance().take_snapshot().to_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace px::counters

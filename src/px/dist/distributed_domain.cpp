@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "px/counters/counters.hpp"
 #include "px/runtime/timer_service.hpp"
 #include "px/support/assert.hpp"
 
@@ -22,10 +23,13 @@ locality::locality(distributed_domain& domain, std::uint32_t id,
 
 void locality::send(parcel::parcel p) {
   PX_ASSERT(p.source == id_);
+  counters::builtin().parcel_messages_sent.add();
+  counters::builtin().parcel_bytes_sent.add(p.wire_size());
   domain_.route(std::move(p));
 }
 
 void locality::deliver(parcel::parcel p) {
+  counters::builtin().parcels_delivered.add();
   if (p.action == parcel::response_action_id) {
     unique_function<void(parcel::parcel&&)> completion;
     {

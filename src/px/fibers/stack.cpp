@@ -62,9 +62,11 @@ stack stack_pool::acquire() {
     if (!free_.empty()) {
       stack s = free_.back();
       free_.pop_back();
+      ++hits_;
       return s;
     }
     ++total_allocated_;
+    ++misses_;
   }
   return allocate_stack(stack_size_);
 }
@@ -90,6 +92,16 @@ std::size_t stack_pool::cached() const noexcept {
 std::size_t stack_pool::total_allocated() const noexcept {
   std::lock_guard<spinlock> guard(lock_);
   return total_allocated_;
+}
+
+std::uint64_t stack_pool::hits() const noexcept {
+  std::lock_guard<spinlock> guard(lock_);
+  return hits_;
+}
+
+std::uint64_t stack_pool::misses() const noexcept {
+  std::lock_guard<spinlock> guard(lock_);
+  return misses_;
 }
 
 }  // namespace px::fibers

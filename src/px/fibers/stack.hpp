@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "px/support/spin.hpp"
@@ -44,6 +45,11 @@ class stack_pool {
   [[nodiscard]] std::size_t stack_size() const noexcept { return stack_size_; }
   [[nodiscard]] std::size_t cached() const noexcept;
   [[nodiscard]] std::size_t total_allocated() const noexcept;
+  // acquire()s served from the cache vs. by a fresh mmap. Monotone; the
+  // hit rate is the pool's effectiveness (surfaced as
+  // /px/stacks{...}/pool_hits / pool_misses).
+  [[nodiscard]] std::uint64_t hits() const noexcept;
+  [[nodiscard]] std::uint64_t misses() const noexcept;
 
  private:
   std::size_t const stack_size_;
@@ -51,6 +57,8 @@ class stack_pool {
   mutable spinlock lock_;
   std::vector<stack> free_;
   std::size_t total_allocated_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace px::fibers

@@ -1,5 +1,14 @@
 // px/lcos/async.hpp
 // hpx::async / hpx::post / hpx::dataflow equivalents.
+//
+// All spawn entry points — async/async_on/post/post_on/sync_wait/dataflow,
+// for every target kind (runtime, scheduler, execution policy, ambient) —
+// funnel through the two functions in px::detail below and from there into
+// scheduler::spawn, the single instrumented choke point the counter
+// registry and tracer observe. The old per-target `async_on` overloads are
+// kept as thin forwarding shims for source compatibility; new code should
+// prefer the runtime- or policy-target forms (the bare-scheduler shims are
+// deprecated in docs/API.md).
 #pragma once
 
 #include <tuple>
@@ -7,12 +16,16 @@
 #include <utility>
 
 #include "px/lcos/future.hpp"
+#include "px/parallel/execution.hpp"
 
 namespace px {
 
-// Spawns f(args...) as a px task on `sched`, returning a future.
+namespace detail {
+
+// THE future-producing spawn path. Everything above resolves its target to
+// a scheduler and lands here.
 template <typename F, typename... Args>
-auto async_on(rt::scheduler& sched, F&& f, Args&&... args)
+auto spawn_future(rt::scheduler& sched, F&& f, Args&&... args)
     -> future<std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>> {
   using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>...>;
   auto state = std::make_shared<lcos::detail::shared_state<R>>();
@@ -29,22 +42,9 @@ auto async_on(rt::scheduler& sched, F&& f, Args&&... args)
   return lcos::detail::make_future_from_state(std::move(state));
 }
 
+// THE fire-and-forget spawn path (hpx::post shape).
 template <typename F, typename... Args>
-auto async_on(runtime& rt, F&& f, Args&&... args) {
-  return async_on(rt.sched(), std::forward<F>(f),
-                  std::forward<Args>(args)...);
-}
-
-// From within a task: spawn on the ambient scheduler.
-template <typename F, typename... Args>
-auto async(F&& f, Args&&... args) {
-  return async_on(lcos::detail::ambient_scheduler(), std::forward<F>(f),
-                  std::forward<Args>(args)...);
-}
-
-// Fire-and-forget (hpx::post).
-template <typename F, typename... Args>
-void post_on(rt::scheduler& sched, F&& f, Args&&... args) {
+void spawn_detached(rt::scheduler& sched, F&& f, Args&&... args) {
   sched.spawn([fn = std::decay_t<F>(std::forward<F>(f)),
                tup = std::make_tuple(std::decay_t<Args>(
                    std::forward<Args>(args))...)]() mutable {
@@ -52,18 +52,73 @@ void post_on(rt::scheduler& sched, F&& f, Args&&... args) {
   });
 }
 
+}  // namespace detail
+
+// ---- async --------------------------------------------------------------
+
+// Primary forms: spawn on a runtime or under an execution policy.
+template <typename F, typename... Args>
+auto async_on(runtime& rt, F&& f, Args&&... args) {
+  return detail::spawn_future(rt.sched(), std::forward<F>(f),
+                              std::forward<Args>(args)...);
+}
+
+template <typename F, typename... Args>
+auto async_on(execution::parallel_policy const& policy, F&& f,
+              Args&&... args) {
+  return detail::spawn_future(policy.select_scheduler(), std::forward<F>(f),
+                              std::forward<Args>(args)...);
+}
+
+// Compatibility shim (deprecated): prefer the runtime/policy targets.
+template <typename F, typename... Args>
+auto async_on(rt::scheduler& sched, F&& f, Args&&... args) {
+  return detail::spawn_future(sched, std::forward<F>(f),
+                              std::forward<Args>(args)...);
+}
+
+// From within a task: spawn on the ambient scheduler.
+template <typename F, typename... Args>
+auto async(F&& f, Args&&... args) {
+  return detail::spawn_future(lcos::detail::ambient_scheduler(),
+                              std::forward<F>(f),
+                              std::forward<Args>(args)...);
+}
+
+// ---- post (fire-and-forget) ---------------------------------------------
+
+template <typename F, typename... Args>
+void post_on(runtime& rt, F&& f, Args&&... args) {
+  detail::spawn_detached(rt.sched(), std::forward<F>(f),
+                         std::forward<Args>(args)...);
+}
+
+template <typename F, typename... Args>
+void post_on(execution::parallel_policy const& policy, F&& f,
+             Args&&... args) {
+  detail::spawn_detached(policy.select_scheduler(), std::forward<F>(f),
+                         std::forward<Args>(args)...);
+}
+
+// Compatibility shim (deprecated): prefer the runtime/policy targets.
+template <typename F, typename... Args>
+void post_on(rt::scheduler& sched, F&& f, Args&&... args) {
+  detail::spawn_detached(sched, std::forward<F>(f),
+                         std::forward<Args>(args)...);
+}
+
 template <typename F, typename... Args>
 void post(F&& f, Args&&... args) {
-  post_on(lcos::detail::ambient_scheduler(), std::forward<F>(f),
-          std::forward<Args>(args)...);
+  detail::spawn_detached(lcos::detail::ambient_scheduler(),
+                         std::forward<F>(f), std::forward<Args>(args)...);
 }
 
 // Runs `f` as a px task on `rt` and blocks the calling external thread for
 // the result — the bridge from main() into task-land.
 template <typename F, typename... Args>
 auto sync_wait(runtime& rt, F&& f, Args&&... args) {
-  auto fut =
-      async_on(rt.sched(), std::forward<F>(f), std::forward<Args>(args)...);
+  auto fut = detail::spawn_future(rt.sched(), std::forward<F>(f),
+                                  std::forward<Args>(args)...);
   return fut.get();
 }
 
@@ -120,6 +175,11 @@ auto dataflow_on(rt::scheduler& sched, F&& f, future<Ts>&&... inputs)
         });
       });
   return lcos::detail::make_future_from_state(std::move(out));
+}
+
+template <typename F, typename... Ts>
+auto dataflow_on(runtime& rt, F&& f, future<Ts>&&... inputs) {
+  return dataflow_on(rt.sched(), std::forward<F>(f), std::move(inputs)...);
 }
 
 template <typename F, typename... Ts>

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+#include "px/counters/counters.hpp"
+
 namespace px::net {
 
 struct fabric_model {
@@ -60,6 +62,13 @@ struct traffic_counters {
     modeled_us_x1000.fetch_add(
         static_cast<std::uint64_t>(modeled_us * 1000.0),
         std::memory_order_relaxed);
+    // Mirror into the process-wide registry (/px/net/...) so fabric
+    // traffic shows up in counter snapshots without per-fabric
+    // registration.
+    auto& b = counters::builtin();
+    b.net_messages.add();
+    b.net_bytes.add(message_bytes);
+    b.net_modeled_us.add(static_cast<std::uint64_t>(modeled_us));
   }
 
   [[nodiscard]] double modeled_us() const noexcept {

@@ -12,6 +12,7 @@
 #include <exception>
 #include <iterator>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "px/lcos/future.hpp"
@@ -41,28 +42,43 @@ inline chunk_range chunk_bounds(std::size_t n, std::size_t chunks,
   return {begin, begin + size};
 }
 
-// Core fork-join driver. `body(begin, end, chunk_index)` processes one
-// contiguous index chunk; runs on the policy's scheduler.
+// A policy resolved against a concrete index space: the scheduler every
+// chunk task will be spawned on and the number of chunks. All algorithm
+// headers derive both through this one helper (never through
+// policy.bound_executor()->sched() locally), so decomposition and
+// placement stay consistent between a driver that pre-sizes per-chunk
+// storage and the bulk_run that executes it.
+struct bulk_plan {
+  rt::scheduler* sched;
+  std::size_t num_chunks;
+};
+
+[[nodiscard]] inline bulk_plan plan_bulk(
+    execution::parallel_policy const& policy, std::size_t n) {
+  rt::scheduler& sched = policy.select_scheduler();
+  std::size_t const chunks =
+      policy.chunk_size() > 0
+          ? div_ceil(n, policy.chunk_size())
+          : execution::auto_num_chunks(n, sched.num_workers());
+  return {&sched, chunks};
+}
+
+// Core fork-join driver with explicit decomposition: spawns `num_chunks`
+// tasks over [0, n), placed by the policy's executor, and waits on a
+// latch. `body(begin, end, chunk_index)` processes one contiguous chunk.
+// Exceptions from chunk bodies are captured; the first one is rethrown
+// after all chunks finish.
 template <typename Body>
-void bulk_run(execution::parallel_policy const& policy, std::size_t n,
+void bulk_run(execution::parallel_policy const& policy,
+              rt::scheduler& sched, std::size_t n, std::size_t num_chunks,
               Body&& body) {
   if (n == 0) return;
-
-  executor const* const ex = policy.bound_executor();
-  rt::scheduler& sched =
-      ex != nullptr ? ex->sched() : lcos::detail::ambient_scheduler();
-
-  std::size_t num_chunks;
-  if (policy.chunk_size() > 0) {
-    num_chunks = div_ceil(n, policy.chunk_size());
-  } else {
-    num_chunks = execution::auto_num_chunks(n, sched.num_workers());
-  }
   if (num_chunks <= 1) {
     body(std::size_t{0}, n, std::size_t{0});
     return;
   }
 
+  executor const* const ex = policy.bound_executor();
   latch done(static_cast<std::ptrdiff_t>(num_chunks));
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -90,6 +106,17 @@ void bulk_run(execution::parallel_policy const& policy, std::size_t n,
     std::lock_guard<spinlock> guard(error_lock);
     std::rethrow_exception(first_error);
   }
+}
+
+// Common form: decomposition chosen by the policy (chunk_size or the 8x
+// over-decomposition heuristic).
+template <typename Body>
+void bulk_run(execution::parallel_policy const& policy, std::size_t n,
+              Body&& body) {
+  if (n == 0) return;
+  bulk_plan const plan = plan_bulk(policy, n);
+  bulk_run(policy, *plan.sched, n, plan.num_chunks,
+           std::forward<Body>(body));
 }
 
 }  // namespace detail
@@ -169,15 +196,9 @@ T reduce(execution::parallel_policy const& policy, It first, It last, T init,
          Op op) {
   auto const n = static_cast<std::size_t>(std::distance(first, last));
   if (n == 0) return init;
-  rt::scheduler& sched = policy.bound_executor() != nullptr
-                             ? policy.bound_executor()->sched()
-                             : lcos::detail::ambient_scheduler();
-  std::size_t const num_chunks =
-      policy.chunk_size() > 0
-          ? div_ceil(n, policy.chunk_size())
-          : execution::auto_num_chunks(n, sched.num_workers());
-  std::vector<T> partials(num_chunks, init);
-  detail::bulk_run(policy, n,
+  detail::bulk_plan const plan = detail::plan_bulk(policy, n);
+  std::vector<T> partials(plan.num_chunks, init);
+  detail::bulk_run(policy, *plan.sched, n, plan.num_chunks,
                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
                      // Identity-free chunk fold: seed with the first element.
                      T acc = first[static_cast<std::ptrdiff_t>(lo)];
@@ -209,15 +230,9 @@ T transform_reduce(execution::parallel_policy const& policy, It first,
                    It last, T init, Reduce r, Map m) {
   auto const n = static_cast<std::size_t>(std::distance(first, last));
   if (n == 0) return init;
-  rt::scheduler& sched = policy.bound_executor() != nullptr
-                             ? policy.bound_executor()->sched()
-                             : lcos::detail::ambient_scheduler();
-  std::size_t const num_chunks =
-      policy.chunk_size() > 0
-          ? div_ceil(n, policy.chunk_size())
-          : execution::auto_num_chunks(n, sched.num_workers());
-  std::vector<T> partials(num_chunks, init);
-  detail::bulk_run(policy, n,
+  detail::bulk_plan const plan = detail::plan_bulk(policy, n);
+  std::vector<T> partials(plan.num_chunks, init);
+  detail::bulk_run(policy, *plan.sched, n, plan.num_chunks,
                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
                      T acc = m(first[static_cast<std::ptrdiff_t>(lo)]);
                      for (std::size_t i = lo + 1; i < hi; ++i)

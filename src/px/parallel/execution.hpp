@@ -1,11 +1,19 @@
 // px/parallel/execution.hpp
 // Execution policies in the ISO C++ style HPX exposes: px::execution::seq,
 // px::execution::par, composable with `.on(executor)` and `.with(chunk)`.
+//
+// A policy is also a *spawn target*: select_scheduler() resolves the one
+// scheduler every task spawned under the policy flows through — the bound
+// executor's scheduler, or the ambient worker's. All parallel-algorithm
+// headers, async_on(policy, ...) and the benches resolve through this
+// single helper, which is what lets the counter registry observe every
+// spawn at exactly one choke point (scheduler::spawn).
 #pragma once
 
 #include <cstddef>
 
 #include "px/parallel/executors.hpp"
+#include "px/support/assert.hpp"
 
 namespace px::execution {
 
@@ -35,6 +43,20 @@ class parallel_policy {
     return exec_;
   }
   [[nodiscard]] std::size_t chunk_size() const noexcept { return chunk_size_; }
+
+  // The scheduler all work spawned under this policy runs on: the bound
+  // executor's, else the calling worker's. Asserts when called off-worker
+  // without a bound executor — external threads must bind one (or a
+  // runtime) explicitly.
+  [[nodiscard]] rt::scheduler& select_scheduler() const {
+    if (exec_ != nullptr) return exec_->sched();
+    rt::worker* const w = rt::worker::current();
+    PX_ASSERT_MSG(w != nullptr,
+                  "a parallel policy without a bound executor must be used "
+                  "from a px worker; use par.on(executor) from external "
+                  "threads");
+    return w->owner();
+  }
 
  private:
   executor const* exec_ = nullptr;

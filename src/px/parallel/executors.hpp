@@ -8,6 +8,7 @@
 
 #include <cstddef>
 
+#include "px/runtime/runtime.hpp"
 #include "px/runtime/scheduler.hpp"
 
 namespace px {
@@ -15,6 +16,10 @@ namespace px {
 class executor {
  public:
   explicit executor(rt::scheduler& sched) noexcept : sched_(&sched) {}
+  // Policy-first convenience: applications hold a runtime, not a
+  // scheduler; `px::block_executor ex(rt)` keeps rt.sched() out of user
+  // code.
+  explicit executor(runtime& rt) noexcept : sched_(&rt.sched()) {}
   virtual ~executor() = default;
 
   [[nodiscard]] rt::scheduler& sched() const noexcept { return *sched_; }
@@ -56,6 +61,8 @@ class limiting_executor final : public executor {
  public:
   limiting_executor(rt::scheduler& sched, std::size_t limit) noexcept
       : executor(sched), limit_(limit == 0 ? 1 : limit) {}
+  limiting_executor(runtime& rt, std::size_t limit) noexcept
+      : limiting_executor(rt.sched(), limit) {}
 
   [[nodiscard]] int placement(std::size_t index,
                               std::size_t count) const noexcept override;

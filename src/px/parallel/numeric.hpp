@@ -29,17 +29,14 @@ OutIt inclusive_scan(execution::parallel_policy const& policy, InIt first,
   auto const n = static_cast<std::size_t>(std::distance(first, last));
   if (n == 0) return out;
 
-  rt::scheduler& sched = policy.bound_executor() != nullptr
-                             ? policy.bound_executor()->sched()
-                             : lcos::detail::ambient_scheduler();
-  std::size_t const num_chunks =
-      policy.chunk_size() > 0
-          ? div_ceil(n, policy.chunk_size())
-          : execution::auto_num_chunks(n, sched.num_workers());
+  // Both passes must see the same decomposition: resolve it once through
+  // the shared planner.
+  detail::bulk_plan const plan = detail::plan_bulk(policy, n);
+  std::size_t const num_chunks = plan.num_chunks;
 
   // Pass 1: local scans into the output, recording each chunk's total.
   std::vector<T> totals(num_chunks, init);
-  detail::bulk_run(policy, n,
+  detail::bulk_run(policy, *plan.sched, n, num_chunks,
                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
                      T acc = first[static_cast<std::ptrdiff_t>(lo)];
                      out[static_cast<std::ptrdiff_t>(lo)] = acc;
@@ -60,7 +57,7 @@ OutIt inclusive_scan(execution::parallel_policy const& policy, InIt first,
   }
 
   // Pass 2: add offsets (chunk 0 keeps only init).
-  detail::bulk_run(policy, n,
+  detail::bulk_run(policy, *plan.sched, n, num_chunks,
                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
                      T const& off = offsets[chunk];
                      for (std::size_t i = lo; i < hi; ++i)

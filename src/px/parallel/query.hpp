@@ -63,16 +63,11 @@ It min_element(execution::parallel_policy const& policy, It first, It last,
     if (comp(va, vb)) return a;
     return a < b ? a : b;  // stable tie-break
   };
-  // Reduce over chunk-local winners.
-  rt::scheduler& sched = policy.bound_executor() != nullptr
-                             ? policy.bound_executor()->sched()
-                             : lcos::detail::ambient_scheduler();
-  std::size_t const num_chunks =
-      policy.chunk_size() > 0
-          ? div_ceil(n, policy.chunk_size())
-          : execution::auto_num_chunks(n, sched.num_workers());
-  std::vector<std::size_t> winners(num_chunks, 0);
-  detail::bulk_run(policy, n,
+  // Reduce over chunk-local winners; one shared plan sizes the winner
+  // array and drives the chunk tasks.
+  detail::bulk_plan const plan = detail::plan_bulk(policy, n);
+  std::vector<std::size_t> winners(plan.num_chunks, 0);
+  detail::bulk_run(policy, *plan.sched, n, plan.num_chunks,
                    [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
                      std::size_t best = lo;
                      for (std::size_t i = lo + 1; i < hi; ++i)
@@ -80,7 +75,8 @@ It min_element(execution::parallel_policy const& policy, It first, It last,
                      winners[chunk] = best;
                    });
   std::size_t best = winners[0];
-  for (std::size_t c = 1; c < num_chunks; ++c) best = pick(best, winners[c]);
+  for (std::size_t c = 1; c < plan.num_chunks; ++c)
+    best = pick(best, winners[c]);
   return first + static_cast<std::ptrdiff_t>(best);
 }
 

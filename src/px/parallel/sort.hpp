@@ -30,9 +30,7 @@ void sort(execution::parallel_policy const& policy, It first, It last,
   auto const n = static_cast<std::size_t>(std::distance(first, last));
   if (n < 2) return;
 
-  rt::scheduler& sched = policy.bound_executor() != nullptr
-                             ? policy.bound_executor()->sched()
-                             : lcos::detail::ambient_scheduler();
+  rt::scheduler& sched = policy.select_scheduler();
   // Runs: next power of two >= workers, capped so runs stay >= 1024
   // elements (below that the merge overhead dominates).
   std::size_t runs = 1;
@@ -43,23 +41,20 @@ void sort(execution::parallel_policy const& policy, It first, It last,
     return;
   }
 
-  // Sort the runs in parallel.
+  // Sort the runs in parallel: one bulk_run chunk per run (the explicit
+  // chunk count pins the decomposition the merge tree assumes).
   auto run_bounds = [n, runs](std::size_t r) {
     return detail::chunk_bounds(n, runs, r);
   };
-  {
-    latch done(static_cast<std::ptrdiff_t>(runs));
-    for (std::size_t r = 0; r < runs; ++r)
-      sched.spawn([&, r] {
-        auto const b = run_bounds(r);
-        std::sort(first + static_cast<std::ptrdiff_t>(b.begin),
-                  first + static_cast<std::ptrdiff_t>(b.end), comp);
-        done.count_down();
-      });
-    done.wait();
-  }
+  detail::bulk_run(policy, sched, n, runs,
+                   [&](std::size_t lo, std::size_t hi, std::size_t) {
+                     std::sort(first + static_cast<std::ptrdiff_t>(lo),
+                               first + static_cast<std::ptrdiff_t>(hi),
+                               comp);
+                   });
 
-  // Merge tree: at each level, merge adjacent sorted spans via a buffer.
+  // Merge tree: at each level, merge adjacent sorted spans via a buffer;
+  // each level runs its merges as one bulk_run over the merge index space.
   std::vector<value_type> buffer(n);
   std::size_t width = 1;  // in runs
   bool in_buffer = false;
@@ -67,21 +62,22 @@ void sort(execution::parallel_policy const& policy, It first, It last,
   value_type* a = src_first;
   value_type* b = buffer.data();
   while (width < runs) {
-    latch done(
-        static_cast<std::ptrdiff_t>(div_ceil(runs, 2 * width)));
-    for (std::size_t lo_run = 0; lo_run < runs; lo_run += 2 * width) {
-      sched.spawn([&, lo_run] {
-        std::size_t const lo = run_bounds(lo_run).begin;
-        std::size_t const mid_run = lo_run + width;
-        std::size_t const mid =
-            mid_run < runs ? run_bounds(mid_run).begin : n;
-        std::size_t const hi_run = lo_run + 2 * width;
-        std::size_t const hi = hi_run < runs ? run_bounds(hi_run).begin : n;
-        std::merge(a + lo, a + mid, a + mid, a + hi, b + lo, comp);
-        done.count_down();
-      });
-    }
-    done.wait();
+    std::size_t const merges = div_ceil(runs, 2 * width);
+    detail::bulk_run(
+        policy, sched, merges, merges,
+        [&](std::size_t mlo, std::size_t mhi, std::size_t) {
+          for (std::size_t m = mlo; m < mhi; ++m) {
+            std::size_t const lo_run = m * 2 * width;
+            std::size_t const lo = run_bounds(lo_run).begin;
+            std::size_t const mid_run = lo_run + width;
+            std::size_t const mid =
+                mid_run < runs ? run_bounds(mid_run).begin : n;
+            std::size_t const hi_run = lo_run + 2 * width;
+            std::size_t const hi =
+                hi_run < runs ? run_bounds(hi_run).begin : n;
+            std::merge(a + lo, a + mid, a + mid, a + hi, b + lo, comp);
+          }
+        });
     std::swap(a, b);
     in_buffer = !in_buffer;
     width *= 2;

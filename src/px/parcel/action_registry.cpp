@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "px/counters/counters.hpp"
+
 namespace px::parcel {
 
 struct action_registry::impl {
@@ -32,6 +34,7 @@ std::uint32_t action_registry::add(std::string name, action_handler handler) {
   auto const id = static_cast<std::uint32_t>(s.actions.size());
   s.actions.emplace_back(name, handler);
   s.by_name.emplace(std::move(name), id);
+  counters::builtin().actions_registered.add();
   return id;
 }
 

@@ -5,6 +5,7 @@
 // umbrella headers.
 #pragma once
 
+#include "px/counters/counters.hpp"
 #include "px/lcos/async.hpp"
 #include "px/lcos/barrier.hpp"
 #include "px/lcos/channel.hpp"

@@ -39,6 +39,19 @@ class runtime {
     return sched_->num_workers();
   }
 
+  // Pool-wide scheduling statistics (racy monitoring reads), without
+  // reaching through sched(). The counter registry exposes the same data
+  // per worker under /px/scheduler{...}.
+  [[nodiscard]] rt::worker_stats stats() const noexcept {
+    return sched_->aggregate_stats();
+  }
+
+  // Instance segment of this runtime's counter paths, e.g. "default" in
+  // /px/scheduler{default}/tasks_spawned.
+  [[nodiscard]] std::string const& counter_instance() const noexcept {
+    return sched_->counter_instance();
+  }
+
   // The runtime owning the calling worker thread, or nullptr when called
   // from an external thread.
   static runtime* current() noexcept;

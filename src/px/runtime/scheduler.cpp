@@ -34,6 +34,55 @@ scheduler::scheduler(scheduler_config cfg)
     workers_.push_back(
         std::make_unique<worker>(*this, i, i / per_domain));
   }
+  register_counters();
+}
+
+void scheduler::register_counters() {
+  namespace pc = px::counters;
+  counter_instance_ = pc::registry::instance().unique_instance(cfg_.name);
+  std::string const sched_prefix = "/px/scheduler{" + counter_instance_;
+  std::string const stack_prefix = "/px/stacks{" + counter_instance_ + "}/";
+
+  // Pull callbacks only: the hot paths (spawn, execute, steal, stack
+  // recycle) keep their existing thread-local or already-atomic state and
+  // pay nothing for publication; the registry reads it at snapshot time.
+  counters_.add(sched_prefix + "}/tasks_spawned", pc::kind::monotone,
+                [this] { return tasks_spawned(); });
+  counters_.add(sched_prefix + "}/active_tasks", pc::kind::gauge,
+                [this] { return active_tasks(); });
+  counters_.add(sched_prefix + "}/workers", pc::kind::gauge,
+                [this] { return std::uint64_t{workers_.size()}; });
+  counters_.add(sched_prefix + "}/global_queue", pc::kind::gauge, [this] {
+    return std::uint64_t{global_size_.load(std::memory_order_relaxed)};
+  });
+
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    worker const* w = workers_[i].get();
+    std::string const wp =
+        sched_prefix + "/worker#" + std::to_string(i) + "}/";
+    counters_.add(wp + "tasks_executed", pc::kind::monotone,
+                  [w] { return w->stats().tasks_executed; });
+    counters_.add(wp + "steals", pc::kind::monotone,
+                  [w] { return w->stats().steals; });
+    counters_.add(wp + "failed_steal_rounds", pc::kind::monotone,
+                  [w] { return w->stats().failed_steal_rounds; });
+    counters_.add(wp + "yields", pc::kind::monotone,
+                  [w] { return w->stats().yields; });
+    counters_.add(wp + "parks", pc::kind::monotone,
+                  [w] { return w->stats().parks; });
+    counters_.add(wp + "busy_ns", pc::kind::monotone,
+                  [w] { return w->stats().busy_ns; });
+  }
+
+  counters_.add(stack_prefix + "pool_hits", pc::kind::monotone,
+                [this] { return stacks_.hits(); });
+  counters_.add(stack_prefix + "pool_misses", pc::kind::monotone,
+                [this] { return stacks_.misses(); });
+  counters_.add(stack_prefix + "cached", pc::kind::gauge,
+                [this] { return std::uint64_t{stacks_.cached()}; });
+  counters_.add(stack_prefix + "allocated", pc::kind::gauge, [this] {
+    return std::uint64_t{stacks_.total_allocated()};
+  });
 }
 
 scheduler::~scheduler() {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "px/counters/counters.hpp"
 #include "px/fibers/stack.hpp"
 #include "px/runtime/task.hpp"
 #include "px/runtime/worker.hpp"
@@ -80,6 +81,12 @@ class scheduler {
     return active_.load(std::memory_order_relaxed);
   }
 
+  // Instance name under which this scheduler's counters are published,
+  // e.g. "px" -> /px/scheduler{px/worker#0}/steals. Unique per process.
+  [[nodiscard]] std::string const& counter_instance() const noexcept {
+    return counter_instance_;
+  }
+
   // Pool-wide scheduling statistics, summed over workers. Racy reads of
   // monotone counters: fine for monitoring, not for synchronization.
   [[nodiscard]] worker_stats aggregate_stats() const noexcept {
@@ -99,6 +106,7 @@ class scheduler {
  private:
   friend class worker;
 
+  void register_counters();
   task* pop_global();
   void notify_one_worker();
   void notify_all_workers();
@@ -125,6 +133,12 @@ class scheduler {
 
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
+
+  // Counter publication. Declared last so the registration block is torn
+  // down first: all paths vanish from the registry before the workers and
+  // stack pool the pull callbacks read are destroyed.
+  std::string counter_instance_;
+  counters::registration counters_;
 };
 
 }  // namespace px::rt

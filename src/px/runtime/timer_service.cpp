@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "px/counters/counters.hpp"
 #include "px/runtime/scheduler.hpp"
 #include "px/support/affinity.hpp"
 #include "px/support/assert.hpp"
@@ -26,6 +27,7 @@ timer_service::~timer_service() {
 
 void timer_service::wake_at(clock::time_point deadline, task* t) {
   PX_ASSERT(t != nullptr);
+  counters::builtin().timer_wakes.add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     heap_.push(entry{deadline, next_seq_++, t, nullptr});
@@ -36,6 +38,7 @@ void timer_service::wake_at(clock::time_point deadline, task* t) {
 void timer_service::call_at(clock::time_point deadline,
                             unique_function<void()> fn) {
   PX_ASSERT(fn);
+  counters::builtin().timer_callbacks.add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     heap_.push(entry{deadline, next_seq_++, nullptr, std::move(fn)});

@@ -1,0 +1,336 @@
+// Tests for px::counters: path registration/lookup, RAII unregistration,
+// builtin cells, monotonicity under multi-worker load, snapshot
+// consistency, delta semantics, JSON/CSV round-trips, and the hot-path
+// no-allocation guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/lcos/async.hpp"
+#include "px/parallel/algorithms.hpp"
+#include "px/runtime/runtime.hpp"
+
+// ---- global allocation counter for the no-allocation guard ---------------
+// Every operator new in this binary (including the array form, which
+// forwards here by default) bumps g_allocs. Tests read the counter around a
+// hot-path region to prove counter::add never allocates.
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+// GCC flags free() inside a replaced operator delete as mismatched even
+// though the paired operator new above uses malloc; suppress locally.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace {
+
+using px::counters::counter;
+using px::counters::kind;
+using px::counters::registration;
+using px::counters::registry;
+using px::counters::snapshot;
+
+px::scheduler_config cfg(std::size_t workers) {
+  px::scheduler_config c;
+  c.num_workers = workers;
+  return c;
+}
+
+TEST(Counters, RegistrationAndLookupByPath) {
+  counter c;
+  c.add(5);
+  registration reg;
+  reg.add("/px/test/alpha", kind::monotone, c);
+  EXPECT_EQ(reg.size(), 1u);
+
+  std::uint64_t v = 0;
+  ASSERT_TRUE(registry::instance().value_of("/px/test/alpha", v));
+  EXPECT_EQ(v, 5u);
+
+  c.add(2);
+  snapshot const snap = registry::instance().take_snapshot();
+  auto const* s = snap.find("/px/test/alpha");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 7u);
+  EXPECT_EQ(s->k, kind::monotone);
+
+  reg.release();
+  EXPECT_FALSE(registry::instance().value_of("/px/test/alpha", v));
+}
+
+TEST(Counters, CallbackCountersEvaluateAtSnapshotTime) {
+  std::uint64_t level = 11;
+  registration reg;
+  reg.add("/px/test/gauge_cb", kind::gauge, [&level] { return level; });
+
+  std::uint64_t v = 0;
+  ASSERT_TRUE(registry::instance().value_of("/px/test/gauge_cb", v));
+  EXPECT_EQ(v, 11u);
+  level = 42;
+  ASSERT_TRUE(registry::instance().value_of("/px/test/gauge_cb", v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(Counters, RegistrationUnregistersOnDestruction) {
+  counter c;
+  {
+    registration reg;
+    reg.add("/px/test/scoped", kind::monotone, c);
+    EXPECT_TRUE(
+        registry::instance().take_snapshot().contains("/px/test/scoped"));
+  }
+  EXPECT_FALSE(
+      registry::instance().take_snapshot().contains("/px/test/scoped"));
+}
+
+TEST(Counters, DuplicatePathSnapshotsKeepLastRegistration) {
+  counter a, b;
+  a.add(1);
+  b.add(2);
+  registration reg;
+  reg.add("/px/test/dup", kind::monotone, a);
+  reg.add("/px/test/dup", kind::monotone, b);
+
+  snapshot const snap = registry::instance().take_snapshot();
+  std::size_t hits = 0;
+  for (auto const& s : snap.samples)
+    if (s.path == "/px/test/dup") ++hits;
+  EXPECT_EQ(hits, 1u);
+  EXPECT_EQ(snap.find("/px/test/dup")->value, 2u);
+}
+
+TEST(Counters, UniqueInstanceNamesNeverRepeat) {
+  std::string const first = registry::instance().unique_instance("utest");
+  std::string const second = registry::instance().unique_instance("utest");
+  std::string const third = registry::instance().unique_instance("utest");
+  EXPECT_EQ(first, "utest");
+  EXPECT_NE(second, first);
+  EXPECT_NE(third, second);
+  EXPECT_NE(third, first);
+}
+
+TEST(Counters, BuiltinPathsExistFromFirstSnapshot) {
+  snapshot const snap = registry::instance().take_snapshot();
+  EXPECT_TRUE(snap.contains("/px/parcel/messages_sent"));
+  EXPECT_TRUE(snap.contains("/px/parcel/bytes_sent"));
+  EXPECT_TRUE(snap.contains("/px/net/messages"));
+  EXPECT_TRUE(snap.contains("/px/timer/wakes_scheduled"));
+  EXPECT_TRUE(snap.contains("/px/trace/events"));
+}
+
+TEST(Counters, RuntimePublishesSchedulerAndStackPaths) {
+  px::runtime rt(cfg(3));
+  std::string const inst = rt.counter_instance();
+  std::string const sched_prefix = "/px/scheduler{" + inst + "}/";
+
+  constexpr int n = 500;
+  std::atomic<int> ran{0};
+  std::vector<px::future<void>> futs;
+  futs.reserve(n);
+  for (int i = 0; i < n; ++i)
+    futs.push_back(px::async_on(rt, [&ran] { ran.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), n);
+
+  snapshot const snap = registry::instance().take_snapshot();
+  auto const* spawned = snap.find(sched_prefix + "tasks_spawned");
+  ASSERT_NE(spawned, nullptr);
+  EXPECT_GE(spawned->value, static_cast<std::uint64_t>(n));
+  EXPECT_TRUE(snap.contains(sched_prefix + "workers"));
+  // Per-worker paths carry the worker inside the instance qualifier, HPX
+  // style: /px/scheduler{inst/worker#N}/metric.
+  std::string const worker_prefix = "/px/scheduler{" + inst + "/worker#";
+  EXPECT_TRUE(snap.contains(worker_prefix + "0}/tasks_executed"));
+  EXPECT_TRUE(snap.contains(worker_prefix + "2}/steals"));
+  EXPECT_TRUE(snap.contains("/px/stacks{" + inst + "}/pool_hits"));
+  EXPECT_EQ(snap.find(sched_prefix + "workers")->value, 3u);
+
+  // Worker stats are published after task fulfilment, so the final
+  // increment can trail f.get() by an instant; poll briefly.
+  auto executed_total = [&] {
+    std::uint64_t executed = 0;
+    for (auto const& s : registry::instance().take_snapshot().samples)
+      if (s.path.size() > worker_prefix.size() &&
+          s.path.compare(0, worker_prefix.size(), worker_prefix) == 0 &&
+          s.path.ends_with("}/tasks_executed"))
+        executed += s.value;
+    return executed;
+  };
+  rt.wait_quiescent();
+  std::uint64_t executed = executed_total();
+  for (int retry = 0; retry < 200 && executed < static_cast<std::uint64_t>(n);
+       ++retry) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    executed = executed_total();
+  }
+  EXPECT_GE(executed, static_cast<std::uint64_t>(n));
+}
+
+TEST(Counters, RuntimePathsVanishWithTheRuntime) {
+  std::string inst;
+  {
+    px::runtime rt(cfg(2));
+    inst = rt.counter_instance();
+    ASSERT_TRUE(registry::instance().take_snapshot().contains(
+        "/px/scheduler{" + inst + "}/tasks_spawned"));
+  }
+  EXPECT_FALSE(registry::instance().take_snapshot().contains(
+      "/px/scheduler{" + inst + "}/tasks_spawned"));
+}
+
+// Concurrent adds with concurrent snapshots: every observation of a
+// monotone counter must be non-decreasing and the final value exact.
+TEST(Counters, MonotoneUnderMultiWorkerStress) {
+  counter c;
+  registration reg;
+  reg.add("/px/test/stress", kind::monotone, c);
+
+  px::runtime rt(cfg(4));
+  constexpr int tasks = 64;
+  constexpr int adds_per_task = 2000;
+  for (int t = 0; t < tasks; ++t)
+    rt.post([&c] {
+      for (int i = 0; i < adds_per_task; ++i) c.add();
+    });
+
+  std::uint64_t last = 0;
+  for (int probe = 0; probe < 200; ++probe) {
+    std::uint64_t v = 0;
+    ASSERT_TRUE(registry::instance().value_of("/px/test/stress", v));
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  rt.wait_quiescent();
+  std::uint64_t v = 0;
+  ASSERT_TRUE(registry::instance().value_of("/px/test/stress", v));
+  EXPECT_EQ(v, static_cast<std::uint64_t>(tasks) * adds_per_task);
+}
+
+TEST(Counters, SnapshotIsSortedAndTimestamped) {
+  counter c;
+  registration reg;
+  reg.add("/px/test/zz", kind::monotone, c);
+  reg.add("/px/test/aa", kind::monotone, c);
+
+  snapshot const a = registry::instance().take_snapshot();
+  ASSERT_GE(a.samples.size(), 2u);
+  for (std::size_t i = 1; i < a.samples.size(); ++i)
+    EXPECT_LT(a.samples[i - 1].path, a.samples[i].path);
+
+  snapshot const b = registry::instance().take_snapshot();
+  EXPECT_GE(b.timestamp_ns, a.timestamp_ns);
+}
+
+TEST(Counters, DeltaSemantics) {
+  snapshot begin, end;
+  begin.timestamp_ns = 100;
+  end.timestamp_ns = 250;
+  begin.samples = {{"/px/a", kind::monotone, 10},
+                   {"/px/b", kind::gauge, 7},
+                   {"/px/reset", kind::monotone, 50}};
+  end.samples = {{"/px/a", kind::monotone, 25},
+                 {"/px/b", kind::gauge, 3},
+                 {"/px/new", kind::monotone, 4},
+                 {"/px/reset", kind::monotone, 20}};
+
+  snapshot const d = px::counters::delta(begin, end);
+  EXPECT_EQ(d.find("/px/a")->value, 15u);     // monotone: end - begin
+  EXPECT_EQ(d.find("/px/b")->value, 3u);      // gauge: end value
+  EXPECT_EQ(d.find("/px/new")->value, 4u);    // new path: full value
+  EXPECT_EQ(d.find("/px/reset")->value, 0u);  // clamped, never wraps
+}
+
+TEST(Counters, IntervalSamplerReportsDisjointIntervals) {
+  counter c;
+  registration reg;
+  reg.add("/px/test/interval", kind::monotone, c);
+
+  px::counters::interval_sampler sampler;
+  c.add(5);
+  snapshot d1 = sampler.next();
+  EXPECT_EQ(d1.find("/px/test/interval")->value, 5u);
+  c.add(3);
+  snapshot d2 = sampler.next();
+  EXPECT_EQ(d2.find("/px/test/interval")->value, 3u);
+}
+
+TEST(Counters, JsonRoundTrip) {
+  counter c;
+  c.add(123456789);
+  registration reg;
+  reg.add("/px/test/json_m", kind::monotone, c);
+  reg.add("/px/test/json_g", kind::gauge, [] { return std::uint64_t{7}; });
+
+  snapshot const snap = registry::instance().take_snapshot();
+  snapshot const parsed = px::counters::parse_json(snap.to_json());
+  EXPECT_EQ(parsed.timestamp_ns, snap.timestamp_ns);
+  ASSERT_EQ(parsed.samples.size(), snap.samples.size());
+  for (std::size_t i = 0; i < snap.samples.size(); ++i)
+    EXPECT_EQ(parsed.samples[i], snap.samples[i]);
+}
+
+TEST(Counters, CsvRoundTrip) {
+  counter c;
+  c.add(42);
+  registration reg;
+  reg.add("/px/test/csv_m", kind::monotone, c);
+
+  snapshot const snap = registry::instance().take_snapshot();
+  snapshot const parsed = px::counters::parse_csv(snap.to_csv());
+  // CSV intentionally drops the timestamp; samples must survive exactly.
+  ASSERT_EQ(parsed.samples.size(), snap.samples.size());
+  for (std::size_t i = 0; i < snap.samples.size(); ++i)
+    EXPECT_EQ(parsed.samples[i], snap.samples[i]);
+}
+
+TEST(Counters, MalformedDocumentsThrow) {
+  EXPECT_THROW((void)px::counters::parse_json("not json"),
+               std::runtime_error);
+  EXPECT_THROW((void)px::counters::parse_json("{\"counters\":"),
+               std::runtime_error);
+  EXPECT_THROW((void)px::counters::parse_csv("wrong,header,row\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)px::counters::parse_csv("path,kind,value\n/px/x,monotone,abc\n"),
+      std::runtime_error);
+}
+
+// The increment path must stay allocation-free: one relaxed atomic op, no
+// locks, no heap traffic. This is the cost contract the header documents.
+TEST(Counters, IncrementPathDoesNotAllocate) {
+  counter c;
+  registration reg;
+  reg.add("/px/test/noalloc", kind::monotone, c);
+  auto& builtin = px::counters::builtin();
+
+  std::uint64_t const before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 100000; ++i) {
+    c.add();
+    builtin.parcel_messages_sent.add(2);
+    builtin.net_bytes.add(64);
+  }
+  std::uint64_t const after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(c.load(), 100000u);
+}
+
+}  // namespace
