@@ -1,10 +1,26 @@
 #!/usr/bin/env sh
 # Tier-1 verification: fresh configure, full build, full test suite.
 # Run from anywhere; builds into <repo>/build.
+#
+# A second, sanitizer lane (ASan + UBSan, build-san/) then re-runs the
+# transport-heavy suites — fault injection exercises timer/ack races that
+# only a sanitizer can vouch for. Skip it with PX_SKIP_SAN=1.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j
-cd "$repo/build" && ctest --output-on-failure -j
+(cd "$repo/build" && ctest --output-on-failure -j)
+
+if [ "${PX_SKIP_SAN:-0}" = "1" ]; then
+  echo "check.sh: PX_SKIP_SAN=1, skipping sanitizer lane"
+  exit 0
+fi
+
+cmake -B "$repo/build-san" -S "$repo" \
+  -DPX_SANITIZE=ON -DPX_BUILD_BENCH=OFF -DPX_BUILD_EXAMPLES=OFF
+cmake --build "$repo/build-san" -j \
+  --target test_fault_injection --target test_parcel
+(cd "$repo/build-san" && ctest --output-on-failure \
+  -R 'test_fault_injection|test_parcel')

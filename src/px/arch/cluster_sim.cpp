@@ -173,6 +173,16 @@ cluster_sim_result simulate_heat1d_cluster(machine const& m,
                                            net::fabric_model const& fabric,
                                            cluster_sim_config cfg) {
   PX_ASSERT(cfg.nodes >= 1 && cfg.steps >= 1);
+  PX_ASSERT_MSG(cfg.node_rate_pts_per_s >= 0.0,
+                "node_rate_pts_per_s must be >= 0 (0 = derive)");
+  PX_ASSERT_MSG(cfg.per_step_overhead_s >= 0.0 ||
+                    cfg.per_step_overhead_s == cluster_sim_config::derive,
+                "per_step_overhead_s: only -1 (derive) may be negative");
+  PX_ASSERT_MSG(cfg.starvation_s_per_point_per_node >= 0.0 ||
+                    cfg.starvation_s_per_point_per_node ==
+                        cluster_sim_config::derive,
+                "starvation_s_per_point_per_node: only -1 (derive) may be "
+                "negative");
   simulation sim(m, fabric, cfg);
   return sim.run();
 }
@@ -218,7 +228,7 @@ cluster_sim_result simulate_jacobi2d_cluster(machine const& m,
       1e9;
   // Reuse the 1D-calibrated per-step runtime overhead; zero starvation
   // unless the machine is the NIC-starved one (same mechanism applies).
-  base.per_step_overhead_s = -1.0;
+  base.per_step_overhead_s = cluster_sim_config::derive;
   return simulate_heat1d_cluster(m, fabric, base);
 }
 

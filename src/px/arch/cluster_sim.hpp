@@ -24,15 +24,21 @@ struct cluster_sim_config {
   std::size_t halo_bytes = 8;
 
   // Node compute throughput (points/s); 0 = use the machine's calibrated
-  // 1D application rate.
+  // 1D application rate. Must not be negative.
   double node_rate_pts_per_s = 0.0;
   // Per-step runtime overhead when distributed (AGAS bookkeeping, parcel
-  // handling); 0 = derive from the machine's calibrated strong-scaling
-  // overhead.
-  double per_step_overhead_s = -1.0;
+  // handling). Sentinel -1 = derive from the machine's calibrated
+  // strong-scaling overhead; 0 is honoured as literally no overhead.
+  double per_step_overhead_s = derive;
   // NIC-starvation background cost (s per local point per extra node and
   // step); models the Kunpeng 916 host's inability to drive the HCA.
-  double starvation_s_per_point_per_node = -1.0;
+  // Sentinel -1 = derive (the Kunpeng fit when the machine is calibrated
+  // for it, else 0); 0 is honoured as no starvation.
+  double starvation_s_per_point_per_node = derive;
+
+  // The only accepted negative value for the two fields above;
+  // simulate_heat1d_cluster asserts on any other negative input.
+  static constexpr double derive = -1.0;
 };
 
 struct cluster_sim_result {

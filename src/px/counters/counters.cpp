@@ -227,13 +227,27 @@ registry::registry() : self_(new impl) {
            builtin_.parcels_delivered);
   reg_cell("/px/parcel/actions_registered", kind::monotone,
            builtin_.actions_registered);
+  reg_cell("/px/parcel/orphan_responses", kind::monotone,
+           builtin_.parcel_orphan_responses);
   reg_cell("/px/net/messages", kind::monotone, builtin_.net_messages);
   reg_cell("/px/net/bytes", kind::monotone, builtin_.net_bytes);
-  reg_cell("/px/net/modeled_us", kind::monotone, builtin_.net_modeled_us);
+  reg_cell("/px/net/modeled_ns", kind::monotone, builtin_.net_modeled_ns);
+  reg_cell("/px/net/drops", kind::monotone, builtin_.net_drops);
+  reg_cell("/px/net/retransmits", kind::monotone, builtin_.net_retransmits);
+  reg_cell("/px/net/dup_suppressed", kind::monotone,
+           builtin_.net_dup_suppressed);
+  reg_cell("/px/net/acks", kind::monotone, builtin_.net_acks);
+  reg_cell("/px/net/backoff_us", kind::monotone, builtin_.net_backoff_us);
+  reg_cell("/px/net/dead_letters", kind::monotone,
+           builtin_.net_dead_letters);
+  reg_cell("/px/net/delivery_failures", kind::monotone,
+           builtin_.net_delivery_failures);
   reg_cell("/px/timer/wakes_scheduled", kind::monotone,
            builtin_.timer_wakes);
   reg_cell("/px/timer/callbacks_scheduled", kind::monotone,
            builtin_.timer_callbacks);
+  reg_cell("/px/timer/callbacks_cancelled", kind::monotone,
+           builtin_.timer_cancelled);
 
   entry trace_events;
   trace_events.id = self_->next_id++;

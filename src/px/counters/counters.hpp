@@ -140,11 +140,23 @@ struct builtin_counters {
   counter parcel_bytes_sent;      // /px/parcel/bytes_sent
   counter parcels_delivered;      // /px/parcel/parcels_delivered
   counter actions_registered;     // /px/parcel/actions_registered
+  counter parcel_orphan_responses;  // /px/parcel/orphan_responses
   counter net_messages;           // /px/net/messages
   counter net_bytes;              // /px/net/bytes
-  counter net_modeled_us;         // /px/net/modeled_us (truncated)
+  // Modeled wire time in integer nanoseconds (fixed-point x1000 of the
+  // fabric's microsecond figure) — the unit is in the path so sub-us
+  // messages never truncate to zero.
+  counter net_modeled_ns;         // /px/net/modeled_ns
+  counter net_drops;              // /px/net/drops
+  counter net_retransmits;        // /px/net/retransmits
+  counter net_dup_suppressed;     // /px/net/dup_suppressed
+  counter net_acks;               // /px/net/acks
+  counter net_backoff_us;         // /px/net/backoff_us
+  counter net_dead_letters;       // /px/net/dead_letters
+  counter net_delivery_failures;  // /px/net/delivery_failures
   counter timer_wakes;            // /px/timer/wakes_scheduled
   counter timer_callbacks;        // /px/timer/callbacks_scheduled
+  counter timer_cancelled;        // /px/timer/callbacks_cancelled
 };
 
 class registry {

@@ -4,6 +4,7 @@
 // each returns futures so collectives overlap with other work.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "px/dist/distributed_domain.hpp"
@@ -35,6 +36,30 @@ auto gather(locality& from, Args const&... args)
   std::vector<typename detail::fn_sig<decltype(Fn)>::ret> results;
   results.reserve(futures.size());
   for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+// Loss-tolerant gather for lossy fabrics: element i holds locality i's
+// result, or nullopt when delivery to/from locality i exhausted its retry
+// budget (px::net::delivery_error). Any other failure still propagates —
+// an action throwing is a program error, not a transport one.
+template <auto Fn, typename... Args>
+auto try_gather(locality& from, Args const&... args)
+    -> std::vector<std::optional<typename detail::fn_sig<decltype(Fn)>::ret>> {
+  using R = typename detail::fn_sig<decltype(Fn)>::ret;
+  static_assert(!std::is_void_v<R>,
+                "try_gather needs a value-returning action; use gather for "
+                "void actions");
+  auto futures = broadcast<Fn>(from, args...);
+  std::vector<std::optional<R>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) {
+    try {
+      results.push_back(f.get());
+    } catch (net::delivery_error const&) {
+      results.push_back(std::nullopt);
+    }
+  }
   return results;
 }
 

@@ -56,7 +56,10 @@ void barrier_arrive_and_wait(locality& here, std::uint64_t generation) {
   if (here.id() == 0) {
     detail::barrier_arrive(here, generation);
   } else {
-    here.apply<&detail::barrier_arrive>(0, generation);
+    // An acknowledged call, not fire-and-forget apply: on a lossy fabric a
+    // lost arrival would deadlock every participant, so retry-budget
+    // exhaustion must surface here as px::net::delivery_error.
+    here.call<&detail::barrier_arrive>(0, generation).get();
   }
   (void)state->released.get(generation);  // suspends until released
 }

@@ -1,7 +1,7 @@
 #include "px/dist/distributed_domain.hpp"
 
 #include <chrono>
-#include <thread>
+#include <unordered_map>
 
 #include "px/counters/counters.hpp"
 #include "px/runtime/timer_service.hpp"
@@ -31,16 +31,21 @@ void locality::send(parcel::parcel p) {
 void locality::deliver(parcel::parcel p) {
   counters::builtin().parcels_delivered.add();
   if (p.action == parcel::response_action_id) {
-    unique_function<void(parcel::parcel&&)> completion;
+    response_completion completion;
     {
       std::lock_guard<spinlock> guard(pending_lock_);
       auto it = pending_.find(p.response_token);
-      PX_ASSERT_MSG(it != pending_.end(),
-                    "response parcel with unknown token");
+      if (it == pending_.end()) {
+        // The slot was already failed by the transport (retry budget
+        // exhausted while the response was still crossing the wire). The
+        // caller got a delivery_error; the late response is dropped.
+        counters::builtin().parcel_orphan_responses.add();
+        return;
+      }
       completion = std::move(it->second);
       pending_.erase(it);
     }
-    completion(std::move(p));
+    completion(std::move(p), nullptr);
     parcels_handled_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
@@ -55,69 +60,321 @@ void locality::deliver(parcel::parcel p) {
 }
 
 std::uint64_t locality::register_response_slot(
-    unique_function<void(parcel::parcel&&)> completion) {
+    response_completion completion) {
   std::lock_guard<spinlock> guard(pending_lock_);
   std::uint64_t const token = next_token_++;
   pending_.emplace(token, std::move(completion));
   return token;
 }
 
+void locality::fail_response_slot(std::uint64_t token,
+                                  std::exception_ptr reason) {
+  response_completion completion;
+  {
+    std::lock_guard<spinlock> guard(pending_lock_);
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;  // already completed or failed
+    completion = std::move(it->second);
+    pending_.erase(it);
+  }
+  completion(parcel::parcel{}, std::move(reason));
+}
+
+// ---- reliability link state -------------------------------------------
+
+namespace detail {
+
+// Sender-side copy of an unacked parcel, kept until the ack arrives or the
+// retry budget is exhausted.
+struct pending_tx {
+  parcel::parcel frame;
+  int attempts = 1;          // transmissions so far (1 = the original send)
+  double backoff_us = 0.0;   // backoff component of the currently armed RTO
+  std::shared_ptr<rt::timer_token> rto;
+};
+
+// One ordered (src,dst) pair: sender-side sequencing and in-flight map,
+// receiver-side dedup window. Both ends live in-process, so one struct
+// serves both directions of the protocol for this link.
+struct link_state {
+  explicit link_state(std::size_t dedup_capacity) : rx(dedup_capacity) {}
+
+  px::spinlock lock;
+  std::uint64_t next_seq = 1;
+  net::dedup_window rx;
+  std::unordered_map<std::uint64_t, pending_tx> inflight;
+};
+
+}  // namespace detail
+
 // ---- distributed_domain -------------------------------------------------
 
 distributed_domain::distributed_domain(domain_config cfg)
-    : cfg_(cfg), fabric_(cfg.fabric, cfg.injection_scale) {
+    : cfg_(cfg), fabric_(cfg.fabric, cfg.injection_scale, cfg.faults) {
   PX_ASSERT(cfg_.num_localities >= 1);
+  PX_ASSERT_MSG(cfg_.reliability.max_retries >= 0,
+                "retry budget must be non-negative");
+  using rmode = net::reliability_config::mode;
+  reliable_ = cfg_.reliability.activation == rmode::on ||
+              (cfg_.reliability.activation == rmode::automatic &&
+               cfg_.faults.enabled());
   localities_.reserve(cfg_.num_localities);
   for (std::size_t i = 0; i < cfg_.num_localities; ++i)
     localities_.push_back(std::make_unique<locality>(
         *this, static_cast<std::uint32_t>(i), cfg_.locality_cfg));
+  if (reliable_) {
+    links_.reserve(cfg_.num_localities * cfg_.num_localities);
+    for (std::size_t i = 0; i < cfg_.num_localities * cfg_.num_localities;
+         ++i)
+      links_.push_back(std::make_unique<detail::link_state>(
+          cfg_.reliability.dedup_capacity));
+  }
 }
 
 distributed_domain::~distributed_domain() {
   wait_all_quiescent();
+  // Cancelled retransmission timers may still sit in the timer heap; their
+  // callbacks are claimed no-ops and never touch this object again.
   // Localities (and their runtimes) shut down in the unique_ptr dtors.
+}
+
+detail::link_state& distributed_domain::link_between(
+    std::uint32_t src, std::uint32_t dst) noexcept {
+  return *links_[static_cast<std::size_t>(src) * localities_.size() + dst];
+}
+
+void distributed_domain::obligation_begin() noexcept {
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void distributed_domain::obligation_done() noexcept {
+  // The final decrement happens under the quiesce mutex so a waiter can
+  // only observe zero after this thread is done with the domain — safe
+  // against teardown racing the notification.
+  std::lock_guard<std::mutex> lk(quiesce_mutex_);
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    quiesce_cv_.notify_all();
 }
 
 void distributed_domain::route(parcel::parcel p) {
   PX_ASSERT_MSG(p.dest < localities_.size(), "parcel to unknown locality");
-  locality& dest = *localities_[p.dest];
 
-  if (p.dest == p.source) {  // intra-node: no wire, no charge
-    dest.deliver(std::move(p));
+  if (p.dest == p.source) {  // intra-node: no wire, no charge, no faults
+    localities_[p.dest]->deliver(std::move(p));
     return;
   }
 
-  std::size_t const bytes = p.wire_size();
-  double const modeled = fabric_.modeled_us(bytes);
-  fabric_.counters().record(bytes, modeled);
-  std::uint64_t const delay_ns = fabric_.injected_delay_ns(bytes);
+  if (!reliable_) {
+    transmit(std::move(p), 1);
+    return;
+  }
 
+  // Reliable path: assign the link sequence number and keep a copy for
+  // retransmission. The logical-parcel obligation is released on ack or on
+  // retry-budget exhaustion, which is what quiesce() waits for.
+  {
+    auto& link = link_between(p.source, p.dest);
+    std::lock_guard<spinlock> guard(link.lock);
+    p.seq = link.next_seq++;
+    auto& tx = link.inflight[p.seq];
+    tx.frame = p;  // payload copied: the original goes on the wire
+    tx.attempts = 1;
+  }
+  obligation_begin();
+  transmit(std::move(p), 1);
+}
+
+void distributed_domain::transmit(parcel::parcel frame, int attempt) {
+  std::size_t const bytes = frame.wire_size();
+  fabric_.counters().record(bytes, fabric_.modeled_us(bytes));
+
+  // Arm the retransmission timer before the frame can possibly be
+  // delivered, so an inline ack always finds a token to cancel.
+  if (reliable_ && frame.action != parcel::ack_action_id)
+    arm_rto(frame.source, frame.dest, frame.seq, attempt, bytes);
+
+  auto const fate = fabric_.faults().sample(frame.source, frame.dest);
+  if (fate.drop) {
+    counters::builtin().net_drops.add();
+    return;  // the armed RTO (if any) repairs this
+  }
+
+  std::uint64_t const delay_ns =
+      fabric_.injected_delay_ns(bytes) + fate.hold_ns;
+  if (fate.duplicate) schedule_frame(frame, delay_ns);
+  schedule_frame(std::move(frame), delay_ns);
+}
+
+void distributed_domain::schedule_frame(parcel::parcel frame,
+                                        std::uint64_t delay_ns) {
   if (delay_ns == 0) {
-    dest.deliver(std::move(p));
+    deliver_frame(std::move(frame));
     return;
   }
-
-  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  obligation_begin();
   rt::timer_service::instance().call_at(
       rt::timer_service::clock::now() + std::chrono::nanoseconds(delay_ns),
-      [this, &dest, p = std::move(p)]() mutable {
-        dest.deliver(std::move(p));
-        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      [this, frame = std::move(frame)]() mutable {
+        deliver_frame(std::move(frame));
+        obligation_done();
       });
+}
+
+void distributed_domain::deliver_frame(parcel::parcel frame) {
+  if (frame.action == parcel::ack_action_id) {
+    handle_ack(frame);
+    return;
+  }
+  if (reliable_ && frame.seq != 0) {
+    bool fresh;
+    {
+      auto& link = link_between(frame.source, frame.dest);
+      std::lock_guard<spinlock> guard(link.lock);
+      fresh = link.rx.accept(frame.seq);
+    }
+    // Every arriving copy is acked — a duplicate usually means the ack was
+    // lost, and only a fresh ack stops the sender's retransmissions.
+    send_ack(frame);
+    if (!fresh) {
+      counters::builtin().net_dup_suppressed.add();
+      return;
+    }
+  }
+  localities_[frame.dest]->deliver(std::move(frame));
+}
+
+void distributed_domain::send_ack(parcel::parcel const& data) {
+  parcel::parcel ack;
+  ack.source = data.dest;
+  ack.dest = data.source;
+  ack.action = parcel::ack_action_id;
+  ack.seq = data.seq;
+  counters::builtin().net_acks.add();
+  // Acks are fire-and-forget: no seq of their own, no RTO. A lost ack is
+  // repaired by the data frame's retransmission.
+  transmit(std::move(ack), 1);
+}
+
+void distributed_domain::handle_ack(parcel::parcel const& ack) {
+  // The data frame travelled ack.dest -> ack.source.
+  std::shared_ptr<rt::timer_token> token;
+  {
+    auto& link = link_between(ack.dest, ack.source);
+    std::lock_guard<spinlock> guard(link.lock);
+    auto it = link.inflight.find(ack.seq);
+    if (it == link.inflight.end()) return;  // duplicate ack; already settled
+    token = std::move(it->second.rto);
+    link.inflight.erase(it);
+  }
+  if (token == nullptr || token->cancel()) {
+    obligation_done();
+    return;
+  }
+  // cancel() lost the race: the RTO callback is firing concurrently, will
+  // find the entry gone and release the obligation itself.
+}
+
+void distributed_domain::arm_rto(std::uint32_t src, std::uint32_t dst,
+                                 std::uint64_t seq, int attempt,
+                                 std::size_t bytes) {
+  auto token = std::make_shared<rt::timer_token>();
+  double const backoff =
+      net::backoff_us(cfg_.reliability, attempt > 0 ? attempt - 1 : 0);
+  {
+    auto& link = link_between(src, dst);
+    std::lock_guard<spinlock> guard(link.lock);
+    auto it = link.inflight.find(seq);
+    if (it == link.inflight.end()) return;  // settled before arming
+    it->second.rto = token;
+    it->second.backoff_us = backoff;
+  }
+  std::uint64_t const rto = net::rto_ns(cfg_.reliability, attempt,
+                                        fabric_.injected_delay_ns(bytes));
+  rt::timer_service::instance().call_at(
+      rt::timer_service::clock::now() + std::chrono::nanoseconds(rto),
+      [this, src, dst, seq] { on_rto(src, dst, seq); }, std::move(token));
+}
+
+void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
+                                std::uint64_t seq) {
+  enum class outcome { settled, failed, retry };
+  outcome what;
+  parcel::parcel frame;
+  int attempts = 0;
+  double waited_us = 0.0;
+  {
+    auto& link = link_between(src, dst);
+    std::lock_guard<spinlock> guard(link.lock);
+    auto it = link.inflight.find(seq);
+    if (it == link.inflight.end()) {
+      // Acked in the window between this timer claiming its token and
+      // reaching the link lock; the ack path left the obligation to us.
+      what = outcome::settled;
+    } else {
+      waited_us = it->second.backoff_us;
+      if (it->second.attempts - 1 >= cfg_.reliability.max_retries) {
+        frame = std::move(it->second.frame);
+        attempts = it->second.attempts;
+        link.inflight.erase(it);
+        what = outcome::failed;
+      } else {
+        it->second.attempts += 1;
+        attempts = it->second.attempts;
+        frame = it->second.frame;  // copy: the stored one stays for later
+        what = outcome::retry;
+      }
+    }
+  }
+  switch (what) {
+    case outcome::settled:
+      obligation_done();
+      return;
+    case outcome::failed:
+      counters::builtin().net_backoff_us.add(
+          static_cast<std::uint64_t>(waited_us + 0.5));
+      fail_parcel(std::move(frame), attempts);
+      obligation_done();
+      return;
+    case outcome::retry:
+      counters::builtin().net_backoff_us.add(
+          static_cast<std::uint64_t>(waited_us + 0.5));
+      counters::builtin().net_retransmits.add();
+      transmit(std::move(frame), attempts);
+      return;
+  }
+}
+
+void distributed_domain::fail_parcel(parcel::parcel&& p, int attempts) {
+  counters::builtin().net_delivery_failures.add();
+  if (p.response_token == 0) return;  // fire-and-forget: counted, dropped
+  auto reason = std::make_exception_ptr(
+      net::delivery_error(p.source, p.dest, p.seq, attempts));
+  // A request's response slot lives at the caller (p.source); a response
+  // parcel's slot lives at the original caller it was heading to (p.dest).
+  locality& owner = p.action == parcel::response_action_id
+                        ? *localities_[p.dest]
+                        : *localities_[p.source];
+  owner.fail_response_slot(p.response_token, std::move(reason));
 }
 
 void distributed_domain::wait_all_quiescent() {
   // Parcels can respawn tasks and tasks can send parcels, so iterate until
-  // a full pass observes no activity anywhere.
+  // a full pass observes no activity anywhere. The in-flight wait is
+  // condition-variable driven: obligation_done() signals when the count
+  // (scheduled frames + unacked reliable parcels) drains to zero.
   for (;;) {
     for (auto& loc : localities_) loc->rt().wait_quiescent();
-    if (in_flight_.load(std::memory_order_acquire) == 0) {
-      bool all_quiet = true;
-      for (auto& loc : localities_)
-        if (loc->sched().active_tasks() != 0) all_quiet = false;
-      if (all_quiet) return;
+    {
+      std::unique_lock<std::mutex> lk(quiesce_mutex_);
+      quiesce_cv_.wait(lk, [this] {
+        return in_flight_.load(std::memory_order_acquire) == 0;
+      });
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    bool all_quiet = true;
+    for (auto& loc : localities_)
+      if (loc->sched().active_tasks() != 0) all_quiet = false;
+    if (all_quiet && in_flight_.load(std::memory_order_acquire) == 0)
+      return;
   }
 }
 

@@ -4,16 +4,29 @@
 // (accounted at paper scale) and delivered after an injection-scaled real
 // delay through the timer service, so compute/communication overlap in the
 // runtime is real, not simulated away.
+//
+// When the fabric is lossy (fault injection enabled, see fault_plane.hpp)
+// the domain runs the parcel reliability protocol: per-link sequence
+// numbers, receiver-side dedup, ack frames and timer-driven retransmission
+// with exponential backoff (see reliability.hpp for the policy half and
+// docs/ARCHITECTURE.md for the state machines).
 #pragma once
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "px/dist/locality.hpp"
 #include "px/lcos/async.hpp"
 #include "px/net/fabric.hpp"
+#include "px/net/reliability.hpp"
 
 namespace px::dist {
+
+namespace detail {
+struct link_state;  // per ordered (src,dst) pair; defined in the .cpp
+}
 
 struct domain_config {
   std::size_t num_localities = 2;
@@ -27,6 +40,10 @@ struct domain_config {
   // Real-sleep per modeled microsecond during in-process runs. 1.0 injects
   // true modeled delays; 0 delivers immediately (accounting only).
   double injection_scale = 1.0;
+  // Lossy-fabric fault injection (off by default: all probabilities 0).
+  net::fault_config faults;
+  // Ack/retransmit layer; `automatic` activates it iff faults.enabled().
+  net::reliability_config reliability;
 };
 
 class distributed_domain {
@@ -43,11 +60,14 @@ class distributed_domain {
   [[nodiscard]] locality& at(std::size_t i) { return *localities_[i]; }
   [[nodiscard]] net::fabric& fabric() noexcept { return fabric_; }
 
+  // True when the reliability layer sequences/acks/retransmits parcels.
+  [[nodiscard]] bool reliable() const noexcept { return reliable_; }
+
   // Routes a parcel from its source to its destination locality.
   void route(parcel::parcel p);
 
   // Blocks until every locality's scheduler is quiescent *and* no parcels
-  // are still in flight through the fabric/timer.
+  // are still in flight (scheduled frames, unacked reliable parcels).
   void wait_all_quiescent();
 
   // Runs `f(locality0)` as a task on locality 0 and returns its result —
@@ -60,9 +80,42 @@ class distributed_domain {
   }
 
  private:
+  // ---- reliability transport (see docs/ARCHITECTURE.md) ----------------
+  [[nodiscard]] detail::link_state& link_between(std::uint32_t src,
+                                                 std::uint32_t dst) noexcept;
+  // Puts one frame on the wire: traffic accounting, fault sampling, RTO
+  // arming (reliable data frames), delivery scheduling. `attempt` is the
+  // 1-based transmission count for this seq.
+  void transmit(parcel::parcel frame, int attempt);
+  // Schedules delivery after `delay_ns` of real time (inline when 0).
+  void schedule_frame(parcel::parcel frame, std::uint64_t delay_ns);
+  // Receiver-side transport: ack handling, dedup + ack for data frames.
+  void deliver_frame(parcel::parcel frame);
+  void send_ack(parcel::parcel const& data);
+  void handle_ack(parcel::parcel const& ack);
+  // Re-arms the retransmission timer for (src,dst,seq); no-op if resolved.
+  void arm_rto(std::uint32_t src, std::uint32_t dst, std::uint64_t seq,
+               int attempt, std::size_t bytes);
+  void on_rto(std::uint32_t src, std::uint32_t dst, std::uint64_t seq);
+  // Retry budget exhausted: counts the failure and fails the associated
+  // response slot (if any) with net::delivery_error.
+  void fail_parcel(parcel::parcel&& p, int attempts);
+
+  // ---- in-flight obligation accounting ---------------------------------
+  // One obligation per scheduled frame and per unacked reliable parcel;
+  // quiesce waits (on a condition variable, not a busy poll) until the
+  // count drains to zero.
+  void obligation_begin() noexcept;
+  void obligation_done() noexcept;
+
   domain_config const cfg_;
   net::fabric fabric_;
+  bool reliable_ = false;
   std::vector<std::unique_ptr<locality>> localities_;
+  std::vector<std::unique_ptr<detail::link_state>> links_;
+
+  std::mutex quiesce_mutex_;
+  std::condition_variable quiesce_cv_;
   std::atomic<std::uint64_t> in_flight_{0};
 };
 

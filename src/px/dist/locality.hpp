@@ -80,9 +80,18 @@ class locality {
     return parcels_handled_.load(std::memory_order_relaxed);
   }
 
+  // Transport-failure path: fails the pending response slot `token` with
+  // `reason` (e.g. px::net::delivery_error after retry-budget exhaustion).
+  // A token that already completed or failed is ignored.
+  void fail_response_slot(std::uint64_t token, std::exception_ptr reason);
+
  private:
-  std::uint64_t register_response_slot(
-      unique_function<void(parcel::parcel&&)> completion);
+  // Completion receives the response parcel and a null exception_ptr, or a
+  // moved-from parcel and the transport failure.
+  using response_completion =
+      unique_function<void(parcel::parcel&&, std::exception_ptr)>;
+
+  std::uint64_t register_response_slot(response_completion completion);
 
   distributed_domain& domain_;
   std::uint32_t const id_;
@@ -91,8 +100,7 @@ class locality {
 
   spinlock pending_lock_;
   std::uint64_t next_token_ = 1;
-  std::unordered_map<std::uint64_t, unique_function<void(parcel::parcel&&)>>
-      pending_;
+  std::unordered_map<std::uint64_t, response_completion> pending_;
   std::atomic<std::uint64_t> parcels_handled_{0};
 };
 
@@ -193,8 +201,12 @@ auto locality::call(std::uint32_t dest, Args&&... args)
                 "action used before PX_REGISTER_ACTION");
 
   auto state = std::make_shared<lcos::detail::shared_state<R>>();
-  std::uint64_t const token =
-      register_response_slot([state](parcel::parcel&& resp) {
+  std::uint64_t const token = register_response_slot(
+      [state](parcel::parcel&& resp, std::exception_ptr transport_failure) {
+        if (transport_failure != nullptr) {
+          state->set_exception(std::move(transport_failure));
+          return;
+        }
         detail::complete_response(*state, std::move(resp));
       });
 

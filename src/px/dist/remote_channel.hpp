@@ -20,8 +20,13 @@ struct remote_channel_component {
 template <typename T>
 void remote_channel_put(locality& here, agas::gid g, T value) {
   auto comp = here.agas().resolve<remote_channel_component<T>>(g);
-  if (comp == nullptr)
-    throw std::runtime_error("px::dist::remote_channel: unknown gid");
+  if (comp == nullptr) {
+    // A put racing remote_channel::close (or arriving after it, e.g. a
+    // retransmitted duplicate on a lossy fabric) is a graceful drop, not
+    // an error: the component is gone, the value has nowhere to land.
+    counters::builtin().net_dead_letters.add();
+    return;
+  }
   comp->local.send(std::move(value));
 }
 

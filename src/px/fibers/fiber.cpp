@@ -2,6 +2,31 @@
 
 #include "px/support/assert.hpp"
 
+// AddressSanitizer tracks the live stack region per thread; a raw ucontext
+// switch looks like a wild stack change and produces false positives. Under
+// ASan every switch is bracketed with __sanitizer_start_switch_fiber /
+// __sanitizer_finish_switch_fiber so the tool follows the fiber protocol.
+#if !defined(PX_FIBER_ASAN)
+#if defined(PX_ASAN_FIBERS) || defined(__SANITIZE_ADDRESS__)
+#define PX_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PX_FIBER_ASAN 1
+#endif
+#endif
+#endif
+
+#if defined(PX_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#define PX_ASAN_START_SWITCH(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define PX_ASAN_FINISH_SWITCH(fake, bottom, size) \
+  __sanitizer_finish_switch_fiber((fake), (bottom), (size))
+#else
+#define PX_ASAN_START_SWITCH(save, bottom, size) ((void)0)
+#define PX_ASAN_FINISH_SWITCH(fake, bottom, size) ((void)0)
+#endif
+
 namespace px::fibers {
 namespace {
 
@@ -31,6 +56,10 @@ fiber::fiber(stack stk, unique_function<void()> entry)
 void fiber::trampoline(unsigned hi, unsigned lo) {
   auto self = reinterpret_cast<fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  // First time on this fiber's stack: no fake stack to restore yet; record
+  // the owner's stack bounds for the switch back.
+  PX_ASAN_FINISH_SWITCH(nullptr, &self->asan_owner_stack_bottom_,
+                        &self->asan_owner_stack_size_);
   self->run_entry();
   PX_UNREACHABLE();
 }
@@ -41,6 +70,10 @@ void fiber::run_entry() {
   state_ = state::finished;
   fiber* const self = this;
   tls_current_fiber = nullptr;
+  // Terminal switch: null save slot tells ASan this fiber's fake stack can
+  // be destroyed — the fiber never runs again.
+  PX_ASAN_START_SWITCH(nullptr, self->asan_owner_stack_bottom_,
+                       self->asan_owner_stack_size_);
   ::swapcontext(&self->context_, &self->owner_context_);
   PX_UNREACHABLE();  // a finished fiber is never resumed
 }
@@ -52,7 +85,10 @@ void fiber::resume() {
   PX_ASSERT_MSG(prev == nullptr, "nested fiber resume is not supported");
   tls_current_fiber = this;
   state_ = state::running;
+  PX_ASAN_START_SWITCH(&asan_owner_fake_stack_, stack_.limit,
+                       stack_.usable_size);
   ::swapcontext(&owner_context_, &context_);
+  PX_ASAN_FINISH_SWITCH(asan_owner_fake_stack_, nullptr, nullptr);
   // Back on the owner: the fiber either suspended or finished; both paths
   // already cleared tls_current_fiber.
   tls_current_fiber = prev;
@@ -63,8 +99,12 @@ void fiber::suspend_to_owner() {
   PX_ASSERT(state_ == state::running);
   state_ = state::suspended;
   tls_current_fiber = nullptr;
+  PX_ASAN_START_SWITCH(&asan_fiber_fake_stack_, asan_owner_stack_bottom_,
+                       asan_owner_stack_size_);
   ::swapcontext(&context_, &owner_context_);
-  // Resumed again: resume() has restored tls_current_fiber.
+  // Resumed, possibly by a different worker: refresh the owner bounds.
+  PX_ASAN_FINISH_SWITCH(asan_fiber_fake_stack_, &asan_owner_stack_bottom_,
+                        &asan_owner_stack_size_);
   state_ = state::running;
 }
 

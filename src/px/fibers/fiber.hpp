@@ -14,6 +14,7 @@
 
 #include <ucontext.h>
 
+#include <cstddef>
 #include <cstdint>
 
 #include "px/fibers/stack.hpp"
@@ -58,6 +59,14 @@ class fiber {
   ucontext_t context_{};
   ucontext_t owner_context_{};
   state state_ = state::ready;
+
+  // AddressSanitizer fiber-switch bookkeeping (used only when built with
+  // -fsanitize=address / PX_ASAN_FIBERS; see fiber.cpp). Declared
+  // unconditionally so the class layout never depends on build flags.
+  void* asan_owner_fake_stack_ = nullptr;  // saved when leaving the owner
+  void* asan_fiber_fake_stack_ = nullptr;  // saved when leaving the fiber
+  void const* asan_owner_stack_bottom_ = nullptr;
+  std::size_t asan_owner_stack_size_ = 0;
 };
 
 }  // namespace px::fibers

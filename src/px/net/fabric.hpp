@@ -18,6 +18,7 @@
 #include <string>
 
 #include "px/counters/counters.hpp"
+#include "px/net/fault_plane.hpp"
 
 namespace px::net {
 
@@ -57,18 +58,22 @@ struct traffic_counters {
   std::atomic<std::uint64_t> modeled_us_x1000{0};
 
   void record(std::size_t message_bytes, double modeled_us) noexcept {
+    // One fixed-point conversion feeds both the local cell and the registry
+    // mirror: x1000 microseconds is integer nanoseconds, so sub-us messages
+    // accumulate instead of truncating to zero (the registry path carries
+    // the unit: /px/net/modeled_ns).
+    auto const modeled_ns =
+        static_cast<std::uint64_t>(modeled_us * 1000.0 + 0.5);
     messages.fetch_add(1, std::memory_order_relaxed);
     bytes.fetch_add(message_bytes, std::memory_order_relaxed);
-    modeled_us_x1000.fetch_add(
-        static_cast<std::uint64_t>(modeled_us * 1000.0),
-        std::memory_order_relaxed);
+    modeled_us_x1000.fetch_add(modeled_ns, std::memory_order_relaxed);
     // Mirror into the process-wide registry (/px/net/...) so fabric
     // traffic shows up in counter snapshots without per-fabric
     // registration.
     auto& b = counters::builtin();
     b.net_messages.add();
     b.net_bytes.add(message_bytes);
-    b.net_modeled_us.add(static_cast<std::uint64_t>(modeled_us));
+    b.net_modeled_ns.add(modeled_ns);
   }
 
   [[nodiscard]] double modeled_us() const noexcept {
@@ -81,10 +86,16 @@ struct traffic_counters {
 // A fabric instance: the model plus the injection scale used to convert
 // modeled microseconds into real sleeps during in-process runs. scale 0
 // disables injection (delivery is immediate; accounting still happens).
+// The optional fault plane makes the fabric lossy (see fault_plane.hpp);
+// frame fate sampling is the transport's job, the fabric only owns the
+// seeded state.
 class fabric {
  public:
-  explicit fabric(fabric_model model, double injection_scale = 1.0) noexcept
-      : model_(std::move(model)), injection_scale_(injection_scale) {}
+  explicit fabric(fabric_model model, double injection_scale = 1.0,
+                  fault_config faults = {})
+      : model_(std::move(model)),
+        injection_scale_(injection_scale),
+        faults_(faults) {}
 
   [[nodiscard]] fabric_model const& model() const noexcept { return model_; }
   [[nodiscard]] double injection_scale() const noexcept {
@@ -104,10 +115,14 @@ class fabric {
   traffic_counters& counters() noexcept { return counters_; }
   traffic_counters const& counters() const noexcept { return counters_; }
 
+  fault_plane& faults() noexcept { return faults_; }
+  fault_plane const& faults() const noexcept { return faults_; }
+
  private:
   fabric_model model_;
   double injection_scale_;
   traffic_counters counters_;
+  fault_plane faults_;
 };
 
 }  // namespace px::net

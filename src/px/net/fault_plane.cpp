@@ -1,0 +1,72 @@
+#include "px/net/fault_plane.hpp"
+
+#include "px/support/assert.hpp"
+
+namespace px::net {
+
+fault_plane::fault_plane(fault_config cfg) : cfg_(cfg) {
+  auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  PX_ASSERT_MSG(in_unit(cfg.drop) && in_unit(cfg.duplicate) &&
+                    in_unit(cfg.reorder) && in_unit(cfg.extra_delay),
+                "fault probabilities must lie in [0, 1]");
+  PX_ASSERT_MSG(
+      cfg.drop + cfg.duplicate + cfg.reorder + cfg.extra_delay <= 1.0 + 1e-12,
+      "fault probabilities are mutually exclusive and must sum to <= 1");
+  PX_ASSERT_MSG(cfg.reorder_hold_us >= 0.0 && cfg.extra_delay_us >= 0.0,
+                "fault holds must be non-negative");
+}
+
+fault_decision fault_plane::sample(std::uint32_t src, std::uint32_t dst) {
+  fault_decision d;
+  if (!enabled()) return d;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+
+  std::uint64_t const link =
+      (static_cast<std::uint64_t>(src) << 32) | dst;
+  double u;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = streams_.find(link);
+    if (it == streams_.end())
+      it = streams_.emplace(link, xoshiro256ss(cfg_.seed ^ (link * 0x9e3779b97f4a7c15ull + 1))).first;
+    u = it->second.uniform();
+  }
+
+  double edge = cfg_.drop;
+  if (u < edge) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    d.drop = true;
+    return d;
+  }
+  edge += cfg_.duplicate;
+  if (u < edge) {
+    duplicates_.fetch_add(1, std::memory_order_relaxed);
+    d.duplicate = true;
+    return d;
+  }
+  edge += cfg_.reorder;
+  if (u < edge) {
+    reorders_.fetch_add(1, std::memory_order_relaxed);
+    d.hold_ns = static_cast<std::uint64_t>(cfg_.reorder_hold_us * 1000.0);
+    return d;
+  }
+  edge += cfg_.extra_delay;
+  if (u < edge) {
+    extra_delays_.fetch_add(1, std::memory_order_relaxed);
+    d.hold_ns = static_cast<std::uint64_t>(cfg_.extra_delay_us * 1000.0);
+    return d;
+  }
+  return d;
+}
+
+fault_stats fault_plane::stats() const noexcept {
+  fault_stats s;
+  s.drops = drops_.load(std::memory_order_relaxed);
+  s.duplicates = duplicates_.load(std::memory_order_relaxed);
+  s.reorders = reorders_.load(std::memory_order_relaxed);
+  s.extra_delays = extra_delays_.load(std::memory_order_relaxed);
+  s.sampled = sampled_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace px::net

@@ -1,0 +1,92 @@
+// px/net/fault_plane.hpp
+// Deterministic lossy-fabric fault injection. The paper's distributed
+// results assume the runtime can hide interconnect misbehaviour; with a
+// perfectly reliable in-process fabric the latency-hiding and recovery
+// machinery is never exercised. The fault plane sits between the fabric's
+// alpha-beta accounting and real frame scheduling: every frame put on the
+// wire is sampled against seeded per-link probabilities and may be dropped,
+// duplicated, held back so later frames overtake it, or delayed.
+//
+// Determinism: each ordered (src,dst) link owns its own PRNG stream seeded
+// from `seed` and the link id, so the decision sequence on a link depends
+// only on the seed and the order frames enter that link. Concurrent senders
+// on one link still race for positions in the stream; end-to-end result
+// determinism under faults is the reliability layer's job, not the fault
+// plane's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+#include "px/support/random.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::net {
+
+struct fault_config {
+  // Per-frame probabilities; mutually exclusive (at most one fault per
+  // frame), so drop + duplicate + reorder + extra_delay must be <= 1.
+  double drop = 0.0;         // frame silently discarded
+  double duplicate = 0.0;    // frame delivered twice
+  double reorder = 0.0;      // frame held back so later frames overtake it
+  double extra_delay = 0.0;  // frame delayed without reordering intent
+
+  // Real-time holds applied to reordered / delayed frames, on top of the
+  // fabric's injected alpha-beta delay.
+  double reorder_hold_us = 100.0;
+  double extra_delay_us = 500.0;
+
+  std::uint64_t seed = 0x5eedfab51c0ffeeull;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
+           extra_delay > 0.0;
+  }
+};
+
+// The fate of one frame. At most one of drop/duplicate is set; hold_ns is
+// the extra real delay to add before delivery (reorder or extra-delay
+// faults; also applies to the duplicate copy).
+struct fault_decision {
+  bool drop = false;
+  bool duplicate = false;
+  std::uint64_t hold_ns = 0;
+};
+
+// Decisions taken so far, for test assertions against counter deltas.
+struct fault_stats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t extra_delays = 0;
+  std::uint64_t sampled = 0;
+};
+
+class fault_plane {
+ public:
+  fault_plane() noexcept = default;
+  explicit fault_plane(fault_config cfg);
+
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled(); }
+  [[nodiscard]] fault_config const& config() const noexcept { return cfg_; }
+
+  // Samples the fate of one frame on the ordered (src,dst) link.
+  // Thread-safe. A disabled plane returns the no-fault decision without
+  // touching any RNG state.
+  fault_decision sample(std::uint32_t src, std::uint32_t dst);
+
+  [[nodiscard]] fault_stats stats() const noexcept;
+
+ private:
+  fault_config cfg_{};
+  spinlock lock_;
+  std::unordered_map<std::uint64_t, xoshiro256ss> streams_;
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> reorders_{0};
+  std::atomic<std::uint64_t> extra_delays_{0};
+  std::atomic<std::uint64_t> sampled_{0};
+};
+
+}  // namespace px::net

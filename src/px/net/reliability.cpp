@@ -1,0 +1,20 @@
+#include "px/net/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace px::net {
+
+double backoff_us(reliability_config const& cfg, int retry) noexcept {
+  double b = cfg.initial_backoff_us *
+             std::pow(cfg.backoff_multiplier, static_cast<double>(retry));
+  return std::min(b, cfg.max_backoff_us);
+}
+
+std::uint64_t rto_ns(reliability_config const& cfg, int attempt,
+                     std::uint64_t one_way_ns) noexcept {
+  double const backoff = backoff_us(cfg, std::max(attempt - 1, 0));
+  return 2 * one_way_ns + static_cast<std::uint64_t>(backoff * 1000.0);
+}
+
+}  // namespace px::net

@@ -1,0 +1,130 @@
+// px/net/reliability.hpp
+// Policy half of the parcel reliability protocol: the transport-agnostic
+// state machines (receiver-side dedup window, sender-side backoff schedule)
+// and the failure type surfaced when a parcel exhausts its retry budget.
+// The wiring half — sequence assignment, ack frames, retransmission timers
+// — lives in px::dist::distributed_domain, which owns the links.
+//
+// Protocol sketch (per ordered (src,dst) link):
+//   sender    : seq = next_seq++; keep a copy; transmit; arm RTO
+//   RTO fires : unacked? retransmit with exponential backoff, up to
+//               max_retries times, then abandon (delivery_error)
+//   receiver  : ack every data frame (including duplicates); deliver only
+//               the first copy of each seq (dedup window)
+//   ack path  : erase the sender copy, cancel the pending RTO
+// Acks are fire-and-forget: a lost ack is repaired by the data RTO, whose
+// retransmission is re-acked (and suppressed as a duplicate).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace px::net {
+
+// Thrown through the future associated with a parcel whose retry budget is
+// exhausted (drop-heavy fabric, see fault_plane.hpp). Fire-and-forget
+// parcels fail silently into /px/net/delivery_failures instead.
+class delivery_error : public std::runtime_error {
+ public:
+  delivery_error(std::uint32_t source, std::uint32_t dest, std::uint64_t seq,
+                 int attempts)
+      : std::runtime_error(
+            "px::net::delivery_error: parcel seq " + std::to_string(seq) +
+            " on link " + std::to_string(source) + "->" +
+            std::to_string(dest) + " abandoned after " +
+            std::to_string(attempts) + " attempt(s)"),
+        source_(source),
+        dest_(dest),
+        seq_(seq),
+        attempts_(attempts) {}
+
+  [[nodiscard]] std::uint32_t source() const noexcept { return source_; }
+  [[nodiscard]] std::uint32_t dest() const noexcept { return dest_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+ private:
+  std::uint32_t source_;
+  std::uint32_t dest_;
+  std::uint64_t seq_;
+  int attempts_;
+};
+
+struct reliability_config {
+  // When the layer sequences/acks/retransmits parcels. `automatic` (the
+  // default) switches it on exactly when the domain's fault plane is
+  // enabled: a loss-free in-process fabric needs no acks, and keeping them
+  // off preserves the historical 1-frame-per-parcel wire accounting.
+  enum class mode : std::uint8_t { automatic, on, off };
+  mode activation = mode::automatic;
+
+  // Retransmissions after the first attempt. 0 = fail on the first lost
+  // frame (total attempts = retries + 1).
+  int max_retries = 8;
+
+  // Real-time backoff before retransmission k (0-based):
+  //   min(initial_backoff_us * multiplier^k, max_backoff_us)
+  // added to twice the fabric's injected one-way delay (an RTT estimate).
+  double initial_backoff_us = 200.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_us = 20000.0;
+
+  // Per-link seqs remembered above the contiguous floor on the receiver.
+  std::size_t dedup_capacity = 4096;
+};
+
+// Backoff component (microseconds) of the RTO armed before retransmission
+// `retry` (0-based). Pure function of the config, unit-testable.
+[[nodiscard]] double backoff_us(reliability_config const& cfg, int retry) noexcept;
+
+// Full RTO in nanoseconds for transmission attempt `attempt` (1-based), on
+// a link whose injected one-way delay is `one_way_ns`.
+[[nodiscard]] std::uint64_t rto_ns(reliability_config const& cfg, int attempt,
+                                   std::uint64_t one_way_ns) noexcept;
+
+// Receiver-side exactly-once filter for one ordered link. Seqs start at 1
+// and may arrive in any order; accept() returns true exactly once per seq.
+// Not thread-safe — callers hold the owning link's lock.
+//
+// Memory is bounded by `capacity`: when more than `capacity` seqs sit above
+// the contiguous floor, the floor is advanced to the oldest remembered seq
+// and any never-seen seq below it would be misclassified as a duplicate.
+// The sender's in-flight window (bounded by the retry budget and RTO) is
+// orders of magnitude smaller than the default capacity, so the clamp is a
+// safety valve, not an expected path.
+class dedup_window {
+ public:
+  explicit dedup_window(std::size_t capacity = 4096) noexcept
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // True -> first sighting of `seq`, deliver it. False -> duplicate.
+  bool accept(std::uint64_t seq) {
+    if (seq <= floor_) return false;
+    if (!above_.insert(seq).second) return false;
+    for (auto it = above_.find(floor_ + 1); it != above_.end();
+         it = above_.find(floor_ + 1)) {
+      above_.erase(it);
+      ++floor_;
+    }
+    if (above_.size() > capacity_) {
+      floor_ = *above_.begin();
+      above_.erase(above_.begin());
+    }
+    return true;
+  }
+
+  // Every seq <= floor() has been seen.
+  [[nodiscard]] std::uint64_t floor() const noexcept { return floor_; }
+  [[nodiscard]] std::size_t pending_gaps() const noexcept {
+    return above_.size();
+  }
+
+ private:
+  std::uint64_t floor_ = 0;
+  std::set<std::uint64_t> above_;
+  std::size_t capacity_;
+};
+
+}  // namespace px::net

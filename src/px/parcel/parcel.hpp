@@ -18,6 +18,11 @@ struct parcel {
   std::uint32_t dest = 0;            // receiving locality
   std::uint32_t action = 0;          // action_registry id; 0 = response
   std::uint64_t response_token = 0;  // 0 = fire-and-forget
+  // Transport sequence number on the ordered (source,dest) link, assigned
+  // by the reliability layer; 0 = unsequenced (intra-node or reliability
+  // off). For ack frames (action == ack_action_id) this is the seq being
+  // acknowledged.
+  std::uint64_t seq = 0;
   agas::gid target{};                // component target (optional)
   std::vector<std::byte> payload;
 
@@ -29,5 +34,9 @@ struct parcel {
 };
 
 inline constexpr std::uint32_t response_action_id = 0;
+
+// Transport-level acknowledgement frame: consumed by the domain's
+// reliability layer, never delivered to a locality's action handlers.
+inline constexpr std::uint32_t ack_action_id = 0xffffffffu;
 
 }  // namespace px::parcel

@@ -46,6 +46,19 @@ void timer_service::call_at(clock::time_point deadline,
   cv_.notify_one();
 }
 
+void timer_service::call_at(clock::time_point deadline,
+                            unique_function<void()> fn,
+                            std::shared_ptr<timer_token> token) {
+  PX_ASSERT(fn);
+  PX_ASSERT(token != nullptr);
+  call_at(deadline, [token = std::move(token), fn = std::move(fn)]() mutable {
+    if (token->try_claim())
+      fn();
+    else
+      counters::builtin().timer_cancelled.add();
+  });
+}
+
 std::size_t timer_service::pending() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return heap_.size();
@@ -62,7 +75,11 @@ void timer_service::loop() {
     }
     auto const now = clock::now();
     if (heap_.top().deadline > now) {
-      cv_.wait_until(lock, heap_.top().deadline);
+      // Copy the deadline out: wait_until takes it by reference and drops
+      // the lock, so a concurrent push may reallocate the heap's storage
+      // under the referenced entry mid-wait.
+      auto const next_deadline = heap_.top().deadline;
+      cv_.wait_until(lock, next_deadline);
       continue;
     }
     // Move the due entry out; priority_queue::top() is const so the move

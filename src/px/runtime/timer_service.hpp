@@ -5,8 +5,10 @@
 // network delay without burning a worker.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -16,6 +18,31 @@
 #include "px/support/unique_function.hpp"
 
 namespace px::rt {
+
+// One-shot claim shared between a scheduled callback and anyone who may
+// cancel it. Whoever claims first wins: the timer thread claims just before
+// invoking the callback, a canceller claims to suppress it. Cancellation is
+// lazy — the heap entry stays until its deadline and fires as a no-op —
+// so a cancelled callback's captures are destroyed at the deadline, not at
+// cancel time. Used by the parcel reliability layer to disarm a
+// retransmission timer when the ack arrives.
+class timer_token {
+ public:
+  // True when this call suppressed the callback; false when the callback
+  // already ran (or is running) or was cancelled before.
+  bool cancel() noexcept { return try_claim(); }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class timer_service;
+  bool try_claim() noexcept {
+    return armed_.exchange(false, std::memory_order_acq_rel);
+  }
+  std::atomic<bool> armed_{true};
+};
 
 class timer_service {
  public:
@@ -29,6 +56,13 @@ class timer_service {
   // Runs `fn` on the timer thread at or after `deadline`. `fn` must be
   // cheap and non-blocking; anything heavier should spawn a task.
   void call_at(clock::time_point deadline, unique_function<void()> fn);
+
+  // As call_at, but the callback only runs if `token` is still armed at
+  // the deadline (token->cancel() beforehand suppresses it). The token
+  // must be freshly armed; sharing one token across callbacks is a
+  // first-fires-wins race by design.
+  void call_at(clock::time_point deadline, unique_function<void()> fn,
+               std::shared_ptr<timer_token> token);
 
   [[nodiscard]] std::size_t pending() const;
 

@@ -2,6 +2,7 @@
 // (capable hosts vs the Hi1616), counters, injection scaling.
 #include <gtest/gtest.h>
 
+#include "px/counters/counters.hpp"
 #include "px/net/fabric.hpp"
 
 namespace {
@@ -63,6 +64,21 @@ TEST(Fabric, CountersAccumulate) {
   EXPECT_EQ(f.counters().messages.load(), 2u);
   EXPECT_EQ(f.counters().bytes.load(), 300u);
   EXPECT_NEAR(f.counters().modeled_us(), 3.75, 1e-3);
+}
+
+TEST(Fabric, RegistryMirrorKeepsSubMicrosecondResolution) {
+  // The registry mirror accumulates the same fixed-point nanoseconds as the
+  // local cell: a 0.25us message adds 250 to /px/net/modeled_ns instead of
+  // truncating to zero whole microseconds.
+  auto const before = px::counters::builtin().net_modeled_ns.load();
+  fabric f(infiniband_edr(), 0.0);
+  f.counters().record(8, 0.25);
+  f.counters().record(8, 0.5);
+  EXPECT_EQ(px::counters::builtin().net_modeled_ns.load() - before, 750u);
+  std::uint64_t reg_value = 0;
+  ASSERT_TRUE(px::counters::registry::instance().value_of(
+      "/px/net/modeled_ns", reg_value));
+  EXPECT_GE(reg_value, 750u);
 }
 
 }  // namespace
