@@ -1,5 +1,7 @@
 #include "px/dist/dist_barrier.hpp"
 
+#include <vector>
+
 namespace px::dist {
 namespace detail {
 
@@ -40,9 +42,19 @@ void barrier_arrive(locality& here, std::uint64_t generation) {
     }
   }
   if (complete) {
+    // Releases are acknowledged calls, not fire-and-forget apply: a
+    // release that exhausted its retry budget would otherwise fail
+    // silently and leave that participant blocked in released.get()
+    // forever — the same deadlock class the acknowledged arrival fixes.
+    // Retry-budget exhaustion surfaces px::net::delivery_error here (and,
+    // when the completing arrival came in over the wire, travels back to
+    // that caller as a failed response).
+    std::vector<future<void>> acks;
+    acks.reserve(parties - 1);
     for (std::uint32_t l = 1; l < parties; ++l)
-      here.apply<&barrier_release>(l, generation);
+      acks.push_back(here.call<&barrier_release>(l, generation));
     state->released.put(generation, 1);  // release the root locally
+    for (auto& ack : acks) ack.get();
   }
 }
 

@@ -148,12 +148,16 @@ void distributed_domain::obligation_begin() noexcept {
 }
 
 void distributed_domain::obligation_done() noexcept {
-  // The final decrement happens under the quiesce mutex so a waiter can
-  // only observe zero after this thread is done with the domain — safe
-  // against teardown racing the notification.
+  // Hot path: a single atomic decrement — every frame delivery and ack
+  // settle comes through here, so it must not serialize on a global lock.
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // Final decrement of a drain: acquiring the mutex orders this thread
+  // after any waiter that checked the predicate and is (or is about to
+  // be) asleep in the cv, so the notify cannot be lost; notifying while
+  // still holding it means a waiter cannot wake, observe zero and let
+  // the destructor run before this thread is done touching quiesce_cv_.
   std::lock_guard<std::mutex> lk(quiesce_mutex_);
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-    quiesce_cv_.notify_all();
+  quiesce_cv_.notify_all();
 }
 
 void distributed_domain::route(parcel::parcel p) {
@@ -171,7 +175,12 @@ void distributed_domain::route(parcel::parcel p) {
 
   // Reliable path: assign the link sequence number and keep a copy for
   // retransmission. The logical-parcel obligation is released on ack or on
-  // retry-budget exhaustion, which is what quiesce() waits for.
+  // retry-budget exhaustion, which is what quiesce() waits for. The RTO
+  // token is created and installed while still holding the link lock —
+  // the invariant (a live inflight entry always carries the unclaimed
+  // token of its *current* transmission) is what makes the ack/RTO race
+  // settle exactly once.
+  std::shared_ptr<rt::timer_token> rto;
   {
     auto& link = link_between(p.source, p.dest);
     std::lock_guard<spinlock> guard(link.lock);
@@ -179,19 +188,41 @@ void distributed_domain::route(parcel::parcel p) {
     auto& tx = link.inflight[p.seq];
     tx.frame = p;  // payload copied: the original goes on the wire
     tx.attempts = 1;
+    tx.backoff_us = net::backoff_us(cfg_.reliability, 0);
+    tx.rto = rto = std::make_shared<rt::timer_token>();
   }
   obligation_begin();
-  transmit(std::move(p), 1);
+  transmit(std::move(p), 1, std::move(rto));
 }
 
-void distributed_domain::transmit(parcel::parcel frame, int attempt) {
+void distributed_domain::transmit(parcel::parcel frame, int attempt,
+                                  std::shared_ptr<rt::timer_token> rto) {
   std::size_t const bytes = frame.wire_size();
   fabric_.counters().record(bytes, fabric_.modeled_us(bytes));
 
   // Arm the retransmission timer before the frame can possibly be
-  // delivered, so an inline ack always finds a token to cancel.
-  if (reliable_ && frame.action != parcel::ack_action_id)
-    arm_rto(frame.source, frame.dest, frame.seq, attempt, bytes);
+  // delivered. The caller installed `rto` in the link's inflight entry
+  // under the link lock; if an ack settled the entry (and cancelled the
+  // token) in the meantime, the timer armed here fires as a counted
+  // no-op and the obligation was already released by the ack path.
+  if (rto != nullptr) {
+    std::uint64_t one_way_ns = fabric_.injected_delay_ns(bytes);
+    // A held (reordered / extra-delayed) frame or ack is late, not lost;
+    // widen the RTT estimate by the worst-case hold so the first RTO
+    // outlives an injected delay instead of guaranteeing a spurious
+    // retransmit.
+    if (fabric_.faults().enabled())
+      one_way_ns += static_cast<std::uint64_t>(
+          fabric_.faults().config().max_hold_us() * 1000.0);
+    std::uint64_t const rto_ns =
+        net::rto_ns(cfg_.reliability, attempt, one_way_ns);
+    auto const src = frame.source;
+    auto const dst = frame.dest;
+    auto const seq = frame.seq;
+    rt::timer_service::instance().call_at(
+        rt::timer_service::clock::now() + std::chrono::nanoseconds(rto_ns),
+        [this, src, dst, seq] { on_rto(src, dst, seq); }, std::move(rto));
+  }
 
   auto const fate = fabric_.faults().sample(frame.source, frame.dest);
   if (fate.drop) {
@@ -266,33 +297,16 @@ void distributed_domain::handle_ack(parcel::parcel const& ack) {
     token = std::move(it->second.rto);
     link.inflight.erase(it);
   }
-  if (token == nullptr || token->cancel()) {
-    obligation_done();
-    return;
-  }
-  // cancel() lost the race: the RTO callback is firing concurrently, will
-  // find the entry gone and release the obligation itself.
-}
-
-void distributed_domain::arm_rto(std::uint32_t src, std::uint32_t dst,
-                                 std::uint64_t seq, int attempt,
-                                 std::size_t bytes) {
-  auto token = std::make_shared<rt::timer_token>();
-  double const backoff =
-      net::backoff_us(cfg_.reliability, attempt > 0 ? attempt - 1 : 0);
-  {
-    auto& link = link_between(src, dst);
-    std::lock_guard<spinlock> guard(link.lock);
-    auto it = link.inflight.find(seq);
-    if (it == link.inflight.end()) return;  // settled before arming
-    it->second.rto = token;
-    it->second.backoff_us = backoff;
-  }
-  std::uint64_t const rto = net::rto_ns(cfg_.reliability, attempt,
-                                        fabric_.injected_delay_ns(bytes));
-  rt::timer_service::instance().call_at(
-      rt::timer_service::clock::now() + std::chrono::nanoseconds(rto),
-      [this, src, dst, seq] { on_rto(src, dst, seq); }, std::move(token));
+  // A live entry always carries the unclaimed token of its current
+  // transmission (route() and on_rto()'s retry branch install it under
+  // the link lock before the frame can hit the wire). cancel() succeeding
+  // means this thread owns the obligation release — if the timer is only
+  // armed afterwards it fires as a counted no-op. cancel() failing means
+  // the RTO callback claimed the token first and is concurrently heading
+  // for the link lock; it will find the entry gone and release the
+  // obligation itself.
+  PX_ASSERT(token != nullptr);
+  if (token->cancel()) obligation_done();
 }
 
 void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
@@ -302,6 +316,7 @@ void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
   parcel::parcel frame;
   int attempts = 0;
   double waited_us = 0.0;
+  std::shared_ptr<rt::timer_token> next_rto;
   {
     auto& link = link_between(src, dst);
     std::lock_guard<spinlock> guard(link.lock);
@@ -321,6 +336,14 @@ void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
         it->second.attempts += 1;
         attempts = it->second.attempts;
         frame = it->second.frame;  // copy: the stored one stays for later
+        // Install the next transmission's token before dropping the lock.
+        // An ack racing this retry then always finds an unclaimed token
+        // to cancel — this callback's own token is claimed and this path
+        // never releases the obligation, so leaving it in the entry would
+        // leak the obligation and hang quiesce.
+        it->second.backoff_us =
+            net::backoff_us(cfg_.reliability, attempts - 1);
+        it->second.rto = next_rto = std::make_shared<rt::timer_token>();
         what = outcome::retry;
       }
     }
@@ -339,7 +362,7 @@ void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
       counters::builtin().net_backoff_us.add(
           static_cast<std::uint64_t>(waited_us + 0.5));
       counters::builtin().net_retransmits.add();
-      transmit(std::move(frame), attempts);
+      transmit(std::move(frame), attempts, std::move(next_rto));
       return;
   }
 }

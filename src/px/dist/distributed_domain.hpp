@@ -22,6 +22,10 @@
 #include "px/net/fabric.hpp"
 #include "px/net/reliability.hpp"
 
+namespace px::rt {
+class timer_token;  // px/runtime/timer_service.hpp
+}
+
 namespace px::dist {
 
 namespace detail {
@@ -83,19 +87,18 @@ class distributed_domain {
   // ---- reliability transport (see docs/ARCHITECTURE.md) ----------------
   [[nodiscard]] detail::link_state& link_between(std::uint32_t src,
                                                  std::uint32_t dst) noexcept;
-  // Puts one frame on the wire: traffic accounting, fault sampling, RTO
-  // arming (reliable data frames), delivery scheduling. `attempt` is the
-  // 1-based transmission count for this seq.
-  void transmit(parcel::parcel frame, int attempt);
+  // Puts one frame on the wire: traffic accounting, RTO arming (when the
+  // caller pre-installed `rto` in the link's inflight entry — reliable
+  // data frames only), fault sampling, delivery scheduling. `attempt` is
+  // the 1-based transmission count for this seq.
+  void transmit(parcel::parcel frame, int attempt,
+                std::shared_ptr<rt::timer_token> rto = nullptr);
   // Schedules delivery after `delay_ns` of real time (inline when 0).
   void schedule_frame(parcel::parcel frame, std::uint64_t delay_ns);
   // Receiver-side transport: ack handling, dedup + ack for data frames.
   void deliver_frame(parcel::parcel frame);
   void send_ack(parcel::parcel const& data);
   void handle_ack(parcel::parcel const& ack);
-  // Re-arms the retransmission timer for (src,dst,seq); no-op if resolved.
-  void arm_rto(std::uint32_t src, std::uint32_t dst, std::uint64_t seq,
-               int attempt, std::size_t bytes);
   void on_rto(std::uint32_t src, std::uint32_t dst, std::uint64_t seq);
   // Retry budget exhausted: counts the failure and fails the associated
   // response slot (if any) with net::delivery_error.

@@ -43,6 +43,17 @@ struct fault_config {
     return drop > 0.0 || duplicate > 0.0 || reorder > 0.0 ||
            extra_delay > 0.0;
   }
+
+  // Worst-case real-time hold a frame can suffer (reorder or extra-delay
+  // faults), 0 when neither can fire. The reliability layer folds this
+  // into its RTT estimate so a held frame — late, not lost — does not
+  // guarantee a spurious retransmit.
+  [[nodiscard]] double max_hold_us() const noexcept {
+    double h = 0.0;
+    if (reorder > 0.0 && reorder_hold_us > h) h = reorder_hold_us;
+    if (extra_delay > 0.0 && extra_delay_us > h) h = extra_delay_us;
+    return h;
+  }
 };
 
 // The fate of one frame. At most one of drop/duplicate is set; hold_ns is

@@ -10,6 +10,7 @@
 
 #include "px/counters/counters.hpp"
 #include "px/dist/collectives.hpp"
+#include "px/dist/dist_barrier.hpp"
 #include "px/dist/remote_channel.hpp"
 #include "px/net/fault_plane.hpp"
 #include "px/net/reliability.hpp"
@@ -23,9 +24,17 @@ int echo_scaled(px::dist::locality& here, int x) {
   return static_cast<int>(here.id()) * 100 + x;
 }
 
+int lossy_barrier_participant(px::dist::locality& here,
+                              std::uint64_t rounds) {
+  for (std::uint64_t g = 0; g < rounds; ++g)
+    px::dist::barrier_arrive_and_wait(here, g);
+  return static_cast<int>(here.id());
+}
+
 }  // namespace
 
 PX_REGISTER_ACTION(echo_scaled)
+PX_REGISTER_ACTION(lossy_barrier_participant)
 PX_REGISTER_REMOTE_CHANNEL(double)
 
 namespace {
@@ -227,6 +236,64 @@ TEST(LossyFabric, DuplicatesSuppressedExactly) {
     EXPECT_LE(dup_delta, s.duplicates);
   }
   EXPECT_EQ(builtin().net_retransmits.load() - before_retx, 0u);
+}
+
+TEST(LossyFabric, AckRacingRetryDrainsInFlight) {
+  // Regression: an ack landing while the RTO callback is mid-retry must
+  // not leak the in-flight obligation — the retry installs its fresh
+  // timer token under the link lock before dropping it, so the ack always
+  // finds a cancellable token. A near-zero backoff puts the RTO deadline
+  // right inside the held-ack arrival window (data hold + ack hold ==
+  // 2 * reorder_hold ~= the hold-widened RTO), maximizing collisions; the
+  // assertion that matters is that wait_all_quiescent() returns.
+  px::dist::domain_config cfg;
+  cfg.num_localities = 2;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.001;
+  cfg.faults.drop = 0.3;
+  cfg.faults.duplicate = 0.05;
+  cfg.faults.reorder = 0.1;
+  cfg.faults.reorder_hold_us = 30.0;
+  cfg.faults.seed = 1337;
+  cfg.reliability.initial_backoff_us = 1.0;
+  cfg.reliability.backoff_multiplier = 1.5;
+  cfg.reliability.max_backoff_us = 50.0;
+  cfg.reliability.max_retries = 64;
+
+  auto const before_retx = builtin().net_retransmits.load();
+  px::dist::distributed_domain dom(cfg);
+  dom.run([](px::dist::locality& loc0) {
+    std::vector<px::future<int>> fs;
+    fs.reserve(200);
+    for (int i = 0; i < 200; ++i)
+      fs.push_back(loc0.call<&echo_scaled>(1, i));
+    for (int i = 0; i < 200; ++i) EXPECT_EQ(fs[i].get(), 100 + i);
+    return 0;
+  });
+  dom.wait_all_quiescent();  // must drain: no leaked obligations
+  EXPECT_GT(builtin().net_retransmits.load() - before_retx, 0u);
+}
+
+TEST(LossyFabric, BarrierReleasesSurviveLoss) {
+  // Barrier releases are acknowledged calls: on a lossy fabric a dropped
+  // release is retransmitted instead of silently leaving a participant
+  // blocked in released.get() forever.
+  px::dist::domain_config cfg;
+  cfg.num_localities = 3;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.001;
+  cfg.faults.drop = 0.2;
+  cfg.faults.seed = 99;
+  cfg.reliability.initial_backoff_us = 50.0;
+
+  px::dist::distributed_domain dom(cfg);
+  auto ids = dom.run([](px::dist::locality& loc0) {
+    return px::dist::gather<&lossy_barrier_participant>(loc0,
+                                                        std::uint64_t{4});
+  });
+  ASSERT_EQ(ids.size(), 3u);
+  for (int l = 0; l < 3; ++l) EXPECT_EQ(ids[l], l);
+  dom.wait_all_quiescent();
 }
 
 TEST(LossyFabric, RetryBudgetExhaustionFailsTheFuture) {
