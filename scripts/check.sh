@@ -5,9 +5,22 @@
 # A second, sanitizer lane (ASan + UBSan, build-san/) then re-runs the
 # transport-heavy suites — fault injection exercises timer/ack races that
 # only a sanitizer can vouch for. Skip it with PX_SKIP_SAN=1.
+#
+# --torture: instead of the tiers above, build and run only the
+# ctest-labeled torture suites (px::torture seed sweeps) with a big seed
+# budget — 64 seeds per property unless PX_TORTURE_SEEDS overrides it.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+if [ "${1:-}" = "--torture" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-64}" \
+   ctest -L torture --output-on-failure)
+  exit 0
+fi
 
 cmake -B "$repo/build" -S "$repo"
 cmake --build "$repo/build" -j

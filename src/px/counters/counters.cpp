@@ -248,6 +248,12 @@ registry::registry() : self_(new impl) {
            builtin_.timer_callbacks);
   reg_cell("/px/timer/callbacks_cancelled", kind::monotone,
            builtin_.timer_cancelled);
+  reg_cell("/px/torture/decisions", kind::monotone,
+           builtin_.torture_decisions);
+  reg_cell("/px/torture/perturbations", kind::monotone,
+           builtin_.torture_perturbations);
+  reg_cell("/px/torture/seeds_run", kind::monotone,
+           builtin_.torture_seeds_run);
 
   entry trace_events;
   trace_events.id = self_->next_id++;

@@ -157,6 +157,12 @@ struct builtin_counters {
   counter timer_wakes;            // /px/timer/wakes_scheduled
   counter timer_callbacks;        // /px/timer/callbacks_scheduled
   counter timer_cancelled;        // /px/timer/callbacks_cancelled
+  // Schedule-exploration harness (px/torture): decision points consulted,
+  // perturbations applied, property-test seeds executed. Process-lifetime
+  // totals; per-run figures come from torture::run_decisions() et al.
+  counter torture_decisions;      // /px/torture/decisions
+  counter torture_perturbations;  // /px/torture/perturbations
+  counter torture_seeds_run;      // /px/torture/seeds_run
 };
 
 class registry {

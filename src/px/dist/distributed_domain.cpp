@@ -6,6 +6,7 @@
 #include "px/counters/counters.hpp"
 #include "px/runtime/timer_service.hpp"
 #include "px/support/assert.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::dist {
 
@@ -103,6 +104,9 @@ struct link_state {
   std::uint64_t next_seq = 1;
   net::dedup_window rx;
   std::unordered_map<std::uint64_t, pending_tx> inflight;
+  // Floor observed by the last dedup-window-soundness invariant check; the
+  // floor must only ever advance.
+  std::uint64_t last_floor = 0;
 };
 
 }  // namespace detail
@@ -129,6 +133,42 @@ distributed_domain::distributed_domain(domain_config cfg)
       links_.push_back(std::make_unique<detail::link_state>(
           cfg_.reliability.dedup_capacity));
   }
+
+  // Torture invariants, meaningful only at quiescence (see invariant.hpp).
+  invariants_.add(
+      "obligation-balance", [this]() -> std::optional<std::string> {
+        std::uint64_t const n = obligations_in_flight();
+        if (n != 0)
+          return std::to_string(n) +
+                 " obligation(s) in flight at quiescence (leaked frame "
+                 "schedule or unsettled ack/RTO)";
+        for (auto const& link : links_) {
+          std::lock_guard<spinlock> guard(link->lock);
+          if (!link->inflight.empty())
+            return std::to_string(link->inflight.size()) +
+                   " unacked inflight entr(ies) on a link with zero "
+                   "obligations";
+        }
+        return std::nullopt;
+      });
+  invariants_.add(
+      "dedup-window-soundness", [this]() -> std::optional<std::string> {
+        for (auto const& link : links_) {
+          std::lock_guard<spinlock> guard(link->lock);
+          if (link->rx.pending_gaps() > cfg_.reliability.dedup_capacity)
+            return "dedup window holds " +
+                   std::to_string(link->rx.pending_gaps()) +
+                   " gaps, capacity " +
+                   std::to_string(cfg_.reliability.dedup_capacity);
+          std::uint64_t const floor = link->rx.floor();
+          if (floor < link->last_floor)
+            return "dedup floor regressed " +
+                   std::to_string(link->last_floor) + " -> " +
+                   std::to_string(floor);
+          link->last_floor = floor;
+        }
+        return std::nullopt;
+      });
 }
 
 distributed_domain::~distributed_domain() {
@@ -197,6 +237,9 @@ void distributed_domain::route(parcel::parcel p) {
 
 void distributed_domain::transmit(parcel::parcel frame, int attempt,
                                   std::shared_ptr<rt::timer_token> rto) {
+  // Wire-side torture window: delays here push an inline delivery (and the
+  // ack chain it triggers) past a concurrently armed RTO.
+  PX_TORTURE_POINT(net_transmit);
   std::size_t const bytes = frame.wire_size();
   fabric_.counters().record(bytes, fabric_.modeled_us(bytes));
 
@@ -252,6 +295,7 @@ void distributed_domain::schedule_frame(parcel::parcel frame,
 }
 
 void distributed_domain::deliver_frame(parcel::parcel frame) {
+  PX_TORTURE_POINT(net_deliver);
   if (frame.action == parcel::ack_action_id) {
     handle_ack(frame);
     return;
@@ -340,10 +384,12 @@ void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
         // An ack racing this retry then always finds an unclaimed token
         // to cancel — this callback's own token is claimed and this path
         // never releases the obligation, so leaving it in the entry would
-        // leak the obligation and hang quiesce.
+        // leak the obligation and hang quiesce. (The leak-reintroduction
+        // test flag skips exactly this install; see the retry case below.)
         it->second.backoff_us =
             net::backoff_us(cfg_.reliability, attempts - 1);
-        it->second.rto = next_rto = std::make_shared<rt::timer_token>();
+        if (!cfg_.reliability.test_reintroduce_ack_retry_leak)
+          it->second.rto = next_rto = std::make_shared<rt::timer_token>();
         what = outcome::retry;
       }
     }
@@ -362,6 +408,30 @@ void distributed_domain::on_rto(std::uint32_t src, std::uint32_t dst,
       counters::builtin().net_backoff_us.add(
           static_cast<std::uint64_t>(waited_us + 0.5));
       counters::builtin().net_retransmits.add();
+      if (cfg_.reliability.test_reintroduce_ack_retry_leak) {
+        // Deliberate re-enactment of the historical ack/RTO leak: the entry
+        // still holds this callback's *claimed* token while the lock is
+        // dropped. An ack landing in this window finds the claimed token,
+        // cancel() fails, the ack path leaves the release to us — and the
+        // late install below bails out on the erased entry without ever
+        // calling obligation_done(). Torture sleeps at net_transmit widen
+        // the window until the seed sweep hits it.
+        PX_TORTURE_POINT(net_transmit);
+        auto fresh = std::make_shared<rt::timer_token>();
+        bool live = false;
+        {
+          auto& link = link_between(src, dst);
+          std::lock_guard<spinlock> guard(link.lock);
+          auto it = link.inflight.find(seq);
+          if (it != link.inflight.end()) {
+            it->second.rto = fresh;
+            live = true;
+          }
+        }
+        if (!live) return;  // BUG (intentional): obligation leaked
+        transmit(std::move(frame), attempts, std::move(fresh));
+        return;
+      }
       transmit(std::move(frame), attempts, std::move(next_rto));
       return;
   }
@@ -396,8 +466,33 @@ void distributed_domain::wait_all_quiescent() {
     bool all_quiet = true;
     for (auto& loc : localities_)
       if (loc->sched().active_tasks() != 0) all_quiet = false;
-    if (all_quiet && in_flight_.load(std::memory_order_acquire) == 0)
+    if (all_quiet && in_flight_.load(std::memory_order_acquire) == 0) {
+      // The domain just proclaimed itself idle: under a torture run its
+      // accounting invariants must hold right here.
+      if (torture::active()) invariants_.assert_holds("wait_all_quiescent");
       return;
+    }
+  }
+}
+
+bool distributed_domain::wait_all_quiescent_for(
+    std::chrono::nanoseconds timeout) {
+  auto const deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    for (auto& loc : localities_) loc->rt().wait_quiescent();
+    {
+      std::unique_lock<std::mutex> lk(quiesce_mutex_);
+      if (!quiesce_cv_.wait_until(lk, deadline, [this] {
+            return in_flight_.load(std::memory_order_acquire) == 0;
+          }))
+        return false;  // leaked obligation: the count will never drain
+    }
+    bool all_quiet = true;
+    for (auto& loc : localities_)
+      if (loc->sched().active_tasks() != 0) all_quiet = false;
+    if (all_quiet && in_flight_.load(std::memory_order_acquire) == 0)
+      return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
   }
 }
 

@@ -12,6 +12,8 @@
 // docs/ARCHITECTURE.md for the state machines).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -21,6 +23,7 @@
 #include "px/lcos/async.hpp"
 #include "px/net/fabric.hpp"
 #include "px/net/reliability.hpp"
+#include "px/torture/invariant.hpp"
 
 namespace px::rt {
 class timer_token;  // px/runtime/timer_service.hpp
@@ -74,6 +77,25 @@ class distributed_domain {
   // are still in flight (scheduled frames, unacked reliable parcels).
   void wait_all_quiescent();
 
+  // Bounded variant for torture tests: returns false when the in-flight
+  // count has not drained by `timeout` (a leaked obligation, exactly what
+  // the obligation-balance invariant exists to catch). The locality
+  // schedulers are still waited on unconditionally — only the in-flight
+  // drain is bounded.
+  [[nodiscard]] bool wait_all_quiescent_for(std::chrono::nanoseconds timeout);
+
+  // Current in-flight obligation count (scheduled frames + unacked reliable
+  // parcels). Monitoring/test visibility; racy by nature.
+  [[nodiscard]] std::uint64_t obligations_in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  // Unregisters this domain's torture invariants early. A torture property
+  // that diagnosed a corrupted domain (quiesce timeout) and deliberately
+  // leaks it must call this first, or the dead domain's checks would fail
+  // every later seed.
+  void detach_invariants() noexcept { invariants_.release(); }
+
   // Runs `f(locality0)` as a task on locality 0 and returns its result —
   // the virtual cluster's "main".
   template <typename F>
@@ -120,6 +142,11 @@ class distributed_domain {
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
   std::atomic<std::uint64_t> in_flight_{0};
+
+  // Torture invariants (obligation-balance, dedup-window-soundness).
+  // Declared last so the registrations are torn down before the links and
+  // localities the checks read.
+  torture::invariant_registration invariants_;
 };
 
 }  // namespace px::dist

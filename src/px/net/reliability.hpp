@@ -73,6 +73,15 @@ struct reliability_config {
 
   // Per-link seqs remembered above the contiguous floor on the receiver.
   std::size_t dedup_capacity = 4096;
+
+  // TEST ONLY — never set in production code. Re-enacts a historical bug
+  // in the ack/RTO race (the retry path installed the fresh RTO token only
+  // after dropping the link lock, so an ack landing in that window found a
+  // claimed token, neither path released the in-flight obligation, and
+  // quiesce hung). Exists so the torture harness can prove the seed sweep
+  // catches exactly this class of bug; see
+  // tests/test_torture_reliability.cpp.
+  bool test_reintroduce_ack_retry_leak = false;
 };
 
 // Backoff component (microseconds) of the RTO armed before retransmission

@@ -4,6 +4,7 @@
 #include "px/support/assert.hpp"
 #include "px/support/env.hpp"
 #include "px/support/topology.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::rt {
 
@@ -13,6 +14,7 @@ scheduler_config scheduler_config::from_env() {
   if (auto v = env_size("PX_STACK_SIZE")) cfg.stack_size = *v;
   if (auto v = env_bool("PX_PIN_THREADS")) cfg.pin_threads = *v;
   if (auto v = env_size("PX_NUMA_DOMAINS")) cfg.numa_domains = *v;
+  if (auto v = env_u64("PX_SEED")) cfg.seed = *v;
   return cfg;
 }
 
@@ -21,6 +23,12 @@ scheduler::scheduler(scheduler_config cfg)
         if (cfg.num_workers == 0)
           cfg.num_workers = host_topology().physical_cores;
         if (cfg.numa_domains == 0) cfg.numa_domains = 1;
+        // Under a torture run, mix the torture seed into the run seed so a
+        // seed sweep actually varies steal-victim order; outside torture the
+        // config seed (default or PX_SEED) is used verbatim, keeping victim
+        // order reproducible run to run.
+        if (torture::active())
+          cfg.seed ^= torture::current_seed() * 0x9e3779b97f4a7c15ull;
         return cfg;
       }()),
       stacks_(cfg_.stack_size) {
@@ -31,10 +39,20 @@ scheduler::scheduler(scheduler_config cfg)
     // 64 cores over 4 domains -> 16 consecutive cores per domain).
     std::size_t const per_domain =
         (cfg_.num_workers + cfg_.numa_domains - 1) / cfg_.numa_domains;
-    workers_.push_back(
-        std::make_unique<worker>(*this, i, i / per_domain));
+    workers_.push_back(std::make_unique<worker>(
+        *this, i, i / per_domain,
+        cfg_.seed ^ (i * 0x9e3779b97f4a7c15ull)));
   }
   register_counters();
+  // Torture invariant: whenever the process claims quiescence, no task may
+  // still be accounted active in this scheduler.
+  invariants_.add("task-leak{" + counter_instance_ + "}",
+                  [this]() -> std::optional<std::string> {
+                    std::uint64_t const n = active_tasks();
+                    if (n == 0) return std::nullopt;
+                    return std::to_string(n) +
+                           " task(s) still active at quiescence";
+                  });
 }
 
 void scheduler::register_counters() {
@@ -115,6 +133,7 @@ void scheduler::wait_quiescent() {
 void scheduler::stop() {
   if (state_.load() != run_state::running) return;
   wait_quiescent();
+  if (torture::active()) invariants_.assert_holds("scheduler::stop");
   state_.store(run_state::stopping, std::memory_order_release);
   notify_all_workers();
   for (auto& t : threads_) t.join();
@@ -152,6 +171,10 @@ void scheduler::wake(task* t) {
 }
 
 void scheduler::enqueue_ready(task* t, bool prefer_local) {
+  // Torture flip: route a would-be-local push through the global queue so a
+  // different worker picks it up — the cheapest way to force cross-thread
+  // task migration on wake paths.
+  if (prefer_local && PX_TORTURE_DECIDE(sched_enqueue)) prefer_local = false;
   worker* const w = worker::current();
   if (prefer_local && w != nullptr && &w->owner() == this) {
     w->push_local(t);

@@ -19,6 +19,7 @@
 #include "px/runtime/task.hpp"
 #include "px/runtime/worker.hpp"
 #include "px/support/unique_function.hpp"
+#include "px/torture/invariant.hpp"
 
 namespace px::rt {
 
@@ -30,9 +31,14 @@ struct scheduler_config {
   // executor uses the striping to emulate first-touch placement.
   std::size_t numa_domains = 1;
   std::string name = "px";
+  // Run-level RNG seed; each worker's steal-victim stream derives from it
+  // (seed ^ index * golden-ratio). The historical default keeps victim
+  // order bit-identical to older builds; a torture run mixes its own seed
+  // in (see scheduler ctor) so seeds actually vary steal order.
+  std::uint64_t seed = 0x5eedbeef;
 
-  // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS on
-  // top of the defaults — the --hpx:threads-style knobs of §VI.
+  // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS and
+  // PX_SEED on top of the defaults — the --hpx:threads-style knobs of §VI.
   [[nodiscard]] static scheduler_config from_env();
 };
 
@@ -77,6 +83,8 @@ class scheduler {
   [[nodiscard]] std::uint64_t tasks_spawned() const noexcept {
     return tasks_spawned_.load(std::memory_order_relaxed);
   }
+  // Effective run-level RNG seed (config seed, possibly torture-mixed).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return cfg_.seed; }
   [[nodiscard]] std::uint64_t active_tasks() const noexcept {
     return active_.load(std::memory_order_relaxed);
   }
@@ -100,6 +108,7 @@ class scheduler {
       total.yields += s.yields;
       total.busy_ns += s.busy_ns;
     }
+    total.run_seed = cfg_.seed;
     return total;
   }
 
@@ -139,6 +148,9 @@ class scheduler {
   // stack pool the pull callbacks read are destroyed.
   std::string counter_instance_;
   counters::registration counters_;
+  // Torture invariant: "task-leak" — active_tasks() must be zero whenever
+  // this scheduler claims quiescence. Same teardown ordering as counters_.
+  torture::invariant_registration invariants_;
 };
 
 }  // namespace px::rt

@@ -1,11 +1,13 @@
 #include "px/runtime/timer_service.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "px/counters/counters.hpp"
 #include "px/runtime/scheduler.hpp"
 #include "px/support/affinity.hpp"
 #include "px/support/assert.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::rt {
 
@@ -28,6 +30,9 @@ timer_service::~timer_service() {
 void timer_service::wake_at(clock::time_point deadline, task* t) {
   PX_ASSERT(t != nullptr);
   counters::builtin().timer_wakes.add();
+  // Torture jitter only ever delays a deadline, so "never fires early"
+  // stays intact while relative firing order gets shuffled.
+  deadline += std::chrono::nanoseconds(PX_TORTURE_JITTER_NS(timer_deadline));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     heap_.push(entry{deadline, next_seq_++, t, nullptr});
@@ -39,6 +44,7 @@ void timer_service::call_at(clock::time_point deadline,
                             unique_function<void()> fn) {
   PX_ASSERT(fn);
   counters::builtin().timer_callbacks.add();
+  deadline += std::chrono::nanoseconds(PX_TORTURE_JITTER_NS(timer_deadline));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     heap_.push(entry{deadline, next_seq_++, nullptr, std::move(fn)});
@@ -87,7 +93,20 @@ void timer_service::loop() {
     // immediately and nothing else can observe the moved-from entry.
     entry due = std::move(const_cast<entry&>(heap_.top()));
     heap_.pop();
+    // Torture: entries due within the same epoch (both deadlines already
+    // passed) have no ordering contract with each other — sometimes fire
+    // the second one first, so callbacks that silently rely on seq order
+    // break under the sweep instead of in production. The displaced entry
+    // is still due and fires on the next loop iteration.
+    if (!heap_.empty() && heap_.top().deadline <= now &&
+        PX_TORTURE_DECIDE(timer_fire)) {
+      entry second = std::move(const_cast<entry&>(heap_.top()));
+      heap_.pop();
+      std::swap(due, second);
+      heap_.push(std::move(second));
+    }
     lock.unlock();
+    PX_TORTURE_POINT(timer_fire);
     if (due.waiter != nullptr) {
       due.waiter->owner->wake(due.waiter);
     } else {

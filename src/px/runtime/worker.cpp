@@ -6,6 +6,7 @@
 #include "px/runtime/trace.hpp"
 #include "px/support/assert.hpp"
 #include "px/support/spin.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::rt {
 namespace {
@@ -20,11 +21,11 @@ constexpr std::uint64_t injection_poll_period = 61;
 
 worker* worker::current() noexcept { return tls_worker; }
 
-worker::worker(scheduler& sched, std::size_t index, std::size_t numa_domain)
-    : sched_(sched),
-      index_(index),
-      numa_(numa_domain),
-      rng_(0x5eedbeef ^ (index * 0x9e3779b97f4a7c15ull)) {}
+worker::worker(scheduler& sched, std::size_t index, std::size_t numa_domain,
+               std::uint64_t seed)
+    : sched_(sched), index_(index), numa_(numa_domain), rng_(seed) {
+  stats_.run_seed = seed;
+}
 
 void worker::run() {
   tls_worker = this;
@@ -56,8 +57,15 @@ task* worker::find_work() {
     if (task* t = sched_.pop_global()) return t;
     if (task* t = injection_.pop()) return t;
   }
-  if (task* t = deque_.pop()) return t;
-  if (task* t = injection_.pop()) return t;
+  // Torture flip: drain the injection queue before our own deque, so wakes
+  // and yields race the LIFO hot path from the other direction.
+  if (PX_TORTURE_DECIDE(worker_find_work)) {
+    if (task* t = injection_.pop()) return t;
+    if (task* t = deque_.pop()) return t;
+  } else {
+    if (task* t = deque_.pop()) return t;
+    if (task* t = injection_.pop()) return t;
+  }
   if (task* t = try_steal()) return t;
   if (task* t = sched_.pop_global()) return t;
   return nullptr;
@@ -67,11 +75,16 @@ task* worker::try_steal() {
   std::size_t const n = sched_.num_workers();
   if (n <= 1) return nullptr;
   // Two full random rounds before giving up; the caller backs off/parks.
+  PX_TORTURE_POINT(worker_pre_steal);
   for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
     std::size_t victim = rng_.below(n);
+    // Torture: re-draw the victim so the visit order differs from what the
+    // run-seeded stream alone would produce.
+    if (PX_TORTURE_DECIDE(steal_victim)) victim = rng_.below(n);
     if (victim == index_) continue;
     if (task* t = sched_.worker_at(victim).deque_.steal()) {
       ++stats_.steals;
+      PX_TORTURE_POINT(worker_post_steal);
       return t;
     }
   }
@@ -88,6 +101,7 @@ void worker::execute(task* t) {
   bool const tracing = trace::enabled();
   std::uint64_t const begin_us = tracing ? trace::now_us() : 0;
   auto const begin_clock = std::chrono::steady_clock::now();
+  PX_TORTURE_POINT(fiber_switch);
   t->fib->resume();
   stats_.busy_ns += static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -26,11 +26,16 @@ struct worker_stats {
   // Wall time spent executing task slices (excludes queue management and
   // parking) — busy_ns / wall time is the worker's utilization.
   std::uint64_t busy_ns = 0;
+  // Run-level RNG seed the steal-victim streams derive from; filled in by
+  // scheduler::aggregate_stats() so failing runs can be replayed with
+  // PX_SEED=<run_seed>.
+  std::uint64_t run_seed = 0;
 };
 
 class worker {
  public:
-  worker(scheduler& sched, std::size_t index, std::size_t numa_domain);
+  worker(scheduler& sched, std::size_t index, std::size_t numa_domain,
+         std::uint64_t seed);
 
   worker(worker const&) = delete;
   worker& operator=(worker const&) = delete;

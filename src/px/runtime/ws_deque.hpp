@@ -15,6 +15,7 @@
 
 #include "px/support/assert.hpp"
 #include "px/support/cache.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::rt {
 
@@ -67,6 +68,9 @@ class ws_deque {
     std::int64_t const b = bottom_.load(std::memory_order_relaxed) - 1;
     ring* const a = array_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_relaxed);
+    // Torture: stretch the window where bottom is published decremented but
+    // the fence/top read has not happened — the take-vs-steal race.
+    PX_TORTURE_POINT(deque_pop);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::int64_t t = top_.load(std::memory_order_relaxed);
     T* value = nullptr;
@@ -95,6 +99,9 @@ class ws_deque {
     if (t >= b) return nullptr;
     ring* const a = array_.load(std::memory_order_acquire);
     T* const value = a->get(t);
+    // Torture: widen the read-top .. CAS-top window so owner pops and rival
+    // thieves land inside it.
+    PX_TORTURE_POINT(deque_steal);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed))
       return nullptr;

@@ -21,6 +21,15 @@ std::optional<std::size_t> env_size(char const* name) {
   return static_cast<std::size_t>(v);
 }
 
+std::optional<std::uint64_t> env_u64(char const* name) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s->c_str(), &end, 0);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
 std::optional<double> env_double(char const* name) {
   auto s = env_string(name);
   if (!s) return std::nullopt;

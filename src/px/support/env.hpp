@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -14,6 +15,10 @@ std::optional<std::string> env_string(char const* name);
 
 // Parses an unsigned integer; nullopt when unset, empty or malformed.
 std::optional<std::size_t> env_size(char const* name);
+
+// Parses a 64-bit unsigned integer, accepting decimal, 0x-hex and 0-octal
+// (seeds are usually quoted in hex); nullopt when unset or malformed.
+std::optional<std::uint64_t> env_u64(char const* name);
 
 // Parses a double; nullopt when unset or malformed.
 std::optional<double> env_double(char const* name);

@@ -1,0 +1,125 @@
+#include "px/torture/invariant.hpp"
+
+#include <mutex>
+
+#include "px/support/assert.hpp"
+
+namespace px::torture {
+
+namespace {
+
+struct entry {
+  std::uint64_t id = 0;
+  std::string name;
+  invariant_fn check;
+};
+
+struct registry_state {
+  std::mutex mutex;
+  std::vector<entry> entries;
+  std::uint64_t next_id = 1;
+};
+
+registry_state& state() {
+  // Leaked singleton: invariants can be registered/released from static
+  // teardown (tests intentionally leak corrupted domains).
+  static registry_state* const s = new registry_state();
+  return *s;
+}
+
+// Copies the checks out so they run without the registry lock (a check must
+// not touch the registry, but it may take subsystem locks of its own).
+std::vector<entry> snapshot_entries() {
+  registry_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.entries;
+}
+
+std::vector<violation> run_checks(std::vector<entry> const& entries) {
+  std::vector<violation> out;
+  for (entry const& e : entries)
+    if (auto detail = e.check()) out.push_back({e.name, std::move(*detail)});
+  return out;
+}
+
+}  // namespace
+
+invariant_violation::invariant_violation(std::vector<violation> violations)
+    : std::runtime_error("invariant violation: " + describe(violations)),
+      violations_(std::move(violations)) {}
+
+void invariant_registration::add(std::string name, invariant_fn check) {
+  PX_ASSERT(check != nullptr);
+  registry_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  entry e;
+  e.id = s.next_id++;
+  e.name = std::move(name);
+  e.check = std::move(check);
+  ids_.push_back(e.id);
+  s.entries.push_back(std::move(e));
+}
+
+void invariant_registration::release() noexcept {
+  if (ids_.empty()) return;
+  registry_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (std::uint64_t id : ids_)
+    for (std::size_t i = 0; i < s.entries.size(); ++i)
+      if (s.entries[i].id == id) {
+        s.entries.erase(s.entries.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+  ids_.clear();
+}
+
+std::vector<violation> invariant_registration::check() const {
+  std::vector<entry> mine;
+  {
+    registry_state& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (entry const& e : s.entries)
+      for (std::uint64_t id : ids_)
+        if (e.id == id) mine.push_back(e);
+  }
+  return run_checks(mine);
+}
+
+void invariant_registration::assert_holds(char const* context) const {
+  auto const violations = check();
+  if (violations.empty()) return;
+  std::string const msg =
+      std::string(context) + ": " + describe(violations);
+  PX_ASSERT_MSG(false, msg.c_str());
+}
+
+std::vector<violation> check_invariants() {
+  return run_checks(snapshot_entries());
+}
+
+void require_invariants(std::string const& context) {
+  auto violations = check_invariants();
+  if (violations.empty()) return;
+  for (auto& v : violations) v.name = context + ": " + v.name;
+  throw invariant_violation(std::move(violations));
+}
+
+std::size_t invariant_count() {
+  registry_state& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.entries.size();
+}
+
+std::string describe(std::vector<violation> const& violations) {
+  std::string out;
+  for (violation const& v : violations) {
+    if (!out.empty()) out += "; ";
+    out += v.name;
+    out += ": ";
+    out += v.detail;
+  }
+  return out.empty() ? std::string("(none)") : out;
+}
+
+}  // namespace px::torture

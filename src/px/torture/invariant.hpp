@@ -1,0 +1,94 @@
+// px/torture/invariant.hpp
+// Registered correctness invariants, asserted at quiescence. Subsystems with
+// global accounting (scheduler task counts, distributed-domain in-flight
+// obligations, dedup windows) register named checks at construction; the
+// torture harness — and the subsystems themselves, on their own quiesce
+// paths — evaluate them when the system claims to be idle.
+//
+// Contract: an invariant check must be cheap, non-blocking, and is only
+// meaningful when the owning subsystem believes itself quiescent (an
+// "active tasks == 0" check evaluated mid-run is a false alarm, not a bug).
+// Callers — forall_seeds after the property returns, wait_all_quiescent on
+// its success path — uphold that. Checks must not register or unregister
+// invariants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace px::torture {
+
+// A check returns nullopt while the invariant holds, else a description of
+// the violation (values, paths — whatever makes the dump actionable).
+using invariant_fn = std::function<std::optional<std::string>()>;
+
+struct violation {
+  std::string name;
+  std::string detail;
+};
+
+// Thrown by require_invariants() and by properties that detect a violation
+// themselves (e.g. a quiesce timeout); forall_seeds catches it and turns it
+// into a failing seed report.
+class invariant_violation : public std::runtime_error {
+ public:
+  explicit invariant_violation(std::vector<violation> violations);
+
+  [[nodiscard]] std::vector<violation> const& violations() const noexcept {
+    return violations_;
+  }
+
+ private:
+  std::vector<violation> violations_;
+};
+
+// RAII block of invariant registrations, mirroring counters::registration:
+// everything added through it is unregistered on destruction or release().
+class invariant_registration {
+ public:
+  invariant_registration() = default;
+  ~invariant_registration() { release(); }
+
+  invariant_registration(invariant_registration const&) = delete;
+  invariant_registration& operator=(invariant_registration const&) = delete;
+  invariant_registration(invariant_registration&& other) noexcept
+      : ids_(std::move(other.ids_)) {
+    other.ids_.clear();
+  }
+
+  void add(std::string name, invariant_fn check);
+  void release() noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+
+  // Evaluates only this block's invariants (a subsystem asserting itself at
+  // quiesce must not trip over unrelated subsystems that are mid-run).
+  [[nodiscard]] std::vector<violation> check() const;
+
+  // check() + abort-with-details; called on quiesce success paths while a
+  // torture run is active. A violation here is a real accounting bug — the
+  // subsystem just proclaimed itself idle.
+  void assert_holds(char const* context) const;
+
+ private:
+  std::vector<std::uint64_t> ids_;
+};
+
+// Evaluates every registered invariant (all subsystems). Call only at a
+// point where the whole process is expected quiescent.
+[[nodiscard]] std::vector<violation> check_invariants();
+
+// check_invariants() + throw invariant_violation when any check fails;
+// `context` is prefixed to the message.
+void require_invariants(std::string const& context);
+
+// Registered invariants, for sanity assertions in tests.
+[[nodiscard]] std::size_t invariant_count();
+
+// Formats "name: detail; name: detail" for messages and dumps.
+[[nodiscard]] std::string describe(std::vector<violation> const& violations);
+
+}  // namespace px::torture

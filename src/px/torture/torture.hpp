@@ -1,0 +1,170 @@
+// px/torture/torture.hpp
+// Deterministic schedule-exploration ("torture") perturber. The runtime's
+// races — steal-vs-take in the Chase–Lev deque, ack-vs-RTO in the parcel
+// reliability layer, cancel-vs-fire in the timer service — have windows of
+// a few instructions; under normal load the OS scheduler almost never lands
+// a second thread inside them. The perturber compiles decision points into
+// those windows (via the PX_TORTURE macro hooks below) and, when enabled,
+// injects seeded yields/spins/sleeps and decision flips that stretch each
+// window from nanoseconds to microseconds, so one seed sweep explores more
+// interleavings than months of production luck.
+//
+// Determinism model (be precise about what a seed buys):
+//   * Every decision is drawn from a per-thread PRNG stream that is a pure
+//     function of (run seed, thread slot, decision index on that thread).
+//     Worker threads use their stable worker index as the slot; auxiliary
+//     threads (timer, main, test threads) get a process-ordinal slot.
+//   * Re-running with the same seed replays the same per-thread decision
+//     streams exactly. Cross-thread interleaving remains OS-scheduled, but
+//     because the perturbations widen the same windows by the same amounts,
+//     a failure found at a seed reproduces with high probability — and the
+//     single-threaded components (timer reorder, victim order, jitter) are
+//     bit-exact. tests/test_torture_sched.cpp asserts the stream replay.
+//   * `config::max_perturbations` is a global budget: once that many
+//     perturbations have been applied, further decision points pass
+//     through unperturbed. forall_seeds' shrinker bisects this budget to
+//     find the minimal perturbation count that still reproduces a failure.
+//
+// Cost when disabled: one relaxed atomic load per compiled-in hook. The
+// hooks themselves compile out entirely with -DPX_TORTURE=0 (CMake option
+// PX_TORTURE, default ON).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace px::torture {
+
+// Where a decision point sits. Keep the list short and stable: sites are
+// recorded in perturbation traces and named in failure dumps.
+enum class site : std::uint8_t {
+  sched_enqueue,     // scheduler::enqueue_ready: push-local vs global inject
+  worker_find_work,  // worker::find_work: local-vs-injection pop order
+  worker_pre_steal,  // worker::try_steal: window before a steal round
+  worker_post_steal, // worker::try_steal: after a successful steal
+  steal_victim,      // worker::try_steal: victim-order variation
+  deque_pop,         // ws_deque::pop: after publishing bottom-1 (take race)
+  deque_steal,       // ws_deque::steal: between reading top and the CAS
+  timer_deadline,    // timer_service: deadline jitter at insert
+  timer_fire,        // timer thread: pre-callback window + epoch reorder
+  fiber_switch,      // worker::execute: before resuming a task fiber
+  net_transmit,      // distributed_domain::transmit entry (wire-side races)
+  net_deliver,       // distributed_domain::deliver_frame entry
+  site_count
+};
+
+[[nodiscard]] char const* site_name(site s) noexcept;
+
+struct config {
+  std::uint64_t seed = 1;
+
+  // Probability that a consulted decision point perturbs at all.
+  double perturb_probability = 0.25;
+
+  // Perturbation mix (drawn per applied perturbation): a thread yield, a
+  // bounded pause-spin, or a real sleep. Sleeps are what stretch a window
+  // past the timer thread's wakeup latency; keep max_sleep_us small enough
+  // that a run stays fast (budget ~= points * probability * mean sleep).
+  std::uint32_t max_spin = 128;     // pause iterations ceiling
+  std::uint32_t max_sleep_us = 50;  // sleep ceiling, microseconds
+
+  // Amplitude of the deadline jitter added (never subtracted) to every
+  // timer_service deadline while active.
+  std::uint64_t timer_jitter_ns = 200'000;
+
+  // Global perturbation budget; see the shrinker note above.
+  std::uint64_t max_perturbations = ~std::uint64_t{0};
+};
+
+namespace detail {
+extern std::atomic<bool> g_active;
+void point_slow(site s);
+bool decide_slow(site s);
+std::uint64_t jitter_slow(site s);
+}  // namespace detail
+
+// True while a torture run is in progress. The inline fast path is a single
+// relaxed load so hooks cost nothing on production paths.
+[[nodiscard]] inline bool active() noexcept {
+  return detail::g_active.load(std::memory_order_relaxed);
+}
+
+// Starts/stops a torture run. enable() resets the per-run decision streams,
+// counters and trace; it must not race another enable/disable (the forall
+// harness serializes runs). Hooks observe the flag with acquire/release
+// ordering, so a thread that sees active() == true also sees the config.
+void enable(config cfg);
+void disable();
+
+// The active run's config/seed (valid while active(); the seed of the last
+// run otherwise).
+[[nodiscard]] config active_config() noexcept;
+[[nodiscard]] std::uint64_t current_seed() noexcept;
+
+// ---- decision points (call through the PX_TORTURE_* macros) -------------
+
+// Maybe-perturb: yields/spins/sleeps the calling thread per the seeded
+// stream. No-op when inactive.
+inline void point(site s) {
+  if (active()) detail::point_slow(s);
+}
+
+// Seeded boolean decision, e.g. "flip push-local to global this time".
+// Always false when inactive.
+[[nodiscard]] inline bool decide(site s) {
+  return active() && detail::decide_slow(s);
+}
+
+// Seeded deadline jitter in [0, timer_jitter_ns]; 0 when inactive.
+[[nodiscard]] inline std::uint64_t deadline_jitter_ns(site s) {
+  return active() ? detail::jitter_slow(s) : 0;
+}
+
+// ---- introspection -------------------------------------------------------
+
+enum class perturbation_kind : std::uint8_t { yield, spin, sleep, flip, jitter };
+
+struct trace_entry {
+  site s = site::site_count;
+  perturbation_kind kind = perturbation_kind::yield;
+  std::uint16_t thread_slot = 0;
+};
+
+// Decision points consulted / perturbations applied since the last
+// enable(). (The process-lifetime totals live in the counter registry under
+// /px/torture/{decisions,perturbations,seeds_run}.)
+[[nodiscard]] std::uint64_t run_decisions() noexcept;
+[[nodiscard]] std::uint64_t run_perturbations() noexcept;
+
+// The most recent applied perturbations (bounded ring; oldest entries are
+// overwritten). Racy-read tolerant: meant for failure dumps, not sync.
+[[nodiscard]] std::vector<trace_entry> trace_tail(std::size_t max = 2048);
+
+// Writes a failure-evidence JSON document to `path`:
+//   {"seed":…,"message":…,"min_perturbations":…,"counters":{<full counter
+//    registry snapshot>},"perturbation_trace":[{"site":…,"kind":…,
+//    "thread":…},…]}
+// Returns false on I/O failure (same contract as counters::write_json_file,
+// whose snapshot machinery — the trace_profile dump path — this reuses).
+bool dump_failure_report(std::uint64_t seed, std::string const& message,
+                         std::uint64_t min_perturbations,
+                         std::string const& path);
+
+}  // namespace px::torture
+
+// Hook macros: compiled in when the build defines PX_TORTURE (CMake option,
+// default ON); otherwise every hook site vanishes entirely.
+#if defined(PX_TORTURE) && PX_TORTURE
+#define PX_TORTURE_POINT(site_id) \
+  ::px::torture::point(::px::torture::site::site_id)
+#define PX_TORTURE_DECIDE(site_id) \
+  ::px::torture::decide(::px::torture::site::site_id)
+#define PX_TORTURE_JITTER_NS(site_id) \
+  ::px::torture::deadline_jitter_ns(::px::torture::site::site_id)
+#else
+#define PX_TORTURE_POINT(site_id) ((void)0)
+#define PX_TORTURE_DECIDE(site_id) (false)
+#define PX_TORTURE_JITTER_NS(site_id) (std::uint64_t{0})
+#endif

@@ -124,6 +124,17 @@ TEST(Env, ParsesSizes) {
   EXPECT_FALSE(px::env_size("PX_TEST_SIZE").has_value());
 }
 
+TEST(Env, ParsesU64InAnyBase) {
+  ::setenv("PX_TEST_U64", "0xdeadbeefcafe", 1);
+  EXPECT_EQ(px::env_u64("PX_TEST_U64"), 0xdeadbeefcafeull);
+  ::setenv("PX_TEST_U64", "12345", 1);
+  EXPECT_EQ(px::env_u64("PX_TEST_U64"), 12345u);
+  ::setenv("PX_TEST_U64", "0x", 1);
+  EXPECT_FALSE(px::env_u64("PX_TEST_U64").has_value());
+  ::unsetenv("PX_TEST_U64");
+  EXPECT_FALSE(px::env_u64("PX_TEST_U64").has_value());
+}
+
 TEST(Env, ParsesBools) {
   ::setenv("PX_TEST_BOOL", "yes", 1);
   EXPECT_EQ(px::env_bool("PX_TEST_BOOL"), true);

@@ -1,0 +1,180 @@
+// Torture tests for the timer service's cancellation edge: a timer token
+// shared between the firing callback and a concurrent canceller must be
+// claimed exactly once, the callbacks_cancelled counter must account every
+// suppressed callback exactly, and torture deadline jitter may only ever
+// delay a deadline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/runtime/timer_service.hpp"
+#include "px/torture/forall.hpp"
+
+namespace {
+
+namespace torture = px::torture;
+using px::counters::builtin;
+using px::rt::timer_service;
+using px::rt::timer_token;
+
+// Spin until the shared timer heap has drained every entry this test put in
+// (entries fire as claimed callbacks or counted cancels; both are totals we
+// can observe).
+void drain_heap() {
+  while (timer_service::instance().pending() != 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+TEST(TortureTimer, TokenClaimedExactlyOnceUnderCancelFireHammer) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(6),
+      [](std::uint64_t seed) {
+        // n callbacks with deadlines spraying across a few hundred
+        // microseconds; a canceller thread walks the tokens concurrently,
+        // cancelling every other one right around its deadline.
+        constexpr int n = 200;
+        auto const cancelled_before = builtin().timer_cancelled.load();
+        std::vector<std::shared_ptr<timer_token>> tokens;
+        std::vector<std::atomic<int>> fired(n);
+        for (auto& f : fired) f.store(0, std::memory_order_relaxed);
+        std::atomic<int> fired_count{0};
+        tokens.reserve(n);
+        auto const base = timer_service::clock::now();
+        for (int i = 0; i < n; ++i) {
+          tokens.push_back(std::make_shared<timer_token>());
+          timer_service::instance().call_at(
+              base + std::chrono::microseconds(50 + (i * 7 + (seed & 31))),
+              [&fired, &fired_count, i] {
+                fired[i].fetch_add(1);
+                fired_count.fetch_add(1);
+              },
+              tokens[i]);
+        }
+        int cancel_wins = 0;
+        for (int i = 0; i < n; i += 2)
+          if (tokens[static_cast<std::size_t>(i)]->cancel()) ++cancel_wins;
+        drain_heap();
+        // pending()==0 can be observed while the last popped callback is
+        // still executing; wait until every entry is accounted as either a
+        // claimed fire or a counted cancel.
+        while (fired_count.load() +
+                   static_cast<int>(builtin().timer_cancelled.load() -
+                                    cancelled_before) <
+               n)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+
+        int fired_total = 0;
+        for (int i = 0; i < n; ++i) {
+          int const f = fired[i].load();
+          int const c = (i % 2 == 0 &&
+                         !tokens[static_cast<std::size_t>(i)]->armed() &&
+                         f == 0)
+                            ? 1
+                            : 0;
+          if (f + c != 1)
+            throw std::runtime_error(
+                "token " + std::to_string(i) + " settled " +
+                std::to_string(f + c) + " times (fired " + std::to_string(f) +
+                ")");
+          fired_total += f;
+        }
+        // Every suppressed callback is counted exactly once when its heap
+        // entry fires as a no-op.
+        auto const cancelled_delta =
+            builtin().timer_cancelled.load() - cancelled_before;
+        if (cancelled_delta != static_cast<std::uint64_t>(cancel_wins))
+          throw std::runtime_error(
+              "callbacks_cancelled counted " +
+              std::to_string(cancelled_delta) + ", cancel() won " +
+              std::to_string(cancel_wins) + " times");
+        if (fired_total + cancel_wins != n)
+          throw std::runtime_error("fired + cancelled != scheduled");
+      },
+      [] {
+        torture::forall_options opts;
+        opts.perturb.perturb_probability = 0.4;
+        opts.perturb.max_sleep_us = 30;
+        opts.perturb.timer_jitter_ns = 100'000;
+        opts.dump_stem = "torture-timer";
+        return opts;
+      }());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+TEST(TortureTimer, JitterOnlyEverDelaysDeadlines) {
+  // The perturber adds jitter to deadlines but must never fire a callback
+  // before the deadline the caller asked for.
+  auto failure = torture::run_one(
+      0xbadcafe,
+      [](std::uint64_t) {
+        constexpr int n = 32;
+        std::atomic<int> early{0};
+        std::atomic<int> done{0};
+        auto const base = timer_service::clock::now();
+        for (int i = 0; i < n; ++i) {
+          auto const deadline = base + std::chrono::milliseconds(1 + i % 3);
+          timer_service::instance().call_at(deadline, [&, deadline] {
+            if (timer_service::clock::now() < deadline) early.fetch_add(1);
+            done.fetch_add(1);
+          });
+        }
+        while (done.load() != n)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        if (early.load() != 0)
+          throw std::runtime_error(std::to_string(early.load()) +
+                                   " callback(s) fired before deadline");
+      },
+      [] {
+        torture::config cfg;
+        cfg.perturb_probability = 1.0;
+        cfg.timer_jitter_ns = 2'000'000;  // jitter >> the deadlines' spread
+        cfg.max_sleep_us = 0;
+        return cfg;
+      }());
+  EXPECT_FALSE(failure.has_value()) << *failure;
+}
+
+TEST(TortureTimer, SameEpochReorderPreservesEveryCallback) {
+  // The torture reorder swaps same-epoch due entries but must never lose or
+  // double-fire one.
+  auto r = torture::forall_seeds(
+      torture::seed_count(4),
+      [](std::uint64_t) {
+        constexpr int n = 128;
+        std::vector<std::atomic<int>> fired(n);
+        for (auto& f : fired) f.store(0, std::memory_order_relaxed);
+        std::atomic<int> done{0};
+        // One shared past-due deadline: all entries land in the same epoch,
+        // maximizing reorder opportunities.
+        auto const deadline = timer_service::clock::now();
+        for (int i = 0; i < n; ++i)
+          timer_service::instance().call_at(deadline, [&fired, &done, i] {
+            fired[i].fetch_add(1);
+            done.fetch_add(1);
+          });
+        while (done.load() != n)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        for (int i = 0; i < n; ++i)
+          if (fired[i].load() != 1)
+            throw std::runtime_error("callback " + std::to_string(i) +
+                                     " fired " +
+                                     std::to_string(fired[i].load()) +
+                                     " times");
+      },
+      [] {
+        torture::forall_options opts;
+        opts.perturb.perturb_probability = 0.6;
+        opts.perturb.max_sleep_us = 10;
+        opts.perturb.timer_jitter_ns = 0;  // pure reorder, no jitter
+        opts.dump_stem = "torture-timer";
+        return opts;
+      }());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+}  // namespace

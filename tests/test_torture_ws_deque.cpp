@@ -1,0 +1,179 @@
+// Seed-sweep torture of the raw Chase–Lev deque: take-vs-steal on the last
+// element, empty-steal hammering, and growth under concurrent theft. The
+// deque_pop / deque_steal torture points sit exactly inside the published
+// race windows (bottom decremented but fence pending; top read but CAS
+// pending), so these sweeps explore the interleavings the PPoPP'13
+// orderings exist for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "px/runtime/ws_deque.hpp"
+#include "px/torture/forall.hpp"
+
+namespace {
+
+namespace torture = px::torture;
+using px::rt::ws_deque;
+
+// Perturber template for raw-deque runs: no timer in play, keep sleeps
+// short so a sweep stays fast even at 64 seeds.
+torture::forall_options deque_opts() {
+  torture::forall_options opts;
+  opts.perturb.perturb_probability = 0.5;
+  opts.perturb.max_sleep_us = 20;
+  opts.dump_stem = "torture-ws-deque";
+  return opts;
+}
+
+TEST(TortureWsDeque, SingleElementTakeVsStealExactlyOnce) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(6),
+      [](std::uint64_t) {
+        // One element, one owner pop racing one thief steal, many rounds:
+        // exactly one side may win each round.
+        constexpr int rounds = 300;
+        ws_deque<int> dq(8);
+        int item = 42;
+        std::atomic<int> round{-1};
+        std::atomic<int> wins{0};
+        std::atomic<bool> stop{false};
+
+        std::thread thief([&] {
+          int seen = -1;
+          while (!stop.load(std::memory_order_acquire)) {
+            int const cur = round.load(std::memory_order_acquire);
+            if (cur == seen) continue;
+            seen = cur;
+            if (dq.steal() != nullptr) wins.fetch_add(1);
+          }
+        });
+        for (int i = 0; i < rounds; ++i) {
+          dq.push(&item);
+          round.store(i, std::memory_order_release);
+          int got = dq.pop() != nullptr ? 1 : 0;
+          // The thief may still be mid-steal; drain before the next round
+          // so a straggling steal cannot see the *next* round's element.
+          while (got == 0 && wins.load(std::memory_order_acquire) <= i)
+            std::this_thread::yield();
+          if (got) wins.fetch_add(1);
+        }
+        stop.store(true, std::memory_order_release);
+        thief.join();
+        if (wins.load() != rounds)
+          throw std::runtime_error(
+              "take-vs-steal settled " + std::to_string(wins.load()) +
+              " times over " + std::to_string(rounds) + " rounds");
+        if (dq.steal() != nullptr || dq.pop() != nullptr)
+          throw std::runtime_error("deque not empty after the rounds");
+      },
+      deque_opts());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+TEST(TortureWsDeque, EmptyStealHammeringNeverFabricatesWork)
+{
+  auto r = torture::forall_seeds(
+      torture::seed_count(6),
+      [](std::uint64_t) {
+        // Thieves hammer a mostly-empty deque while the owner pulses single
+        // items through it; every returned pointer must be the real item
+        // and the total across consumers must balance exactly.
+        constexpr int pulses = 400;
+        ws_deque<int> dq(8);
+        int item = 7;
+        std::atomic<int> consumed{0};
+        std::atomic<bool> stop{false};
+
+        std::vector<std::thread> thieves;
+        for (int t = 0; t < 3; ++t)
+          thieves.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+              int* const p = dq.steal();
+              if (p == nullptr) continue;
+              if (p != &item) std::abort();  // fabricated pointer
+              consumed.fetch_add(1);
+            }
+          });
+        for (int i = 0; i < pulses; ++i) {
+          dq.push(&item);
+          if (int* const p = dq.pop(); p != nullptr) {
+            if (p != &item) std::abort();
+            consumed.fetch_add(1);
+          }
+          // Wait for the element to be accounted before the next pulse.
+          while (consumed.load(std::memory_order_acquire) <= i)
+            std::this_thread::yield();
+        }
+        stop.store(true, std::memory_order_release);
+        for (auto& t : thieves) t.join();
+        if (consumed.load() != pulses)
+          throw std::runtime_error(
+              "consumed " + std::to_string(consumed.load()) + " of " +
+              std::to_string(pulses) + " pulsed items");
+      },
+      deque_opts());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+TEST(TortureWsDeque, GrowthDuringConcurrentStealLosesNothing) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(6),
+      [](std::uint64_t) {
+        // Tiny initial ring so pushes grow it several times while thieves
+        // read the (possibly retired) old arrays mid-steal. Every item is
+        // consumed exactly once: per-slot counters catch double delivery,
+        // the final sum catches loss.
+        constexpr int n = 4096;
+        ws_deque<int> dq(4);
+        std::vector<int> items(n);
+        std::vector<std::atomic<int>> seen(n);
+        for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+        std::atomic<bool> done_pushing{false};
+        std::atomic<int> consumed{0};
+
+        auto consume = [&](int* p) {
+          auto const idx = static_cast<std::size_t>(p - items.data());
+          if (idx >= items.size()) std::abort();
+          if (seen[idx].fetch_add(1) != 0) std::abort();  // double delivery
+          consumed.fetch_add(1);
+        };
+
+        std::vector<std::thread> thieves;
+        for (int t = 0; t < 2; ++t)
+          thieves.emplace_back([&] {
+            for (;;) {
+              if (int* const p = dq.steal()) {
+                consume(p);
+                continue;
+              }
+              if (done_pushing.load(std::memory_order_acquire) &&
+                  consumed.load(std::memory_order_acquire) >= n)
+                return;
+              std::this_thread::yield();
+            }
+          });
+        for (int i = 0; i < n; ++i) {
+          dq.push(&items[static_cast<std::size_t>(i)]);
+          // Interleave owner pops so both ends race the growth.
+          if ((i & 7) == 0)
+            if (int* const p = dq.pop()) consume(p);
+        }
+        done_pushing.store(true, std::memory_order_release);
+        while (consumed.load(std::memory_order_acquire) < n)
+          if (int* const p = dq.pop())
+            consume(p);
+          else
+            std::this_thread::yield();
+        for (auto& t : thieves) t.join();
+        if (consumed.load() != n)
+          throw std::runtime_error("item count off: " +
+                                   std::to_string(consumed.load()));
+      },
+      deque_opts());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+}  // namespace
