@@ -9,6 +9,10 @@
 # --torture: instead of the tiers above, build and run only the
 # ctest-labeled torture suites (px::torture seed sweeps) with a big seed
 # budget — 64 seeds per property unless PX_TORTURE_SEEDS overrides it.
+#
+# --resilience: build and run only the ctest-labeled resilience suites
+# (locality kill/restart, failure detector, checkpoint/rollback recovery)
+# with a 16-seed sweep per property unless PX_TORTURE_SEEDS overrides it.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -19,6 +23,15 @@ if [ "${1:-}" = "--torture" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-64}" \
    ctest -L torture --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--resilience" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
+   ctest -L resilience --output-on-failure)
   exit 0
 fi
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Single CI entry point: chains every verification lane in cost order.
+#
+#   1. tier-1        fresh build + full ctest + sanitizer re-run of the
+#                    transport suites            (scripts/check.sh)
+#   2. resilience    kill/restart + checkpoint/rollback suites under a
+#                    16-seed torture sweep       (scripts/check.sh --resilience)
+#   3. torture       all torture-labeled seed sweeps with a big budget
+#                    (64 seeds per property)     (scripts/check.sh --torture)
+#
+# Knobs pass straight through: PX_SKIP_SAN=1 skips the sanitizer lane,
+# PX_TORTURE_SEEDS overrides both sweep budgets. Any lane failing fails
+# the run immediately (set -e); later lanes reuse the build tree the
+# first lane produced, so the whole chain configures/builds once.
+set -eu
+
+scripts=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+echo "== ci.sh: lane 1/3 tier-1 (build + full suite + sanitizers) =="
+"$scripts/check.sh"
+
+echo "== ci.sh: lane 2/3 resilience (ctest -L resilience) =="
+"$scripts/check.sh" --resilience
+
+echo "== ci.sh: lane 3/3 torture (ctest -L torture) =="
+"$scripts/check.sh" --torture
+
+echo "== ci.sh: all lanes passed =="

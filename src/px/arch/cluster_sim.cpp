@@ -210,6 +210,70 @@ double simulated_weak_time_s(machine const& m, std::size_t nodes) {
   return simulate_heat1d_cluster(m, fabric_for(m), cfg).makespan_s;
 }
 
+cluster_resilience_result simulate_heat1d_cluster_resilient(
+    machine const& m, net::fabric_model const& fabric,
+    cluster_sim_config cfg, cluster_resilience_config rcfg) {
+  PX_ASSERT(cfg.steps >= 1);
+  PX_ASSERT_MSG(rcfg.checkpoint_write_s >= 0.0 &&
+                    rcfg.detect_confirm_s >= 0.0 && rcfg.restore_s >= 0.0,
+                "resilience costs must be non-negative");
+  std::size_t const ck = rcfg.checkpoint_interval;
+  // Checkpoint rounds taken in a window of steps (t0, t0 + n]: every
+  // multiple of K strictly inside the computed range, matching the
+  // in-process solver (no round at the rollback point itself).
+  auto rounds_in = [ck](std::uint64_t t0, std::uint64_t t_end) {
+    if (ck == 0 || t_end <= t0) return std::uint64_t{0};
+    return (t_end - 1) / ck - t0 / ck;
+  };
+
+  cluster_resilience_result res;
+  bool const fails = rcfg.fail_stop_step != cluster_resilience_config::no_failure &&
+                     rcfg.fail_stop_step < cfg.steps;
+  if (!fails) {
+    auto const clean = simulate_heat1d_cluster(m, fabric, cfg);
+    res.checkpoints_taken = rounds_in(0, cfg.steps);
+    res.checkpoint_overhead_s =
+        static_cast<double>(res.checkpoints_taken) * rcfg.checkpoint_write_s;
+    res.makespan_s = clean.makespan_s + res.checkpoint_overhead_s;
+    res.messages = clean.messages;
+    res.des_events = clean.des_events;
+    return res;
+  }
+
+  std::uint64_t const f = rcfg.fail_stop_step;
+  // Newest step every partition can roll back to: the last checkpoint
+  // round completed strictly before the failure (or 0, the initial field).
+  std::uint64_t const rollback = ck != 0 ? (f / ck) * ck : 0;
+
+  // Phase 1: everyone advances to the failure step.
+  cluster_sim_config to_fail = cfg;
+  to_fail.steps = static_cast<std::size_t>(f == 0 ? 1 : f);
+  auto const before = simulate_heat1d_cluster(m, fabric, to_fail);
+
+  // Phase 2: replay from the rollback point to completion.
+  cluster_sim_config replay = cfg;
+  replay.steps = cfg.steps - static_cast<std::size_t>(rollback);
+  auto const after = simulate_heat1d_cluster(m, fabric, replay);
+
+  res.replayed_steps = f - rollback;
+  res.checkpoints_taken = rounds_in(0, f) + rounds_in(rollback, cfg.steps);
+  res.checkpoint_overhead_s =
+      static_cast<double>(res.checkpoints_taken) * rcfg.checkpoint_write_s;
+  res.recovery_s = rcfg.detect_confirm_s + rcfg.restore_s;
+  // Work computed between the rollback point and the failure is thrown
+  // away: approximate its wall cost by the per-step share of the pre-fail
+  // makespan.
+  res.lost_work_s = f != 0 ? before.makespan_s *
+                                 (static_cast<double>(res.replayed_steps) /
+                                  static_cast<double>(to_fail.steps))
+                           : 0.0;
+  res.makespan_s = before.makespan_s + res.recovery_s + after.makespan_s +
+                   res.checkpoint_overhead_s;
+  res.messages = before.messages + after.messages;
+  res.des_events = before.des_events + after.des_events;
+  return res;
+}
+
 cluster_sim_result simulate_jacobi2d_cluster(machine const& m,
                                              net::fabric_model const& fabric,
                                              cluster2d_config cfg) {

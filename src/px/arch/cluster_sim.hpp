@@ -81,4 +81,47 @@ struct cluster2d_config {
     machine const& m, net::fabric_model const& fabric,
     cluster2d_config cfg);
 
+// ---- checkpoint/restart cost model --------------------------------------
+// Companion to the in-process resilience machinery (px/resilience +
+// heat1d_distributed recovery): what does the buddy-checkpoint/rollback
+// protocol cost at cluster scale on a modeled machine? The failure-free
+// phases run through the same DES as simulate_heat1d_cluster; the
+// checkpoint, detection and restore costs compose on top analytically.
+
+struct cluster_resilience_config {
+  // Step at which one node fail-stops; no_failure = clean run.
+  std::uint64_t fail_stop_step = no_failure;
+  // Checkpoint every K steps (0 = off; an off checkpoint with a failure
+  // replays from step 0).
+  std::size_t checkpoint_interval = 0;
+  // Wall time one synchronous buddy-checkpoint round adds to the critical
+  // path (slab serialization + transfer + ack).
+  double checkpoint_write_s = 1e-3;
+  // Heartbeat silence until the failure is confirmed (suspect + confirm
+  // thresholds of the detector).
+  double detect_confirm_s = 50e-3;
+  // Fetching the lost partitions from buddies and rescattering state.
+  double restore_s = 10e-3;
+
+  static constexpr std::uint64_t no_failure = ~std::uint64_t{0};
+};
+
+struct cluster_resilience_result {
+  double makespan_s = 0.0;           // end-to-end including recovery
+  double checkpoint_overhead_s = 0.0;
+  double lost_work_s = 0.0;          // computed then rolled back
+  double recovery_s = 0.0;           // detection + restore
+  std::uint64_t replayed_steps = 0;
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t des_events = 0;
+};
+
+// Simulates a (possibly failing) resilient run: DES up to the failure,
+// detection + restore, DES replay from the newest covered checkpoint —
+// plus the checkpoint rounds' critical-path cost. Deterministic.
+[[nodiscard]] cluster_resilience_result simulate_heat1d_cluster_resilient(
+    machine const& m, net::fabric_model const& fabric,
+    cluster_sim_config cfg, cluster_resilience_config rcfg);
+
 }  // namespace px::arch

@@ -254,6 +254,22 @@ registry::registry() : self_(new impl) {
            builtin_.torture_perturbations);
   reg_cell("/px/torture/seeds_run", kind::monotone,
            builtin_.torture_seeds_run);
+  reg_cell("/px/resilience/heartbeats", kind::monotone,
+           builtin_.resilience_heartbeats);
+  reg_cell("/px/resilience/suspects", kind::monotone,
+           builtin_.resilience_suspects);
+  reg_cell("/px/resilience/confirms", kind::monotone,
+           builtin_.resilience_confirms);
+  reg_cell("/px/resilience/replays", kind::monotone,
+           builtin_.resilience_replays);
+  reg_cell("/px/resilience/replicas", kind::monotone,
+           builtin_.resilience_replicas);
+  reg_cell("/px/resilience/checkpoint_bytes", kind::monotone,
+           builtin_.resilience_checkpoint_bytes);
+  reg_cell("/px/resilience/restores", kind::monotone,
+           builtin_.resilience_restores);
+  reg_cell("/px/resilience/stale_epoch_drops", kind::monotone,
+           builtin_.resilience_stale_epoch_drops);
 
   entry trace_events;
   trace_events.id = self_->next_id++;

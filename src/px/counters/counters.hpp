@@ -163,6 +163,21 @@ struct builtin_counters {
   counter torture_decisions;      // /px/torture/decisions
   counter torture_perturbations;  // /px/torture/perturbations
   counter torture_seeds_run;      // /px/torture/seeds_run
+  // Locality-failure resilience (px/resilience + px/dist/failure_detector):
+  // heartbeat frames sent, alive->suspect transitions, confirmed locality
+  // deaths, task re-executions (async_replay), replicas spawned
+  // (async_replicate*), bytes written into checkpoint stores, partitions
+  // restored from a checkpoint, and frames dropped for carrying a stale
+  // incarnation epoch (a restarted locality's reset seqs must never alias
+  // the dedup window).
+  counter resilience_heartbeats;        // /px/resilience/heartbeats
+  counter resilience_suspects;          // /px/resilience/suspects
+  counter resilience_confirms;          // /px/resilience/confirms
+  counter resilience_replays;           // /px/resilience/replays
+  counter resilience_replicas;          // /px/resilience/replicas
+  counter resilience_checkpoint_bytes;  // /px/resilience/checkpoint_bytes
+  counter resilience_restores;          // /px/resilience/restores
+  counter resilience_stale_epoch_drops; // /px/resilience/stale_epoch_drops
 };
 
 class registry {

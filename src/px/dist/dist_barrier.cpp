@@ -12,6 +12,19 @@ std::shared_ptr<barrier_endpoint> barrier_state(locality& here) {
     auto state = std::make_shared<barrier_endpoint>();
     auto bound = here.agas().bind(state);
     if (here.agas().register_name(name, bound)) {
+      // A participant dying mid-barrier must not deadlock the survivors:
+      // on any confirmed locality failure, poison this endpoint's release
+      // mailbox so every waiter (and every later arrival) surfaces
+      // locality_down instead of blocking on a release that cannot come.
+      // The barrier's membership is the whole domain, so it is permanently
+      // broken past this point — by design.
+      here.domain().add_confirm_hook(
+          [weak = std::weak_ptr<barrier_endpoint>(state)](
+              std::uint32_t victim) {
+            if (auto s = weak.lock())
+              s->released.poison(
+                  std::make_exception_ptr(locality_down(victim)));
+          });
       return state;
     }
     // Lost a registration race: drop ours, resolve the winner's.

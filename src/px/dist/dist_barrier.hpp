@@ -10,6 +10,13 @@
 // generation value; all calls return only after every locality arrived.
 // Generations must be used in any order but each exactly once per
 // locality (a monotonically increasing counter in SPMD code).
+//
+// Failure semantics: the barrier's membership is the whole domain, so a
+// participant confirmed dead mid-barrier makes completion impossible.
+// Every waiter (and every later arrival) then surfaces
+// px::dist::locality_down / px::net::delivery_error instead of
+// deadlocking; the barrier stays permanently broken for the domain's
+// remaining lifetime.
 #pragma once
 
 #include <memory>

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <unordered_map>
+#include <vector>
 
 #include "px/counters/counters.hpp"
 #include "px/runtime/timer_service.hpp"
@@ -43,7 +44,7 @@ void locality::deliver(parcel::parcel p) {
         counters::builtin().parcel_orphan_responses.add();
         return;
       }
-      completion = std::move(it->second);
+      completion = std::move(it->second.fn);
       pending_.erase(it);
     }
     completion(std::move(p), nullptr);
@@ -61,10 +62,10 @@ void locality::deliver(parcel::parcel p) {
 }
 
 std::uint64_t locality::register_response_slot(
-    response_completion completion) {
+    std::uint32_t dest, response_completion completion) {
   std::lock_guard<spinlock> guard(pending_lock_);
   std::uint64_t const token = next_token_++;
-  pending_.emplace(token, std::move(completion));
+  pending_.emplace(token, pending_slot{dest, std::move(completion)});
   return token;
 }
 
@@ -75,10 +76,40 @@ void locality::fail_response_slot(std::uint64_t token,
     std::lock_guard<spinlock> guard(pending_lock_);
     auto it = pending_.find(token);
     if (it == pending_.end()) return;  // already completed or failed
-    completion = std::move(it->second);
+    completion = std::move(it->second.fn);
     pending_.erase(it);
   }
   completion(parcel::parcel{}, std::move(reason));
+}
+
+void locality::fail_response_slots_to(std::uint32_t dest,
+                                      std::exception_ptr reason) {
+  std::vector<response_completion> victims;
+  {
+    std::lock_guard<spinlock> guard(pending_lock_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.dest == dest) {
+        victims.push_back(std::move(it->second.fn));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Completions run outside the lock: they fulfil futures whose
+  // continuations may issue new calls right back through this locality.
+  for (auto& fn : victims) fn(parcel::parcel{}, reason);
+}
+
+void locality::fail_all_response_slots(std::exception_ptr reason) {
+  std::vector<response_completion> victims;
+  {
+    std::lock_guard<spinlock> guard(pending_lock_);
+    victims.reserve(pending_.size());
+    for (auto& [token, slot] : pending_) victims.push_back(std::move(slot.fn));
+    pending_.clear();
+  }
+  for (auto& fn : victims) fn(parcel::parcel{}, reason);
 }
 
 // ---- reliability link state -------------------------------------------
@@ -107,6 +138,11 @@ struct link_state {
   // Floor observed by the last dedup-window-soundness invariant check; the
   // floor must only ever advance.
   std::uint64_t last_floor = 0;
+  // Highest sender incarnation accepted on this link. Frames from an older
+  // incarnation are stale — their seqs belong to a dead past and must not
+  // touch the dedup window (see deliver_frame); a newer incarnation resets
+  // the window so the restarted sender's seq 1 is fresh again.
+  std::uint64_t rx_epoch = 1;
 };
 
 }  // namespace detail
@@ -126,6 +162,13 @@ distributed_domain::distributed_domain(domain_config cfg)
   for (std::size_t i = 0; i < cfg_.num_localities; ++i)
     localities_.push_back(std::make_unique<locality>(
         *this, static_cast<std::uint32_t>(i), cfg_.locality_cfg));
+  dead_ = std::make_unique<std::atomic<bool>[]>(cfg_.num_localities);
+  incarnations_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(cfg_.num_localities);
+  for (std::size_t i = 0; i < cfg_.num_localities; ++i) {
+    dead_[i].store(false, std::memory_order_relaxed);
+    incarnations_[i].store(1, std::memory_order_relaxed);
+  }
   if (reliable_) {
     links_.reserve(cfg_.num_localities * cfg_.num_localities);
     for (std::size_t i = 0; i < cfg_.num_localities * cfg_.num_localities;
@@ -169,9 +212,17 @@ distributed_domain::distributed_domain(domain_config cfg)
         }
         return std::nullopt;
       });
+
+  if (cfg_.resilience.enabled && cfg_.num_localities >= 2) {
+    detector_ = std::make_unique<failure_detector>(*this, cfg_.resilience);
+    detector_->start();
+  }
 }
 
 distributed_domain::~distributed_domain() {
+  // Detector first: after stop() no heartbeat tick or confirm callback can
+  // touch this object, so the quiesce below sees only application traffic.
+  if (detector_ != nullptr) detector_->stop();
   wait_all_quiescent();
   // Cancelled retransmission timers may still sit in the timer heap; their
   // callbacks are claimed no-ops and never touch this object again.
@@ -208,6 +259,28 @@ void distributed_domain::route(parcel::parcel p) {
     return;
   }
 
+  // Prompt failure for traffic involving a confirmed-dead locality: frames
+  // sourced by the dead locality's still-draining tasks go nowhere, and
+  // new calls *to* it fail immediately instead of burning the full retry
+  // budget against a blackhole.
+  if (dead_[p.source].load(std::memory_order_acquire)) {
+    counters::builtin().net_delivery_failures.add();
+    return;
+  }
+  if (dead_[p.dest].load(std::memory_order_acquire)) {
+    counters::builtin().net_delivery_failures.add();
+    if (p.response_token != 0 && p.action != parcel::response_action_id) {
+      localities_[p.source]->fail_response_slot(
+          p.response_token,
+          std::make_exception_ptr(locality_down(p.dest)));
+    }
+    return;
+  }
+
+  // Stamp the source's incarnation: receivers key their dedup windows by
+  // (link, epoch), so a restarted locality's reset seqs cannot alias.
+  p.epoch = incarnation(p.source);
+
   if (!reliable_) {
     transmit(std::move(p), 1);
     return;
@@ -242,6 +315,10 @@ void distributed_domain::transmit(parcel::parcel frame, int attempt,
   PX_TORTURE_POINT(net_transmit);
   std::size_t const bytes = frame.wire_size();
   fabric_.counters().record(bytes, fabric_.modeled_us(bytes));
+  // Cumulative modeled wire time feeds the at-modeled-ns fault triggers
+  // (the x1000 fixed-point cell is integer nanoseconds).
+  fabric_.faults().advance_modeled_ns(
+      fabric_.counters().modeled_us_x1000.load(std::memory_order_relaxed));
 
   // Arm the retransmission timer before the frame can possibly be
   // delivered. The caller installed `rto` in the link's inflight entry
@@ -273,8 +350,13 @@ void distributed_domain::transmit(parcel::parcel frame, int attempt,
     return;  // the armed RTO (if any) repairs this
   }
 
+  // slow_by locality faults stretch the injected delay without touching
+  // the modeled accounting (the victim's *wire* is fine; its host is not).
   std::uint64_t const delay_ns =
-      fabric_.injected_delay_ns(bytes) + fate.hold_ns;
+      static_cast<std::uint64_t>(
+          static_cast<double>(fabric_.injected_delay_ns(bytes)) *
+          fate.delay_factor) +
+      fate.hold_ns;
   if (fate.duplicate) schedule_frame(frame, delay_ns);
   schedule_frame(std::move(frame), delay_ns);
 }
@@ -296,15 +378,43 @@ void distributed_domain::schedule_frame(parcel::parcel frame,
 
 void distributed_domain::deliver_frame(parcel::parcel frame) {
   PX_TORTURE_POINT(net_deliver);
+  if (frame.action == parcel::heartbeat_action_id) {
+    // Soft liveness state, unsequenced and unacked. A heartbeat from a
+    // stale incarnation (or from a locality already confirmed dead) must
+    // not resurrect freshness.
+    if (detector_ != nullptr &&
+        !dead_[frame.source].load(std::memory_order_acquire) &&
+        frame.epoch == incarnation(frame.source))
+      detector_->heard_from(frame.source);
+    return;
+  }
   if (frame.action == parcel::ack_action_id) {
     handle_ack(frame);
     return;
   }
+  // A frame can still be in flight toward a locality that was confirmed
+  // dead after it was scheduled; the wire simply eats it (no ack — nobody
+  // is retransmitting to a dead locality, confirm_failure drained those).
+  if (dead_[frame.dest].load(std::memory_order_acquire)) return;
   if (reliable_ && frame.seq != 0) {
     bool fresh;
     {
       auto& link = link_between(frame.source, frame.dest);
       std::lock_guard<spinlock> guard(link.lock);
+      if (frame.epoch < link.rx_epoch) {
+        // A ghost from a previous incarnation of the sender. Its seq means
+        // nothing under the current window — acking or deduping it would
+        // let dead-past frames alias live ones.
+        counters::builtin().resilience_stale_epoch_drops.add();
+        return;
+      }
+      if (frame.epoch > link.rx_epoch) {
+        // First frame of a restarted incarnation: its seqs restart at 1,
+        // so the window restarts with them.
+        link.rx_epoch = frame.epoch;
+        link.rx.reset();
+        link.last_floor = 0;
+      }
       fresh = link.rx.accept(frame.seq);
     }
     // Every arriving copy is acked — a duplicate usually means the ack was
@@ -324,6 +434,9 @@ void distributed_domain::send_ack(parcel::parcel const& data) {
   ack.dest = data.source;
   ack.action = parcel::ack_action_id;
   ack.seq = data.seq;
+  // Echo the acked frame's epoch so the sender can tell an ack for its
+  // current incarnation's seq from one addressed to a dead past.
+  ack.epoch = data.epoch;
   counters::builtin().net_acks.add();
   // Acks are fire-and-forget: no seq of their own, no RTO. A lost ack is
   // repaired by the data frame's retransmission.
@@ -338,6 +451,13 @@ void distributed_domain::handle_ack(parcel::parcel const& ack) {
     std::lock_guard<spinlock> guard(link.lock);
     auto it = link.inflight.find(ack.seq);
     if (it == link.inflight.end()) return;  // duplicate ack; already settled
+    if (it->second.frame.epoch != ack.epoch) {
+      // The seq matches but the incarnation does not: this ack settles a
+      // dead incarnation's frame, not the live entry. Keep the entry; its
+      // own ack (or RTO) will settle it.
+      counters::builtin().resilience_stale_epoch_drops.add();
+      return;
+    }
     token = std::move(it->second.rto);
     link.inflight.erase(it);
   }
@@ -450,7 +570,160 @@ void distributed_domain::fail_parcel(parcel::parcel&& p, int attempts) {
   owner.fail_response_slot(p.response_token, std::move(reason));
 }
 
+// ---- locality failure & recovery ----------------------------------------
+
+void distributed_domain::confirm_failure(std::uint32_t victim) {
+  PX_ASSERT_MSG(victim < localities_.size(), "confirm of unknown locality");
+  PX_TORTURE_POINT(fd_confirm);
+  {
+    std::lock_guard<std::mutex> guard(membership_mutex_);
+    if (dead_[victim].load(std::memory_order_acquire)) return;  // idempotent
+    // Blackhole the wire first, then publish the dead flag: once readers
+    // see the flag the fault plane is already eating the victim's frames.
+    fabric_.faults().fail_stop_now(victim);
+    dead_[victim].store(true, std::memory_order_release);
+    membership_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  counters::builtin().resilience_confirms.add();
+  if (detector_ != nullptr) detector_->notify_confirmed(victim);
+
+  // Retransmissions to and from the victim can never be acked; drain them
+  // now so quiesce does not wait out the full retry budget against a
+  // blackhole. cancel() succeeding transfers the obligation release to us;
+  // failing means the RTO callback is live and will settle it.
+  if (reliable_) {
+    for (std::size_t other = 0; other < localities_.size(); ++other) {
+      if (other == victim) continue;
+      for (auto* link : {&link_between(victim, static_cast<std::uint32_t>(
+                                                   other)),
+                         &link_between(static_cast<std::uint32_t>(other),
+                                       victim)}) {
+        std::vector<detail::pending_tx> drained;
+        {
+          std::lock_guard<spinlock> guard(link->lock);
+          drained.reserve(link->inflight.size());
+          for (auto& [seq, tx] : link->inflight)
+            drained.push_back(std::move(tx));
+          link->inflight.clear();
+        }
+        for (auto& tx : drained)
+          if (tx.rto->cancel()) obligation_done();
+      }
+    }
+  }
+
+  // Fail every call that can no longer complete: the victim's own pending
+  // calls (its futures' owners may be tasks running on survivors via
+  // poisoned mailboxes) and every survivor's calls targeting the victim.
+  auto reason = std::make_exception_ptr(locality_down(victim));
+  localities_[victim]->fail_all_response_slots(reason);
+  for (std::size_t i = 0; i < localities_.size(); ++i)
+    if (i != victim)
+      localities_[i]->fail_response_slots_to(victim, reason);
+
+  // Application-level recovery last, with transport teardown complete.
+  std::vector<std::function<void(std::uint32_t)>> hooks;
+  {
+    std::lock_guard<std::mutex> guard(hooks_mutex_);
+    hooks.reserve(confirm_hooks_.size());
+    for (auto& [id, fn] : confirm_hooks_) hooks.push_back(fn);
+  }
+  for (auto& fn : hooks) fn(victim);
+}
+
+void distributed_domain::restart_locality(std::uint32_t loc) {
+  PX_ASSERT_MSG(loc < localities_.size(), "restart of unknown locality");
+  {
+    std::lock_guard<std::mutex> guard(membership_mutex_);
+    PX_ASSERT_MSG(dead_[loc].load(std::memory_order_acquire),
+                  "restart_locality of a live locality");
+    // New incarnation: outbound seqs restart at 1 under the bumped epoch.
+    // Receiver windows are left alone — they reset lazily on the first
+    // frame carrying the new epoch, and meanwhile keep counting stale
+    // old-incarnation stragglers.
+    incarnations_[loc].fetch_add(1, std::memory_order_acq_rel);
+    if (reliable_) {
+      for (std::size_t other = 0; other < localities_.size(); ++other) {
+        if (other == loc) continue;
+        auto& out = link_between(loc, static_cast<std::uint32_t>(other));
+        std::lock_guard<spinlock> g(out.lock);
+        PX_ASSERT_MSG(out.inflight.empty(),
+                      "restart with unacked frames from the dead past");
+        out.next_seq = 1;
+      }
+    }
+    fabric_.faults().revive(loc);
+    dead_[loc].store(false, std::memory_order_release);
+    membership_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (detector_ != nullptr) detector_->notify_restart(loc);
+}
+
+bool distributed_domain::is_confirmed_dead(std::uint32_t loc) const noexcept {
+  return loc < localities_.size() &&
+         dead_[loc].load(std::memory_order_acquire);
+}
+
+std::vector<std::uint32_t> distributed_domain::confirmed_dead() const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < localities_.size(); ++i)
+    if (dead_[i].load(std::memory_order_acquire))
+      out.push_back(static_cast<std::uint32_t>(i));
+  return out;
+}
+
+std::uint64_t distributed_domain::incarnation(
+    std::uint32_t loc) const noexcept {
+  return incarnations_[loc].load(std::memory_order_acquire);
+}
+
+std::uint64_t distributed_domain::add_confirm_hook(
+    std::function<void(std::uint32_t)> hook) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  std::uint64_t const id = next_hook_id_++;
+  confirm_hooks_.emplace(id, std::move(hook));
+  return id;
+}
+
+void distributed_domain::remove_confirm_hook(std::uint64_t id) {
+  std::lock_guard<std::mutex> guard(hooks_mutex_);
+  confirm_hooks_.erase(id);
+}
+
+void distributed_domain::send_heartbeat(std::uint32_t src,
+                                        std::uint32_t dst) {
+  if (dead_[src].load(std::memory_order_acquire) ||
+      dead_[dst].load(std::memory_order_acquire))
+    return;
+  parcel::parcel hb;
+  hb.source = src;
+  hb.dest = dst;
+  hb.action = parcel::heartbeat_action_id;
+  hb.epoch = incarnation(src);
+  counters::builtin().resilience_heartbeats.add();
+  // Heartbeats bypass the reliable path on purpose: they are periodic soft
+  // state, and retransmitting a stale one would only forge liveness.
+  transmit(std::move(hb), 1);
+}
+
+namespace {
+
+// Pauses heartbeat ticks for the duration of a quiesce wait: periodic
+// heartbeat frames would keep the obligation count hot forever, and a tick
+// observing the artificial silence afterwards would confirm phantom
+// failures. The detector refreshes its freshness clocks on unpause.
+struct heartbeat_pause {
+  explicit heartbeat_pause(std::atomic<std::uint32_t>& depth) : depth_(depth) {
+    depth_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~heartbeat_pause() { depth_.fetch_sub(1, std::memory_order_acq_rel); }
+  std::atomic<std::uint32_t>& depth_;
+};
+
+}  // namespace
+
 void distributed_domain::wait_all_quiescent() {
+  heartbeat_pause pause(quiescing_);
   // Parcels can respawn tasks and tasks can send parcels, so iterate until
   // a full pass observes no activity anywhere. The in-flight wait is
   // condition-variable driven: obligation_done() signals when the count
@@ -477,6 +750,7 @@ void distributed_domain::wait_all_quiescent() {
 
 bool distributed_domain::wait_all_quiescent_for(
     std::chrono::nanoseconds timeout) {
+  heartbeat_pause pause(quiescing_);
   auto const deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     for (auto& loc : localities_) loc->rt().wait_quiescent();

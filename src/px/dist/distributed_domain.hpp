@@ -15,10 +15,13 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
+#include "px/dist/failure_detector.hpp"
 #include "px/dist/locality.hpp"
 #include "px/lcos/async.hpp"
 #include "px/net/fabric.hpp"
@@ -51,6 +54,10 @@ struct domain_config {
   net::fault_config faults;
   // Ack/retransmit layer; `automatic` activates it iff faults.enabled().
   net::reliability_config reliability;
+  // Heartbeat failure detector (off by default). When enabled the domain
+  // runs a detector on the timer thread; confirmed failures tear down the
+  // victim's transport state and fire the registered confirm hooks.
+  resilience_config resilience;
 };
 
 class distributed_domain {
@@ -105,6 +112,60 @@ class distributed_domain {
     });
   }
 
+  // ---- locality failure & recovery (see docs/ARCHITECTURE.md §4.2) ------
+
+  // Declares `loc` dead: blackholes its wire (fault plane), advances the
+  // membership epoch, cancels every retransmission to/from it (the unacked
+  // parcels can never be acked), promptly fails every pending call that
+  // awaits a response from it with px::dist::locality_down, and runs the
+  // registered confirm hooks. Idempotent; safe from the timer thread (the
+  // failure detector's confirm path lands here) and from tests.
+  void confirm_failure(std::uint32_t victim);
+
+  // Re-admits a previously confirmed-dead locality with a bumped
+  // incarnation: its outbound sequence numbers restart at 1 under the new
+  // epoch, so receivers reset their dedup windows instead of mistaking the
+  // fresh frames for duplicates (and count any stale old-incarnation frames
+  // in /px/resilience/stale_epoch_drops).
+  void restart_locality(std::uint32_t loc);
+
+  [[nodiscard]] bool is_confirmed_dead(std::uint32_t loc) const noexcept;
+  // Snapshot of all currently confirmed-dead localities, ascending.
+  [[nodiscard]] std::vector<std::uint32_t> confirmed_dead() const;
+
+  // Incarnation of `loc` (starts at 1, bumped by restart_locality); stamps
+  // every frame the locality sources (parcel::parcel::epoch).
+  [[nodiscard]] std::uint64_t incarnation(std::uint32_t loc) const noexcept;
+
+  // Domain-wide membership version: bumped on every confirm and restart.
+  [[nodiscard]] std::uint64_t membership_epoch() const noexcept {
+    return membership_epoch_.load(std::memory_order_acquire);
+  }
+
+  // Confirm hooks run on the confirming thread after transport teardown;
+  // application-level recovery (mailbox poisoning, barrier abort) hangs off
+  // these. The returned id unregisters the hook.
+  std::uint64_t add_confirm_hook(std::function<void(std::uint32_t)> hook);
+  void remove_confirm_hook(std::uint64_t id);
+
+  // Detector plumbing. send_heartbeat puts one unsequenced heartbeat frame
+  // on the wire (it rides the fabric and its fault plane, so a dead
+  // locality's heartbeats vanish organically). heartbeats_paused() is true
+  // while a quiesce wait is in progress — the detector skips whole ticks
+  // then, so heartbeat traffic cannot keep the obligation count hot, and
+  // refreshes its freshness clocks when unpaused so the gap is not
+  // mistaken for silence.
+  void send_heartbeat(std::uint32_t src, std::uint32_t dst);
+  [[nodiscard]] bool heartbeats_paused() const noexcept {
+    return quiescing_.load(std::memory_order_acquire) != 0;
+  }
+  [[nodiscard]] failure_detector* detector() noexcept {
+    return detector_.get();
+  }
+  [[nodiscard]] resilience_config const& resilience() const noexcept {
+    return cfg_.resilience;
+  }
+
  private:
   // ---- reliability transport (see docs/ARCHITECTURE.md) ----------------
   [[nodiscard]] detail::link_state& link_between(std::uint32_t src,
@@ -142,6 +203,21 @@ class distributed_domain {
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;
   std::atomic<std::uint64_t> in_flight_{0};
+  // Nested wait_all_quiescent calls are legal; track a depth, not a flag.
+  std::atomic<std::uint32_t> quiescing_{0};
+
+  // ---- membership state -------------------------------------------------
+  // Fixed-size atomic arrays (localities never resize) so the hot route()
+  // path reads them lock-free.
+  std::unique_ptr<std::atomic<bool>[]> dead_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> incarnations_;
+  std::atomic<std::uint64_t> membership_epoch_{1};
+  std::mutex membership_mutex_;  // serializes confirm/restart transitions
+  std::mutex hooks_mutex_;
+  std::uint64_t next_hook_id_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(std::uint32_t)>>
+      confirm_hooks_;
+  std::unique_ptr<failure_detector> detector_;
 
   // Torture invariants (obligation-balance, dedup-window-soundness).
   // Declared last so the registrations are torn down before the links and

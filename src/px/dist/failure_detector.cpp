@@ -1,0 +1,198 @@
+#include "px/dist/failure_detector.hpp"
+
+#include <thread>
+
+#include "px/counters/counters.hpp"
+#include "px/dist/distributed_domain.hpp"
+#include "px/runtime/timer_service.hpp"
+#include "px/support/assert.hpp"
+#include "px/torture/torture.hpp"
+
+namespace px::dist {
+
+failure_detector::failure_detector(distributed_domain& dom,
+                                   resilience_config cfg)
+    : dom_(dom),
+      cfg_(cfg),
+      interval_ns_(
+          static_cast<std::uint64_t>(cfg.heartbeat_interval_us * 1000.0)),
+      suspect_ns_(static_cast<std::uint64_t>(cfg.suspect_after_us * 1000.0)),
+      confirm_ns_(static_cast<std::uint64_t>(cfg.confirm_after_us * 1000.0)) {
+  PX_ASSERT_MSG(interval_ns_ > 0, "heartbeat interval must be positive");
+  PX_ASSERT_MSG(interval_ns_ < suspect_ns_ && suspect_ns_ < confirm_ns_,
+                "need heartbeat_interval < suspect_after < confirm_after");
+  std::uint64_t const now = now_ns();
+  last_heard_.reserve(dom_.size());
+  for (std::size_t i = 0; i < dom_.size(); ++i)
+    last_heard_.push_back(
+        std::make_unique<std::atomic<std::uint64_t>>(now));
+  state_ = std::make_unique<std::atomic<member_state>[]>(dom_.size());
+  for (std::size_t i = 0; i < dom_.size(); ++i)
+    state_[i].store(member_state::alive, std::memory_order_relaxed);
+}
+
+failure_detector::~failure_detector() { stop(); }
+
+void failure_detector::start() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  for (auto& cell : last_heard_)
+    cell->store(now_ns(), std::memory_order_relaxed);
+  arm_next();
+}
+
+void failure_detector::stop() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    if (token_ != nullptr) token_->cancel();
+    token_.reset();
+  }
+  // A tick that claimed its token before the cancel may still be running;
+  // it re-checks stopped_ before touching the domain and never re-arms,
+  // but we must not return while it is mid-flight.
+  while (in_tick_.load(std::memory_order_acquire)) std::this_thread::yield();
+}
+
+void failure_detector::arm_next() {
+  // Caller holds mutex_ and has checked stopped_.
+  token_ = std::make_shared<rt::timer_token>();
+  rt::timer_service::instance().call_at(
+      rt::timer_service::clock::now() + std::chrono::nanoseconds(interval_ns_),
+      [this] { tick(); }, token_);
+}
+
+void failure_detector::tick() {
+  in_tick_.store(true, std::memory_order_release);
+  struct tick_guard {
+    std::atomic<bool>& flag;
+    ~tick_guard() { flag.store(false, std::memory_order_release); }
+  } guard{in_tick_};
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopped_) return;
+  }
+  PX_TORTURE_POINT(fd_tick);
+
+  // A quiesce wait is in progress: skip the whole tick. No heartbeats flow
+  // (they would keep the obligation count from draining) and no freshness
+  // is judged (the silence is artificial).
+  if (dom_.heartbeats_paused()) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (stopped_) return;
+    was_paused_ = true;
+    arm_next();
+    return;
+  }
+
+  std::uint64_t const now = now_ns();
+  if (was_paused_) {
+    // Heartbeats were suppressed for the pause's duration; that gap is not
+    // evidence of failure. Restart every freshness clock.
+    was_paused_ = false;
+    for (std::size_t i = 0; i < last_heard_.size(); ++i)
+      if (state_[i].load(std::memory_order_relaxed) != member_state::dead)
+        last_heard_[i]->store(now, std::memory_order_relaxed);
+  }
+
+  // Full heartbeat mesh among non-dead localities. The frames ride the
+  // fabric and its fault plane, so a fail-stopped/hung victim goes silent
+  // without the detector being told anything out of band.
+  std::size_t const n = dom_.size();
+  auto standing = [this](std::uint32_t loc) {
+    return state_[loc].load(std::memory_order_relaxed);
+  };
+  for (std::uint32_t src = 0; src < n; ++src) {
+    if (standing(src) == member_state::dead) continue;
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      if (dst == src || standing(dst) == member_state::dead) continue;
+      dom_.send_heartbeat(src, dst);
+    }
+  }
+
+  // Judge freshness. Out-of-band confirms (tests calling confirm_failure
+  // directly) surface through the domain's dead flags; fold them in first
+  // so standing never disagrees with membership.
+  auto mark_suspect = [this](std::uint32_t loc) {
+    state_[loc].store(member_state::suspect, std::memory_order_relaxed);
+    counters::builtin().resilience_suspects.add();
+    std::vector<std::function<void(std::uint32_t)>> cbs;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      cbs = suspect_cbs_;
+    }
+    for (auto& cb : cbs) cb(loc);
+  };
+  for (std::uint32_t loc = 0; loc < n; ++loc) {
+    if (standing(loc) == member_state::dead) continue;
+    if (dom_.is_confirmed_dead(loc)) {
+      state_[loc].store(member_state::dead, std::memory_order_relaxed);
+      continue;
+    }
+    std::uint64_t const heard =
+        last_heard_[loc]->load(std::memory_order_relaxed);
+    std::uint64_t const silence = now > heard ? now - heard : 0;
+    if (silence >= confirm_ns_ && n >= 2) {
+      // Escalation is monotone: even when one (delayed) tick crosses both
+      // thresholds at once, the member passes through `suspect` first, so
+      // observers always see the full alive -> suspect -> dead ladder and
+      // the suspect counter/hooks never undercount a real failure.
+      if (standing(loc) == member_state::alive) mark_suspect(loc);
+      state_[loc].store(member_state::dead, std::memory_order_relaxed);
+      dom_.confirm_failure(loc);
+      std::vector<std::function<void(std::uint32_t)>> cbs;
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        cbs = confirm_cbs_;
+      }
+      for (auto& cb : cbs) cb(loc);
+    } else if (silence >= suspect_ns_) {
+      if (standing(loc) == member_state::alive) mark_suspect(loc);
+    } else if (standing(loc) == member_state::suspect) {
+      // Heartbeats resumed in time.
+      state_[loc].store(member_state::alive, std::memory_order_relaxed);
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (stopped_) return;
+  arm_next();
+}
+
+member_state failure_detector::state_of(std::uint32_t loc) const {
+  // Dead flags are authoritative: membership transitions must be visible
+  // immediately, not only after the next tick folds them in.
+  if (dom_.is_confirmed_dead(loc)) return member_state::dead;
+  return state_[loc].load(std::memory_order_acquire);
+}
+
+void failure_detector::on_suspect(std::function<void(std::uint32_t)> fn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  suspect_cbs_.push_back(std::move(fn));
+}
+
+void failure_detector::on_confirm(std::function<void(std::uint32_t)> fn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  confirm_cbs_.push_back(std::move(fn));
+}
+
+void failure_detector::heard_from(std::uint32_t src) {
+  if (src < last_heard_.size())
+    last_heard_[src]->store(now_ns(), std::memory_order_relaxed);
+}
+
+void failure_detector::notify_confirmed(std::uint32_t loc) {
+  if (loc >= last_heard_.size()) return;
+  state_[loc].store(member_state::dead, std::memory_order_release);
+}
+
+void failure_detector::notify_restart(std::uint32_t loc) {
+  if (loc >= last_heard_.size()) return;
+  last_heard_[loc]->store(now_ns(), std::memory_order_relaxed);
+  state_[loc].store(member_state::alive, std::memory_order_release);
+}
+
+}  // namespace px::dist

@@ -1,0 +1,143 @@
+// px/dist/failure_detector.hpp
+// Heartbeat-based locality failure detection for the virtual cluster, in
+// the shape real HPX deployments layer over their parcelports: every
+// locality periodically announces liveness to every other; a locality whose
+// heartbeats go silent past `suspect_after_us` is suspected, and past
+// `confirm_after_us` is confirmed dead, at which point the domain tears
+// down the victim's transport state (see
+// distributed_domain::confirm_failure) and application-level recovery
+// hooks run.
+//
+// In-process the detector is a single object driven by the shared
+// timer_service thread: each tick sends the full heartbeat mesh (the frames
+// cross the modeled fabric and its fault plane, so a fail-stopped or hung
+// locality goes silent *organically*) and evaluates per-locality freshness.
+// Membership is versioned: the domain's membership epoch advances on every
+// confirm and restart, and each locality carries an incarnation number
+// that stamps its frames (see parcel::parcel::epoch) so a restarted
+// locality's reset sequence numbers can never alias the dedup window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace px::rt {
+class timer_token;  // px/runtime/timer_service.hpp
+}
+
+namespace px::dist {
+
+class distributed_domain;
+
+// Thrown through futures (and poisoned mailboxes/barriers) whose completion
+// depends on a locality that has been confirmed dead.
+class locality_down : public std::runtime_error {
+ public:
+  explicit locality_down(std::uint32_t loc)
+      : std::runtime_error("px::dist::locality_down: locality " +
+                           std::to_string(loc) + " confirmed failed"),
+        loc_(loc) {}
+
+  [[nodiscard]] std::uint32_t which() const noexcept { return loc_; }
+
+ private:
+  std::uint32_t loc_;
+};
+
+// Failure-detection knobs (real time, not modeled time: heartbeats ride the
+// injection-scaled fabric like every other frame, but the suspicion
+// thresholds are wall-clock deadlines on the receiving side).
+struct resilience_config {
+  bool enabled = false;
+  double heartbeat_interval_us = 2000.0;
+  // Silence thresholds. Must satisfy
+  //   heartbeat_interval < suspect_after < confirm_after
+  // with enough slack to absorb fabric delay and fault-plane holds.
+  double suspect_after_us = 8000.0;
+  double confirm_after_us = 16000.0;
+};
+
+// One locality's standing with the detector.
+enum class member_state : std::uint8_t { alive, suspect, dead };
+
+class failure_detector {
+ public:
+  failure_detector(distributed_domain& dom, resilience_config cfg);
+  ~failure_detector();
+
+  failure_detector(failure_detector const&) = delete;
+  failure_detector& operator=(failure_detector const&) = delete;
+
+  // Arms the first tick. Separate from the constructor so the domain can
+  // finish wiring before heartbeats flow.
+  void start();
+
+  // Cancels the armed tick and waits out any tick in progress. After
+  // stop() returns, no detector callback will ever touch the domain again
+  // — the domain destructor calls this *before* tearing down localities
+  // (the cancelled heap entry later fires as a counted no-op,
+  // /px/timer/callbacks_cancelled). Idempotent.
+  void stop();
+
+  [[nodiscard]] member_state state_of(std::uint32_t loc) const;
+  [[nodiscard]] resilience_config const& config() const noexcept {
+    return cfg_;
+  }
+
+  // Observer callbacks, invoked from the timer thread on the alive->suspect
+  // and suspect->dead transitions. Register before failures can happen;
+  // keep the callbacks cheap.
+  void on_suspect(std::function<void(std::uint32_t)> fn);
+  void on_confirm(std::function<void(std::uint32_t)> fn);
+
+  // Transport feed: a heartbeat frame from `src` survived the fabric.
+  void heard_from(std::uint32_t src);
+
+  // Membership feed from the domain: `loc` was confirmed dead /
+  // re-admitted after a restart.
+  void notify_confirmed(std::uint32_t loc);
+  void notify_restart(std::uint32_t loc);
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  void tick();
+  void arm_next();
+  [[nodiscard]] static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+  }
+
+  distributed_domain& dom_;
+  resilience_config const cfg_;
+  std::uint64_t const interval_ns_;
+  std::uint64_t const suspect_ns_;
+  std::uint64_t const confirm_ns_;
+
+  // Per-locality freshness (ns since steady epoch of the last heartbeat
+  // heard) and standing. Freshness is written by the transport (delivery
+  // path) and read by ticks; standing is written by ticks and by
+  // notify_restart, read by anyone — atomic throughout.
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> last_heard_;
+  std::unique_ptr<std::atomic<member_state>[]> state_;
+
+  std::mutex mutex_;  // guards token_, callbacks, stopped_
+  std::shared_ptr<rt::timer_token> token_;
+  std::vector<std::function<void(std::uint32_t)>> suspect_cbs_;
+  std::vector<std::function<void(std::uint32_t)>> confirm_cbs_;
+  bool stopped_ = false;
+  bool started_ = false;
+  bool was_paused_ = false;
+  std::atomic<bool> in_tick_{false};
+};
+
+}  // namespace px::dist

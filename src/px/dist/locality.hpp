@@ -85,13 +85,28 @@ class locality {
   // A token that already completed or failed is ignored.
   void fail_response_slot(std::uint64_t token, std::exception_ptr reason);
 
+  // Failure-confirmation sweeps: fail every pending slot whose call targets
+  // `dest` (the callee was confirmed dead — no response can ever arrive),
+  // or every slot outright (this locality itself was confirmed dead; its
+  // in-flight calls must not block survivors).
+  void fail_response_slots_to(std::uint32_t dest, std::exception_ptr reason);
+  void fail_all_response_slots(std::exception_ptr reason);
+
  private:
   // Completion receives the response parcel and a null exception_ptr, or a
   // moved-from parcel and the transport failure.
   using response_completion =
       unique_function<void(parcel::parcel&&, std::exception_ptr)>;
 
-  std::uint64_t register_response_slot(response_completion completion);
+  // One outstanding call: which locality owes the response, and what to do
+  // with it (or with a transport failure).
+  struct pending_slot {
+    std::uint32_t dest = 0;
+    response_completion fn;
+  };
+
+  std::uint64_t register_response_slot(std::uint32_t dest,
+                                       response_completion completion);
 
   distributed_domain& domain_;
   std::uint32_t const id_;
@@ -100,7 +115,7 @@ class locality {
 
   spinlock pending_lock_;
   std::uint64_t next_token_ = 1;
-  std::unordered_map<std::uint64_t, response_completion> pending_;
+  std::unordered_map<std::uint64_t, pending_slot> pending_;
   std::atomic<std::uint64_t> parcels_handled_{0};
 };
 
@@ -202,6 +217,7 @@ auto locality::call(std::uint32_t dest, Args&&... args)
 
   auto state = std::make_shared<lcos::detail::shared_state<R>>();
   std::uint64_t const token = register_response_slot(
+      dest,
       [state](parcel::parcel&& resp, std::exception_ptr transport_failure) {
         if (transport_failure != nullptr) {
           state->set_exception(std::move(transport_failure));

@@ -27,6 +27,31 @@
 #define PX_ASAN_FINISH_SWITCH(fake, bottom, size) ((void)0)
 #endif
 
+// The C++ runtime keeps exception-handling state — the chain of exceptions
+// currently being handled and the uncaught count — in per-OS-thread storage
+// (__cxa_eh_globals). A fiber can suspend *inside* a catch block (e.g. a
+// recovery path awaiting checkpoint fetches while holding the failure it is
+// recovering from) and resume on a different worker. Without carrying that
+// state along, __cxa_end_catch then pops the wrong thread's handler chain:
+// the original thread's chain is corrupted and the in-flight exception (plus
+// any dependent exception std::rethrow_exception pinned to it) is never
+// released. Every transfer funnels through resume()'s swapcontext, so
+// swapping the thread's globals with a per-fiber slot on both sides of that
+// one call gives each fiber its own EH context, exactly as it has its own
+// stack. The struct below is the Itanium-ABI layout, identical in libstdc++
+// and libc++abi; the accessor is not declared in installed headers, so it is
+// declared here (the idiom used by other fiber runtimes).
+namespace px::fibers::detail {
+
+struct cxa_eh_globals {
+  void* caught_exceptions;
+  unsigned int uncaught_exceptions;
+};
+
+extern "C" cxa_eh_globals* __cxa_get_globals() noexcept;
+
+}  // namespace px::fibers::detail
+
 namespace px::fibers {
 namespace {
 
@@ -35,6 +60,16 @@ thread_local fiber* tls_current_fiber = nullptr;
 }  // namespace
 
 fiber* fiber::current() noexcept { return tls_current_fiber; }
+
+void fiber::swap_eh_globals() noexcept {
+  detail::cxa_eh_globals* const g = detail::__cxa_get_globals();
+  void* const caught = g->caught_exceptions;
+  unsigned int const uncaught = g->uncaught_exceptions;
+  g->caught_exceptions = eh_caught_exceptions_;
+  g->uncaught_exceptions = eh_uncaught_exceptions_;
+  eh_caught_exceptions_ = caught;
+  eh_uncaught_exceptions_ = uncaught;
+}
 
 fiber::fiber(stack stk, unique_function<void()> entry)
     : stack_(stk), entry_(std::move(entry)) {
@@ -85,10 +120,15 @@ void fiber::resume() {
   PX_ASSERT_MSG(prev == nullptr, "nested fiber resume is not supported");
   tls_current_fiber = this;
   state_ = state::running;
+  // Park the owner's EH state in the fiber slot and install the fiber's
+  // (empty on first resume). The mirror swap below restores the owner and
+  // re-parks whatever EH state the fiber accumulated before suspending.
+  swap_eh_globals();
   PX_ASAN_START_SWITCH(&asan_owner_fake_stack_, stack_.limit,
                        stack_.usable_size);
   ::swapcontext(&owner_context_, &context_);
   PX_ASAN_FINISH_SWITCH(asan_owner_fake_stack_, nullptr, nullptr);
+  swap_eh_globals();
   // Back on the owner: the fiber either suspended or finished; both paths
   // already cleared tls_current_fiber.
   tls_current_fiber = prev;

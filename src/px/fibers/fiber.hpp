@@ -53,6 +53,7 @@ class fiber {
  private:
   static void trampoline(unsigned hi, unsigned lo);
   void run_entry();
+  void swap_eh_globals() noexcept;
 
   stack stack_;
   unique_function<void()> entry_;
@@ -67,6 +68,13 @@ class fiber {
   void* asan_fiber_fake_stack_ = nullptr;  // saved when leaving the fiber
   void const* asan_owner_stack_bottom_ = nullptr;
   std::size_t asan_owner_stack_size_ = 0;
+
+  // C++ exception-handling state (__cxa_eh_globals) parked here while the
+  // fiber is suspended; swapped with the OS thread's copy on every switch so
+  // a task that suspends inside a catch block can resume on a different
+  // worker. Opaque in the header — layout commented in fiber.cpp.
+  void* eh_caught_exceptions_ = nullptr;
+  unsigned int eh_uncaught_exceptions_ = 0;
 };
 
 }  // namespace px::fibers

@@ -18,6 +18,30 @@ fault_plane::fault_plane(fault_config cfg) : cfg_(cfg) {
 
 fault_decision fault_plane::sample(std::uint32_t src, std::uint32_t dst) {
   fault_decision d;
+
+  // Locality faults first: a frame touching a fail-stopped or hung
+  // locality never reaches the link-fault lottery.
+  if (locality_faults_.load(std::memory_order_acquire)) {
+    std::lock_guard<spinlock> guard(lock_);
+    for (std::uint32_t end : {src, dst}) {
+      auto it = loc_state_.find(end);
+      if (it == loc_state_.end()) continue;
+      switch (it->second.state) {
+        case locality_health::dead:
+        case locality_health::hung:
+          blackholed_.fetch_add(1, std::memory_order_relaxed);
+          d.drop = true;
+          d.blackholed = true;
+          return d;
+        case locality_health::slowed:
+          d.delay_factor *= it->second.slow_factor;
+          break;
+        case locality_health::alive:
+          break;
+      }
+    }
+  }
+
   if (!enabled()) return d;
   sampled_.fetch_add(1, std::memory_order_relaxed);
 
@@ -66,7 +90,150 @@ fault_stats fault_plane::stats() const noexcept {
   s.reorders = reorders_.load(std::memory_order_relaxed);
   s.extra_delays = extra_delays_.load(std::memory_order_relaxed);
   s.sampled = sampled_.load(std::memory_order_relaxed);
+  s.blackholed = blackholed_.load(std::memory_order_relaxed);
+  s.locality_faults_triggered = triggered_.load(std::memory_order_relaxed);
   return s;
+}
+
+// ---- per-locality fault schedule ----------------------------------------
+
+void fault_plane::set_health(std::uint32_t loc, locality_health h,
+                             double factor) {
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    auto& st = loc_state_[loc];
+    st.state = h;
+    st.slow_factor = factor;
+  }
+  locality_faults_.store(true, std::memory_order_release);
+}
+
+void fault_plane::add_schedule(schedule s) {
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    schedules_.push_back(s);
+  }
+  pending_schedules_.fetch_add(1, std::memory_order_acq_rel);
+  locality_faults_.store(true, std::memory_order_release);
+  // Progress observed before the schedule was added counts: a schedule for
+  // an already-passed threshold triggers on the next advance; trigger it
+  // here so "schedule then advance nothing" still behaves sanely.
+  advance_step(max_step_.load(std::memory_order_acquire));
+}
+
+void fault_plane::fail_stop_at_step(std::uint32_t loc, std::uint64_t step) {
+  schedule s;
+  s.loc = loc;
+  s.target = locality_health::dead;
+  s.at_step = step;
+  add_schedule(s);
+}
+
+void fault_plane::fail_stop_at_modeled_ns(std::uint32_t loc,
+                                          std::uint64_t modeled_ns) {
+  schedule s;
+  s.loc = loc;
+  s.target = locality_health::dead;
+  s.at_modeled_ns = modeled_ns;
+  add_schedule(s);
+}
+
+void fault_plane::fail_stop_now(std::uint32_t loc) {
+  set_health(loc, locality_health::dead, 1.0);
+}
+
+void fault_plane::hang_at_step(std::uint32_t loc, std::uint64_t step) {
+  schedule s;
+  s.loc = loc;
+  s.target = locality_health::hung;
+  s.at_step = step;
+  add_schedule(s);
+}
+
+void fault_plane::hang_at_modeled_ns(std::uint32_t loc,
+                                     std::uint64_t modeled_ns) {
+  schedule s;
+  s.loc = loc;
+  s.target = locality_health::hung;
+  s.at_modeled_ns = modeled_ns;
+  add_schedule(s);
+}
+
+void fault_plane::hang_now(std::uint32_t loc) {
+  set_health(loc, locality_health::hung, 1.0);
+}
+
+void fault_plane::slow_by(std::uint32_t loc, double factor) {
+  PX_ASSERT_MSG(factor >= 1.0, "slow_by factor must be >= 1");
+  set_health(loc, locality_health::slowed, factor);
+}
+
+void fault_plane::revive(std::uint32_t loc) {
+  std::lock_guard<spinlock> guard(lock_);
+  loc_state_.erase(loc);
+  std::size_t discarded = 0;
+  for (auto it = schedules_.begin(); it != schedules_.end();) {
+    if (it->loc == loc) {
+      it = schedules_.erase(it);
+      ++discarded;
+    } else {
+      ++it;
+    }
+  }
+  if (discarded != 0)
+    pending_schedules_.fetch_sub(discarded, std::memory_order_acq_rel);
+}
+
+void fault_plane::check_schedules_locked(std::uint64_t step,
+                                         std::uint64_t modeled_ns) {
+  std::size_t fired = 0;
+  for (auto it = schedules_.begin(); it != schedules_.end();) {
+    bool const due = step >= it->at_step || modeled_ns >= it->at_modeled_ns;
+    if (due) {
+      auto& st = loc_state_[it->loc];
+      st.state = it->target;
+      st.slow_factor = 1.0;
+      triggered_.fetch_add(1, std::memory_order_relaxed);
+      it = schedules_.erase(it);
+      ++fired;
+    } else {
+      ++it;
+    }
+  }
+  if (fired != 0)
+    pending_schedules_.fetch_sub(fired, std::memory_order_acq_rel);
+}
+
+void fault_plane::advance_step(std::uint64_t step) {
+  std::uint64_t prev = max_step_.load(std::memory_order_relaxed);
+  while (step > prev &&
+         !max_step_.compare_exchange_weak(prev, step,
+                                          std::memory_order_acq_rel)) {
+  }
+  if (pending_schedules_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<spinlock> guard(lock_);
+  check_schedules_locked(max_step_.load(std::memory_order_acquire),
+                         max_modeled_ns_.load(std::memory_order_acquire));
+}
+
+void fault_plane::advance_modeled_ns(std::uint64_t total_modeled_ns) {
+  std::uint64_t prev = max_modeled_ns_.load(std::memory_order_relaxed);
+  while (total_modeled_ns > prev &&
+         !max_modeled_ns_.compare_exchange_weak(prev, total_modeled_ns,
+                                                std::memory_order_acq_rel)) {
+  }
+  if (pending_schedules_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<spinlock> guard(lock_);
+  check_schedules_locked(max_step_.load(std::memory_order_acquire),
+                         max_modeled_ns_.load(std::memory_order_acquire));
+}
+
+locality_health fault_plane::health(std::uint32_t loc) const {
+  if (!locality_faults_.load(std::memory_order_acquire))
+    return locality_health::alive;
+  std::lock_guard<spinlock> guard(lock_);
+  auto it = loc_state_.find(loc);
+  return it == loc_state_.end() ? locality_health::alive : it->second.state;
 }
 
 }  // namespace px::net

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "px/support/random.hpp"
 #include "px/support/spin.hpp"
@@ -58,11 +59,16 @@ struct fault_config {
 
 // The fate of one frame. At most one of drop/duplicate is set; hold_ns is
 // the extra real delay to add before delivery (reorder or extra-delay
-// faults; also applies to the duplicate copy).
+// faults; also applies to the duplicate copy). delay_factor scales the
+// fabric's injected delay (slow_by locality faults; 1.0 = no slowdown).
 struct fault_decision {
   bool drop = false;
   bool duplicate = false;
+  // True when `drop` comes from a locality fault (fail-stop or hang): the
+  // frame went into a blackhole, not into the link-fault lottery.
+  bool blackholed = false;
   std::uint64_t hold_ns = 0;
+  double delay_factor = 1.0;
 };
 
 // Decisions taken so far, for test assertions against counter deltas.
@@ -72,6 +78,20 @@ struct fault_stats {
   std::uint64_t reorders = 0;
   std::uint64_t extra_delays = 0;
   std::uint64_t sampled = 0;
+  // Frames swallowed because their source or destination locality is
+  // fail-stopped or hung.
+  std::uint64_t blackholed = 0;
+  // Locality fault schedules whose trigger fired.
+  std::uint64_t locality_faults_triggered = 0;
+};
+
+// How a locality currently looks to the wire.
+enum class locality_health : std::uint8_t {
+  alive,   // frames flow normally
+  slowed,  // frames delayed by slow_factor (slow_by)
+  hung,    // frames blackholed, but the locality is not declared dead
+           // (revive() models recovery from a long stall)
+  dead     // fail-stopped: frames blackholed, locality_dead() == true
 };
 
 class fault_plane {
@@ -89,15 +109,75 @@ class fault_plane {
 
   [[nodiscard]] fault_stats stats() const noexcept;
 
+  // ---- per-locality fault schedule -------------------------------------
+  // Locality faults trigger deterministically when the observed progress
+  // (application step via advance_step(), or cumulative modeled wire time
+  // via advance_modeled_ns()) first reaches the scheduled threshold; from
+  // then on every frame to or from the victim is blackholed (fail_stop,
+  // hang) or slowed (slow_by). fail_stop additionally marks the locality
+  // dead (locality_dead()), which the domain's failure machinery consults;
+  // a hang looks identical on the wire but leaves that flag clear, so
+  // detection must happen organically through heartbeat silence.
+
+  void fail_stop_at_step(std::uint32_t loc, std::uint64_t step);
+  void fail_stop_at_modeled_ns(std::uint32_t loc, std::uint64_t modeled_ns);
+  void fail_stop_now(std::uint32_t loc);
+  void hang_at_step(std::uint32_t loc, std::uint64_t step);
+  void hang_at_modeled_ns(std::uint32_t loc, std::uint64_t modeled_ns);
+  void hang_now(std::uint32_t loc);
+  // Immediate: frames to/from `loc` have their injected delay multiplied
+  // by `factor` (>= 1.0).
+  void slow_by(std::uint32_t loc, double factor);
+  // Clears the locality's fault state (restart / stall recovery). Pending
+  // untriggered schedules for the locality are discarded too.
+  void revive(std::uint32_t loc);
+
+  // Progress feeds for the schedule triggers. advance_step keeps the max
+  // step observed; both are cheap when no schedule is pending.
+  void advance_step(std::uint64_t step);
+  void advance_modeled_ns(std::uint64_t total_modeled_ns);
+
+  [[nodiscard]] locality_health health(std::uint32_t loc) const;
+  [[nodiscard]] bool locality_dead(std::uint32_t loc) const {
+    return health(loc) == locality_health::dead;
+  }
+
  private:
+  struct loc_fault {
+    locality_health state = locality_health::alive;
+    double slow_factor = 1.0;
+  };
+  struct schedule {
+    std::uint32_t loc = 0;
+    locality_health target = locality_health::dead;
+    std::uint64_t at_step = ~std::uint64_t{0};
+    std::uint64_t at_modeled_ns = ~std::uint64_t{0};
+  };
+
+  void add_schedule(schedule s);
+  void set_health(std::uint32_t loc, locality_health h, double factor);
+  void check_schedules_locked(std::uint64_t step, std::uint64_t modeled_ns);
+
   fault_config cfg_{};
-  spinlock lock_;
+  mutable spinlock lock_;
   std::unordered_map<std::uint64_t, xoshiro256ss> streams_;
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};
   std::atomic<std::uint64_t> reorders_{0};
   std::atomic<std::uint64_t> extra_delays_{0};
   std::atomic<std::uint64_t> sampled_{0};
+  std::atomic<std::uint64_t> blackholed_{0};
+  std::atomic<std::uint64_t> triggered_{0};
+
+  // Fast-path gates: sample()/advance_*() touch the maps only when set.
+  std::atomic<bool> locality_faults_{false};
+  std::atomic<std::uint64_t> pending_schedules_{0};
+  std::atomic<std::uint64_t> max_step_{0};
+  std::atomic<std::uint64_t> max_modeled_ns_{0};
+
+  // Guarded by lock_.
+  std::unordered_map<std::uint32_t, loc_fault> loc_state_;
+  std::vector<schedule> schedules_;
 };
 
 }  // namespace px::net

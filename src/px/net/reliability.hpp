@@ -130,6 +130,14 @@ class dedup_window {
     return above_.size();
   }
 
+  // Forgets everything. Used when the sender's incarnation epoch advances
+  // (locality restart): the new epoch's seqs restart from 1 and must be
+  // judged against a fresh window, never against the dead incarnation's.
+  void reset() noexcept {
+    floor_ = 0;
+    above_.clear();
+  }
+
  private:
   std::uint64_t floor_ = 0;
   std::set<std::uint64_t> above_;

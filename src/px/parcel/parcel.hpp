@@ -23,6 +23,12 @@ struct parcel {
   // off). For ack frames (action == ack_action_id) this is the seq being
   // acknowledged.
   std::uint64_t seq = 0;
+  // Incarnation epoch of the *source* locality, stamped by the domain when
+  // the frame enters the wire. A restarted locality resets its per-link
+  // seqs; the bumped epoch is what keeps those reset seqs from aliasing the
+  // receiver's dedup window (stale-epoch frames are counted and dropped).
+  // For ack frames this echoes the acked data frame's epoch.
+  std::uint64_t epoch = 0;
   agas::gid target{};                // component target (optional)
   std::vector<std::byte> payload;
 
@@ -38,5 +44,10 @@ inline constexpr std::uint32_t response_action_id = 0;
 // Transport-level acknowledgement frame: consumed by the domain's
 // reliability layer, never delivered to a locality's action handlers.
 inline constexpr std::uint32_t ack_action_id = 0xffffffffu;
+
+// Transport-level heartbeat frame: emitted by the failure detector, always
+// unsequenced/unacked (soft state — a lost heartbeat is repaired by the
+// next one), consumed by the domain, never delivered to action handlers.
+inline constexpr std::uint32_t heartbeat_action_id = 0xfffffffeu;
 
 }  // namespace px::parcel

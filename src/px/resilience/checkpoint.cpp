@@ -1,0 +1,47 @@
+#include "px/resilience/checkpoint.hpp"
+
+#include "px/counters/counters.hpp"
+
+namespace px::resilience {
+
+void checkpoint_store::put(std::uint64_t object, std::uint64_t version,
+                           std::vector<std::byte> blob) {
+  counters::builtin().resilience_checkpoint_bytes.add(blob.size());
+  std::lock_guard<spinlock> guard(lock_);
+  for (auto& s : slots_) {
+    if (s.object == object && s.version == version) {
+      s.blob = std::move(blob);
+      return;
+    }
+  }
+  slots_.push_back(slot{object, version, std::move(blob)});
+}
+
+std::optional<std::vector<std::byte>> checkpoint_store::get(
+    std::uint64_t object, std::uint64_t version) const {
+  std::lock_guard<spinlock> guard(lock_);
+  for (auto const& s : slots_)
+    if (s.object == object && s.version == version) return s.blob;
+  return std::nullopt;
+}
+
+std::vector<checkpoint_store::entry> checkpoint_store::entries() const {
+  std::lock_guard<spinlock> guard(lock_);
+  std::vector<entry> out;
+  out.reserve(slots_.size());
+  for (auto const& s : slots_)
+    out.push_back(entry{s.object, s.version, s.blob.size()});
+  return out;
+}
+
+void checkpoint_store::clear() {
+  std::lock_guard<spinlock> guard(lock_);
+  slots_.clear();
+}
+
+std::size_t checkpoint_store::size() const {
+  std::lock_guard<spinlock> guard(lock_);
+  return slots_.size();
+}
+
+}  // namespace px::resilience

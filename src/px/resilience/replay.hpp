@@ -1,0 +1,178 @@
+// px/resilience/replay.hpp
+// Task-level software resilience, in the shape of HPX's hpx::resiliency
+// module: async_replay re-executes a task after a transient failure up to a
+// bounded number of attempts, async_replicate runs n redundant copies and
+// combines the survivors (majority, or a caller-supplied vote). Both build
+// on the same px::detail::spawn_future choke point every other spawn uses,
+// so replayed/replicated work is scheduled, counted and traced like any
+// other task — resilience is a policy over ordinary tasks, not a separate
+// execution engine.
+//
+// Counters: every *re*-execution bumps /px/resilience/replays (first
+// attempts are ordinary tasks); every replica spawned — including the
+// first — bumps /px/resilience/replicas.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/lcos/async.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::resilience {
+
+// Thrown by async_replicate when no strict majority of replicas agrees
+// (for the default equality vote) or no replica succeeded.
+class replicate_error : public std::runtime_error {
+ public:
+  explicit replicate_error(std::string what)
+      : std::runtime_error("px::resilience: " + std::move(what)) {}
+};
+
+namespace detail {
+
+// The replay driver body, run as one task: invoke f up to n times against a
+// pristine copy of the arguments per attempt, rethrowing the last failure
+// when the budget runs out. One task, not a retry *chain* of tasks — the
+// future returned to the caller settles exactly once.
+template <typename F, typename Tup>
+auto replay_body(std::size_t n, F& f, Tup const& args) {
+  std::exception_ptr last;
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    if (attempt != 0) counters::builtin().resilience_replays.add();
+    try {
+      Tup copy = args;  // a failed attempt must not poison the next one
+      return std::apply(f, std::move(copy));
+    } catch (...) {
+      last = std::current_exception();
+    }
+  }
+  std::rethrow_exception(last);
+}
+
+}  // namespace detail
+
+// ---- async_replay -------------------------------------------------------
+
+// Runs `f(args...)` as a task on `sched`; if it throws, re-executes it (in
+// the same task, against a fresh copy of the arguments) until it succeeds
+// or `n` total attempts are spent, then rethrows the last failure through
+// the future. n == 1 is plain async.
+template <typename F, typename... Args>
+auto async_replay_on(rt::scheduler& sched, std::size_t n, F&& f,
+                     Args&&... args) {
+  PX_ASSERT_MSG(n >= 1, "async_replay needs at least one attempt");
+  return px::detail::spawn_future(
+      sched,
+      [n, fn = std::decay_t<F>(std::forward<F>(f)),
+       tup = std::make_tuple(
+           std::decay_t<Args>(std::forward<Args>(args))...)]() mutable {
+        return detail::replay_body(n, fn, tup);
+      });
+}
+
+template <typename F, typename... Args>
+auto async_replay_on(runtime& rt, std::size_t n, F&& f, Args&&... args) {
+  return async_replay_on(rt.sched(), n, std::forward<F>(f),
+                         std::forward<Args>(args)...);
+}
+
+// From within a task: replay on the ambient scheduler.
+template <typename F, typename... Args>
+auto async_replay(std::size_t n, F&& f, Args&&... args) {
+  return async_replay_on(lcos::detail::ambient_scheduler(), n,
+                         std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+// ---- async_replicate ----------------------------------------------------
+
+// Runs `n` independent replicas of `f()` concurrently on `sched` and
+// combines the successful results with `vote(results)` (called with at
+// least one element). Replica failures are tolerated as long as one
+// succeeds; when all fail the first failure is rethrown.
+template <typename F, typename Vote>
+auto async_replicate_vote_on(rt::scheduler& sched, std::size_t n, F&& f,
+                             Vote&& vote) {
+  PX_ASSERT_MSG(n >= 1, "async_replicate needs at least one replica");
+  using R = std::invoke_result_t<std::decay_t<F>>;
+  static_assert(!std::is_void_v<R>,
+                "async_replicate needs a value to vote on");
+  auto fn = std::decay_t<F>(std::forward<F>(f));
+  counters::builtin().resilience_replicas.add(n);
+  std::vector<future<R>> replicas;
+  replicas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    replicas.push_back(px::detail::spawn_future(sched, fn));
+  // The combiner task blocks on the replicas; they run concurrently with
+  // it (and each other) on the same scheduler.
+  return px::detail::spawn_future(
+      sched, [replicas = std::move(replicas),
+              vote = std::decay_t<Vote>(std::forward<Vote>(vote))]() mutable {
+        std::vector<R> ok;
+        ok.reserve(replicas.size());
+        std::exception_ptr first_failure;
+        for (auto& r : replicas) {
+          try {
+            ok.push_back(r.get());
+          } catch (...) {
+            if (first_failure == nullptr)
+              first_failure = std::current_exception();
+          }
+        }
+        if (ok.empty()) std::rethrow_exception(first_failure);
+        return vote(std::move(ok));
+      });
+}
+
+template <typename F, typename Vote>
+auto async_replicate_vote_on(runtime& rt, std::size_t n, F&& f, Vote&& vote) {
+  return async_replicate_vote_on(rt.sched(), n, std::forward<F>(f),
+                                 std::forward<Vote>(vote));
+}
+
+template <typename F, typename Vote>
+auto async_replicate_vote(std::size_t n, F&& f, Vote&& vote) {
+  return async_replicate_vote_on(lcos::detail::ambient_scheduler(), n,
+                                 std::forward<F>(f), std::forward<Vote>(vote));
+}
+
+// Majority form: the replicas' results are compared with == and the value
+// backed by a strict majority of *successful* replicas wins; a silent
+// wrong-answer replica is outvoted instead of propagated. No majority →
+// replicate_error.
+template <typename F>
+auto async_replicate_on(rt::scheduler& sched, std::size_t n, F&& f) {
+  using R = std::invoke_result_t<std::decay_t<F>>;
+  return async_replicate_vote_on(
+      sched, n, std::forward<F>(f), [](std::vector<R> results) -> R {
+        for (auto const& candidate : results) {
+          std::size_t agree = 0;
+          for (auto const& other : results)
+            if (other == candidate) ++agree;
+          if (agree * 2 > results.size()) return candidate;
+        }
+        throw replicate_error("no majority among " +
+                              std::to_string(results.size()) +
+                              " successful replica(s)");
+      });
+}
+
+template <typename F>
+auto async_replicate_on(runtime& rt, std::size_t n, F&& f) {
+  return async_replicate_on(rt.sched(), n, std::forward<F>(f));
+}
+
+template <typename F>
+auto async_replicate(std::size_t n, F&& f) {
+  return async_replicate_on(lcos::detail::ambient_scheduler(), n,
+                            std::forward<F>(f));
+}
+
+}  // namespace px::resilience

@@ -1,6 +1,6 @@
 // px/stencil/heat1d_distributed.hpp
 // The fully distributed 1D heat solver of §V-A: the domain is block-split
-// over the localities of a virtual cluster; every time step each locality
+// over the localities of a virtual cluster; every time step each partition
 //   1. ships its edge cells to both neighbours (halo parcels),
 //   2. updates its interior — which needs no remote data, so the network
 //      latency hides under this compute (the latency-hiding design the
@@ -9,6 +9,17 @@
 //      updates its edge cells.
 // Partition-internal parallelism uses the same for_each structure as the
 // shared-memory solver.
+//
+// Fault tolerance (docs/ARCHITECTURE.md §4.2): with a nonzero
+// checkpoint_interval K, every partition snapshots its slab every K steps
+// into its own locality's checkpoint store *and* a buddy locality's (the
+// host of the cyclically next partition), so one locality's fail-stop
+// loses no partition's state. When the failure detector confirms a death,
+// the driver remaps the lost partitions onto survivors, rolls every
+// partition back to the newest step all of them can restore, and replays.
+// The replayed computation is deterministic from bitwise-identical
+// checkpoints, so the final field is bitwise identical to a fault-free
+// run.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +33,14 @@ struct dist_heat_config {
   std::size_t nx_total = 1 << 20;  // global stencil points
   std::size_t steps = 100;
   double k = 0.25;  // Eq. 3 coefficient (alpha dt / dx^2)
+  // Checkpoint every K steps (0 = checkpointing off). Recovery rolls back
+  // to the newest multiple of K for which every partition has a surviving
+  // checkpoint (step 0 — the initial condition — always qualifies).
+  std::size_t checkpoint_interval = 0;
+  // Distinct confirmed-failure recoveries tolerated before the run gives
+  // up and rethrows. Locality 0 hosts the driver (the "console"); its
+  // death is never recoverable.
+  std::size_t max_recoveries = 4;
 };
 
 struct dist_heat_result {
@@ -29,10 +48,14 @@ struct dist_heat_result {
   double points_per_second = 0.0;
   std::vector<double> values;      // gathered global field
   std::uint64_t halo_messages = 0; // fabric messages exchanged
+  std::size_t recoveries = 0;      // rollback-replay rounds performed
 };
 
 // Runs the solver across every locality of `dom`. `initial` must have
 // nx_total elements; boundaries are Dirichlet. Returns the gathered field.
+// Surviving an injected locality fail-stop requires the domain's failure
+// detector (domain_config::resilience) and a nonzero checkpoint_interval;
+// unrecoverable failures surface as px::dist::locality_down.
 [[nodiscard]] dist_heat_result run_distributed_heat1d(
     px::dist::distributed_domain& dom, std::vector<double> const& initial,
     dist_heat_config cfg);

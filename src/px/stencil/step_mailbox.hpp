@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "px/lcos/shared_state.hpp"
 #include "px/support/spin.hpp"
@@ -21,6 +23,7 @@ class step_mailbox {
     std::shared_ptr<px::lcos::detail::shared_state<T>> waiter;
     {
       std::lock_guard<px::spinlock> guard(lock_);
+      if (poison_ != nullptr) return;  // dead mailbox swallows late halos
       auto it = waiters_.find(key);
       if (it != waiters_.end()) {
         waiter = std::move(it->second);
@@ -38,6 +41,7 @@ class step_mailbox {
     std::shared_ptr<px::lcos::detail::shared_state<T>> state;
     {
       std::lock_guard<px::spinlock> guard(lock_);
+      if (poison_ != nullptr) std::rethrow_exception(poison_);
       auto it = values_.find(key);
       if (it != values_.end()) {
         T v = std::move(it->second);
@@ -48,6 +52,30 @@ class step_mailbox {
       waiters_.emplace(key, state);
     }
     return state->get();
+  }
+
+  // Kills the mailbox: every task currently suspended in get() is failed
+  // with `reason`, every later get() throws it, every later put() is
+  // silently swallowed. Used on confirmed locality failure — the waiters
+  // would otherwise block forever on a halo that can no longer arrive.
+  // Idempotent (the first reason wins).
+  void poison(std::exception_ptr reason) {
+    std::vector<std::shared_ptr<px::lcos::detail::shared_state<T>>> victims;
+    {
+      std::lock_guard<px::spinlock> guard(lock_);
+      if (poison_ != nullptr) return;
+      poison_ = reason;
+      victims.reserve(waiters_.size());
+      for (auto& [key, waiter] : waiters_) victims.push_back(std::move(waiter));
+      waiters_.clear();
+      values_.clear();
+    }
+    for (auto& v : victims) v->set_exception(reason);
+  }
+
+  [[nodiscard]] bool poisoned() const {
+    std::lock_guard<px::spinlock> guard(lock_);
+    return poison_ != nullptr;
   }
 
   [[nodiscard]] std::size_t pending_values() const {
@@ -61,6 +89,7 @@ class step_mailbox {
   std::unordered_map<std::uint64_t,
                      std::shared_ptr<px::lcos::detail::shared_state<T>>>
       waiters_;
+  std::exception_ptr poison_;
 };
 
 }  // namespace px::stencil

@@ -2,9 +2,31 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
 
 namespace px {
+
+namespace {
+
+// A malformed knob silently falling back to its default is a debugging
+// trap ("I set PX_TORTURE_SEEDS=64k, why did it run 64 seeds?" — it ran
+// the default). Warn once per variable name on stderr; once, because the
+// same knob is typically consulted on every construction.
+void warn_malformed(char const* name, std::string const& value) {
+  static std::mutex mutex;
+  static std::set<std::string>* warned = nullptr;
+  std::lock_guard<std::mutex> guard(mutex);
+  if (warned == nullptr) warned = new std::set<std::string>();  // leaked: exit-order safe
+  if (!warned->insert(name).second) return;
+  std::fprintf(stderr, "px: ignoring malformed %s='%s'\n", name,
+               value.c_str());
+}
+
+}  // namespace
 
 std::optional<std::string> env_string(char const* name) {
   char const* v = std::getenv(name);
@@ -17,7 +39,10 @@ std::optional<std::size_t> env_size(char const* name) {
   if (!s) return std::nullopt;
   char* end = nullptr;
   unsigned long long v = std::strtoull(s->c_str(), &end, 10);
-  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  if (end == s->c_str() || *end != '\0') {
+    warn_malformed(name, *s);
+    return std::nullopt;
+  }
   return static_cast<std::size_t>(v);
 }
 
@@ -26,7 +51,10 @@ std::optional<std::uint64_t> env_u64(char const* name) {
   if (!s) return std::nullopt;
   char* end = nullptr;
   unsigned long long v = std::strtoull(s->c_str(), &end, 0);
-  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  if (end == s->c_str() || *end != '\0') {
+    warn_malformed(name, *s);
+    return std::nullopt;
+  }
   return static_cast<std::uint64_t>(v);
 }
 
@@ -35,7 +63,10 @@ std::optional<double> env_double(char const* name) {
   if (!s) return std::nullopt;
   char* end = nullptr;
   double v = std::strtod(s->c_str(), &end);
-  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  if (end == s->c_str() || *end != '\0') {
+    warn_malformed(name, *s);
+    return std::nullopt;
+  }
   return v;
 }
 
@@ -49,6 +80,7 @@ std::optional<bool> env_bool(char const* name) {
     return true;
   if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
     return false;
+  warn_malformed(name, *s);
   return std::nullopt;
 }
 

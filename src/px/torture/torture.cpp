@@ -26,6 +26,8 @@ char const* site_name(site s) noexcept {
     case site::fiber_switch: return "fiber_switch";
     case site::net_transmit: return "net_transmit";
     case site::net_deliver: return "net_deliver";
+    case site::fd_tick: return "fd_tick";
+    case site::fd_confirm: return "fd_confirm";
     case site::site_count: break;
   }
   return "unknown";

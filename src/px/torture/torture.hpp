@@ -52,6 +52,8 @@ enum class site : std::uint8_t {
   fiber_switch,      // worker::execute: before resuming a task fiber
   net_transmit,      // distributed_domain::transmit entry (wire-side races)
   net_deliver,       // distributed_domain::deliver_frame entry
+  fd_tick,           // failure_detector tick (heartbeat send + evaluation)
+  fd_confirm,        // distributed_domain::confirm_failure entry
   site_count
 };
 

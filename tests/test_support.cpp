@@ -135,6 +135,26 @@ TEST(Env, ParsesU64InAnyBase) {
   EXPECT_FALSE(px::env_u64("PX_TEST_U64").has_value());
 }
 
+TEST(Env, RejectsTrailingGarbage) {
+  // "123abc" silently parsing as 123 is exactly the trap the strict
+  // end-pointer check exists to close: a typo'd knob must fall back to the
+  // documented default (nullopt here), not to a half-parsed value.
+  ::setenv("PX_TEST_TRAIL", "123abc", 1);
+  EXPECT_FALSE(px::env_size("PX_TEST_TRAIL").has_value());
+  EXPECT_FALSE(px::env_u64("PX_TEST_TRAIL").has_value());
+  EXPECT_FALSE(px::env_double("PX_TEST_TRAIL").has_value());
+  ::setenv("PX_TEST_TRAIL", "64k", 1);
+  EXPECT_FALSE(px::env_size("PX_TEST_TRAIL").has_value());
+  ::setenv("PX_TEST_TRAIL", "12 ", 1);  // even trailing whitespace
+  EXPECT_FALSE(px::env_u64("PX_TEST_TRAIL").has_value());
+  ::setenv("PX_TEST_TRAIL", "1.5x", 1);
+  EXPECT_FALSE(px::env_double("PX_TEST_TRAIL").has_value());
+  // Exact parses still succeed.
+  ::setenv("PX_TEST_TRAIL", "123", 1);
+  EXPECT_EQ(px::env_size("PX_TEST_TRAIL"), 123u);
+  ::unsetenv("PX_TEST_TRAIL");
+}
+
 TEST(Env, ParsesBools) {
   ::setenv("PX_TEST_BOOL", "yes", 1);
   EXPECT_EQ(px::env_bool("PX_TEST_BOOL"), true);
