@@ -1,0 +1,273 @@
+// px_bench_suite — the px::bench regression suite.
+//
+// One binary covering the runtime hot paths the paper's overhead analysis
+// cares about (task spawn/drain, future round trips, yields, LCO traffic,
+// tracing, work stealing, type-erased callables) plus host-scale runs of
+// the fig3 (1D heat) and fig4 (2D Jacobi) kernels. Every case is reported
+// through px::bench::runner: ns/op median + MAD across PX_BENCH_REPS
+// repetitions and the counter deltas of the timed block, written as one
+// px-bench/1 JSON document.
+//
+//   px_bench_suite --out BENCH_pr5.json
+//   px_bench_suite --out now.json --compare BENCH_seed.json --threshold 10
+//
+// scripts/bench.sh drives it pinned and warm; scripts/check.sh --bench
+// runs the --smoke variant as a CI lane. Repetition/warmup counts come
+// from PX_BENCH_REPS / PX_BENCH_WARMUP; the run seed from PX_SEED.
+#include <atomic>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "px/px.hpp"
+#include "px/runtime/ws_deque.hpp"
+#include "px/stencil/stencil.hpp"
+
+namespace {
+
+using px::bench::runner;
+using px::bench::suite_cli;
+
+// All runtime cases use a fixed worker count so reports stay comparable
+// across hosts with different core counts.
+constexpr std::size_t bench_workers = 4;
+
+px::scheduler_config rt_cfg() {
+  px::scheduler_config cfg = px::scheduler_config::from_env();
+  cfg.num_workers = bench_workers;
+  return cfg;
+}
+
+std::vector<std::pair<std::string, std::string>> rt_params(
+    std::initializer_list<std::pair<std::string, std::string>> extra = {}) {
+  std::vector<std::pair<std::string, std::string>> p{
+      {"workers", std::to_string(bench_workers)}};
+  p.insert(p.end(), extra.begin(), extra.end());
+  return p;
+}
+
+// --- micro_runtime --------------------------------------------------------
+
+// The spawn-latency hot path: detached spawn of trivial tasks from inside
+// task-land, drained in batches. Steady state exercises the per-worker
+// task pool, the stack pool and the local deque; nothing should allocate.
+void spawn_latency(px::runtime& rt, std::uint64_t iters) {
+  px::sync_wait(rt, [iters] {
+    std::atomic<std::uint64_t> done{0};
+    constexpr std::uint64_t batch = 256;
+    for (std::uint64_t n = 0; n < iters;) {
+      std::uint64_t const k = std::min(batch, iters - n);
+      for (std::uint64_t i = 0; i < k; ++i)
+        px::post([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      n += k;
+      while (done.load(std::memory_order_acquire) < n)
+        px::this_task::yield();
+    }
+    return 0;
+  });
+}
+
+// External submission: post from the calling (non-worker) thread, drain
+// via quiescence — the global-queue injection path.
+void spawn_drain_external(px::runtime& rt, std::uint64_t iters) {
+  std::atomic<std::uint64_t> done{0};
+  for (std::uint64_t i = 0; i < iters; ++i)
+    rt.post([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  rt.wait_quiescent();
+}
+
+void future_roundtrip(px::runtime& rt, std::uint64_t iters) {
+  px::sync_wait(rt, [iters] {
+    int acc = 0;
+    for (std::uint64_t i = 0; i < iters; ++i)
+      acc += px::async([] { return 1; }).get();
+    return acc;
+  });
+}
+
+void task_yield(px::runtime& rt, std::uint64_t iters) {
+  px::sync_wait(rt, [iters] {
+    for (std::uint64_t i = 0; i < iters; ++i) px::this_task::yield();
+    return 0;
+  });
+}
+
+// --- micro_lco ------------------------------------------------------------
+
+void channel_pingpong(px::runtime& rt, std::uint64_t iters) {
+  px::channel<int> ping, pong;
+  rt.post([&] {
+    for (;;) {
+      int const v = ping.get();
+      if (v < 0) return;
+      pong.send(v + 1);
+    }
+  });
+  px::sync_wait(rt, [&] {
+    int acc = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      ping.send(1);
+      acc += pong.get();
+    }
+    return acc;
+  });
+  ping.send(-1);
+  rt.wait_quiescent();
+}
+
+// --- micro_trace ----------------------------------------------------------
+
+// The tracer's record hot path, single producer.
+void trace_record_slice(std::uint64_t iters) {
+  px::trace::enable();
+  for (std::uint64_t i = 0; i < iters; ++i)
+    px::trace::record_slice("bench", i, i, 1, 0);
+  px::trace::disable();
+}
+
+// Tracing under real multi-worker task load: every task slice is recorded
+// from its worker. This is the case a global tracer lock serializes.
+void trace_task_slices(px::runtime& rt, std::uint64_t iters) {
+  px::trace::enable();
+  spawn_latency(rt, iters);
+  px::trace::disable();
+}
+
+// --- micro_support --------------------------------------------------------
+
+// Construction + one invocation of a type-erased callable the size of a
+// typical stencil continuation (six captured pointers). Whether this fits
+// the unique_function SBO decides one heap allocation per spawn.
+void unique_function_six_ptr(std::uint64_t iters) {
+  std::uint64_t sink = 0;
+  std::uint64_t* p = &sink;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    px::unique_function<void()> fn(
+        [p, a = p, b = p, c = p, d = p, e = p] {
+          *p += reinterpret_cast<std::uintptr_t>(a) != 0;
+          (void)b;
+          (void)c;
+          (void)d;
+          (void)e;
+        });
+    fn();
+  }
+  if (sink != iters) std::abort();
+}
+
+// --- micro_ws_deque -------------------------------------------------------
+
+// Thief-side drain of a loaded deque, the coarse-grain theft path of
+// worker::try_steal. (Single-threaded: measures the per-item cost of the
+// steal protocol itself, fences and CAS included.)
+void ws_deque_steal_drain(std::uint64_t iters) {
+  px::rt::ws_deque<int> dq(1024);
+  static int cell = 7;
+  constexpr std::uint64_t load = 512;
+  for (std::uint64_t n = 0; n < iters;) {
+    for (std::uint64_t i = 0; i < load; ++i) dq.push(&cell);
+    std::uint64_t taken = 0;
+    while (taken < load) {
+      int* buf[16];
+      std::size_t const k = dq.steal_batch(buf, 16);
+      if (k == 0) std::abort();
+      taken += k;
+    }
+    n += taken;
+  }
+}
+
+// --- figure kernels -------------------------------------------------------
+
+// Fig 3's shared-memory building block: the futurized 1D heat solver at
+// host-validation scale. ns/op is per point-update.
+void fig3_heat1d(px::runtime& rt, std::size_t nx, std::size_t steps) {
+  auto const initial = px::stencil::heat1d_sine_initial(nx);
+  px::stencil::heat1d_config cfg;
+  cfg.nx = nx;
+  cfg.steps = steps;
+  auto const result = px::sync_wait(rt, [&] {
+    return px::stencil::run_heat1d(px::execution::par, initial, cfg);
+  });
+  if (result.values.size() != nx) std::abort();
+}
+
+// Fig 4's kernel: 2D Jacobi (float, auto-vectorized) at host scale.
+// ns/op is per lattice-site update.
+void fig4_jacobi2d(px::runtime& rt, std::size_t nx, std::size_t ny,
+                   std::size_t steps) {
+  px::stencil::field2d<float> u0(nx, ny), u1(nx, ny);
+  px::stencil::init_dirichlet_problem(u0);
+  px::stencil::init_dirichlet_problem(u1);
+  auto const result = px::sync_wait(rt, [&] {
+    return px::stencil::run_jacobi2d(px::execution::par, u0, u1, steps);
+  });
+  if (result.steps != steps) std::abort();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto const cli = px::bench::parse_suite_cli(argc, argv);
+  if (!cli) return 2;
+
+  px::bench::print_header(
+      "px::bench — runtime hot-path regression suite",
+      "ns/op median + MAD across PX_BENCH_REPS repetitions; counter "
+      "deltas per case (schema px-bench/1)");
+
+  px::bench::runner_options opts = px::bench::runner_options::from_env();
+  opts.run_seed = rt_cfg().seed;
+  runner r(opts);
+
+  {
+    px::runtime rt(rt_cfg());
+    r.run("micro_runtime.spawn_latency", rt_params({{"batch", "256"}}),
+          cli->scaled(1 << 15),
+          [&](std::uint64_t n) { spawn_latency(rt, n); });
+    r.run("micro_runtime.spawn_drain_external", rt_params(),
+          cli->scaled(1 << 13),
+          [&](std::uint64_t n) { spawn_drain_external(rt, n); });
+    r.run("micro_runtime.future_roundtrip", rt_params(),
+          cli->scaled(1 << 12),
+          [&](std::uint64_t n) { future_roundtrip(rt, n); });
+    r.run("micro_runtime.yield", rt_params(), cli->scaled(1 << 16),
+          [&](std::uint64_t n) { task_yield(rt, n); });
+    r.run("micro_lco.channel_pingpong", rt_params(), cli->scaled(1 << 12),
+          [&](std::uint64_t n) { channel_pingpong(rt, n); });
+    r.run("micro_trace.task_slices", rt_params(), cli->scaled(1 << 14),
+          [&](std::uint64_t n) { trace_task_slices(rt, n); });
+  }
+  r.run("micro_trace.record_slice", {}, cli->scaled(1 << 16),
+        [](std::uint64_t n) { trace_record_slice(n); });
+  r.run("micro_support.unique_function_six_ptr", {}, cli->scaled(1 << 17),
+        [](std::uint64_t n) { unique_function_six_ptr(n); });
+  r.run("micro_ws_deque.steal_drain", {{"batch", "16"}},
+        cli->scaled(1 << 15),
+        [](std::uint64_t n) { ws_deque_steal_drain(n); });
+
+  {
+    px::runtime rt(rt_cfg());
+    // Stencils keep the full problem size even under --smoke (a run is
+    // only a few ms): ns/cell shifts with the grid size as per-sweep
+    // overheads amortize differently, so a shrunken smoke grid would not
+    // be comparable against the committed full-size baseline.
+    std::size_t const nx1 = 1u << 16;
+    std::size_t const steps1 = 20;
+    r.run("fig3.heat1d", rt_params({{"nx", std::to_string(nx1)},
+                                    {"steps", std::to_string(steps1)}}),
+          static_cast<std::uint64_t>(nx1) * steps1,
+          [&](std::uint64_t) { fig3_heat1d(rt, nx1, steps1); });
+
+    std::size_t const n2 = 384;
+    std::size_t const steps2 = 20;
+    r.run("fig4.jacobi2d",
+          rt_params({{"nx", std::to_string(n2)},
+                     {"ny", std::to_string(n2)},
+                     {"steps", std::to_string(steps2)},
+                     {"cell", "float"}}),
+          static_cast<std::uint64_t>(n2) * n2 * steps2,
+          [&](std::uint64_t) { fig4_jacobi2d(rt, n2, n2, steps2); });
+  }
+
+  return px::bench::finalize_suite(r, *cli);
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# px::bench driver: build and run the machine-readable regression suite
+# (bench/px_bench_suite) pinned and warm, writing a px-bench/1 JSON report.
+#
+#   scripts/bench.sh                         # full run -> build/BENCH.json
+#   scripts/bench.sh --out BENCH_pr5.json    # choose the report path
+#   scripts/bench.sh --compare BENCH_seed.json --threshold 10
+#   scripts/bench.sh --smoke                 # CI smoke lane (1/16 iters)
+#
+# Exit codes follow the suite binary: 0 pass, 1 regression beyond the
+# threshold, 2 usage error / missing baseline / write failure.
+#
+# Methodology: the binary itself does PX_BENCH_WARMUP untimed repetitions
+# per case and reports median + MAD over PX_BENCH_REPS timed ones; this
+# wrapper adds (a) a throwaway warm-up pass of the whole suite so code,
+# allocator arenas and CPU clocks are warm before anything is recorded,
+# and (b) CPU pinning via taskset when more than one CPU is available, so
+# the worker threads don't migrate between repetitions.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+out="$repo/build/BENCH.json"
+pass_through=""
+smoke=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out)
+      [ $# -ge 2 ] || { echo "bench.sh: --out needs a path" >&2; exit 2; }
+      out=$2; shift 2 ;;
+    --compare|--threshold)
+      [ $# -ge 2 ] || { echo "bench.sh: $1 needs a value" >&2; exit 2; }
+      pass_through="$pass_through $1 $2"; shift 2 ;;
+    --smoke)
+      smoke=1; pass_through="$pass_through --smoke"; shift ;;
+    *)
+      echo "usage: bench.sh [--out FILE] [--compare BASELINE]" \
+           "[--threshold PCT] [--smoke]" >&2
+      exit 2 ;;
+  esac
+done
+
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j --target px_bench_suite >/dev/null
+
+suite="$repo/build/bench/px_bench_suite"
+
+# Pin to the first N CPUs when we have more than one; on a single-CPU
+# host (or without taskset) just run as-is.
+run=""
+if command -v taskset >/dev/null 2>&1 && [ "$(nproc)" -gt 1 ]; then
+  run="taskset -c 0-$(($(nproc) - 1))"
+fi
+
+if [ "$smoke" = 0 ]; then
+  echo "bench.sh: warm-up pass (unrecorded)"
+  PX_BENCH_REPS=1 PX_BENCH_WARMUP=0 $run "$suite" --smoke >/dev/null
+fi
+
+echo "bench.sh: recording pass -> $out"
+# shellcheck disable=SC2086  # pass_through is intentionally word-split
+$run "$suite" --out "$out" $pass_through

@@ -13,6 +13,12 @@
 # --resilience: build and run only the ctest-labeled resilience suites
 # (locality kill/restart, failure detector, checkpoint/rollback recovery)
 # with a 16-seed sweep per property unless PX_TORTURE_SEEDS overrides it.
+#
+# --bench: smoke-run the px::bench regression suite (scripts/bench.sh
+# --smoke) against the committed baseline BENCH_seed.json when present.
+# Smoke timings on a shared CI host are noisy, so the lane only fails on
+# gross regressions (threshold 75% unless PX_BENCH_THRESHOLD overrides
+# it); the real gate is a full scripts/bench.sh run on a quiet machine.
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -32,6 +38,18 @@ if [ "${1:-}" = "--resilience" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
    ctest -L resilience --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--bench" ]; then
+  baseline=""
+  if [ -f "$repo/BENCH_seed.json" ]; then
+    baseline="--compare $repo/BENCH_seed.json \
+              --threshold ${PX_BENCH_THRESHOLD:-75}"
+  fi
+  # shellcheck disable=SC2086  # baseline is intentionally word-split
+  "$repo/scripts/bench.sh" --smoke \
+    --out "$repo/build/BENCH_smoke.json" $baseline
   exit 0
 fi
 

@@ -7,22 +7,29 @@
 #                    16-seed torture sweep       (scripts/check.sh --resilience)
 #   3. torture       all torture-labeled seed sweeps with a big budget
 #                    (64 seeds per property)     (scripts/check.sh --torture)
+#   4. bench         px::bench smoke run vs the committed BENCH_seed.json
+#                    baseline, gross-regression
+#                    threshold only              (scripts/check.sh --bench)
 #
 # Knobs pass straight through: PX_SKIP_SAN=1 skips the sanitizer lane,
-# PX_TORTURE_SEEDS overrides both sweep budgets. Any lane failing fails
-# the run immediately (set -e); later lanes reuse the build tree the
-# first lane produced, so the whole chain configures/builds once.
+# PX_TORTURE_SEEDS overrides both sweep budgets, PX_BENCH_THRESHOLD the
+# bench lane's regression threshold. Any lane failing fails the run
+# immediately (set -e); later lanes reuse the build tree the first lane
+# produced, so the whole chain configures/builds once.
 set -eu
 
 scripts=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
-echo "== ci.sh: lane 1/3 tier-1 (build + full suite + sanitizers) =="
+echo "== ci.sh: lane 1/4 tier-1 (build + full suite + sanitizers) =="
 "$scripts/check.sh"
 
-echo "== ci.sh: lane 2/3 resilience (ctest -L resilience) =="
+echo "== ci.sh: lane 2/4 resilience (ctest -L resilience) =="
 "$scripts/check.sh" --resilience
 
-echo "== ci.sh: lane 3/3 torture (ctest -L torture) =="
+echo "== ci.sh: lane 3/4 torture (ctest -L torture) =="
 "$scripts/check.sh" --torture
+
+echo "== ci.sh: lane 4/4 bench smoke (px::bench vs BENCH_seed.json) =="
+"$scripts/check.sh" --bench
 
 echo "== ci.sh: all lanes passed =="

@@ -1,0 +1,159 @@
+// px/bench/report.hpp
+// Machine-readable benchmark regression reporting — the px::bench harness.
+//
+// The paper's argument is quantitative (scheduling/futurization overheads
+// measured against STREAM-derived peaks), so the repro records its own
+// perf trajectory: every bench run emits one JSON document (schema
+// "px-bench/1") with, per benchmark, the parameters, the iteration count,
+// the ns/op median and MAD across >= PX_BENCH_REPS repetitions, and the
+// counter-registry deltas the timed region produced. A committed baseline
+// (BENCH_seed.json at the repo root) plus compare() turn any later run
+// into a regression check with a percentage threshold — the smoke lane
+// scripts/check.sh --bench wires this into CI.
+//
+// Median + MAD (median absolute deviation) rather than mean + stddev: one
+// preempted repetition on a busy host shifts a mean arbitrarily but moves
+// the median not at all, and the MAD stays a robust "is this run stable
+// enough to compare" signal.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+
+namespace px::bench {
+
+// ---- robust statistics ---------------------------------------------------
+
+// Median of `xs` (averaging the middle pair for even sizes); 0 for empty.
+[[nodiscard]] double median(std::vector<double> xs);
+
+// Median absolute deviation around `center`.
+[[nodiscard]] double mad(std::vector<double> const& xs, double center);
+
+// ---- report model --------------------------------------------------------
+
+// One benchmark's row. `params` preserves insertion order so documents are
+// byte-stable run to run (determinism is asserted by tests).
+struct bench_result {
+  std::string name;  // "suite.case", e.g. "micro_runtime.spawn_latency"
+  std::vector<std::pair<std::string, std::string>> params;
+  std::uint64_t iterations = 0;  // ops per repetition
+  std::uint64_t reps = 0;        // timed repetitions
+  double ns_per_op_median = 0.0;
+  double ns_per_op_mad = 0.0;
+  // Monotone counter deltas over the timed repetitions (zero deltas are
+  // pruned); insertion order = registry path order.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+inline constexpr char const* report_schema = "px-bench/1";
+
+struct report {
+  std::string schema = report_schema;
+  std::uint64_t run_seed = 0;  // effective PX_SEED of the run
+  std::uint64_t reps = 0;      // harness-wide default repetition count
+  std::vector<bench_result> benchmarks;
+
+  [[nodiscard]] bench_result const* find(std::string const& name) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+// Inverse of report::to_json(). Accepts exactly the documents this module
+// emits (whitespace-tolerant, key order within a benchmark free); throws
+// std::runtime_error on anything malformed or on a schema mismatch.
+[[nodiscard]] report parse_report_json(std::string const& text);
+
+// Convenience file I/O; write returns false on I/O failure, load throws
+// std::runtime_error when the file cannot be read or parsed.
+bool write_report_file(report const& r, std::string const& path);
+[[nodiscard]] report load_report_file(std::string const& path);
+
+// ---- baseline comparison -------------------------------------------------
+
+struct compare_row {
+  std::string name;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double delta_pct = 0.0;  // +: slower than baseline, -: faster
+  bool regressed = false;
+};
+
+struct compare_result {
+  bool passed = true;              // no row regressed
+  double threshold_pct = 0.0;
+  std::vector<compare_row> rows;   // benchmarks present in both reports
+  std::vector<std::string> missing_in_current;   // in baseline only
+  std::vector<std::string> missing_in_baseline;  // in current only
+
+  // Human-readable table (one line per row, regressions flagged).
+  [[nodiscard]] std::string to_text() const;
+};
+
+// Compares medians benchmark-by-benchmark: a row regresses when the
+// current median is more than `threshold_pct` percent slower than the
+// baseline median. Benchmarks present on only one side are listed but do
+// not fail the comparison (suites are allowed to grow).
+[[nodiscard]] compare_result compare(report const& baseline,
+                                     report const& current,
+                                     double threshold_pct);
+
+// ---- harness -------------------------------------------------------------
+
+struct runner_options {
+  std::uint64_t reps = 5;      // timed repetitions per benchmark (>= 1)
+  std::uint64_t warmup = 1;    // untimed warm-up repetitions
+  std::uint64_t run_seed = 0;  // recorded verbatim in the report
+  bool verbose = true;         // print one line per finished benchmark
+
+  // reps from PX_BENCH_REPS (floor 1), warmup from PX_BENCH_WARMUP,
+  // run_seed from PX_SEED (default scheduler seed otherwise).
+  [[nodiscard]] static runner_options from_env();
+};
+
+// Runs benchmarks and accumulates a report. A benchmark body is a callable
+// `void(std::uint64_t iters)` executing the measured operation `iters`
+// times; the runner times `reps` repetitions (after `warmup` untimed
+// ones), brackets the timed block with one counter-registry snapshot pair,
+// and records ns/op median + MAD.
+class runner {
+ public:
+  explicit runner(runner_options opts);
+
+  template <typename Fn>
+  void run(std::string name,
+           std::vector<std::pair<std::string, std::string>> params,
+           std::uint64_t iters, Fn&& body) {
+    for (std::uint64_t w = 0; w < opts_.warmup; ++w) body(iters);
+    counters::snapshot const before =
+        counters::registry::instance().take_snapshot();
+    std::vector<double> ns_per_op;
+    ns_per_op.reserve(opts_.reps);
+    for (std::uint64_t r = 0; r < opts_.reps; ++r) {
+      double const sec = time_once([&] { body(iters); });
+      ns_per_op.push_back(sec * 1e9 / static_cast<double>(iters));
+    }
+    finish_case(std::move(name), std::move(params), iters,
+                std::move(ns_per_op), before);
+  }
+
+  // The accumulated report (run() calls so far).
+  [[nodiscard]] report const& result() const noexcept { return report_; }
+
+ private:
+  [[nodiscard]] static double time_once(
+      std::function<void()> const& body);
+  void finish_case(std::string name,
+                   std::vector<std::pair<std::string, std::string>> params,
+                   std::uint64_t iters, std::vector<double> ns_per_op,
+                   counters::snapshot const& before);
+
+  runner_options opts_;
+  report report_;
+};
+
+}  // namespace px::bench

@@ -279,6 +279,16 @@ registry::registry() : self_(new impl) {
     return static_cast<std::uint64_t>(trace::event_count());
   };
   self_->entries.push_back(std::move(trace_events));
+
+  // Slices the tracer could not record (ring overflow + enable/disable
+  // flips racing in-flight slices). Process-lifetime monotone: a nonzero
+  // delta over a region means its trace is incomplete.
+  entry trace_dropped;
+  trace_dropped.id = self_->next_id++;
+  trace_dropped.path = "/px/trace/dropped";
+  trace_dropped.k = kind::monotone;
+  trace_dropped.read = [] { return trace::dropped_count(); };
+  self_->entries.push_back(std::move(trace_dropped));
 }
 
 registry& registry::instance() {

@@ -1,0 +1,170 @@
+// Raw machine-context switch (see context.hpp for why not ucontext).
+//
+// Frame layout is the suspending stack itself: px_context_switch pushes
+// the ABI callee-saved set, publishes SP, installs the target SP and pops
+// the same set. px_context_make fabricates such a frame by hand so the
+// first resume "returns" into a thunk that moves the planted argument and
+// entry pointer out of two callee-saved registers and tail-jumps into the
+// entry function. The entry never returns; the thunk zeroes the frame
+// chain first so unwinders and backtracers stop at the fiber boundary.
+#include "px/fibers/context.hpp"
+
+#if !defined(PX_FIBER_UCONTEXT)
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__x86_64__)
+
+// System V AMD64: rbx, rbp, r12-r15 are callee-saved, plus the mxcsr and
+// x87 control words (a fiber could legitimately change rounding modes).
+// Saved frame, from the final RSP upward:
+//   [0]  mxcsr (4 bytes) | x87 cw (4 bytes)
+//   [8]  r15  [16] r14  [24] r13  [32] r12  [40] rbx  [48] rbp
+//   [56] return address consumed by ret
+asm(R"(
+  .text
+  .align 16
+  .globl px_context_switch
+  .hidden px_context_switch
+  .type px_context_switch, @function
+px_context_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  subq  $8, %rsp
+  stmxcsr (%rsp)
+  fnstcw  4(%rsp)
+  movq  %rsp, (%rdi)
+  movq  %rsi, %rsp
+  ldmxcsr (%rsp)
+  fldcw   4(%rsp)
+  addq  $8, %rsp
+  popq  %r15
+  popq  %r14
+  popq  %r13
+  popq  %r12
+  popq  %rbx
+  popq  %rbp
+  ret
+  .size px_context_switch, .-px_context_switch
+
+  .align 16
+  .globl px_context_thunk
+  .hidden px_context_thunk
+  .type px_context_thunk, @function
+px_context_thunk:
+  movq  %r12, %rdi
+  xorl  %ebp, %ebp
+  jmpq  *%r13
+  .size px_context_thunk, .-px_context_thunk
+)");
+
+extern "C" void px_context_thunk() noexcept;
+
+namespace px::fibers::raw {
+
+void* px_context_make(void* stack_low, std::size_t size, void (*entry)(void*),
+                      void* arg) noexcept {
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_low) + size) & ~15ull;
+  // Fake frame, top down: 8 bytes of zero "return address" (keeps the
+  // thunk at the ABI rsp%16==8 entry state), the thunk as ret target, six
+  // register slots, one mxcsr/x87 word seeded from the live thread state.
+  auto* slot = reinterpret_cast<std::uint64_t*>(top);
+  *--slot = 0;                                                   // stop frame
+  *--slot = reinterpret_cast<std::uint64_t>(&px_context_thunk);  // ret target
+  *--slot = 0;                                     // rbp
+  *--slot = 0;                                     // rbx
+  *--slot = reinterpret_cast<std::uint64_t>(arg);  // r12 -> rdi in the thunk
+  *--slot = reinterpret_cast<std::uint64_t>(
+      reinterpret_cast<void*>(entry));             // r13: thunk jump target
+  *--slot = 0;                                     // r14
+  *--slot = 0;                                     // r15
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0" : "=m"(mxcsr));
+  asm volatile("fnstcw %0" : "=m"(fcw));
+  *--slot = static_cast<std::uint64_t>(mxcsr) |
+            (static_cast<std::uint64_t>(fcw) << 32);
+  return slot;
+}
+
+}  // namespace px::fibers::raw
+
+#elif defined(__aarch64__)
+
+// AAPCS64: x19-x28, x29 (fp), x30 (lr) and d8-d15 are callee-saved.
+// Saved frame, from the final SP upward (160 bytes):
+//   [0]   x19 x20   [16] x21 x22  [32] x23 x24  [48] x25 x26
+//   [64]  x27 x28   [80] x29 x30  [96] d8..d15 (pairs through 144)
+asm(R"(
+  .text
+  .align 4
+  .globl px_context_switch
+  .hidden px_context_switch
+  .type px_context_switch, %function
+px_context_switch:
+  sub  sp,  sp, #160
+  stp  x19, x20, [sp, #0]
+  stp  x21, x22, [sp, #16]
+  stp  x23, x24, [sp, #32]
+  stp  x25, x26, [sp, #48]
+  stp  x27, x28, [sp, #64]
+  stp  x29, x30, [sp, #80]
+  stp  d8,  d9,  [sp, #96]
+  stp  d10, d11, [sp, #112]
+  stp  d12, d13, [sp, #128]
+  stp  d14, d15, [sp, #144]
+  mov  x9,  sp
+  str  x9,  [x0]
+  mov  sp,  x1
+  ldp  x19, x20, [sp, #0]
+  ldp  x21, x22, [sp, #16]
+  ldp  x23, x24, [sp, #32]
+  ldp  x25, x26, [sp, #48]
+  ldp  x27, x28, [sp, #64]
+  ldp  x29, x30, [sp, #80]
+  ldp  d8,  d9,  [sp, #96]
+  ldp  d10, d11, [sp, #112]
+  ldp  d12, d13, [sp, #128]
+  ldp  d14, d15, [sp, #144]
+  add  sp,  sp, #160
+  ret
+  .size px_context_switch, .-px_context_switch
+
+  .align 4
+  .globl px_context_thunk
+  .hidden px_context_thunk
+  .type px_context_thunk, %function
+px_context_thunk:
+  mov  x0,  x19
+  mov  x29, xzr
+  mov  x30, xzr
+  br   x20
+  .size px_context_thunk, .-px_context_thunk
+)");
+
+extern "C" void px_context_thunk() noexcept;
+
+namespace px::fibers::raw {
+
+void* px_context_make(void* stack_low, std::size_t size, void (*entry)(void*),
+                      void* arg) noexcept {
+  auto top = (reinterpret_cast<std::uintptr_t>(stack_low) + size) & ~15ull;
+  auto* frame = reinterpret_cast<std::uint64_t*>(top - 160);
+  std::memset(frame, 0, 160);
+  frame[0] = reinterpret_cast<std::uint64_t>(arg);  // x19 -> x0 in the thunk
+  frame[1] = reinterpret_cast<std::uint64_t>(
+      reinterpret_cast<void*>(entry));              // x20: thunk jump target
+  frame[11] = reinterpret_cast<std::uint64_t>(&px_context_thunk);  // x30 (lr)
+  return frame;
+}
+
+}  // namespace px::fibers::raw
+
+#endif  // arch
+
+#endif  // !PX_FIBER_UCONTEXT

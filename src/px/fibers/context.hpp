@@ -1,0 +1,41 @@
+// px/fibers/context.hpp
+// Minimal machine-context switch for fibers: saves the callee-saved
+// register set on the suspending stack and swaps stack pointers, nothing
+// else. glibc's swapcontext additionally saves/restores the signal mask —
+// an rt_sigprocmask syscall on *every* switch, two per task slice — which
+// is pure overhead here because px fibers never change signal masks. This
+// is the same design as HPX's mctx/Boost.Context fcontext layer, and on
+// the paper's Arm targets it is the difference between a ~100ns and a
+// multi-microsecond task switch.
+//
+// Backend selection: raw assembly on x86_64 and aarch64; everything else
+// (or -DPX_FIBER_UCONTEXT=ON, the escape hatch) keeps the portable POSIX
+// ucontext implementation in fiber.cpp.
+#pragma once
+
+#if !defined(PX_FIBER_UCONTEXT) && \
+    !(defined(__x86_64__) || defined(__aarch64__))
+#define PX_FIBER_UCONTEXT 1
+#endif
+
+#if !defined(PX_FIBER_UCONTEXT)
+
+#include <cstddef>
+
+namespace px::fibers::raw {
+
+// Suspends the current context: pushes the callee-saved registers onto the
+// running stack, stores the resulting stack pointer to *save_sp, installs
+// resume_sp and pops the registers it finds there. Returns (on the *new*
+// stack) when some later switch resumes *save_sp.
+extern "C" void px_context_switch(void** save_sp, void* resume_sp) noexcept;
+
+// Builds a suspended context on [stack_low, stack_low + size) whose first
+// resume calls entry(arg) on that stack. entry must never return — a fiber
+// terminates by switching back to its owner.
+[[nodiscard]] void* px_context_make(void* stack_low, std::size_t size,
+                                    void (*entry)(void*), void* arg) noexcept;
+
+}  // namespace px::fibers::raw
+
+#endif  // !PX_FIBER_UCONTEXT

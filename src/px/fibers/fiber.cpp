@@ -59,6 +59,21 @@ thread_local fiber* tls_current_fiber = nullptr;
 
 }  // namespace
 
+// The two directions of the transfer, over whichever backend is compiled
+// in. Each expands to a call that returns only when the departing side is
+// itself resumed.
+#if defined(PX_FIBER_UCONTEXT)
+#define PX_FIBER_SWITCH_TO_OWNER(self) \
+  ::swapcontext(&(self)->context_, &(self)->owner_context_)
+#define PX_FIBER_SWITCH_TO_FIBER(self) \
+  ::swapcontext(&(self)->owner_context_, &(self)->context_)
+#else
+#define PX_FIBER_SWITCH_TO_OWNER(self) \
+  raw::px_context_switch(&(self)->context_sp_, (self)->owner_sp_)
+#define PX_FIBER_SWITCH_TO_FIBER(self) \
+  raw::px_context_switch(&(self)->owner_sp_, (self)->context_sp_)
+#endif
+
 fiber* fiber::current() noexcept { return tls_current_fiber; }
 
 void fiber::swap_eh_globals() noexcept {
@@ -70,6 +85,8 @@ void fiber::swap_eh_globals() noexcept {
   eh_caught_exceptions_ = caught;
   eh_uncaught_exceptions_ = uncaught;
 }
+
+#if defined(PX_FIBER_UCONTEXT)
 
 fiber::fiber(stack stk, unique_function<void()> entry)
     : stack_(stk), entry_(std::move(entry)) {
@@ -99,6 +116,29 @@ void fiber::trampoline(unsigned hi, unsigned lo) {
   PX_UNREACHABLE();
 }
 
+#else  // raw machine context (context.hpp)
+
+fiber::fiber(stack stk, unique_function<void()> entry)
+    : stack_(stk), entry_(std::move(entry)) {
+  PX_ASSERT(stack_.valid());
+  PX_ASSERT(entry_);
+  // Pure user-space frame fabrication — no getcontext/sigprocmask.
+  context_sp_ = raw::px_context_make(stack_.limit, stack_.usable_size,
+                                     &fiber::trampoline, this);
+}
+
+void fiber::trampoline(void* self_ptr) {
+  auto* self = static_cast<fiber*>(self_ptr);
+  // First time on this fiber's stack: no fake stack to restore yet; record
+  // the owner's stack bounds for the switch back.
+  PX_ASAN_FINISH_SWITCH(nullptr, &self->asan_owner_stack_bottom_,
+                        &self->asan_owner_stack_size_);
+  self->run_entry();
+  PX_UNREACHABLE();
+}
+
+#endif  // PX_FIBER_UCONTEXT
+
 void fiber::run_entry() {
   entry_();
   entry_.reset();  // release captures before anyone recycles the task
@@ -109,7 +149,7 @@ void fiber::run_entry() {
   // be destroyed — the fiber never runs again.
   PX_ASAN_START_SWITCH(nullptr, self->asan_owner_stack_bottom_,
                        self->asan_owner_stack_size_);
-  ::swapcontext(&self->context_, &self->owner_context_);
+  PX_FIBER_SWITCH_TO_OWNER(self);
   PX_UNREACHABLE();  // a finished fiber is never resumed
 }
 
@@ -126,7 +166,7 @@ void fiber::resume() {
   swap_eh_globals();
   PX_ASAN_START_SWITCH(&asan_owner_fake_stack_, stack_.limit,
                        stack_.usable_size);
-  ::swapcontext(&owner_context_, &context_);
+  PX_FIBER_SWITCH_TO_FIBER(this);
   PX_ASAN_FINISH_SWITCH(asan_owner_fake_stack_, nullptr, nullptr);
   swap_eh_globals();
   // Back on the owner: the fiber either suspended or finished; both paths
@@ -141,7 +181,7 @@ void fiber::suspend_to_owner() {
   tls_current_fiber = nullptr;
   PX_ASAN_START_SWITCH(&asan_fiber_fake_stack_, asan_owner_stack_bottom_,
                        asan_owner_stack_size_);
-  ::swapcontext(&context_, &owner_context_);
+  PX_FIBER_SWITCH_TO_OWNER(this);
   // Resumed, possibly by a different worker: refresh the owner bounds.
   PX_ASAN_FINISH_SWITCH(asan_fiber_fake_stack_, &asan_owner_stack_bottom_,
                         &asan_owner_stack_size_);

@@ -1,7 +1,10 @@
 // px/fibers/fiber.hpp
-// Stackful coroutine over POSIX ucontext. One fiber backs one px task
-// (the paper's "HPX thread"): tasks can suspend mid-execution waiting on a
-// future or an LCO and resume later on any worker.
+// Stackful coroutine. One fiber backs one px task (the paper's "HPX
+// thread"): tasks can suspend mid-execution waiting on a future or an LCO
+// and resume later on any worker. The switch itself is the raw
+// register-set swap from context.hpp on x86_64/aarch64 (glibc swapcontext
+// adds an rt_sigprocmask syscall per switch), with POSIX ucontext kept as
+// the portable fallback (-DPX_FIBER_UCONTEXT=ON or unsupported arch).
 //
 // Control-flow contract:
 //   * A worker thread resumes a fiber with resume(); control returns to the
@@ -12,7 +15,11 @@
 //     scheduler and out of the synchronisation primitives.
 #pragma once
 
+#include "px/fibers/context.hpp"
+
+#if defined(PX_FIBER_UCONTEXT)
 #include <ucontext.h>
+#endif
 
 #include <cstddef>
 #include <cstdint>
@@ -51,14 +58,22 @@ class fiber {
   static fiber* current() noexcept;
 
  private:
-  static void trampoline(unsigned hi, unsigned lo);
   void run_entry();
   void swap_eh_globals() noexcept;
 
   stack stack_;
   unique_function<void()> entry_;
+#if defined(PX_FIBER_UCONTEXT)
+  static void trampoline(unsigned hi, unsigned lo);
   ucontext_t context_{};
   ucontext_t owner_context_{};
+#else
+  static void trampoline(void* self);
+  // Stack pointers of the two suspended sides of the switch; each is live
+  // only while its side is suspended (the frame lives on that stack).
+  void* context_sp_ = nullptr;
+  void* owner_sp_ = nullptr;
+#endif
   state state_ = state::ready;
 
   // AddressSanitizer fiber-switch bookkeeping (used only when built with

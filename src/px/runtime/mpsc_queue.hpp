@@ -1,46 +1,131 @@
 // px/runtime/mpsc_queue.hpp
-// Multi-producer single-consumer intrusive-free FIFO used as each worker's
+// Multi-producer single-consumer intrusive FIFO used as each worker's
 // injection queue: wakes arriving from other workers (or external threads)
-// land here and are drained by the owner. A simple two-lock Michael–Scott
-// style queue with a spinlock is sufficient — wakes are orders of magnitude
-// rarer than local pushes/pops.
+// and yields re-entering the FIFO lane land here and are drained by the
+// owner. A spinlock-protected intrusive list is sufficient — wakes are
+// orders of magnitude rarer than local pushes/pops — and intrusive links
+// (T::qnext) keep the steady-state spawn/yield path allocation-free, which
+// a node- or chunk-allocating container (the old std::deque) is not.
+//
+// Size protocol: `approx_size_` is the consumer's cheap emptiness probe.
+// push() publishes it with release *inside* the critical section; pop()
+// reads it with acquire, so a nonzero observation happens-after the insert
+// it counts. The inverse does NOT hold: a zero observation may be stale
+// (the publishing store can still be in the producer's store buffer — on
+// Arm, and via store-buffer delay even on x86-TSO), so the estimate must
+// never gate a *sleep*. The worker's pre-park check therefore uses
+// inspect_locked(), which cannot miss a completed push; see worker::park().
+//
+// test_relaxed_publication reintroduces the pre-PR5 lost-wake bug for the
+// torture suite (the reliability-layer knob pattern): publication moves
+// outside the lock, is relaxed, torture-stretched (mpsc_size_publish), and
+// under an active torture run sometimes skipped entirely — modelling an
+// arbitrarily stale estimate, which weak memory permits. Production code
+// never sets it.
 #pragma once
 
-#include <deque>
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 
 #include "px/support/cache.hpp"
 #include "px/support/spin.hpp"
+#include "px/torture/torture.hpp"
 
 namespace px::rt {
 
+// T must provide an intrusive link member `T* qnext`, owned by the queue
+// while the element is enqueued.
 template <typename T>
 class mpsc_queue {
  public:
-  void push(T* value) {
-    std::lock_guard<spinlock> guard(lock_);
-    items_.push_back(value);
-    approx_size_.store(items_.size(), std::memory_order_relaxed);
+  // Consumer-side locked view; see inspect_locked().
+  struct locked_view {
+    bool empty;
+    std::uint64_t push_epoch;  // total pushes ever (monotone)
+  };
+
+  // Test-only: reintroduce the unsynchronized size publication (lost-wake
+  // bug). Set once before producers exist.
+  void set_test_relaxed_publication(bool v) noexcept {
+    test_relaxed_publication_ = v;
   }
 
+  void push(T* value) {
+    value->qnext = nullptr;
+    lock_.lock();
+    if (tail_ == nullptr)
+      head_ = value;
+    else
+      tail_->qnext = value;
+    tail_ = value;
+    std::size_t const published = ++size_;
+    push_epoch_.store(push_epoch_.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    if (!test_relaxed_publication_) {
+      approx_size_.store(published, std::memory_order_release);
+      lock_.unlock();
+      return;
+    }
+    lock_.unlock();
+    // Bug reintroduction: the consumer can fail a fast-path probe long
+    // after this push's critical section completed. The torture point
+    // stretches that window; the decide models a publication the consumer
+    // never observes before sleeping.
+    PX_TORTURE_POINT(mpsc_size_publish);
+    if (!PX_TORTURE_DECIDE(mpsc_size_publish))
+      approx_size_.store(published, std::memory_order_relaxed);
+  }
+
+  // Consumer only. Returns nullptr when empty — or when the estimate is
+  // stale-zero; park()'s locked pre-sleep check is what makes that miss
+  // harmless.
   T* pop() {
-    if (approx_size_.load(std::memory_order_relaxed) == 0) return nullptr;
+    if (approx_size_.load(std::memory_order_acquire) == 0) return nullptr;
     std::lock_guard<spinlock> guard(lock_);
-    if (items_.empty()) return nullptr;
-    T* value = items_.front();
-    items_.pop_front();
-    approx_size_.store(items_.size(), std::memory_order_relaxed);
+    if (head_ == nullptr) {
+      approx_size_.store(0, std::memory_order_release);
+      return nullptr;
+    }
+    T* const value = head_;
+    head_ = value->qnext;
+    if (head_ == nullptr) tail_ = nullptr;
+    --size_;
+    approx_size_.store(size_, std::memory_order_release);
+    value->qnext = nullptr;
     return value;
   }
 
+  // Racy probe for scheduling heuristics only (never for a sleep decision).
   [[nodiscard]] bool empty_estimate() const noexcept {
     return approx_size_.load(std::memory_order_relaxed) == 0;
   }
 
+  // Racy read of the monotone push counter; allowed to lag. Callers only
+  // compare it against a later inspect_locked() reading to detect sleeps
+  // that began with items already enqueued (see worker::park()).
+  [[nodiscard]] std::uint64_t push_epoch_estimate() const noexcept {
+    return push_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Consumer's authoritative emptiness check: takes the lock, so every push
+  // whose critical section completed is visible. Also repairs a stale
+  // published size — after a skipped/buffered publication this is what lets
+  // the next pop() fast path see the queue again.
+  [[nodiscard]] locked_view inspect_locked() {
+    std::lock_guard<spinlock> guard(lock_);
+    approx_size_.store(size_, std::memory_order_release);
+    return {head_ == nullptr, push_epoch_.load(std::memory_order_relaxed)};
+  }
+
  private:
   alignas(cache_line_size) spinlock lock_;
-  std::deque<T*> items_;
+  T* head_ = nullptr;      // lock-protected
+  T* tail_ = nullptr;      // lock-protected
+  std::size_t size_ = 0;   // lock-protected, exact
+  std::atomic<std::uint64_t> push_epoch_{0};  // written under the lock
   std::atomic<std::size_t> approx_size_{0};
+  bool test_relaxed_publication_ = false;
 };
 
 }  // namespace px::rt

@@ -1,5 +1,7 @@
 #include "px/runtime/scheduler.hpp"
 
+#include <new>
+
 #include "px/support/affinity.hpp"
 #include "px/support/assert.hpp"
 #include "px/support/env.hpp"
@@ -88,6 +90,12 @@ void scheduler::register_counters() {
                   [w] { return w->stats().yields; });
     counters_.add(wp + "parks", pc::kind::monotone,
                   [w] { return w->stats().parks; });
+    counters_.add(wp + "task_pool_hits", pc::kind::monotone,
+                  [w] { return w->stats().task_pool_hits; });
+    counters_.add(wp + "task_pool_misses", pc::kind::monotone,
+                  [w] { return w->stats().task_pool_misses; });
+    counters_.add(wp + "stalled_wakes", pc::kind::monotone,
+                  [w] { return w->stats().stalled_wakes; });
     counters_.add(wp + "busy_ns", pc::kind::monotone,
                   [w] { return w->stats().busy_ns; });
   }
@@ -105,6 +113,49 @@ void scheduler::register_counters() {
 
 scheduler::~scheduler() {
   if (state_.load() == run_state::running) stop();
+  // Drain both pool levels (single-threaded by now; workers are joined).
+  while (void* b = free_blocks_.take_one())
+    ::operator delete(b, std::align_val_t{alignof(task)});
+  for (auto& w : workers_)
+    while (void* b = w->task_pool_.take_one())
+      ::operator delete(b, std::align_val_t{alignof(task)});
+}
+
+void* scheduler::alloc_task_block() {
+  worker* const w = worker::current();
+  if (w != nullptr && &w->owner() == this) {
+    if (void* p = w->task_pool_.get()) {
+      ++w->stats_.task_pool_hits;
+      return p;
+    }
+    // Local freelist dry: refill a batch from the shared overflow level
+    // (one lock acquisition per refill_batch blocks).
+    void* chunk[task_freelist::refill_batch];
+    std::size_t const n =
+        free_blocks_.get_batch(chunk, task_freelist::refill_batch);
+    if (n > 0) {
+      for (std::size_t i = 1; i < n; ++i) (void)w->task_pool_.put(chunk[i]);
+      ++w->stats_.task_pool_hits;
+      return chunk[0];
+    }
+    ++w->stats_.task_pool_misses;
+  }
+  // External threads (and cold workers) fall through to the allocator.
+  return ::operator new(sizeof(task), std::align_val_t{alignof(task)});
+}
+
+void scheduler::free_task_block(void* block) noexcept {
+  worker* const w = worker::current();
+  if (w != nullptr && &w->owner() == this) {
+    if (w->task_pool_.put(block)) return;
+    // Local level full: shared overflow. The shared pool is bounded — when
+    // spawns are external (allocator) but retires land here, it would grow
+    // one block per task forever — so a refused put goes back to the heap.
+    if (!free_blocks_.put(block))
+      ::operator delete(block, std::align_val_t{alignof(task)});
+    return;
+  }
+  ::operator delete(block, std::align_val_t{alignof(task)});
 }
 
 void scheduler::start() {
@@ -143,7 +194,7 @@ void scheduler::stop() {
 
 void scheduler::spawn(unique_function<void()> work, int hint) {
   PX_ASSERT_MSG(running(), "spawn on a scheduler that is not running");
-  auto* t = new task(*this, std::move(work), hint);
+  task* const t = ::new (alloc_task_block()) task(*this, std::move(work), hint);
   t->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
   active_.fetch_add(1, std::memory_order_acq_rel);
   tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
@@ -203,10 +254,10 @@ void scheduler::retire(task* t) {
   if (t->fib != nullptr) {
     PX_ASSERT(t->fib->finished());
     stacks_.recycle(t->stk);
-    delete t->fib;
-    t->fib = nullptr;
+    t->destroy_fiber();
   }
-  delete t;
+  t->~task();
+  free_task_block(t);
   if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(quiesce_mutex_);
     quiesce_cv_.notify_all();

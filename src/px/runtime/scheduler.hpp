@@ -17,6 +17,7 @@
 #include "px/counters/counters.hpp"
 #include "px/fibers/stack.hpp"
 #include "px/runtime/task.hpp"
+#include "px/runtime/task_pool.hpp"
 #include "px/runtime/worker.hpp"
 #include "px/support/unique_function.hpp"
 #include "px/torture/invariant.hpp"
@@ -36,6 +37,13 @@ struct scheduler_config {
   // order bit-identical to older builds; a torture run mixes its own seed
   // in (see scheduler ctor) so seeds actually vary steal order.
   std::uint64_t seed = 0x5eedbeef;
+
+  // Test-only bug reintroduction (the reliability-layer knob pattern):
+  // reverts the injection queues to the pre-PR5 unsynchronized size
+  // publication and makes workers trust the racy size estimate when
+  // deciding to park — the lost-wake bug. Never set outside tests; see
+  // mpsc_queue and tests/test_torture_mpsc.cpp.
+  bool test_relaxed_wake_protocol = false;
 
   // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS and
   // PX_SEED on top of the defaults — the --hpx:threads-style knobs of §VI.
@@ -106,6 +114,9 @@ class scheduler {
       total.failed_steal_rounds += s.failed_steal_rounds;
       total.parks += s.parks;
       total.yields += s.yields;
+      total.task_pool_hits += s.task_pool_hits;
+      total.task_pool_misses += s.task_pool_misses;
+      total.stalled_wakes += s.stalled_wakes;
       total.busy_ns += s.busy_ns;
     }
     total.run_seed = cfg_.seed;
@@ -114,6 +125,12 @@ class scheduler {
 
  private:
   friend class worker;
+
+  // Task-block recycling (see task_pool.hpp): spawn placement-news into a
+  // pooled block, retire destroys and returns it. Steady-state spawning
+  // never touches the global allocator.
+  [[nodiscard]] void* alloc_task_block();
+  void free_task_block(void* block) noexcept;
 
   void register_counters();
   task* pop_global();
@@ -127,6 +144,7 @@ class scheduler {
 
   scheduler_config const cfg_;
   fibers::stack_pool stacks_;
+  task_block_pool free_blocks_;  // shared overflow level of the task pool
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
 

@@ -14,7 +14,14 @@ void task::materialize(fibers::stack s) {
   PX_ASSERT(fib == nullptr);
   PX_ASSERT(work);
   stk = s;
-  fib = new fibers::fiber(stk, std::move(work));
+  fib = ::new (static_cast<void*>(fib_storage_))
+      fibers::fiber(stk, std::move(work));
+}
+
+void task::destroy_fiber() noexcept {
+  PX_ASSERT(fib != nullptr);
+  fib->~fiber();
+  fib = nullptr;
 }
 
 }  // namespace px::rt

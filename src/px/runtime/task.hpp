@@ -14,6 +14,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 
 #include "px/fibers/fiber.hpp"
@@ -41,16 +42,25 @@ class task {
   task& operator=(task const&) = delete;
   ~task();
 
-  // Lazily creates the fiber on the borrowed stack. Called by the worker.
+  // Lazily creates the fiber in fib_storage_ on the borrowed stack. Called
+  // by the worker. The fiber lives inside the task block (no separate heap
+  // node), so a pooled task block carries its fiber header for free.
   void materialize(fibers::stack stk);
+  // Destroys the embedded fiber (which must have finished). The stack was
+  // borrowed and is recycled by the caller.
+  void destroy_fiber() noexcept;
 
   scheduler* owner;
   unique_function<void()> work;  // consumed by materialize()
-  fibers::fiber* fib = nullptr;
+  fibers::fiber* fib = nullptr;  // &fib_storage_ once materialized
   fibers::stack stk{};
   std::atomic<int> phase{st_ready};
   int hint;             // preferred worker (block executor) or -1
   std::uint64_t id = 0; // debug id assigned by the scheduler
+  task* qnext = nullptr;  // intrusive link for mpsc_queue (injection lane)
+
+ private:
+  alignas(fibers::fiber) std::byte fib_storage_[sizeof(fibers::fiber)];
 };
 
 }  // namespace px::rt

@@ -25,6 +25,8 @@ worker::worker(scheduler& sched, std::size_t index, std::size_t numa_domain,
                std::uint64_t seed)
     : sched_(sched), index_(index), numa_(numa_domain), rng_(seed) {
   stats_.run_seed = seed;
+  injection_.set_test_relaxed_publication(
+      sched.config().test_relaxed_wake_protocol);
 }
 
 void worker::run() {
@@ -82,10 +84,20 @@ task* worker::try_steal() {
     // run-seeded stream alone would produce.
     if (PX_TORTURE_DECIDE(steal_victim)) victim = rng_.below(n);
     if (victim == index_) continue;
-    if (task* t = sched_.worker_at(victim).deque_.steal()) {
-      ++stats_.steals;
+    // Steal-half: one victim probe amortized over up to steal_batch_max
+    // tasks. The oldest runs now; the rest land on our own deque where
+    // they're cheap to pop (and stealable again if we fall behind). No
+    // notify for the surplus: parked peers re-scan every bounded-park
+    // tick anyway, and waking one eagerly just makes it steal the batch
+    // right back — a wake/steal ping-pong that swamps the saved latency.
+    task* batch[steal_batch_max];
+    std::size_t const k =
+        sched_.worker_at(victim).deque_.steal_batch(batch, steal_batch_max);
+    if (k > 0) {
+      stats_.steals += k;
+      for (std::size_t i = 1; i < k; ++i) deque_.push(batch[i]);
       PX_TORTURE_POINT(worker_post_steal);
-      return t;
+      return batch[0];
     }
   }
   return nullptr;
@@ -99,6 +111,10 @@ void worker::execute(task* t) {
   yield_requested_ = false;
   suspend_requested_ = false;
   bool const tracing = trace::enabled();
+  // Generation snapshot: if enable() fires while the slice is running, its
+  // begin timestamp belongs to the previous recording epoch — the
+  // generation-checked record drops it instead of emitting misordered ts.
+  std::uint32_t const trace_gen = tracing ? trace::generation() : 0;
   std::uint64_t const begin_us = tracing ? trace::now_us() : 0;
   auto const begin_clock = std::chrono::steady_clock::now();
   PX_TORTURE_POINT(fiber_switch);
@@ -111,7 +127,7 @@ void worker::execute(task* t) {
     std::uint64_t const end_us = trace::now_us();
     trace::record_slice("task", t->id, begin_us,
                         end_us > begin_us ? end_us - begin_us : 0,
-                        static_cast<std::uint32_t>(index_));
+                        static_cast<std::uint32_t>(index_), trace_gen);
   }
   current_ = nullptr;
   ++stats_.tasks_executed;
@@ -158,19 +174,51 @@ void worker::park() {
   // Final recheck under the parked flag: a producer that enqueued between
   // our last poll and here will observe parked_ and call notify().
   parked_.store(true, std::memory_order_seq_cst);
-  if (has_local_work() || sched_.global_size_.load() > 0 ||
-      sched_.stop_requested()) {
+  // The injection check MUST take the queue lock. The published size can
+  // lag a completed push (producer store buffer; weak memory on Arm), and
+  // that push's notify() may already have read parked_ == false — sleep on
+  // the stale estimate and the wake is lost until the bounded wait expires.
+  // The locked check observes every push whose critical section finished;
+  // later pushes see parked_ == true and signal us. Under the test knob the
+  // old estimate-based check is reinstated so the torture suite can pin the
+  // bug (tests/test_torture_mpsc.cpp).
+  bool const relaxed_knob = sched_.config().test_relaxed_wake_protocol;
+  bool injection_empty;
+  std::uint64_t epoch_pre;
+  if (relaxed_knob) {
+    injection_empty = injection_.empty_estimate();
+    epoch_pre = injection_.push_epoch_estimate();
+  } else {
+    auto const view = injection_.inspect_locked();
+    injection_empty = view.empty;
+    epoch_pre = view.push_epoch;
+  }
+  if (!injection_empty || deque_.size_estimate() > 0 ||
+      sched_.global_size_.load() > 0 || sched_.stop_requested()) {
     parked_.store(false, std::memory_order_release);
     return;
   }
   ++stats_.parks;
-  std::unique_lock<std::mutex> lock(park_mutex_);
-  // Bounded wait guards against a lost notify from stealable (non-local)
-  // work appearing on a sibling deque, which nobody signals us about.
-  park_cv_.wait_for(lock, std::chrono::milliseconds(2),
-                    [this] { return notified_; });
-  notified_ = false;
+  bool timed_out;
+  {
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    // Bounded wait guards against a lost notify from stealable (non-local)
+    // work appearing on a sibling deque, which nobody signals us about.
+    timed_out = !park_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                                   [this] { return notified_; });
+    notified_ = false;
+  }
   parked_.store(false, std::memory_order_release);
+  if (timed_out) {
+    // Detector: a timeout that finds injection items with the push epoch
+    // unchanged slept through a wake that was already enqueued when the
+    // pre-sleep check ran. Impossible with the locked check (any such push
+    // would have been seen); counts the rescued lost wakes when the knob
+    // reintroduces the estimate-based sleep. The locked inspection also
+    // republishes the size, so find_work's pop sees the items again.
+    auto const view = injection_.inspect_locked();
+    if (!view.empty && view.push_epoch == epoch_pre) ++stats_.stalled_wakes;
+  }
 }
 
 bool worker::notify() {

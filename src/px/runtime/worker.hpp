@@ -10,6 +10,7 @@
 
 #include "px/runtime/mpsc_queue.hpp"
 #include "px/runtime/task.hpp"
+#include "px/runtime/task_pool.hpp"
 #include "px/runtime/ws_deque.hpp"
 #include "px/support/random.hpp"
 
@@ -23,6 +24,16 @@ struct worker_stats {
   std::uint64_t failed_steal_rounds = 0;
   std::uint64_t parks = 0;
   std::uint64_t yields = 0;
+  // Task-block pool traffic on this worker's spawn path: hits reused a
+  // pooled block (local freelist or shared refill), misses fell through to
+  // the global allocator. Steady-state spawning should be all hits.
+  std::uint64_t task_pool_hits = 0;
+  std::uint64_t task_pool_misses = 0;
+  // Park timeouts that found injection items enqueued *before* the sleep
+  // began — i.e. wakes the 2ms bounded wait rescued. Provably zero with
+  // the locked pre-sleep drain check; nonzero means the lost-wake bug is
+  // back (see mpsc_queue::set_test_relaxed_publication).
+  std::uint64_t stalled_wakes = 0;
   // Wall time spent executing task slices (excludes queue management and
   // parking) — busy_ns / wall time is the worker's utilization.
   std::uint64_t busy_ns = 0;
@@ -65,6 +76,9 @@ class worker {
   [[nodiscard]] std::size_t numa_domain() const noexcept { return numa_; }
   [[nodiscard]] scheduler& owner() const noexcept { return sched_; }
   [[nodiscard]] worker_stats const& stats() const noexcept { return stats_; }
+  // Racy estimate, for scheduling heuristics only — the injection side can
+  // under-report a just-completed push, so park() never trusts it for a
+  // sleep decision (it takes the queue lock instead; see worker.cpp).
   [[nodiscard]] bool has_local_work() const noexcept {
     return deque_.size_estimate() > 0 || !injection_.empty_estimate();
   }
@@ -80,11 +94,15 @@ class worker {
   void execute(task* t);
   void park();
 
+  // One batch-steal transfer; bounds how much one thief takes per probe.
+  static constexpr std::size_t steal_batch_max = 16;
+
   scheduler& sched_;
   std::size_t const index_;
   std::size_t const numa_;
   ws_deque<task> deque_;
   mpsc_queue<task> injection_;
+  task_freelist task_pool_;
   xoshiro256ss rng_;
   task* current_ = nullptr;
   bool yield_requested_ = false;

@@ -108,6 +108,36 @@ class ws_deque {
     return value;
   }
 
+  // Any thread. Batch steal ("steal half"): takes up to half of the items
+  // visible at entry — at most `max_out`, at least one — oldest first, into
+  // `out`. Returns the number stolen (0: empty or lost every race).
+  //
+  // Each item is still claimed by its own single-slot CAS on top. A single
+  // CAS claiming a *range* [t, t+k) is unsound against the owner: pop()
+  // only arbitrates via CAS for the very last element (t == b-1), so the
+  // owner takes slot s without any CAS whenever it read top < s — a stale
+  // read that a range-CAS would not invalidate, double-executing s. The
+  // batching win is at the caller: one victim probe (and one warm ring
+  // traversal) amortized over k items instead of k failed/repeated rounds.
+  std::size_t steal_batch(T** out, std::size_t max_out) {
+    if (max_out == 0) return 0;
+    std::int64_t const t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t const b = bottom_.load(std::memory_order_acquire);
+    std::int64_t const avail = b - t;
+    if (avail <= 0) return 0;
+    std::int64_t want = (avail + 1) / 2;
+    if (want > static_cast<std::int64_t>(max_out))
+      want = static_cast<std::int64_t>(max_out);
+    std::size_t n = 0;
+    while (static_cast<std::int64_t>(n) < want) {
+      T* const v = steal();
+      if (v == nullptr) break;  // drained or lost a race: keep what we have
+      out[n++] = v;
+    }
+    return n;
+  }
+
   // Approximate (racy) size; scheduling heuristics only.
   [[nodiscard]] std::int64_t size_estimate() const noexcept {
     std::int64_t const b = bottom_.load(std::memory_order_relaxed);

@@ -2,8 +2,14 @@
 // Move-only type-erased callable with small-buffer optimisation.
 //
 // Tasks capture promises and other move-only state, which std::function
-// cannot hold. The SBO size is chosen so a lambda capturing four pointers
-// never allocates — the common case for stencil chunk tasks.
+// cannot hold. The SBO size is chosen so the common task payloads measured
+// by px_bench_suite — stencil chunk continuations and futurized bodies,
+// which capture up to eight pointer-sized values (two field pointers, grid
+// geometry, a promise) — construct in place. At four pointers the six-to-
+// eight-pointer captures each cost a heap round trip per spawn, the single
+// largest term in the spawn-latency microbench; at eight the steady-state
+// spawn path allocates nothing. The extra 32 bytes ride in the pooled task
+// block (see task_pool.hpp), so the growth is free at runtime.
 #pragma once
 
 #include <cstddef>
@@ -21,7 +27,7 @@ class unique_function;
 
 template <typename R, typename... Args>
 class unique_function<R(Args...)> {
-  static constexpr std::size_t sbo_size = 4 * sizeof(void*);
+  static constexpr std::size_t sbo_size = 8 * sizeof(void*);
   static constexpr std::size_t sbo_align = alignof(std::max_align_t);
 
   struct vtable {

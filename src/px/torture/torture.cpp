@@ -21,6 +21,7 @@ char const* site_name(site s) noexcept {
     case site::steal_victim: return "steal_victim";
     case site::deque_pop: return "deque_pop";
     case site::deque_steal: return "deque_steal";
+    case site::mpsc_size_publish: return "mpsc_size_publish";
     case site::timer_deadline: return "timer_deadline";
     case site::timer_fire: return "timer_fire";
     case site::fiber_switch: return "fiber_switch";

@@ -47,6 +47,8 @@ enum class site : std::uint8_t {
   steal_victim,      // worker::try_steal: victim-order variation
   deque_pop,         // ws_deque::pop: after publishing bottom-1 (take race)
   deque_steal,       // ws_deque::steal: between reading top and the CAS
+  mpsc_size_publish, // mpsc_queue::push: unlock-to-size-publication window
+                     // (only reachable under test_relaxed_publication)
   timer_deadline,    // timer_service: deadline jitter at insert
   timer_fire,        // timer thread: pre-callback window + epoch reorder
   fiber_switch,      // worker::execute: before resuming a task fiber

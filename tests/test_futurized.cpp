@@ -289,13 +289,19 @@ TEST(Trace, ScopedRegionRecordsUserSlices) {
             std::string::npos);
 }
 
-TEST(Trace, ScopedRegionOffWorkerUsesSentinelLane) {
+TEST(Trace, ScopedRegionOffWorkerUsesNamedExternalLane) {
   px::trace::enable();
-  { px::trace::scoped_region region("external"); }
+  { px::trace::scoped_region region("off-worker-phase"); }
   px::trace::disable();
   auto json = px::trace::to_json();
-  EXPECT_NE(json.find("\"name\":\"external\""), std::string::npos);
-  EXPECT_NE(json.find("\"tid\":999"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"off-worker-phase\""), std::string::npos);
+  // Off-worker slices land on the dedicated external lane, which to_json()
+  // names via a thread_name metadata event so viewers don't show it as a
+  // phantom worker.
+  std::string const lane_tid =
+      "\"tid\":" + std::to_string(px::trace::external_lane);
+  EXPECT_NE(json.find(lane_tid), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"external\"}"), std::string::npos);
 }
 
 TEST(Trace, EnableClearsPreviousEvents) {

@@ -1,0 +1,140 @@
+// Seed sweeps pinning the injection-queue lost-wake fix (PR 5).
+//
+// The bug: mpsc_queue published its size estimate with a relaxed store that
+// could lag the push (producer store buffer; weaker still on Arm), and
+// park() trusted that estimate when deciding to sleep. A push whose
+// notify() ran before the worker set parked_ left an item that neither the
+// estimate (stale) nor the cv (never signaled) would surface — the worker
+// slept on work until the 2 ms bounded wait expired.
+//
+// The fix makes park()'s pre-sleep check take the queue lock
+// (inspect_locked()), which observes every completed push; later pushes see
+// parked_ == true and signal. The worker counts rescued stalls in
+// stats().stalled_wakes via a push-epoch comparison: a timeout that finds
+// items whose push epoch predates the sleep is exactly a wake the pre-sleep
+// check should have caught.
+//
+// scheduler_config::test_relaxed_wake_protocol reintroduces the old
+// behavior (estimate-based pre-sleep check + unsynchronized publication
+// that torture's mpsc_size_publish site can delay or drop entirely), the
+// same bug-knob pattern as the reliability layer's ack-retry leak test.
+// Under the knob the sweep observes stalled wakes; with the fix the same
+// workloads — every seed — observe none.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "px/px.hpp"
+#include "px/torture/forall.hpp"
+#include "px/torture/torture.hpp"
+
+namespace {
+
+namespace torture = px::torture;
+
+// Hinted spawns land in the target worker's injection queue while the pool
+// repeatedly runs dry, so pushes keep racing the park decision. Quiescing
+// every round forces the workers back to idle (and, under the knob, makes
+// the 2 ms rescue path the only way forward — the run terminates either
+// way, it just stalls).
+void hinted_spawn_storm(px::runtime& rt, int rounds) {
+  int const workers = static_cast<int>(rt.num_workers());
+  for (int round = 0; round < rounds; ++round) {
+    for (int w = 0; w < workers; ++w) {
+      rt.post([] { std::atomic_signal_fence(std::memory_order_seq_cst); }, w);
+    }
+    rt.wait_quiescent();
+    if (round % 8 == 0) {
+      // Let the workers actually reach park() between bursts.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+torture::forall_options storm_options() {
+  torture::forall_options opts;
+  // High decision probability: the interesting decision is
+  // mpsc_size_publish (drop the size publication), and every dropped
+  // publication is a potential lost wake. Sleeps stay tiny so a stalled
+  // run's 2 ms rescues dominate, not the perturber.
+  opts.perturb.perturb_probability = 0.9;
+  opts.perturb.max_sleep_us = 30;
+  opts.dump_stem = "torture-mpsc";
+  return opts;
+}
+
+px::scheduler_config pool(bool relaxed_knob) {
+  px::scheduler_config cfg;
+  cfg.num_workers = 2;
+  cfg.test_relaxed_wake_protocol = relaxed_knob;
+  return cfg;
+}
+
+// With the locked pre-sleep check, a stalled wake is impossible by
+// construction: any push that completed before the check is seen (the
+// worker refuses to sleep), and any later push observes parked_ == true
+// and signals. The detector must read zero on every seed.
+TEST(TortureMpsc, FixedProtocolNeverStallsWakes) {
+  auto const r = torture::forall_seeds(
+      torture::seed_count(8),
+      [](std::uint64_t) {
+        px::runtime rt(pool(false));
+        hinted_spawn_storm(rt, 48);
+        auto const stats = rt.stats();
+        if (stats.stalled_wakes != 0) {
+          throw std::runtime_error(
+              "lost wake under the fixed protocol: stalled_wakes = " +
+              std::to_string(stats.stalled_wakes));
+        }
+      },
+      storm_options());
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+// Reintroducing the estimate-based sleep makes the same workload observe
+// stalled wakes somewhere in the sweep. This is the test that fails if the
+// fix regresses to the old protocol — and the proof that the detector (and
+// the sweep above) actually has the power to see the bug.
+TEST(TortureMpsc, RelaxedKnobReintroducesLostWakes) {
+  std::atomic<std::uint64_t> total_stalls{0};
+  auto const r = torture::forall_seeds(
+      torture::seed_count(8),
+      [&](std::uint64_t) {
+        px::runtime rt(pool(true));
+        hinted_spawn_storm(rt, 48);
+        total_stalls.fetch_add(rt.stats().stalled_wakes,
+                               std::memory_order_relaxed);
+      },
+      storm_options());
+  ASSERT_TRUE(r.passed) << r.message;
+  EXPECT_GT(total_stalls.load(), 0u)
+      << "the relaxed-publication knob should produce rescued lost wakes; "
+         "if it cannot, the detector would also miss a real regression";
+}
+
+// The rescue path itself: even under the knob every spawned task eventually
+// runs (the bounded park wait re-inspects under the lock and repairs the
+// estimate), so the bug manifests as latency, never as lost work.
+TEST(TortureMpsc, RelaxedKnobStillQuiesces) {
+  auto const r = torture::forall_seeds(
+      torture::seed_count(4),
+      [](std::uint64_t) {
+        px::runtime rt(pool(true));
+        std::atomic<int> ran{0};
+        for (int w = 0; w < 2; ++w)
+          for (int i = 0; i < 32; ++i)
+            rt.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                    w);
+        rt.wait_quiescent();
+        if (ran.load() != 64) {
+          throw std::runtime_error("lost work under relaxed knob: ran = " +
+                                   std::to_string(ran.load()));
+        }
+      },
+      storm_options());
+  EXPECT_TRUE(r.passed) << r.message;
+}
+
+}  // namespace

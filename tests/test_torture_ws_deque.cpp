@@ -176,4 +176,65 @@ TEST(TortureWsDeque, GrowthDuringConcurrentStealLosesNothing) {
   EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
 }
 
+TEST(TortureWsDeque, BatchStealConservesUnderPerturbedSchedules) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(6),
+      [](std::uint64_t) {
+        // Batch thieves (steal-half) racing the owner's push/pop under the
+        // perturber: batches are loops of single-slot CAS steals, so the
+        // single-element guarantees must carry over — exactly-once per
+        // item, no fabricated pointers, batches bounded by the visible
+        // half. The perturber's deque_steal site sleeps between the CASes
+        // inside a batch, which is precisely where a range-claim design
+        // would break against owner pops.
+        constexpr int n = 4096;
+        ws_deque<int> dq(8);
+        std::vector<int> items(n);
+        std::vector<std::atomic<int>> seen(n);
+        for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+        std::atomic<bool> done_pushing{false};
+        std::atomic<int> consumed{0};
+
+        auto consume = [&](int* p) {
+          auto const idx = static_cast<std::size_t>(p - items.data());
+          if (idx >= items.size()) std::abort();  // fabricated pointer
+          if (seen[idx].fetch_add(1) != 0) std::abort();  // double delivery
+          consumed.fetch_add(1);
+        };
+
+        std::vector<std::thread> thieves;
+        for (int t = 0; t < 2; ++t)
+          thieves.emplace_back([&] {
+            int* batch[16];
+            for (;;) {
+              std::size_t const k = dq.steal_batch(batch, 16);
+              if (k > 16) std::abort();  // over the caller's cap
+              for (std::size_t i = 0; i < k; ++i) consume(batch[i]);
+              if (k > 0) continue;
+              if (done_pushing.load(std::memory_order_acquire) &&
+                  consumed.load(std::memory_order_acquire) >= n)
+                return;
+              std::this_thread::yield();
+            }
+          });
+        for (int i = 0; i < n; ++i) {
+          dq.push(&items[static_cast<std::size_t>(i)]);
+          if ((i & 7) == 0)
+            if (int* const p = dq.pop()) consume(p);
+        }
+        done_pushing.store(true, std::memory_order_release);
+        while (consumed.load(std::memory_order_acquire) < n)
+          if (int* const p = dq.pop())
+            consume(p);
+          else
+            std::this_thread::yield();
+        for (auto& t : thieves) t.join();
+        if (consumed.load() != n)
+          throw std::runtime_error("item count off: " +
+                                   std::to_string(consumed.load()));
+      },
+      deque_opts());
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
 }  // namespace

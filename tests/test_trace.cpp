@@ -1,0 +1,140 @@
+// Tracer storage semantics introduced by the per-thread ring rewrite:
+// recording generations (enable() logically clears without touching other
+// threads' storage), drop accounting for flips and ring overflow, the
+// /px/trace/dropped counter, and cross-thread ring merging.
+//
+// All of these run in one process, and dropped_count() is process-lifetime
+// monotone — every assertion works on deltas, never absolute values.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "px/counters/counters.hpp"
+#include "px/runtime/trace.hpp"
+
+namespace {
+
+namespace trace = px::trace;
+
+std::uint64_t dropped() { return trace::dropped_count(); }
+
+TEST(TraceGeneration, EnableBumpsGeneration) {
+  std::uint32_t const g0 = trace::generation();
+  trace::enable();
+  std::uint32_t const g1 = trace::generation();
+  trace::disable();
+  EXPECT_GT(g1, g0);
+  // disable() does not start a new generation; the events stay readable.
+  EXPECT_EQ(trace::generation(), g1);
+}
+
+TEST(TraceGeneration, CrossGenerationSliceDroppedAndCounted) {
+  trace::enable();
+  // Simulate a slice whose begin timestamp was taken under the previous
+  // enable(): snapshot the generation, flip a new one, then complete.
+  std::uint32_t const stale_gen = trace::generation();
+  std::uint64_t const begin = trace::now_us();
+  trace::enable();  // recording epoch changes mid-slice
+
+  std::uint64_t const before = dropped();
+  trace::record_slice("stale", 1, begin, 1, 0, stale_gen);
+  EXPECT_EQ(trace::event_count(), 0u);  // not emitted into the new epoch
+  EXPECT_EQ(dropped(), before + 1);
+
+  // The same slice with a current generation records fine.
+  trace::record_slice("fresh", 1, begin, 1, 0, trace::generation());
+  EXPECT_EQ(trace::event_count(), 1u);
+  EXPECT_EQ(dropped(), before + 1);
+  trace::disable();
+}
+
+TEST(TraceGeneration, ScopedRegionAcrossEnableRecordsNothing) {
+  trace::enable();
+  std::uint64_t const before = dropped();
+  {
+    trace::scoped_region region("spans-enable");
+    trace::enable();  // flip while the region is open
+  }
+  trace::disable();
+  EXPECT_EQ(trace::to_json().find("spans-enable"), std::string::npos);
+  EXPECT_EQ(dropped(), before + 1);
+}
+
+TEST(TraceGeneration, RecordWhileDisabledCountsAsDrop) {
+  ASSERT_FALSE(trace::enabled());
+  std::uint64_t const before = dropped();
+  trace::record_slice("while-off", 1, 0, 1, 0);
+  EXPECT_EQ(dropped(), before + 1);
+}
+
+TEST(TraceRing, OverflowStopsRecordingAndCounts) {
+  // A fresh thread gets a fresh (tiny) ring; the calling thread's existing
+  // ring keeps its original capacity, so run the overflow on a new thread.
+  trace::set_ring_capacity(4);
+  trace::enable();
+  std::uint64_t const before = dropped();
+  std::thread t([] {
+    std::uint32_t const gen = trace::generation();
+    for (std::uint64_t i = 0; i < 10; ++i)
+      trace::record_slice("ov", i, i, 1, 7, gen);
+  });
+  t.join();
+  trace::disable();
+  EXPECT_EQ(trace::event_count(), 4u);  // ring filled, never wrapped
+  EXPECT_EQ(dropped(), before + 6);     // the rest counted as overflow
+
+  // First 4 slices survive (rings fill oldest-first, never overwrite).
+  std::string const json = trace::to_json();
+  EXPECT_NE(json.find("\"task\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"task\":3"), std::string::npos);
+  EXPECT_EQ(json.find("\"task\":4"), std::string::npos);
+  trace::set_ring_capacity(std::size_t{1} << 15);
+}
+
+TEST(TraceRing, EventsFromMultipleThreadsMerge) {
+  trace::enable();
+  std::uint32_t const gen = trace::generation();
+  auto writer = [gen](std::uint32_t lane) {
+    for (std::uint64_t i = 0; i < 50; ++i)
+      trace::record_slice("mt", lane * 1000 + i, i, 1, lane, gen);
+  };
+  std::thread a(writer, 1), b(writer, 2);
+  writer(3);
+  a.join();
+  b.join();
+  trace::disable();
+  EXPECT_EQ(trace::event_count(), 150u);
+  std::string const json = trace::to_json();
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // Lane metadata names every lane that appears.
+  EXPECT_NE(json.find("\"args\":{\"name\":\"worker #2\"}"), std::string::npos);
+}
+
+TEST(TraceRing, EnableMakesOldThreadEventsInvisible) {
+  trace::enable();
+  std::thread t([] { trace::record_slice("old", 1, 0, 1, 0); });
+  t.join();
+  EXPECT_EQ(trace::event_count(), 1u);
+  trace::enable();  // new generation: the exited thread's ring goes stale
+  EXPECT_EQ(trace::event_count(), 0u);
+  EXPECT_EQ(trace::to_json().find("\"old\""), std::string::npos);
+  trace::disable();
+}
+
+TEST(TraceCounter, DroppedVisibleInRegistry) {
+  auto& reg = px::counters::registry::instance();
+  std::uint64_t v0 = 0;
+  ASSERT_TRUE(reg.value_of("/px/trace/dropped", v0));
+  trace::record_slice("off", 1, 0, 1, 0);  // disabled → flip drop
+  std::uint64_t v1 = 0;
+  ASSERT_TRUE(reg.value_of("/px/trace/dropped", v1));
+  EXPECT_EQ(v1, v0 + 1);
+  auto const snap = reg.take_snapshot();
+  auto const* s = snap.find("/px/trace/dropped");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, v1);
+}
+
+}  // namespace

@@ -124,4 +124,88 @@ TEST(WsDeque, ConcurrentStealStress) {
     ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
 }
 
+// ---- batched stealing ("steal half") --------------------------------------
+
+TEST(WsDequeBatch, TakesHalfRoundedUpInFifoOrder) {
+  px::rt::ws_deque<int> dq;
+  int v[8];
+  for (auto& x : v) dq.push(&x);
+  int* out[8];
+  std::size_t const n = dq.steal_batch(out, 8);
+  ASSERT_EQ(n, 4u);  // (8 + 1) / 2
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(out[i], &v[i]);  // oldest first, same order as steal()
+  EXPECT_EQ(dq.size_estimate(), 4);
+  // The owner's end is untouched: LIFO pop still sees the newest item.
+  EXPECT_EQ(dq.pop(), &v[7]);
+}
+
+TEST(WsDequeBatch, RespectsCallerCapAndOddCounts) {
+  px::rt::ws_deque<int> dq;
+  int v[5];
+  for (auto& x : v) dq.push(&x);
+  int* out[8];
+  EXPECT_EQ(dq.steal_batch(out, 2), 2u);  // cap < half: cap wins
+  EXPECT_EQ(out[0], &v[0]);
+  EXPECT_EQ(out[1], &v[1]);
+  EXPECT_EQ(dq.steal_batch(out, 8), 2u);  // 3 left -> (3 + 1) / 2
+  EXPECT_EQ(dq.steal_batch(out, 0), 0u);
+  // Single element: a batch degrades to a plain steal.
+  EXPECT_EQ(dq.steal_batch(out, 8), 1u);
+  EXPECT_EQ(out[0], &v[4]);
+  EXPECT_EQ(dq.steal_batch(out, 8), 0u);  // empty
+}
+
+// Conservation under concurrency: batch-stealing thieves racing an owner
+// that pushes and pops. Every item claimed exactly once, across single
+// steals inside batches, growth, and owner pops.
+TEST(WsDequeBatch, ConcurrentBatchStealStress) {
+  constexpr int n_items = 50000;
+  constexpr int n_thieves = 3;
+  px::rt::ws_deque<int> dq(64);
+  std::vector<int> items(n_items);
+  for (int i = 0; i < n_items; ++i) items[i] = i;
+
+  std::vector<std::atomic<int>> claimed(n_items);
+  for (auto& c : claimed) c.store(0);
+
+  std::atomic<bool> done{false};
+  std::atomic<long> stolen{0}, popped{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < n_thieves; ++t)
+    thieves.emplace_back([&] {
+      int* batch[16];
+      auto drain_batch = [&] {
+        std::size_t const k = dq.steal_batch(batch, 16);
+        for (std::size_t i = 0; i < k; ++i) claimed[*batch[i]].fetch_add(1);
+        stolen.fetch_add(static_cast<long>(k));
+        return k;
+      };
+      while (!done.load(std::memory_order_acquire)) drain_batch();
+      while (drain_batch() > 0) {
+      }
+    });
+
+  for (int i = 0; i < n_items; ++i) {
+    dq.push(&items[i]);
+    if (i % 7 == 0) {
+      if (int* p = dq.pop()) {
+        claimed[*p].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    }
+  }
+  while (int* p = dq.pop()) {
+    claimed[*p].fetch_add(1);
+    popped.fetch_add(1);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(stolen.load() + popped.load(), n_items);
+  for (int i = 0; i < n_items; ++i)
+    ASSERT_EQ(claimed[i].load(), 1) << "item " << i;
+}
+
 }  // namespace
