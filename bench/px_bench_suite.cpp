@@ -20,6 +20,7 @@
 #include "bench_common.hpp"
 #include "px/px.hpp"
 #include "px/runtime/ws_deque.hpp"
+#include "px/serve/serve.hpp"
 #include "px/stencil/stencil.hpp"
 
 namespace {
@@ -204,6 +205,62 @@ void fig4_jacobi2d(px::runtime& rt, std::size_t nx, std::size_t ny,
   if (result.steps != steps) std::abort();
 }
 
+// --- px::serve: latency under open-loop load ------------------------------
+
+// One tenant on a wfq pool receives arrival-clocked spin jobs at a fixed
+// offered rate; the timed block is the full open loop plus drain. ns/op
+// mostly tracks the arrival clock (~1e9/rate past the last arrival), so
+// the real signal is the tenant's p99_ns gauge: the runner's closing
+// counter snapshot records it into the case's counter row, and sweeping
+// the rate emits the p99-vs-offered-load curve in the px-bench/1 JSON.
+// The _noadmit contrast point (cap effectively removed) shows the
+// unbounded tail growth that admission control turns into rejections.
+void serve_open_loop(px::serve::server& sv, px::serve::tenant_id id,
+                     double rate_hz, std::uint64_t jobs) {
+  px::serve::open_loop_config ol;
+  ol.rate_hz = rate_hz;
+  ol.jobs = jobs;
+  ol.request.kind = px::serve::job_kind::spin;
+  ol.request.size = 100'000;  // ~hundreds of us/job: 4 workers saturate
+  ol.request.steps = 4;       // in the low tens of kilojobs per second
+  (void)px::serve::run_open_loop(sv, id, ol);
+  sv.drain();
+}
+
+void serve_latency_cases(runner& r, suite_cli const& cli) {
+  px::scheduler_config cfg = rt_cfg();
+  cfg.policy_name = "wfq";
+  px::runtime rt(cfg);
+  struct point {
+    char const* name;    // bench case, also the tenant/counter name suffix
+    double rate_hz;
+    std::size_t cap;     // max_in_flight (admission)
+  };
+  point const pts[] = {
+      {"serve.p99_load.r1k", 1'000.0, 64},
+      {"serve.p99_load.r4k", 4'000.0, 64},
+      {"serve.p99_load.r16k", 16'000.0, 64},
+      {"serve.p99_load_noadmit.r16k", 16'000.0, std::size_t{1} << 30},
+  };
+  for (auto const& p : pts) {
+    // Fresh server (and tenant counter window) per load point; the server
+    // outlives r.run so the closing snapshot still sees its gauges.
+    px::serve::server sv(rt);
+    px::serve::tenant_config tc;
+    tc.name = std::string(p.name).substr(6);  // strip the "serve." prefix
+    tc.max_in_flight = p.cap;
+    auto const id = sv.add_tenant(tc);
+    r.run(p.name,
+          rt_params({{"policy", "wfq"},
+                     {"rate_hz", std::to_string(
+                                     static_cast<std::uint64_t>(p.rate_hz))},
+                     {"max_in_flight", std::to_string(p.cap)},
+                     {"spin_size", "100000"}}),
+          cli.scaled(512),
+          [&](std::uint64_t n) { serve_open_loop(sv, id, p.rate_hz, n); });
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +274,9 @@ int main(int argc, char** argv) {
 
   px::bench::runner_options opts = px::bench::runner_options::from_env();
   opts.run_seed = rt_cfg().seed;
+  // The serve load-sweep cases report their per-tenant tail latency
+  // through the registry; record those gauges into the report rows.
+  opts.gauge_prefixes.push_back("/px/tenant/");
   runner r(opts);
 
   {
@@ -268,6 +328,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(n2) * n2 * steps2,
           [&](std::uint64_t) { fig4_jacobi2d(rt, n2, n2, steps2); });
   }
+
+  serve_latency_cases(r, *cli);
 
   return px::bench::finalize_suite(r, *cli);
 }

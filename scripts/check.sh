@@ -14,6 +14,14 @@
 # (locality kill/restart, failure detector, checkpoint/rollback recovery)
 # with a 16-seed sweep per property unless PX_TORTURE_SEEDS overrides it.
 #
+# --serve: build and run the ctest-labeled serve suites (scheduling-policy
+# conformance + px::serve multi-tenant isolation, including the co-tenant
+# fail-stop sweep) with a 16-seed budget unless PX_TORTURE_SEEDS overrides
+# it, then gate the default ws_policy against the committed PR 5 baseline:
+# the policy-interface extraction must keep the spawn/yield/steal hot
+# paths within threshold of BENCH_pr5.json (75% smoke threshold unless
+# PX_BENCH_THRESHOLD overrides it — same noise rationale as --bench).
+#
 # --bench: smoke-run the px::bench regression suite (scripts/bench.sh
 # --smoke) against the committed baseline BENCH_seed.json when present.
 # Smoke timings on a shared CI host are noisy, so the lane only fails on
@@ -38,6 +46,19 @@ if [ "${1:-}" = "--resilience" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
    ctest -L resilience --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
+   ctest -L serve --output-on-failure)
+  "$repo/scripts/bench.sh" --smoke \
+    --out "$repo/build/BENCH_serve_smoke.json" \
+    --compare "$repo/BENCH_pr5.json" \
+    --threshold "${PX_BENCH_THRESHOLD:-75}"
   exit 0
 fi
 

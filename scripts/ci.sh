@@ -5,9 +5,12 @@
 #                    transport suites            (scripts/check.sh)
 #   2. resilience    kill/restart + checkpoint/rollback suites under a
 #                    16-seed torture sweep       (scripts/check.sh --resilience)
-#   3. torture       all torture-labeled seed sweeps with a big budget
+#   3. serve         scheduling-policy conformance + px::serve isolation
+#                    sweeps, then the ws_policy vs BENCH_pr5.json
+#                    regression gate             (scripts/check.sh --serve)
+#   4. torture       all torture-labeled seed sweeps with a big budget
 #                    (64 seeds per property)     (scripts/check.sh --torture)
-#   4. bench         px::bench smoke run vs the committed BENCH_seed.json
+#   5. bench         px::bench smoke run vs the committed BENCH_seed.json
 #                    baseline, gross-regression
 #                    threshold only              (scripts/check.sh --bench)
 #
@@ -20,16 +23,19 @@ set -eu
 
 scripts=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
-echo "== ci.sh: lane 1/4 tier-1 (build + full suite + sanitizers) =="
+echo "== ci.sh: lane 1/5 tier-1 (build + full suite + sanitizers) =="
 "$scripts/check.sh"
 
-echo "== ci.sh: lane 2/4 resilience (ctest -L resilience) =="
+echo "== ci.sh: lane 2/5 resilience (ctest -L resilience) =="
 "$scripts/check.sh" --resilience
 
-echo "== ci.sh: lane 3/4 torture (ctest -L torture) =="
+echo "== ci.sh: lane 3/5 serve (ctest -L serve + ws_policy perf gate) =="
+"$scripts/check.sh" --serve
+
+echo "== ci.sh: lane 4/5 torture (ctest -L torture) =="
 "$scripts/check.sh" --torture
 
-echo "== ci.sh: lane 4/4 bench smoke (px::bench vs BENCH_seed.json) =="
+echo "== ci.sh: lane 5/5 bench smoke (px::bench vs BENCH_seed.json) =="
 "$scripts/check.sh" --bench
 
 echo "== ci.sh: all lanes passed =="

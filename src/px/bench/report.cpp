@@ -110,7 +110,22 @@ std::string report::to_json() const {
       out += "\":";
       out += std::to_string(value);
     }
-    out += "}}";
+    out += '}';
+    if (!b.gauges.empty()) {
+      out += ",\"gauges\":{";
+      bool first_g = true;
+      for (auto const& [path, value] : b.gauges) {
+        validate_literal(path);
+        if (!first_g) out += ',';
+        first_g = false;
+        out += '"';
+        out += path;
+        out += "\":";
+        out += std::to_string(value);
+      }
+      out += '}';
+    }
+    out += '}';
   }
   out += "\n]}";
   return out;
@@ -250,6 +265,12 @@ report parse_report_json(std::string const& text) {
             c.parse_object([&](std::string const& path) {
               b.counters.emplace_back(path, c.parse_u64());
             });
+          } else if (bkey == "gauges") {
+            // Optional (emitted only when non-empty; absent in documents
+            // predating gauge recording).
+            c.parse_object([&](std::string const& path) {
+              b.gauges.emplace_back(path, c.parse_u64());
+            });
           } else {
             throw std::runtime_error(
                 "px::bench: unknown benchmark key '" + bkey + "'");
@@ -383,6 +404,17 @@ void runner::finish_case(
   for (auto const& s : counters::delta(before, after).samples)
     if (s.k == counters::kind::monotone && s.value != 0)
       b.counters.emplace_back(s.path, s.value);
+  // Watched gauges are recorded as end-of-case levels (not deltas): a
+  // tenant's p99_ns at the end of a load sweep IS the measurement.
+  for (auto const& s : after.samples) {
+    if (s.k != counters::kind::gauge || s.value == 0) continue;
+    for (auto const& prefix : opts_.gauge_prefixes) {
+      if (s.path.compare(0, prefix.size(), prefix) == 0) {
+        b.gauges.emplace_back(s.path, s.value);
+        break;
+      }
+    }
+  }
   if (opts_.verbose)
     std::printf("  %-44s %12.1f ns/op  (mad %.1f, %llu reps x %llu iters)\n",
                 b.name.c_str(), b.ns_per_op_median, b.ns_per_op_mad,

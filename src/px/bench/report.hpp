@@ -49,6 +49,12 @@ struct bench_result {
   // Monotone counter deltas over the timed repetitions (zero deltas are
   // pruned); insertion order = registry path order.
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  // Gauge levels at the closing snapshot, for gauges the runner was told
+  // to watch (runner_options::gauge_prefixes; zero levels pruned). Levels,
+  // not deltas — the serving benches use this to record per-tenant p99_ns
+  // telemetry into the report. Serialized only when non-empty, so reports
+  // without watched gauges are byte-identical to pre-gauge documents.
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
 };
 
 inline constexpr char const* report_schema = "px-bench/1";
@@ -109,6 +115,9 @@ struct runner_options {
   std::uint64_t warmup = 1;    // untimed warm-up repetitions
   std::uint64_t run_seed = 0;  // recorded verbatim in the report
   bool verbose = true;         // print one line per finished benchmark
+  // Registry path prefixes of gauge counters to record (as end-of-case
+  // levels) into bench_result::gauges. Empty: no gauges recorded.
+  std::vector<std::string> gauge_prefixes;
 
   // reps from PX_BENCH_REPS (floor 1), warmup from PX_BENCH_WARMUP,
   // run_seed from PX_SEED (default scheduler seed otherwise).

@@ -5,10 +5,10 @@
 // for every target kind (runtime, scheduler, execution policy, ambient) —
 // funnel through the two functions in px::detail below and from there into
 // scheduler::spawn, the single instrumented choke point the counter
-// registry and tracer observe. The old per-target `async_on` overloads are
-// kept as thin forwarding shims for source compatibility; new code should
-// prefer the runtime- or policy-target forms (the bare-scheduler shims are
-// deprecated in docs/API.md).
+// registry and tracer observe. The bare-scheduler `async_on`/`post_on`
+// overloads are [[deprecated]] forwarding shims kept for source
+// compatibility only; use the runtime- or policy-target forms (removal
+// note in docs/API.md "Deprecations").
 #pragma once
 
 #include <tuple>
@@ -70,9 +70,13 @@ auto async_on(execution::parallel_policy const& policy, F&& f,
                               std::forward<Args>(args)...);
 }
 
-// Compatibility shim (deprecated): prefer the runtime/policy targets.
+// Compatibility shim: prefer the runtime/policy targets. Scheduled for
+// removal — see docs/API.md "Deprecations".
 template <typename F, typename... Args>
-auto async_on(rt::scheduler& sched, F&& f, Args&&... args) {
+[[deprecated(
+    "async_on(rt::scheduler&) is a compatibility shim; spawn on a "
+    "px::runtime or execution policy instead (docs/API.md)")]] auto
+async_on(rt::scheduler& sched, F&& f, Args&&... args) {
   return detail::spawn_future(sched, std::forward<F>(f),
                               std::forward<Args>(args)...);
 }
@@ -100,9 +104,13 @@ void post_on(execution::parallel_policy const& policy, F&& f,
                          std::forward<Args>(args)...);
 }
 
-// Compatibility shim (deprecated): prefer the runtime/policy targets.
+// Compatibility shim: prefer the runtime/policy targets. Scheduled for
+// removal — see docs/API.md "Deprecations".
 template <typename F, typename... Args>
-void post_on(rt::scheduler& sched, F&& f, Args&&... args) {
+[[deprecated(
+    "post_on(rt::scheduler&) is a compatibility shim; spawn on a "
+    "px::runtime or execution policy instead (docs/API.md)")]] void
+post_on(rt::scheduler& sched, F&& f, Args&&... args) {
   detail::spawn_detached(sched, std::forward<F>(f),
                          std::forward<Args>(args)...);
 }

@@ -24,4 +24,5 @@
 #include "px/parallel/sort.hpp"
 #include "px/runtime/runtime.hpp"
 #include "px/runtime/trace.hpp"
+#include "px/sched/policy.hpp"
 #include "px/support/timer.hpp"

@@ -86,5 +86,11 @@ std::size_t numa_domain() noexcept {
   return w != nullptr ? w->numa_domain() : 0;
 }
 
+std::uint32_t lane() noexcept {
+  rt::worker* w = rt::worker::current();
+  rt::task* t = w != nullptr ? w->current_task() : nullptr;
+  return t != nullptr ? t->lane : sched::lane_default;
+}
+
 }  // namespace this_task
 }  // namespace px

@@ -79,6 +79,10 @@ void sleep_for(std::chrono::nanoseconds d);
 // Virtual NUMA domain of the executing worker (0 outside a task).
 [[nodiscard]] std::size_t numa_domain() noexcept;
 
+// Scheduling lane of the current task (sched::lane_default outside a task).
+// Spawns made from inside a task inherit this lane unless overridden.
+[[nodiscard]] std::uint32_t lane() noexcept;
+
 }  // namespace this_task
 
 }  // namespace px

@@ -17,6 +17,8 @@ scheduler_config scheduler_config::from_env() {
   if (auto v = env_bool("PX_PIN_THREADS")) cfg.pin_threads = *v;
   if (auto v = env_size("PX_NUMA_DOMAINS")) cfg.numa_domains = *v;
   if (auto v = env_u64("PX_SEED")) cfg.seed = *v;
+  if (auto v = env_token("PX_SCHED_POLICY", {"ws", "wfq", "priority"}))
+    cfg.policy_name = *v;
   return cfg;
 }
 
@@ -45,6 +47,12 @@ scheduler::scheduler(scheduler_config cfg)
         *this, i, i / per_domain,
         cfg_.seed ^ (i * 0x9e3779b97f4a7c15ull)));
   }
+  PX_ASSERT_MSG(cfg_.policy || px::sched::is_policy_name(cfg_.policy_name),
+                "scheduler_config::policy_name is not a known policy");
+  policy_ = cfg_.policy ? cfg_.policy()
+                        : px::sched::make_policy(cfg_.policy_name);
+  PX_ASSERT_MSG(policy_ != nullptr, "policy factory returned nullptr");
+  policy_->bind(*this);
   register_counters();
   // Torture invariant: whenever the process claims quiescence, no task may
   // still be accounted active in this scheduler.
@@ -75,6 +83,8 @@ void scheduler::register_counters() {
   counters_.add(sched_prefix + "}/global_queue", pc::kind::gauge, [this] {
     return std::uint64_t{global_size_.load(std::memory_order_relaxed)};
   });
+  counters_.add(sched_prefix + "}/lanes", pc::kind::gauge,
+                [this] { return std::uint64_t{policy_->lane_count()}; });
 
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     worker const* w = workers_[i].get();
@@ -192,10 +202,20 @@ void scheduler::stop() {
   state_.store(run_state::stopped, std::memory_order_release);
 }
 
-void scheduler::spawn(unique_function<void()> work, int hint) {
+void scheduler::spawn(unique_function<void()> work, int hint,
+                      std::uint32_t lane) {
   PX_ASSERT_MSG(running(), "spawn on a scheduler that is not running");
   task* const t = ::new (alloc_task_block()) task(*this, std::move(work), hint);
   t->id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
+  if (lane == px::sched::lane_inherit) {
+    // Inherit the spawning task's lane so a tenant's entire task tree bills
+    // to the tenant's lane; external threads land in the default lane.
+    worker* const w = worker::current();
+    task* const cur =
+        (w != nullptr && &w->owner() == this) ? w->current_task() : nullptr;
+    lane = cur != nullptr ? cur->lane : px::sched::lane_default;
+  }
+  t->lane = lane;
   active_.fetch_add(1, std::memory_order_acq_rel);
   tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
 
@@ -222,22 +242,12 @@ void scheduler::wake(task* t) {
 }
 
 void scheduler::enqueue_ready(task* t, bool prefer_local) {
-  // Torture flip: route a would-be-local push through the global queue so a
-  // different worker picks it up — the cheapest way to force cross-thread
-  // task migration on wake paths.
+  // Torture flip: defeat a would-be-local placement so a different worker
+  // picks the task up — the cheapest way to force cross-thread task
+  // migration on wake paths (under ws_policy that means the global queue;
+  // lane policies route centrally regardless).
   if (prefer_local && PX_TORTURE_DECIDE(sched_enqueue)) prefer_local = false;
-  worker* const w = worker::current();
-  if (prefer_local && w != nullptr && &w->owner() == this) {
-    w->push_local(t);
-    notify_one_worker();
-    return;
-  }
-  {
-    std::lock_guard<std::mutex> lock(global_mutex_);
-    global_queue_.push_back(t);
-    global_size_.store(global_queue_.size(), std::memory_order_relaxed);
-  }
-  notify_one_worker();
+  policy_->enqueue(t, prefer_local);
 }
 
 task* scheduler::pop_global() {

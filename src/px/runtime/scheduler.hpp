@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,7 @@
 #include "px/runtime/task.hpp"
 #include "px/runtime/task_pool.hpp"
 #include "px/runtime/worker.hpp"
+#include "px/sched/policy.hpp"
 #include "px/support/unique_function.hpp"
 #include "px/torture/invariant.hpp"
 
@@ -38,6 +40,15 @@ struct scheduler_config {
   // in (see scheduler ctor) so seeds actually vary steal order.
   std::uint64_t seed = 0x5eedbeef;
 
+  // Scheduling discipline: "ws" (default work-stealing), "wfq"
+  // (weighted-fair lanes) or "priority" (strict-priority lanes) — env
+  // override PX_SCHED_POLICY. Ignored when `policy` is set.
+  std::string policy_name = "ws";
+  // Factory for a custom scheduling_policy instance; wins over policy_name.
+  // A factory (not an instance) so scheduler_config stays copyable and each
+  // scheduler gets its own policy object.
+  std::function<std::unique_ptr<px::sched::scheduling_policy>()> policy;
+
   // Test-only bug reintroduction (the reliability-layer knob pattern):
   // reverts the injection queues to the pre-PR5 unsynchronized size
   // publication and makes workers trust the racy size estimate when
@@ -45,8 +56,9 @@ struct scheduler_config {
   // mpsc_queue and tests/test_torture_mpsc.cpp.
   bool test_relaxed_wake_protocol = false;
 
-  // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS and
-  // PX_SEED on top of the defaults — the --hpx:threads-style knobs of §VI.
+  // Reads PX_WORKERS, PX_STACK_SIZE, PX_PIN_THREADS, PX_NUMA_DOMAINS,
+  // PX_SEED and PX_SCHED_POLICY on top of the defaults — the
+  // --hpx:threads-style knobs of §VI.
   [[nodiscard]] static scheduler_config from_env();
 };
 
@@ -65,8 +77,13 @@ class scheduler {
   void stop();
 
   // Creates and enqueues a task. `hint` >= 0 pins the initial placement to
-  // that worker's queue (used by the block executor for NUMA affinity).
-  void spawn(unique_function<void()> work, int hint = -1);
+  // that worker's queue (used by the block executor for NUMA affinity) and
+  // bypasses lane routing — strict placement wins over fairness. `lane`
+  // selects the scheduling lane under lane-based policies; the default
+  // lane_inherit resolves to the spawning task's lane (so a tenant's whole
+  // task tree bills to the tenant), or lane 0 outside any task.
+  void spawn(unique_function<void()> work, int hint = -1,
+             std::uint32_t lane = px::sched::lane_inherit);
 
   // Wake protocol entry point used by LCOs; see task.hpp for the contract.
   void wake(task* t);
@@ -79,6 +96,10 @@ class scheduler {
 
   [[nodiscard]] std::size_t num_workers() const noexcept {
     return workers_.size();
+  }
+  // The active scheduling policy (fixed for the scheduler's lifetime).
+  [[nodiscard]] px::sched::scheduling_policy& policy() noexcept {
+    return *policy_;
   }
   [[nodiscard]] worker& worker_at(std::size_t i) { return *workers_[i]; }
   [[nodiscard]] fibers::stack_pool& stacks() noexcept { return stacks_; }
@@ -125,6 +146,9 @@ class scheduler {
 
  private:
   friend class worker;
+  // Policies reach the queue primitives (global queue, notify, worker
+  // deques) through the scheduling_policy protected accessors only.
+  friend class px::sched::scheduling_policy;
 
   // Task-block recycling (see task_pool.hpp): spawn placement-news into a
   // pooled block, retire destroys and returns it. Steady-state spawning
@@ -147,6 +171,7 @@ class scheduler {
   task_block_pool free_blocks_;  // shared overflow level of the task pool
   std::vector<std::unique_ptr<worker>> workers_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<px::sched::scheduling_policy> policy_;
 
   std::mutex global_mutex_;
   std::deque<task*> global_queue_;

@@ -56,6 +56,7 @@ class task {
   fibers::stack stk{};
   std::atomic<int> phase{st_ready};
   int hint;             // preferred worker (block executor) or -1
+  std::uint32_t lane = 0;  // scheduling lane (px::sched policies); 0 default
   std::uint64_t id = 0; // debug id assigned by the scheduler
   task* qnext = nullptr;  // intrusive link for mpsc_queue (injection lane)
 

@@ -59,47 +59,22 @@ task* worker::find_work() {
     if (task* t = sched_.pop_global()) return t;
     if (task* t = injection_.pop()) return t;
   }
-  // Torture flip: drain the injection queue before our own deque, so wakes
-  // and yields race the LIFO hot path from the other direction.
+  // The injection queue and global overflow are structural (strict hinted
+  // placement and external submission contracts); everything in between is
+  // the policy's call.
+  px::sched::scheduling_policy& pol = sched_.policy();
+  PX_TORTURE_POINT(policy_dequeue);
+  // Torture flip: drain the injection queue before the policy's local path,
+  // so wakes and yields race the hot path from the other direction.
   if (PX_TORTURE_DECIDE(worker_find_work)) {
     if (task* t = injection_.pop()) return t;
-    if (task* t = deque_.pop()) return t;
+    if (task* t = pol.dequeue_local(*this)) return t;
   } else {
-    if (task* t = deque_.pop()) return t;
+    if (task* t = pol.dequeue_local(*this)) return t;
     if (task* t = injection_.pop()) return t;
   }
-  if (task* t = try_steal()) return t;
+  if (task* t = pol.steal(*this)) return t;
   if (task* t = sched_.pop_global()) return t;
-  return nullptr;
-}
-
-task* worker::try_steal() {
-  std::size_t const n = sched_.num_workers();
-  if (n <= 1) return nullptr;
-  // Two full random rounds before giving up; the caller backs off/parks.
-  PX_TORTURE_POINT(worker_pre_steal);
-  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
-    std::size_t victim = rng_.below(n);
-    // Torture: re-draw the victim so the visit order differs from what the
-    // run-seeded stream alone would produce.
-    if (PX_TORTURE_DECIDE(steal_victim)) victim = rng_.below(n);
-    if (victim == index_) continue;
-    // Steal-half: one victim probe amortized over up to steal_batch_max
-    // tasks. The oldest runs now; the rest land on our own deque where
-    // they're cheap to pop (and stealable again if we fall behind). No
-    // notify for the surplus: parked peers re-scan every bounded-park
-    // tick anyway, and waking one eagerly just makes it steal the batch
-    // right back — a wake/steal ping-pong that swamps the saved latency.
-    task* batch[steal_batch_max];
-    std::size_t const k =
-        sched_.worker_at(victim).deque_.steal_batch(batch, steal_batch_max);
-    if (k > 0) {
-      stats_.steals += k;
-      for (std::size_t i = 1; i < k; ++i) deque_.push(batch[i]);
-      PX_TORTURE_POINT(worker_post_steal);
-      return batch[0];
-    }
-  }
   return nullptr;
 }
 
@@ -193,8 +168,12 @@ void worker::park() {
     injection_empty = view.empty;
     epoch_pre = view.push_epoch;
   }
-  if (!injection_empty || deque_.size_estimate() > 0 ||
-      sched_.global_size_.load() > 0 || sched_.stop_requested()) {
+  // The policy's pending_locked carries the same obligation for
+  // policy-owned queues: it must take the locks the enqueue path takes
+  // (ws_policy checks its deque estimate + global size, exactly the
+  // pre-extraction checks; lane policies take the lane mutex).
+  if (!injection_empty || sched_.policy().pending_locked(*this) ||
+      sched_.stop_requested()) {
     parked_.store(false, std::memory_order_release);
     return;
   }

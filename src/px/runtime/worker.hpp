@@ -14,6 +14,10 @@
 #include "px/runtime/ws_deque.hpp"
 #include "px/support/random.hpp"
 
+namespace px::sched {
+class scheduling_policy;
+}
+
 namespace px::rt {
 
 class scheduler;
@@ -88,14 +92,13 @@ class worker {
 
  private:
   friend class scheduler;
+  // Policies reach the deque/stats/RNG through the scheduling_policy
+  // protected accessors only (see px/sched/policy.hpp).
+  friend class px::sched::scheduling_policy;
 
   task* find_work();
-  task* try_steal();
   void execute(task* t);
   void park();
-
-  // One batch-steal transfer; bounds how much one thief takes per probe.
-  static constexpr std::size_t steal_batch_max = 16;
 
   scheduler& sched_;
   std::size_t const index_;

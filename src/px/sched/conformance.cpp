@@ -1,0 +1,107 @@
+#include "px/sched/conformance.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "px/runtime/runtime.hpp"
+#include "px/sched/policy.hpp"
+
+namespace px::sched {
+namespace {
+
+bool quiesce_within(rt::scheduler& s, std::chrono::milliseconds deadline) {
+  auto const until = std::chrono::steady_clock::now() + deadline;
+  // Poll instead of wait_quiescent(): a policy that loses a task would hang
+  // the cv wait forever, and a conformance failure must be a report, not a
+  // deadlock.
+  while (s.active_tasks() != 0) {
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> run_policy_conformance(
+    conformance_config const& cfg) {
+  scheduler_config sc;
+  sc.num_workers = cfg.workers;
+  sc.policy_name = cfg.policy_name;
+  runtime rt(sc);
+
+  std::vector<lane_id> lanes;
+  lanes.push_back(lane_default);
+  for (std::size_t i = 0; i < cfg.lanes; ++i) {
+    lane_desc d;
+    d.name = "conf#" + std::to_string(i);
+    d.weight = static_cast<double>(i + 1);
+    d.priority = static_cast<std::uint32_t>(i);
+    lanes.push_back(rt.sched().policy().create_lane(d));
+  }
+
+  std::size_t const n = cfg.tasks;
+  // One execution counter per task per wave; exactly-once means every slot
+  // ends at 1. Children get their own slot in the upper half.
+  auto counts = std::make_unique<std::atomic<std::uint32_t>[]>(2 * n);
+  std::atomic<std::uint64_t> lane_mismatches{0};
+
+  for (std::size_t wave = 0; wave < cfg.waves; ++wave) {
+    for (std::size_t i = 0; i < 2 * n; ++i)
+      counts[i].store(0, std::memory_order_relaxed);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      lane_id const lane = lanes[i % lanes.size()];
+      bool const spawn_child = (i % 2) == 0;
+      rt.sched().spawn(
+          [&counts, &lane_mismatches, &rt, i, n, lane, spawn_child] {
+            counts[i].fetch_add(1, std::memory_order_relaxed);
+            if ((i % 3) == 0) this_task::yield();  // injection-queue traffic
+            if (spawn_child) {
+              // lane_inherit (the spawn default): the child must observe
+              // the parent's lane or fairness accounting silently leaks
+              // across tenants.
+              rt.sched().spawn([&counts, &lane_mismatches, i, n, lane] {
+                if (this_task::lane() != lane)
+                  lane_mismatches.fetch_add(1, std::memory_order_relaxed);
+                counts[n + i].fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+          },
+          /*hint=*/-1, lane);
+    }
+
+    if (!quiesce_within(rt.sched(),
+                        std::chrono::milliseconds(cfg.wave_deadline_ms)))
+      return "liveness: wave " + std::to_string(wave) + " did not quiesce (" +
+             std::to_string(rt.sched().active_tasks()) +
+             " task(s) still active) — task loss or lost wake";
+
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      std::uint32_t const c = counts[i].load(std::memory_order_relaxed);
+      std::uint32_t const expect =
+          (i < n || ((i - n) % 2) == 0) ? 1u : 0u;  // odd parents: no child
+      if (c == expect) continue;
+      char const* const what = c < expect ? "task loss" : "duplicate execution";
+      return std::string(what) + ": slot " + std::to_string(i) + " ran " +
+             std::to_string(c) + "x (wave " + std::to_string(wave) + ")";
+    }
+    if (rt.sched().active_tasks() != 0)
+      return "quiesce balance: active_tasks() nonzero after drain";
+
+    // Park/unpark liveness: give the pool time to go fully idle (every
+    // worker parked), then resubmit from this external thread. A policy
+    // whose pending_locked misses an enqueue strands this wave.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  if (std::uint64_t const m = lane_mismatches.load(std::memory_order_relaxed))
+    return "lane inheritance: " + std::to_string(m) +
+           " child task(s) observed a lane other than their parent's";
+  return std::nullopt;
+}
+
+}  // namespace px::sched

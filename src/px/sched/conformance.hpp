@@ -1,0 +1,45 @@
+// px/sched/conformance.hpp
+// Reusable conformance suite for scheduling policies. Any policy — built-in
+// or user-supplied — must preserve four runtime invariants regardless of how
+// it routes tasks; this suite drives a policy through spawn storms, lane
+// fan-out, suspension/wake traffic and repeated park/unpark waves and checks:
+//
+//   no task loss            every spawned task executes (a policy that drops
+//                           an enqueue or strands a queue hangs quiescence);
+//   no duplicate execution  every task executes exactly once (a policy that
+//                           double-enqueues runs a retired task block);
+//   quiesce balance         active_tasks() returns to zero after each wave —
+//                           the obligation count the policy's routing must
+//                           conserve;
+//   steal/park liveness     work submitted from an external thread while the
+//                           whole pool is parked still runs promptly (the
+//                           lost-wake protocol: pending_locked + notify).
+//
+// Run it under torture::forall_seeds for schedule exploration; each failure
+// mode is reported as a string so the harness can attach the seed. The suite
+// also exercises lane inheritance on lane-based policies (children must bill
+// to their parent's lane).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace px::sched {
+
+struct conformance_config {
+  std::string policy_name = "ws";
+  std::size_t workers = 4;
+  std::size_t tasks = 512;    // tasks per wave (half spawn an inheriting child)
+  std::size_t lanes = 3;      // extra lanes created (no-op on lane-less)
+  std::size_t waves = 3;      // quiesce/park/resubmit cycles
+  // Liveness deadline per wave; generous because torture sleeps stretch
+  // schedules by design.
+  std::size_t wave_deadline_ms = 30'000;
+};
+
+// Runs the suite once (compose with torture::forall_seeds for sweeps).
+// Returns std::nullopt on success, a failure description otherwise.
+[[nodiscard]] std::optional<std::string> run_policy_conformance(
+    conformance_config const& cfg);
+
+}  // namespace px::sched

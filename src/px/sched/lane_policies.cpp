@@ -1,0 +1,138 @@
+#include "px/sched/lane_policies.hpp"
+
+#include <algorithm>
+
+#include "px/runtime/task.hpp"
+#include "px/runtime/worker.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::sched {
+
+lane_policy_base::lane_policy_base() {
+  // Lane 0 — the always-present default lane — so tasks spawned outside any
+  // tenant (runtime bootstrap, tests, ambient async) have a home.
+  lanes_.push_back(lane{});
+  lanes_.back().desc.name = "default";
+  lanes_.back().stride = wfq_policy::stride_scale;
+}
+
+lane_policy_base::~lane_policy_base() = default;
+
+void lane_policy_base::enqueue(rt::task* t, bool /*prefer_local*/) {
+  // prefer_local is deliberately ignored: fairness is decided centrally, so
+  // even a worker's own spawns go through the lane table.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t i = t->lane;
+    if (i >= lanes_.size()) i = lane_default;  // stale/unknown lane id
+    if (lanes_[i].q.empty()) activated_locked(i);
+    lanes_[i].q.push_back(t);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  notify_one();
+}
+
+rt::task* lane_policy_base::dequeue_local(rt::worker& /*w*/) {
+  // Lock-free empty fast path; a racy miss is caught by the next find-work
+  // round or the locked park check.
+  if (total_.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_.load(std::memory_order_relaxed) == 0) return nullptr;
+  std::size_t const i = pick_locked();
+  PX_ASSERT_MSG(!lanes_[i].q.empty(), "pick_locked chose an empty lane");
+  rt::task* const t = lanes_[i].q.front();
+  lanes_[i].q.pop_front();
+  lanes_[i].dequeued += 1;
+  total_.fetch_sub(1, std::memory_order_relaxed);
+  served_locked(i);
+  return t;
+}
+
+rt::task* lane_policy_base::steal(rt::worker& /*w*/) {
+  // Nothing sits in per-worker deques under lane policies; the shared lane
+  // table is the steal target and dequeue_local already drains it.
+  return nullptr;
+}
+
+bool lane_policy_base::pending_locked(rt::worker& /*w*/) {
+  // Park-hint under the enqueue lock (lost-wake protocol): the parker has
+  // already published parked_, so any enqueue that completed its critical
+  // section before this lock acquisition is observed here, and any later
+  // enqueue observes parked_ and notifies.
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_.load(std::memory_order_relaxed) > 0 || global_size() > 0;
+}
+
+lane_id lane_policy_base::create_lane(lane_desc const& d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lanes_.push_back(lane{});
+  lane& l = lanes_.back();
+  l.desc = d;
+  if (l.desc.weight <= 0.0) l.desc.weight = 1.0;
+  l.stride = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(wfq_policy::stride_scale) / l.desc.weight));
+  return static_cast<lane_id>(lanes_.size() - 1);
+}
+
+std::size_t lane_policy_base::lane_count() const noexcept {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lanes_.size();
+}
+
+std::uint64_t lane_policy_base::lane_queued(lane_id id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id >= lanes_.size()) return 0;
+  return lanes_[id].q.size();
+}
+
+void lane_policy_base::served_locked(std::size_t /*i*/) {}
+void lane_policy_base::activated_locked(std::size_t /*i*/) {}
+
+// ---- wfq ------------------------------------------------------------------
+
+std::size_t wfq_policy::pick_locked() {
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].q.empty()) continue;
+    if (!found || lanes_[i].pass < lanes_[best].pass) {
+      best = i;
+      found = true;
+    }
+  }
+  PX_ASSERT_MSG(found, "wfq pick with all lanes empty");
+  return best;
+}
+
+void wfq_policy::served_locked(std::size_t i) {
+  // Stride scheduling: advance the served lane's virtual finish time by its
+  // stride (inversely proportional to weight) and remember the global
+  // virtual time for idle-lane catch-up.
+  vtime_ = lanes_[i].pass;
+  lanes_[i].pass += lanes_[i].stride;
+}
+
+void wfq_policy::activated_locked(std::size_t i) {
+  // Empty -> nonempty: forfeit credit accumulated while idle, otherwise a
+  // long-idle lane would monopolize the pool on return.
+  lanes_[i].pass = std::max(lanes_[i].pass, vtime_);
+}
+
+// ---- strict priority ------------------------------------------------------
+
+std::size_t priority_policy::pick_locked() {
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].q.empty()) continue;
+    if (!found || lanes_[i].desc.priority < lanes_[best].desc.priority) {
+      best = i;
+      found = true;
+    }
+  }
+  PX_ASSERT_MSG(found, "priority pick with all lanes empty");
+  return best;
+}
+
+}  // namespace px::sched

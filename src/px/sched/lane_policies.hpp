@@ -1,0 +1,109 @@
+// px/sched/lane_policies.hpp
+// Lane-based scheduling policies for multi-tenant serving (px::serve):
+//
+//   wfq_policy       weighted-fair queuing by stride scheduling: every
+//                    lane carries a virtual-time `pass`, advanced by
+//                    stride = K / weight per dequeued task; dequeues serve
+//                    the nonempty lane with the smallest pass. Over any
+//                    saturated interval lane i receives dequeue bandwidth
+//                    proportional to weight_i. A lane going idle forfeits
+//                    its credit: on the empty -> nonempty transition its
+//                    pass is caught up to the global virtual time, so a
+//                    long-idle tenant cannot monopolize the pool when it
+//                    returns.
+//
+//   priority_policy  strict priority lanes: dequeues always serve the
+//                    most-urgent (lowest `priority`) nonempty lane, FIFO
+//                    within a lane. Starvation of lower lanes under
+//                    sustained high-priority load is the intended
+//                    semantics — pair with px::serve admission control.
+//
+// Structure shared by both: all lanes hang off one mutex-protected table.
+// Enqueues append under the lock and then notify one worker; dequeues pick
+// a lane under the same lock. A relaxed total-size gate keeps the empty
+// dequeue path lock-free (a racy miss only delays a worker until its next
+// find-work round or its locked park check — never loses a wake, because
+// worker::park() re-inspects through pending_locked() under this mutex
+// after publishing parked_; see the lost-wake note in policy.hpp).
+//
+// The local-deque fast path is intentionally bypassed: fairness is a
+// global property, and a central O(lanes) pick under one lock is exact.
+// The tenant counts this serves (dozens, not thousands) keep the scan
+// cheap; sharding the lane table is future work if it ever shows up hot.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "px/sched/policy.hpp"
+
+namespace px::sched {
+
+class lane_policy_base : public scheduling_policy {
+ public:
+  void enqueue(rt::task* t, bool prefer_local) override;
+  [[nodiscard]] rt::task* dequeue_local(rt::worker& w) override;
+  [[nodiscard]] rt::task* steal(rt::worker& w) override;
+  [[nodiscard]] bool pending_locked(rt::worker& w) override;
+
+  lane_id create_lane(lane_desc const& d) override;
+  [[nodiscard]] std::size_t lane_count() const noexcept override;
+  [[nodiscard]] std::uint64_t lane_queued(lane_id id) const override;
+
+ protected:
+  lane_policy_base();
+  ~lane_policy_base() override;
+
+  struct lane {
+    std::deque<rt::task*> q;
+    lane_desc desc;
+    std::uint64_t pass = 0;    // wfq virtual finish time
+    std::uint64_t stride = 0;  // wfq: stride_scale / weight
+    std::uint64_t dequeued = 0;
+  };
+
+  // Index of the nonempty lane to serve next; called under mu_ with
+  // total_ > 0 guaranteed.
+  [[nodiscard]] virtual std::size_t pick_locked() = 0;
+  // Lane bookkeeping after a task was popped from lanes_[i]; under mu_.
+  virtual void served_locked(std::size_t i);
+  // Lane bookkeeping on the empty -> nonempty transition; under mu_.
+  virtual void activated_locked(std::size_t i);
+
+  mutable std::mutex mu_;
+  std::vector<lane> lanes_;  // index == lane_id; lane 0 is the default
+
+ private:
+  std::atomic<std::size_t> total_{0};  // relaxed gate, exact under mu_
+};
+
+class wfq_policy final : public lane_policy_base {
+ public:
+  [[nodiscard]] char const* name() const noexcept override { return "wfq"; }
+
+  // Pass/stride fixed-point scale: a weight-1 lane advances its pass by
+  // stride_scale per served task.
+  static constexpr std::uint64_t stride_scale = 1u << 20;
+
+ protected:
+  [[nodiscard]] std::size_t pick_locked() override;
+  void served_locked(std::size_t i) override;
+  void activated_locked(std::size_t i) override;
+
+ private:
+  std::uint64_t vtime_ = 0;  // pass of the most recently served lane
+};
+
+class priority_policy final : public lane_policy_base {
+ public:
+  [[nodiscard]] char const* name() const noexcept override {
+    return "priority";
+  }
+
+ protected:
+  [[nodiscard]] std::size_t pick_locked() override;
+};
+
+}  // namespace px::sched

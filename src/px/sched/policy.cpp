@@ -1,0 +1,97 @@
+#include "px/sched/policy.hpp"
+
+#include <mutex>
+
+#include "px/runtime/scheduler.hpp"
+#include "px/runtime/worker.hpp"
+#include "px/sched/lane_policies.hpp"
+#include "px/sched/ws_policy.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::sched {
+
+scheduling_policy::~scheduling_policy() = default;
+
+void scheduling_policy::bind(rt::scheduler& s) {
+  PX_ASSERT_MSG(sched_ == nullptr, "scheduling_policy bound twice");
+  sched_ = &s;
+}
+
+lane_id scheduling_policy::create_lane(lane_desc const&) {
+  return lane_default;
+}
+
+std::size_t scheduling_policy::lane_count() const noexcept { return 0; }
+
+std::uint64_t scheduling_policy::lane_queued(lane_id) const { return 0; }
+
+rt::scheduler& scheduling_policy::sched() const noexcept {
+  PX_ASSERT_MSG(sched_ != nullptr, "scheduling_policy used before bind()");
+  return *sched_;
+}
+
+std::size_t scheduling_policy::num_workers() const noexcept {
+  return sched().num_workers();
+}
+
+rt::worker* scheduling_policy::current_worker_here() const noexcept {
+  rt::worker* const w = rt::worker::current();
+  return (w != nullptr && &w->owner() == sched_) ? w : nullptr;
+}
+
+void scheduling_policy::push_deque(rt::worker& w, rt::task* t) {
+  w.deque_.push(t);
+}
+
+rt::task* scheduling_policy::pop_deque(rt::worker& w) {
+  return w.deque_.pop();
+}
+
+std::size_t scheduling_policy::deque_size_estimate(rt::worker const& w) {
+  return w.deque_.size_estimate();
+}
+
+void scheduling_policy::push_global(rt::task* t) {
+  rt::scheduler& s = sched();
+  std::lock_guard<std::mutex> lock(s.global_mutex_);
+  s.global_queue_.push_back(t);
+  s.global_size_.store(s.global_queue_.size(), std::memory_order_relaxed);
+}
+
+rt::task* scheduling_policy::pop_global() { return sched().pop_global(); }
+
+std::size_t scheduling_policy::global_size() const noexcept {
+  // seq_cst: pending_locked implementations read this after the parker
+  // published parked_ (seq_cst); keep the pre-extraction park() ordering.
+  return sched().global_size_.load(std::memory_order_seq_cst);
+}
+
+void scheduling_policy::notify_one() { sched().notify_one_worker(); }
+
+std::size_t scheduling_policy::steal_batch_from(std::size_t victim,
+                                                rt::task** buf,
+                                                std::size_t cap) {
+  return sched().worker_at(victim).deque_.steal_batch(buf, cap);
+}
+
+void scheduling_policy::count_steals(rt::worker& w, std::size_t n) {
+  w.stats_.steals += n;
+}
+
+std::uint64_t scheduling_policy::rng_below(rt::worker& w, std::uint64_t n) {
+  return w.rng_.below(n);
+}
+
+bool is_policy_name(std::string_view name) noexcept {
+  return name == "ws" || name == "wfq" || name == "priority";
+}
+
+std::unique_ptr<scheduling_policy> make_policy(std::string_view name) {
+  if (name == "ws") return std::make_unique<ws_policy>();
+  if (name == "wfq") return std::make_unique<wfq_policy>();
+  if (name == "priority") return std::make_unique<priority_policy>();
+  PX_ASSERT_MSG(false, "unknown scheduling policy name");
+  return std::make_unique<ws_policy>();
+}
+
+}  // namespace px::sched

@@ -1,0 +1,171 @@
+// px/sched/policy.hpp
+// The pluggable scheduling-policy interface. PR 6 breaks the hard-coded
+// worker::find_work() / scheduler enqueue coupling into four virtual
+// decision points so alternative disciplines (weighted-fair lanes, strict
+// priorities, later NUMA-aware or cosched-style policies) can replace the
+// work-stealing default without touching the worker loop:
+//
+//   enqueue        where does a ready task go (local deque, global queue,
+//                  a policy-owned lane)?
+//   dequeue_local  the next task for an asking worker from policy-managed
+//                  structures (the worker polls its own injection queue and
+//                  the scheduler's global queue around this call — those
+//                  are structural: hinted placement and yield FIFOs are
+//                  contracts the policy must not break).
+//   steal          one steal attempt on behalf of an idle worker.
+//   pending_locked the park-hint: consulted by worker::park() inside the
+//                  lost-wake protocol's pre-sleep inspection. It MUST
+//                  observe every enqueue whose critical section completed
+//                  (take the same lock the enqueue path takes — an atomic
+//                  size estimate is NOT enough, see worker::park()); a
+//                  policy that misses one here reintroduces the PR 5 MPSC
+//                  lost-wake bug, bounded-park rescue and all.
+//
+// Policies are chosen per scheduler via scheduler_config::policy (factory)
+// or scheduler_config::policy_name ("ws" | "wfq" | "priority", env override
+// PX_SCHED_POLICY). The default ws_policy reproduces the pre-PR6 behavior
+// decision for decision, including its torture sites and RNG draw order, so
+// the regression baseline carries over unchanged.
+//
+// Tasks carry a lane id for lane-based policies. Lane 0 always exists (the
+// default lane); ws_policy ignores lanes entirely. A spawn with
+// lane_inherit (the default) takes the spawning task's lane, so a tenant's
+// entire task tree bills to the tenant — the property px::serve's fairness
+// rests on. Strict-placement hinted spawns go through the target worker's
+// injection queue and bypass lanes by design (first-touch NUMA placement
+// wins over fairness; see ARCHITECTURE "Scheduling policies").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace px::rt {
+class scheduler;
+class worker;
+class task;
+}  // namespace px::rt
+
+namespace px::sched {
+
+// Lane identifier carried by every task. Lane 0 is the always-present
+// default lane of lane-based policies (and meaningless under ws_policy).
+using lane_id = std::uint32_t;
+inline constexpr lane_id lane_default = 0;
+// Spawn sentinel: inherit the spawning task's lane (0 from external
+// threads or non-task contexts).
+inline constexpr lane_id lane_inherit = ~lane_id{0};
+
+// Descriptor for create_lane(). `weight` feeds wfq_policy (relative share
+// of dequeue bandwidth, > 0); `priority` feeds priority_policy (0 is the
+// most urgent). `name` is diagnostic only.
+struct lane_desc {
+  std::string name;
+  double weight = 1.0;
+  std::uint32_t priority = 1;
+};
+
+class scheduling_policy {
+ public:
+  scheduling_policy() = default;
+  virtual ~scheduling_policy();
+
+  scheduling_policy(scheduling_policy const&) = delete;
+  scheduling_policy& operator=(scheduling_policy const&) = delete;
+
+  [[nodiscard]] virtual char const* name() const noexcept = 0;
+
+  // Bound exactly once, after the scheduler's workers are constructed and
+  // before any starts running. Overrides must call the base.
+  virtual void bind(rt::scheduler& s);
+
+  // ---- the four decision points -----------------------------------------
+
+  // Route a ready task (fresh spawn, wake winner, or global re-route).
+  // `prefer_local` is a placement hint: the caller is a worker of this
+  // scheduler and the task may go to its own queues. Runs on arbitrary
+  // threads; must pair every cross-thread push with a worker notification
+  // (notify_one()) so parked workers observe the work.
+  virtual void enqueue(rt::task* t, bool prefer_local) = 0;
+
+  // Next task for `w` from policy-managed queues, or nullptr. Called on
+  // w's own thread only.
+  [[nodiscard]] virtual rt::task* dequeue_local(rt::worker& w) = 0;
+
+  // One steal attempt for an otherwise-idle `w`; nullptr when nothing was
+  // found. Called on w's own thread only.
+  [[nodiscard]] virtual rt::task* steal(rt::worker& w) = 0;
+
+  // Park-hint: true when policy-visible work exists for `w` (or anyone).
+  // Called by worker::park() after it has published parked_ == true; must
+  // take the locks the enqueue path takes (lost-wake protocol — see the
+  // header comment).
+  [[nodiscard]] virtual bool pending_locked(rt::worker& w) = 0;
+
+  // ---- lanes (no-ops on lane-less policies) -----------------------------
+
+  // Registers a lane and returns its id. Thread-safe. Lane-less policies
+  // accept the call and route everything identically (returns
+  // lane_default).
+  virtual lane_id create_lane(lane_desc const& d);
+  [[nodiscard]] virtual std::size_t lane_count() const noexcept;
+  // Tasks currently queued in `id` (0 for unknown ids / lane-less
+  // policies). Monitoring only.
+  [[nodiscard]] virtual std::uint64_t lane_queued(lane_id id) const;
+
+ protected:
+  // ---- primitives for policy authors ------------------------------------
+  // Thin accessors into scheduler/worker internals, so policies compose
+  // the same building blocks the built-ins use instead of befriending the
+  // runtime themselves.
+
+  [[nodiscard]] rt::scheduler& sched() const noexcept;
+  [[nodiscard]] bool bound() const noexcept { return sched_ != nullptr; }
+  [[nodiscard]] std::size_t num_workers() const noexcept;
+
+  // The calling worker iff it belongs to the bound scheduler, else nullptr.
+  [[nodiscard]] rt::worker* current_worker_here() const noexcept;
+
+  // Owner-side Chase–Lev deque of `w` (LIFO pop, stealable tail).
+  static void push_deque(rt::worker& w, rt::task* t);
+  [[nodiscard]] static rt::task* pop_deque(rt::worker& w);
+  [[nodiscard]] static std::size_t deque_size_estimate(rt::worker const& w);
+
+  // Scheduler-level overflow queue (FIFO, mutex-protected; its size read
+  // is what pending_locked implementations may consult).
+  void push_global(rt::task* t);
+  [[nodiscard]] rt::task* pop_global();
+  [[nodiscard]] std::size_t global_size() const noexcept;
+
+  // Wakes one parked worker (round-robin scan). Pair with cross-thread
+  // pushes.
+  void notify_one();
+
+  // One batched steal probe against `victim`'s deque on behalf of `thief`;
+  // returns the number of tasks written to buf (0 on a failed probe).
+  // Bumps no statistics — use count_steals.
+  [[nodiscard]] std::size_t steal_batch_from(std::size_t victim,
+                                             rt::task** buf, std::size_t cap);
+  static void count_steals(rt::worker& w, std::size_t n);
+
+  // Draw from w's run-seeded victim stream (uniform in [0, n)).
+  [[nodiscard]] static std::uint64_t rng_below(rt::worker& w, std::uint64_t n);
+
+  // Per-probe batch bound shared by steal implementations.
+  static constexpr std::size_t steal_batch_max = 16;
+
+ private:
+  rt::scheduler* sched_ = nullptr;
+};
+
+// True for the built-in policy names "ws", "wfq" and "priority".
+[[nodiscard]] bool is_policy_name(std::string_view name) noexcept;
+
+// Factory for the built-ins; asserts on unknown names (validate with
+// is_policy_name first when the name is user input).
+[[nodiscard]] std::unique_ptr<scheduling_policy> make_policy(
+    std::string_view name);
+
+}  // namespace px::sched

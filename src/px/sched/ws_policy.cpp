@@ -1,0 +1,55 @@
+#include "px/sched/ws_policy.hpp"
+
+#include "px/runtime/worker.hpp"
+#include "px/torture/torture.hpp"
+
+namespace px::sched {
+
+void ws_policy::enqueue(rt::task* t, bool prefer_local) {
+  rt::worker* const w = current_worker_here();
+  if (prefer_local && w != nullptr) {
+    push_deque(*w, t);
+    notify_one();
+    return;
+  }
+  push_global(t);
+  notify_one();
+}
+
+rt::task* ws_policy::dequeue_local(rt::worker& w) { return pop_deque(w); }
+
+rt::task* ws_policy::steal(rt::worker& w) {
+  std::size_t const n = num_workers();
+  if (n <= 1) return nullptr;
+  // Two full random rounds before giving up; the caller backs off/parks.
+  PX_TORTURE_POINT(worker_pre_steal);
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    std::size_t victim = static_cast<std::size_t>(rng_below(w, n));
+    // Torture: re-draw the victim so the visit order differs from what the
+    // run-seeded stream alone would produce.
+    if (PX_TORTURE_DECIDE(steal_victim))
+      victim = static_cast<std::size_t>(rng_below(w, n));
+    if (victim == w.index()) continue;
+    // Steal-half: one victim probe amortized over up to steal_batch_max
+    // tasks. The oldest runs now; the rest land on the thief's own deque
+    // where they're cheap to pop (and stealable again if it falls behind).
+    // No notify for the surplus: parked peers re-scan every bounded-park
+    // tick anyway, and waking one eagerly just makes it steal the batch
+    // right back — a wake/steal ping-pong that swamps the saved latency.
+    rt::task* batch[steal_batch_max];
+    std::size_t const k = steal_batch_from(victim, batch, steal_batch_max);
+    if (k > 0) {
+      count_steals(w, k);
+      for (std::size_t i = 1; i < k; ++i) push_deque(w, batch[i]);
+      PX_TORTURE_POINT(worker_post_steal);
+      return batch[0];
+    }
+  }
+  return nullptr;
+}
+
+bool ws_policy::pending_locked(rt::worker& w) {
+  return deque_size_estimate(w) > 0 || global_size() > 0;
+}
+
+}  // namespace px::sched

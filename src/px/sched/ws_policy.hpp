@@ -1,0 +1,40 @@
+// px/sched/ws_policy.hpp
+// The default work-stealing policy — the pre-PR6 scheduler discipline,
+// extracted behind the scheduling_policy seams with its behavior preserved
+// decision for decision:
+//
+//   enqueue        push to the calling worker's own deque when local is
+//                  preferred (LIFO locality), the global FIFO otherwise;
+//                  one worker notified either way.
+//   dequeue_local  owner-side deque pop.
+//   steal          two full random victim rounds; each successful probe
+//                  takes up to steal_batch_max tasks (steal-half
+//                  amortization), runs the oldest and keeps the surplus on
+//                  the thief's deque; no surplus notify (measured
+//                  wake/steal-back ping-pong, see PR 5).
+//   pending_locked own-deque estimate + global queue size — exactly the
+//                  pre-sleep checks worker::park() made before the
+//                  extraction (the injection-queue locked inspection stays
+//                  structural in the worker).
+//
+// The steal loop draws victims from the worker's run-seeded RNG stream in
+// the same order as before, and keeps the worker_pre_steal /
+// worker_post_steal / steal_victim torture sites, so torture seeds and the
+// PR 5 bench baseline carry over unchanged. Lanes are ignored.
+#pragma once
+
+#include "px/sched/policy.hpp"
+
+namespace px::sched {
+
+class ws_policy final : public scheduling_policy {
+ public:
+  [[nodiscard]] char const* name() const noexcept override { return "ws"; }
+
+  void enqueue(rt::task* t, bool prefer_local) override;
+  [[nodiscard]] rt::task* dequeue_local(rt::worker& w) override;
+  [[nodiscard]] rt::task* steal(rt::worker& w) override;
+  [[nodiscard]] bool pending_locked(rt::worker& w) override;
+};
+
+}  // namespace px::sched

@@ -1,0 +1,264 @@
+#include "px/serve/serve.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "px/parallel/execution.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/heat1d_dataflow.hpp"
+#include "px/stencil/jacobi2d.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::serve {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_ns(clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           since)
+          .count());
+}
+
+// The job payloads. Each runs inside a px task already placed on the
+// tenant's lane, so every task the solver spawns under it (parallel
+// for_each chunks, dataflow nodes) inherits that lane.
+void run_job(job_request const& req) {
+  if (req.work) {
+    req.work();
+    return;
+  }
+  switch (req.kind) {
+    case job_kind::spin: {
+      // Deterministic arithmetic chewing, sliced by yields so one spin job
+      // cannot monopolize a worker between scheduling decisions.
+      volatile double acc = 1.0;
+      std::size_t const per_slice = req.size / (req.steps + 1) + 1;
+      for (std::size_t s = 0; s <= req.steps; ++s) {
+        for (std::size_t i = 0; i < per_slice; ++i)
+          acc = acc * 1.0000001 + 1e-9;
+        if (this_task::on_task()) this_task::yield();
+      }
+      break;
+    }
+    case job_kind::heat1d: {
+      stencil::heat1d_config cfg;
+      cfg.nx = std::max<std::size_t>(req.size, 8);
+      cfg.steps = req.steps;
+      (void)stencil::run_heat1d(execution::par,
+                                stencil::heat1d_sine_initial(cfg.nx), cfg);
+      break;
+    }
+    case job_kind::jacobi2d: {
+      std::size_t const n = std::max<std::size_t>(req.size, 8);
+      stencil::field2d<double> u0(n, n), u1(n, n);
+      for (std::size_t s = 0; s < u0.row_stride(); ++s) {
+        u0.cell(s, 0) = 1.0;
+        u1.cell(s, 0) = 1.0;
+      }
+      (void)stencil::run_jacobi2d(execution::par, u0, u1, req.steps);
+      break;
+    }
+    case job_kind::dataflow: {
+      stencil::heat1d_dataflow_config cfg;
+      cfg.steps = req.steps;
+      cfg.partitions = 8;
+      cfg.max_outstanding_steps = 4;
+      (void)stencil::run_heat1d_dataflow(
+          stencil::heat1d_sine_initial(std::max<std::size_t>(req.size, 16)),
+          cfg);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+struct server::tenant {
+  tenant_config cfg;
+  std::string instance;  // registry-unique name, the <id> in /px/tenant/<id>
+  sched::lane_id lane = sched::lane_default;
+  std::size_t resume_below = 0;
+
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> in_flight{0};
+  // Admission state. The accepting -> shedding -> accepting transitions are
+  // approximate by design (relaxed reads of in_flight can race a completion
+  // by a job or two); what matters is the hysteresis band, not an exact
+  // threshold.
+  std::atomic<bool> shedding{false};
+
+  // Sliding latency window (ring buffer). Completions append under the
+  // lock; percentile pulls copy the window out. Cold path both ways.
+  mutable std::mutex lat_mutex;
+  std::vector<std::uint64_t> samples;
+  std::size_t next = 0;
+  bool wrapped = false;
+
+  void record_latency(std::uint64_t ns) {
+    std::lock_guard<std::mutex> lock(lat_mutex);
+    if (samples.empty()) return;
+    samples[next] = ns;
+    next = (next + 1) % samples.size();
+    if (next == 0) wrapped = true;
+  }
+
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const {
+    std::vector<std::uint64_t> window;
+    {
+      std::lock_guard<std::mutex> lock(lat_mutex);
+      std::size_t const n = wrapped ? samples.size() : next;
+      window.assign(samples.begin(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    if (window.empty()) return 0;
+    std::size_t const k = std::min(
+        window.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(window.size())));
+    std::nth_element(window.begin(),
+                     window.begin() + static_cast<std::ptrdiff_t>(k),
+                     window.end());
+    return window[static_cast<std::size_t>(k)];
+  }
+};
+
+server::server(runtime& rt, server_config cfg) : rt_(rt), cfg_(cfg) {}
+
+server::~server() { drain(); }
+
+tenant_id server::add_tenant(tenant_config cfg) {
+  auto t = std::make_unique<tenant>();
+  t->cfg = cfg;
+  if (t->cfg.max_in_flight == 0) t->cfg.max_in_flight = 1;
+  t->cfg.resume_fraction = std::clamp(t->cfg.resume_fraction, 0.0, 1.0);
+  t->resume_below = static_cast<std::size_t>(
+      t->cfg.resume_fraction * static_cast<double>(t->cfg.max_in_flight));
+  t->instance = counters::registry::instance().unique_instance(cfg.name);
+  t->samples.assign(cfg_.latency_window, 0);
+
+  sched::lane_desc lane;
+  lane.name = t->instance;
+  lane.weight = cfg.weight;
+  lane.priority = cfg.priority;
+  t->lane = rt_.sched().policy().create_lane(lane);
+
+  namespace pc = px::counters;
+  std::string const prefix = "/px/tenant/" + t->instance + "/";
+  tenant* const tp = t.get();
+  counters_.add(prefix + "throughput", pc::kind::monotone,
+                [tp] { return tp->completed.load(std::memory_order_relaxed); });
+  counters_.add(prefix + "p50_ns", pc::kind::gauge,
+                [tp] { return tp->percentile_ns(0.50); });
+  counters_.add(prefix + "p99_ns", pc::kind::gauge,
+                [tp] { return tp->percentile_ns(0.99); });
+  counters_.add(prefix + "rejected", pc::kind::monotone,
+                [tp] { return tp->rejected.load(std::memory_order_relaxed); });
+  counters_.add(prefix + "queued", pc::kind::gauge,
+                [tp] { return tp->in_flight.load(std::memory_order_relaxed); });
+
+  tenants_.push_back(std::move(t));
+  return static_cast<tenant_id>(tenants_.size() - 1);
+}
+
+admit_result server::submit(tenant_id id, job_request const& req) {
+  PX_ASSERT_MSG(id < tenants_.size(), "submit to unknown tenant");
+  tenant& t = *tenants_[id];
+  t.submitted.fetch_add(1, std::memory_order_relaxed);
+
+  // Admission state machine with hysteresis: accepting -> shedding at the
+  // in-flight cap, shedding -> accepting only once the backlog drained
+  // below resume_fraction of the cap. The band prevents accept/shed
+  // flapping at the boundary (every other request rejected).
+  std::uint64_t const cur = t.in_flight.load(std::memory_order_relaxed);
+  if (!t.shedding.load(std::memory_order_relaxed)) {
+    if (cur >= t.cfg.max_in_flight)
+      t.shedding.store(true, std::memory_order_relaxed);
+  }
+  if (t.shedding.load(std::memory_order_relaxed)) {
+    if (cur <= t.resume_below) {
+      t.shedding.store(false, std::memory_order_relaxed);
+    } else {
+      t.rejected.fetch_add(1, std::memory_order_relaxed);
+      return admit_result::shed;
+    }
+  }
+
+  t.accepted.fetch_add(1, std::memory_order_relaxed);
+  t.in_flight.fetch_add(1, std::memory_order_relaxed);
+  total_in_flight_.fetch_add(1, std::memory_order_relaxed);
+
+  auto const submitted_at = clock::now();
+  tenant* const tp = &t;
+  rt_.sched().spawn(
+      [this, tp, req, submitted_at] {
+        run_job(req);
+        complete(*tp, elapsed_ns(submitted_at));
+      },
+      /*hint=*/-1, t.lane);
+  return admit_result::accepted;
+}
+
+void server::complete(tenant& t, std::uint64_t latency_ns) {
+  t.record_latency(latency_ns);
+  t.completed.fetch_add(1, std::memory_order_relaxed);
+  t.in_flight.fetch_sub(1, std::memory_order_relaxed);
+  if (total_in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
+}
+
+void server::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return total_in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+tenant_stats server::stats(tenant_id id) const {
+  PX_ASSERT_MSG(id < tenants_.size(), "stats for unknown tenant");
+  tenant const& t = *tenants_[id];
+  tenant_stats s;
+  s.submitted = t.submitted.load(std::memory_order_relaxed);
+  s.accepted = t.accepted.load(std::memory_order_relaxed);
+  s.rejected = t.rejected.load(std::memory_order_relaxed);
+  s.completed = t.completed.load(std::memory_order_relaxed);
+  s.in_flight = t.in_flight.load(std::memory_order_relaxed);
+  s.shedding = t.shedding.load(std::memory_order_relaxed);
+  s.p50_ns = t.percentile_ns(0.50);
+  s.p99_ns = t.percentile_ns(0.99);
+  return s;
+}
+
+std::size_t server::tenant_count() const noexcept { return tenants_.size(); }
+
+std::string const& server::tenant_instance(tenant_id id) const {
+  PX_ASSERT_MSG(id < tenants_.size(), "instance for unknown tenant");
+  return tenants_[id]->instance;
+}
+
+open_loop_result run_open_loop(server& sv, tenant_id id,
+                               open_loop_config const& cfg) {
+  open_loop_result r;
+  PX_ASSERT_MSG(cfg.rate_hz > 0.0, "open-loop rate must be positive");
+  auto const t0 = clock::now();
+  auto const interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / cfg.rate_hz));
+  for (std::size_t i = 0; i < cfg.jobs; ++i) {
+    // Arrival-clocked, not completion-clocked: sleep to the i-th arrival
+    // time even when the server is behind — the open-loop property.
+    std::this_thread::sleep_until(t0 + interval * static_cast<std::int64_t>(i));
+    if (sv.submit(id, cfg.request) == admit_result::accepted)
+      ++r.accepted;
+    else
+      ++r.rejected;
+  }
+  return r;
+}
+
+}  // namespace px::serve

@@ -84,4 +84,14 @@ std::optional<bool> env_bool(char const* name) {
   return std::nullopt;
 }
 
+std::optional<std::string> env_token(
+    char const* name, std::initializer_list<std::string_view> allowed) {
+  auto s = env_string(name);
+  if (!s) return std::nullopt;
+  for (std::string_view tok : allowed)
+    if (*s == tok) return s;
+  warn_malformed(name, *s);
+  return std::nullopt;
+}
+
 }  // namespace px

@@ -5,8 +5,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
+#include <string_view>
 
 namespace px {
 
@@ -25,5 +27,11 @@ std::optional<double> env_double(char const* name);
 
 // Recognises 1/0, true/false, yes/no, on/off (case-insensitive).
 std::optional<bool> env_bool(char const* name);
+
+// Exact match against an allowed token set — case-sensitive, no trimming,
+// so "ws " or "WS" is malformed (same strict trailing-garbage stance as the
+// numeric parsers). nullopt when unset or not in the set.
+std::optional<std::string> env_token(
+    char const* name, std::initializer_list<std::string_view> allowed);
 
 }  // namespace px

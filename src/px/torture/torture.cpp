@@ -29,6 +29,7 @@ char const* site_name(site s) noexcept {
     case site::net_deliver: return "net_deliver";
     case site::fd_tick: return "fd_tick";
     case site::fd_confirm: return "fd_confirm";
+    case site::policy_dequeue: return "policy_dequeue";
     case site::site_count: break;
   }
   return "unknown";

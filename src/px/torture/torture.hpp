@@ -56,6 +56,7 @@ enum class site : std::uint8_t {
   net_deliver,       // distributed_domain::deliver_frame entry
   fd_tick,           // failure_detector tick (heartbeat send + evaluation)
   fd_confirm,        // distributed_domain::confirm_failure entry
+  policy_dequeue,    // worker::find_work: before the policy dequeue/steal
   site_count
 };
 

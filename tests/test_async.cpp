@@ -50,8 +50,8 @@ TEST_F(AsyncTest, NestedAsyncUsesAmbientScheduler) {
 
 TEST_F(AsyncTest, PostFireAndForget) {
   std::atomic<int> n{0};
-  px::post_on(rt.sched(), [&n] { n.fetch_add(1); });
-  px::post_on(rt.sched(), [&n](int k) { n.fetch_add(k); }, 4);
+  px::post_on(rt, [&n] { n.fetch_add(1); });
+  px::post_on(rt, [&n](int k) { n.fetch_add(k); }, 4);
   rt.wait_quiescent();
   EXPECT_EQ(n.load(), 5);
 }

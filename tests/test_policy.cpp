@@ -1,0 +1,294 @@
+// Tests for the pluggable scheduling-policy API (px/sched/policy.hpp):
+// factory + env selection with strict parsing, lane creation and accounting,
+// lane inheritance through spawn trees, exact stride-fair (wfq) and
+// strict-priority service order on a single worker, and the structural
+// contracts (hinted spawns bypass lanes, ws_policy ignores lanes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/px.hpp"
+#include "px/sched/lane_policies.hpp"
+#include "px/sched/ws_policy.hpp"
+#include "px/support/env.hpp"
+
+namespace {
+
+namespace sched = px::sched;
+
+px::scheduler_config pool(std::size_t workers, char const* policy) {
+  px::scheduler_config cfg;
+  cfg.num_workers = workers;
+  cfg.policy_name = policy;
+  return cfg;
+}
+
+// RAII setenv/unsetenv for the env-override tests.
+struct scoped_env {
+  scoped_env(char const* name, char const* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~scoped_env() { ::unsetenv(name_); }
+  char const* name_;
+};
+
+// ---- factory & selection -------------------------------------------------
+
+TEST(PolicyFactory, KnownNamesConstruct) {
+  EXPECT_TRUE(sched::is_policy_name("ws"));
+  EXPECT_TRUE(sched::is_policy_name("wfq"));
+  EXPECT_TRUE(sched::is_policy_name("priority"));
+  EXPECT_FALSE(sched::is_policy_name("lifo"));
+  EXPECT_FALSE(sched::is_policy_name("WS"));
+  EXPECT_FALSE(sched::is_policy_name(""));
+
+  EXPECT_STREQ(sched::make_policy("ws")->name(), "ws");
+  EXPECT_STREQ(sched::make_policy("wfq")->name(), "wfq");
+  EXPECT_STREQ(sched::make_policy("priority")->name(), "priority");
+}
+
+TEST(PolicyFactory, DefaultConfigIsWorkStealing) {
+  px::runtime rt(pool(2, "ws"));
+  EXPECT_STREQ(rt.sched().policy().name(), "ws");
+  // Lane-less: create_lane is accepted but routes everything to the
+  // default lane.
+  EXPECT_EQ(rt.sched().policy().create_lane({"x", 2.0, 0}),
+            sched::lane_default);
+  EXPECT_EQ(rt.sched().policy().lane_count(), 0u);
+}
+
+TEST(PolicyFactory, ConfigFactoryWinsOverName) {
+  px::scheduler_config cfg = pool(2, "ws");
+  cfg.policy = [] { return std::make_unique<sched::wfq_policy>(); };
+  px::runtime rt(cfg);
+  EXPECT_STREQ(rt.sched().policy().name(), "wfq");
+}
+
+TEST(PolicyEnv, SchedPolicyOverrideAppliesAndRejectsGarbage) {
+  {
+    scoped_env e("PX_SCHED_POLICY", "wfq");
+    EXPECT_EQ(px::scheduler_config::from_env().policy_name, "wfq");
+  }
+  {
+    scoped_env e("PX_SCHED_POLICY", "priority");
+    EXPECT_EQ(px::scheduler_config::from_env().policy_name, "priority");
+  }
+  // Strict parsing: trailing garbage, case drift and unknown names fall
+  // back to the default (with a one-shot stderr warning), never to a
+  // half-parsed value.
+  for (char const* bad : {"ws ", " ws", "WFQ", "wfqx", "weighted"}) {
+    scoped_env e("PX_SCHED_POLICY", bad);
+    EXPECT_EQ(px::scheduler_config::from_env().policy_name, "ws")
+        << "value '" << bad << "' should have been rejected";
+  }
+}
+
+TEST(PolicyEnv, TokenParserContract) {
+  {
+    scoped_env e("PX_TOKEN_TEST", "beta");
+    auto v = px::env_token("PX_TOKEN_TEST", {"alpha", "beta"});
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "beta");
+  }
+  {
+    scoped_env e("PX_TOKEN_TEST", "beta2");
+    EXPECT_FALSE(px::env_token("PX_TOKEN_TEST", {"alpha", "beta"}));
+  }
+  EXPECT_FALSE(px::env_token("PX_TOKEN_TEST_UNSET", {"alpha"}));
+}
+
+// ---- lanes ----------------------------------------------------------------
+
+TEST(LanePolicy, CreateLaneAndCounters) {
+  px::runtime rt(pool(2, "wfq"));
+  auto& pol = rt.sched().policy();
+  EXPECT_EQ(pol.lane_count(), 1u);  // the default lane
+  sched::lane_id const a = pol.create_lane({"a", 2.0, 0});
+  sched::lane_id const b = pol.create_lane({"b", 1.0, 1});
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(pol.lane_count(), 3u);
+  EXPECT_EQ(pol.lane_queued(a), 0u);
+  EXPECT_EQ(pol.lane_queued(99), 0u);  // unknown id: 0, not UB
+
+  // The scheduler publishes the lane count as a gauge.
+  std::uint64_t lanes = 0;
+  ASSERT_TRUE(px::counters::registry::instance().value_of(
+      "/px/scheduler{" + rt.counter_instance() + "}/lanes", lanes));
+  EXPECT_EQ(lanes, 3u);
+}
+
+TEST(LanePolicy, SpawnsCompleteOnEveryPolicy) {
+  for (char const* name : {"ws", "wfq", "priority"}) {
+    px::runtime rt(pool(4, name));
+    auto& pol = rt.sched().policy();
+    sched::lane_id const lane = pol.create_lane({"t", 1.0, 0});
+    std::atomic<int> n{0};
+    for (int i = 0; i < 500; ++i)
+      rt.sched().spawn([&n] { n.fetch_add(1); }, -1,
+                       i % 2 ? lane : sched::lane_default);
+    rt.wait_quiescent();
+    EXPECT_EQ(n.load(), 500) << "policy " << name;
+    EXPECT_EQ(pol.lane_queued(lane), 0u) << "policy " << name;
+  }
+}
+
+TEST(LanePolicy, ChildrenInheritTheSpawningTasksLane) {
+  px::runtime rt(pool(2, "wfq"));
+  sched::lane_id const lane = rt.sched().policy().create_lane({"t", 1.0, 0});
+  std::atomic<std::uint32_t> parent_lane{~0u}, child_lane{~0u};
+  rt.sched().spawn(
+      [&] {
+        parent_lane = px::this_task::lane();
+        // Both the ambient-async path and a bare spawn must inherit.
+        px::async([&] { child_lane = px::this_task::lane(); }).get();
+      },
+      -1, lane);
+  rt.wait_quiescent();
+  EXPECT_EQ(parent_lane.load(), lane);
+  EXPECT_EQ(child_lane.load(), lane);
+}
+
+TEST(LanePolicy, HintedSpawnBypassesLanesButKeepsBilling) {
+  // Strict placement goes through the target worker's injection queue —
+  // never a lane queue — but the task still carries its lane for billing
+  // and inheritance.
+  px::runtime rt(pool(2, "wfq"));
+  sched::lane_id const lane = rt.sched().policy().create_lane({"t", 1.0, 0});
+  std::atomic<std::uint32_t> seen_lane{~0u};
+  std::atomic<std::size_t> seen_worker{99};
+  rt.sched().spawn(
+      [&] {
+        seen_lane = px::this_task::lane();
+        seen_worker = px::this_task::worker_index();
+      },
+      /*hint=*/1, lane);
+  rt.wait_quiescent();
+  EXPECT_EQ(seen_lane.load(), lane);
+  EXPECT_EQ(seen_worker.load(), 1u);
+}
+
+// ---- service order --------------------------------------------------------
+
+// Holds the single worker busy (spinning, not suspending) while the
+// external thread enqueues lane work, then releases it and records the
+// order the lane tasks are served in. Single worker + run-to-completion
+// tasks means completion order IS the policy's dequeue order.
+template <typename Enqueue>
+std::vector<std::uint32_t> service_order(px::runtime& rt, Enqueue&& enqueue,
+                                         std::size_t expected) {
+  std::atomic<bool> gate{false};
+  std::atomic<bool> gate_running{false};
+  rt.sched().spawn([&] {
+    gate_running = true;
+    while (!gate.load(std::memory_order_acquire)) {
+    }
+  });
+  while (!gate_running.load(std::memory_order_acquire)) {
+  }
+
+  std::vector<std::uint32_t> order(expected, ~0u);
+  std::atomic<std::size_t> next{0};
+  enqueue([&order, &next](std::uint32_t tag) {
+    return [&order, &next, tag] {
+      order[next.fetch_add(1, std::memory_order_relaxed)] = tag;
+    };
+  });
+  gate.store(true, std::memory_order_release);
+  rt.wait_quiescent();
+  EXPECT_EQ(next.load(), expected);
+  return order;
+}
+
+TEST(WfqPolicy, StrideSchedulingServesWeightedShares) {
+  px::runtime rt(pool(1, "wfq"));
+  sched::lane_id heavy = 0, light = 0;
+  heavy = rt.sched().policy().create_lane({"heavy", 3.0, 0});
+  light = rt.sched().policy().create_lane({"light", 1.0, 0});
+
+  std::size_t const per_lane = 40;
+  auto order = service_order(
+      rt,
+      [&](auto mk) {
+        for (std::size_t i = 0; i < per_lane; ++i) {
+          rt.sched().spawn(mk(0), -1, heavy);
+          rt.sched().spawn(mk(1), -1, light);
+        }
+      },
+      2 * per_lane);
+
+  // Over any saturated prefix the heavy lane receives ~3x the light lane's
+  // service. Check the first half (both lanes still backlogged there).
+  std::size_t heavy_served = 0, light_served = 0;
+  for (std::size_t i = 0; i < per_lane; ++i) {
+    if (order[i] == 0) ++heavy_served;
+    if (order[i] == 1) ++light_served;
+  }
+  ASSERT_GT(light_served, 0u);
+  double const ratio = static_cast<double>(heavy_served) /
+                       static_cast<double>(light_served);
+  EXPECT_NEAR(ratio, 3.0, 0.6) << "heavy=" << heavy_served
+                               << " light=" << light_served;
+}
+
+TEST(WfqPolicy, IdleLaneForfeitsCredit) {
+  // A lane that sat idle must not monopolize the pool on return: its pass
+  // is caught up to the current virtual time, so service stays interleaved
+  // rather than back-paying the idle period.
+  px::runtime rt(pool(1, "wfq"));
+  auto& pol = rt.sched().policy();
+  sched::lane_id const a = pol.create_lane({"a", 1.0, 0});
+  sched::lane_id const b = pol.create_lane({"b", 1.0, 0});
+
+  // Phase 1: only lane a runs — advances a's pass far beyond b's.
+  std::atomic<int> n{0};
+  for (int i = 0; i < 64; ++i) rt.sched().spawn([&n] { ++n; }, -1, a);
+  rt.wait_quiescent();
+
+  // Phase 2: both lanes backlogged; b must not run 64 tasks ahead.
+  std::size_t const per_lane = 24;
+  auto order = service_order(
+      rt,
+      [&](auto mk) {
+        for (std::size_t i = 0; i < per_lane; ++i) {
+          rt.sched().spawn(mk(0), -1, a);
+          rt.sched().spawn(mk(1), -1, b);
+        }
+      },
+      2 * per_lane);
+  // Equal weights -> the first 2k served contain ~k of each.
+  std::size_t b_in_first_half = 0;
+  for (std::size_t i = 0; i < per_lane; ++i)
+    if (order[i] == 1) ++b_in_first_half;
+  EXPECT_NEAR(static_cast<double>(b_in_first_half), per_lane / 2.0, 3.0);
+}
+
+TEST(PriorityPolicy, UrgentLaneDrainsFirst) {
+  px::runtime rt(pool(1, "priority"));
+  auto& pol = rt.sched().policy();
+  sched::lane_id const urgent = pol.create_lane({"urgent", 1.0, 0});
+  sched::lane_id const bulk = pol.create_lane({"bulk", 1.0, 5});
+
+  std::size_t const per_lane = 32;
+  auto order = service_order(
+      rt,
+      [&](auto mk) {
+        // Interleave submissions; service must still be strict.
+        for (std::size_t i = 0; i < per_lane; ++i) {
+          rt.sched().spawn(mk(1), -1, bulk);
+          rt.sched().spawn(mk(0), -1, urgent);
+        }
+      },
+      2 * per_lane);
+  // Every urgent task precedes every bulk task.
+  for (std::size_t i = 0; i < per_lane; ++i)
+    EXPECT_EQ(order[i], 0u) << "position " << i;
+  for (std::size_t i = per_lane; i < 2 * per_lane; ++i)
+    EXPECT_EQ(order[i], 1u) << "position " << i;
+}
+
+}  // namespace

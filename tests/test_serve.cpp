@@ -1,0 +1,346 @@
+// px::serve tests: tenant registration + lane wiring, the admission-control
+// state machine (shed at the in-flight cap, resume below the hysteresis
+// watermark), per-tenant /px/tenant/... counters, mixed solver job kinds,
+// weighted isolation under load, and the resilience composition — a tenant
+// running a checkpointed distributed heat solve survives a locality
+// fail-stop while its co-tenant's tail latency stays bounded, under a
+// torture seed sweep (16 seeds in the check.sh --serve/--resilience lanes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "px/counters/counters.hpp"
+#include "px/px.hpp"
+#include "px/serve/serve.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/heat1d_distributed.hpp"
+#include "px/torture/forall.hpp"
+
+namespace {
+
+namespace serve = px::serve;
+using namespace std::chrono_literals;
+
+px::scheduler_config serve_pool(char const* policy, std::size_t workers = 4) {
+  px::scheduler_config cfg;
+  cfg.num_workers = workers;
+  cfg.policy_name = policy;
+  return cfg;
+}
+
+serve::tenant_config tenant(std::string name, double weight,
+                            std::size_t max_in_flight) {
+  serve::tenant_config tc;
+  tc.name = std::move(name);
+  tc.weight = weight;
+  tc.max_in_flight = max_in_flight;
+  return tc;
+}
+
+// ---- basics ---------------------------------------------------------------
+
+TEST(Serve, SubmitDrainStats) {
+  px::runtime rt(serve_pool("wfq"));
+  serve::server sv(rt);
+  auto const id = sv.add_tenant(tenant("basic", 1.0, 64));
+  EXPECT_EQ(sv.tenant_count(), 1u);
+
+  serve::job_request req;
+  req.kind = serve::job_kind::spin;
+  req.size = 10'000;
+  for (int i = 0; i < 32; ++i)
+    EXPECT_EQ(sv.submit(id, req), serve::admit_result::accepted);
+  sv.drain();
+
+  auto const s = sv.stats(id);
+  EXPECT_EQ(s.submitted, 32u);
+  EXPECT_EQ(s.accepted, 32u);
+  EXPECT_EQ(s.rejected, 0u);
+  EXPECT_EQ(s.completed, 32u);
+  EXPECT_EQ(s.in_flight, 0u);
+  EXPECT_FALSE(s.shedding);
+  EXPECT_GT(s.p50_ns, 0u);
+  EXPECT_GE(s.p99_ns, s.p50_ns);
+}
+
+TEST(Serve, TenantCountersPublished) {
+  px::runtime rt(serve_pool("wfq"));
+  serve::server sv(rt);
+  auto const id = sv.add_tenant(tenant("metrics", 1.0, 64));
+  serve::job_request req;
+  req.size = 1'000;
+  for (int i = 0; i < 8; ++i) sv.submit(id, req);
+  sv.drain();
+
+  auto const& reg = px::counters::registry::instance();
+  std::string const prefix = "/px/tenant/" + sv.tenant_instance(id) + "/";
+  std::uint64_t v = 0;
+  ASSERT_TRUE(reg.value_of(prefix + "throughput", v));
+  EXPECT_EQ(v, 8u);
+  ASSERT_TRUE(reg.value_of(prefix + "queued", v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(reg.value_of(prefix + "rejected", v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(reg.value_of(prefix + "p50_ns", v));
+  EXPECT_GT(v, 0u);
+  ASSERT_TRUE(reg.value_of(prefix + "p99_ns", v));
+  EXPECT_GT(v, 0u);
+}
+
+TEST(Serve, MixedJobKindsAllComplete) {
+  px::runtime rt(serve_pool("wfq"));
+  serve::server sv(rt);
+  struct {
+    serve::job_kind kind;
+    std::size_t size;
+  } const kinds[] = {
+      {serve::job_kind::spin, 50'000},
+      {serve::job_kind::heat1d, 512},
+      {serve::job_kind::jacobi2d, 24},
+      {serve::job_kind::dataflow, 128},
+  };
+  serve::tenant_id ids[4];
+  for (int k = 0; k < 4; ++k)
+    ids[k] = sv.add_tenant(tenant("kind" + std::to_string(k), 1.0, 32));
+  for (int k = 0; k < 4; ++k) {
+    serve::job_request req;
+    req.kind = kinds[k].kind;
+    req.size = kinds[k].size;
+    req.steps = 5;
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(sv.submit(ids[k], req), serve::admit_result::accepted);
+  }
+  sv.drain();
+  for (int k = 0; k < 4; ++k) {
+    auto const s = sv.stats(ids[k]);
+    EXPECT_EQ(s.completed, 4u) << "kind " << k;
+    EXPECT_GT(s.p50_ns, 0u) << "kind " << k;
+  }
+}
+
+// ---- admission control ----------------------------------------------------
+
+TEST(Serve, AdmissionShedsAtCapAndResumesBelowWatermark) {
+  px::runtime rt(serve_pool("wfq", 2));
+  serve::server sv(rt);
+  auto tc = tenant("capped", 1.0, 4);
+  tc.resume_fraction = 0.5;  // resume at in_flight <= 2
+  auto const id = sv.add_tenant(tc);
+
+  // Jobs park on a gate (cooperatively — yield loops, not blocked workers),
+  // pinning in_flight at whatever admission allowed through.
+  std::atomic<bool> gate{false};
+  serve::job_request req;
+  req.work = [&gate] {
+    while (!gate.load(std::memory_order_acquire)) px::this_task::yield();
+  };
+
+  int accepted = 0, rejected = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (sv.submit(id, req) == serve::admit_result::accepted)
+      ++accepted;
+    else
+      ++rejected;
+  }
+  // Sequential submissions against a gate: exactly the cap is admitted
+  // (the 5th submission observes in_flight == 4 and flips to shedding).
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(rejected, 16);
+  EXPECT_TRUE(sv.stats(id).shedding);
+
+  gate.store(true, std::memory_order_release);
+  sv.drain();
+
+  // Hysteresis: fully drained (0 <= resume watermark), so the tenant
+  // accepts again; the shedding flag clears on the next admission check.
+  EXPECT_EQ(sv.submit(id, serve::job_request{}), serve::admit_result::accepted);
+  sv.drain();
+  auto const s = sv.stats(id);
+  EXPECT_FALSE(s.shedding);
+  EXPECT_EQ(s.completed, 5u);
+  EXPECT_EQ(s.rejected, 16u);
+}
+
+TEST(Serve, OpenLoopOverloadIsShedNotQueued) {
+  px::runtime rt(serve_pool("wfq", 2));
+  serve::server sv(rt);
+  auto const id = sv.add_tenant(tenant("overload", 1.0, 8));
+
+  serve::open_loop_config ol;
+  ol.rate_hz = 50'000.0;  // far past what 2 workers can serve
+  ol.jobs = 400;
+  ol.request.kind = serve::job_kind::spin;
+  ol.request.size = 200'000;
+  ol.request.steps = 2;
+  auto const r = run_open_loop(sv, id, ol);
+  sv.drain();
+
+  EXPECT_EQ(r.accepted + r.rejected, 400u);
+  EXPECT_GT(r.rejected, 0u) << "open-loop overload must shed";
+  auto const s = sv.stats(id);
+  EXPECT_EQ(s.completed, r.accepted);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
+// ---- weighted isolation ---------------------------------------------------
+
+TEST(Serve, HeavierTenantGetsNoLessThroughputUnderSaturation) {
+  // Deterministic fairness is pinned in test_policy.cpp (single-worker
+  // stride order); here only the coarse serving-level property: with both
+  // tenants saturating a wfq pool, the 4x-weight tenant completes at least
+  // as many jobs as the 1x tenant.
+  px::runtime rt(serve_pool("wfq", 2));
+  serve::server sv(rt);
+  auto const heavy = sv.add_tenant(tenant("heavy", 4.0, 256));
+  auto const light = sv.add_tenant(tenant("light", 1.0, 256));
+
+  serve::job_request req;
+  req.kind = serve::job_kind::spin;
+  req.size = 60'000;
+  req.steps = 1;
+  for (int i = 0; i < 120; ++i) {
+    sv.submit(heavy, req);
+    sv.submit(light, req);
+  }
+  sv.drain();
+  auto const hs = sv.stats(heavy);
+  auto const ls = sv.stats(light);
+  EXPECT_EQ(hs.completed + ls.completed, 240u);
+  EXPECT_GE(hs.completed, ls.completed);
+  EXPECT_GT(ls.completed, 0u);
+}
+
+// ---- resilience composition ----------------------------------------------
+
+px::dist::domain_config serve_kill_cfg() {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 8;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.001;
+  cfg.resilience.enabled = true;
+  cfg.resilience.heartbeat_interval_us = 2'000.0;
+  cfg.resilience.suspect_after_us = 100'000.0;
+  cfg.resilience.confirm_after_us = 500'000.0;
+  cfg.reliability.activation = px::net::reliability_config::mode::on;
+  return cfg;
+}
+
+struct phase_result {
+  std::uint64_t p99_ns = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t accepted = 0;
+  std::size_t recoveries = 0;
+};
+
+// One serving phase: tenant "batch" runs a checkpointed distributed heat
+// solve (optionally with locality 3 fail-stopped mid-run); tenant "lat"
+// offers an open loop of small spin jobs across the same wall-clock window.
+// Returns the latency tenant's percentile picture.
+phase_result run_phase(bool inject_fault) {
+  px::scheduler_config sc = serve_pool("wfq");
+  sc.stack_size = 256 * 1024;  // the distributed driver runs on a fiber
+  px::runtime rt(sc);
+  serve::server sv(rt);
+  auto const batch = sv.add_tenant(tenant("batch", 1.0, 4));
+  auto const lat = sv.add_tenant(tenant("lat", 4.0, 1024));
+
+  px::stencil::dist_heat_config hc;
+  hc.nx_total = 97;
+  hc.steps = 60;
+  hc.checkpoint_interval = 10;
+  hc.max_recoveries = 8;
+  auto const initial = px::stencil::heat1d_sine_initial(97);
+
+  auto dom =
+      std::make_unique<px::dist::distributed_domain>(serve_kill_cfg());
+  if (inject_fault) dom->fabric().faults().fail_stop_at_step(3, 47);
+
+  phase_result out;
+  std::atomic<std::size_t> recoveries{0};
+  serve::job_request batch_req;
+  batch_req.work = [&] {
+    auto const r = px::stencil::run_distributed_heat1d(*dom, initial, hc);
+    recoveries.store(r.recoveries, std::memory_order_relaxed);
+  };
+  EXPECT_EQ(sv.submit(batch, batch_req), serve::admit_result::accepted);
+
+  serve::open_loop_config ol;
+  ol.rate_hz = 1'000.0;
+  ol.jobs = 800;  // ~0.8 s of offered load, spanning the kill + recovery
+  ol.request.kind = serve::job_kind::spin;
+  ol.request.size = 20'000;
+  ol.request.steps = 1;
+  auto const gen = run_open_loop(sv, lat, ol);
+  sv.drain();
+  dom->wait_all_quiescent();
+  if (inject_fault) EXPECT_TRUE(dom->is_confirmed_dead(3));
+
+  auto const s = sv.stats(lat);
+  out.p99_ns = s.p99_ns;
+  out.completed = s.completed;
+  out.accepted = gen.accepted;
+  out.recoveries = recoveries.load(std::memory_order_relaxed);
+  return out;
+}
+
+TEST(ServeResilience, TenantSurvivesCoTenantFailStop) {
+  auto const clean = run_phase(false);
+  auto const faulted = run_phase(true);
+
+  // The batch tenant survived: the fail-stop was recovered, not fatal.
+  EXPECT_EQ(clean.recoveries, 0u);
+  EXPECT_GE(faulted.recoveries, 1u);
+
+  // The latency tenant is undisturbed: every accepted job completed, and
+  // its p99 stayed in the same regime as the fault-free phase (bounded
+  // multiplicative band + floor to absorb scheduler noise — a broken
+  // isolation story shows up as ~confirm-latency (0.5 s+) stalls, an order
+  // of magnitude past this bound).
+  EXPECT_EQ(clean.completed, clean.accepted);
+  EXPECT_EQ(faulted.completed, faulted.accepted);
+  ASSERT_GT(clean.p99_ns, 0u);
+  std::uint64_t const bound =
+      std::max<std::uint64_t>(5 * clean.p99_ns, 50'000'000);  // >= 50 ms
+  EXPECT_LE(faulted.p99_ns, bound)
+      << "co-tenant fail-stop moved p99 from " << clean.p99_ns << " ns to "
+      << faulted.p99_ns << " ns";
+}
+
+TEST(ServeResilience, FailStopIsolationSeedSweep) {
+  namespace torture = px::torture;
+  torture::forall_options opts;
+  opts.perturb.perturb_probability = 0.3;
+  opts.perturb.max_sleep_us = 40;
+  // Deadline jitter stalls heartbeat ticks wholesale; see the resilience
+  // sweep for the rationale.
+  opts.perturb.timer_jitter_ns = 0;
+  opts.dump_stem = "torture-serve";
+
+  auto const r = torture::forall_seeds(
+      torture::seed_count(4),  // --serve lane raises via PX_TORTURE_SEEDS
+      [](std::uint64_t) {
+        auto const clean = run_phase(false);
+        auto const faulted = run_phase(true);
+        if (faulted.recoveries < 1)
+          throw std::runtime_error("fail-stop at step 47 never recovered");
+        if (faulted.completed != faulted.accepted)
+          throw std::runtime_error("latency tenant lost jobs under fault");
+        std::uint64_t const bound = std::max<std::uint64_t>(
+            5 * std::max<std::uint64_t>(clean.p99_ns, 1), 100'000'000);
+        if (faulted.p99_ns > bound)
+          throw std::runtime_error(
+              "co-tenant fail-stop disturbed neighbour p99: " +
+              std::to_string(clean.p99_ns) + " ns clean vs " +
+              std::to_string(faulted.p99_ns) + " ns faulted");
+      },
+      opts);
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+}  // namespace
