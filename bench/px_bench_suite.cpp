@@ -18,10 +18,19 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "px/dist/distributed_domain.hpp"
 #include "px/px.hpp"
 #include "px/runtime/ws_deque.hpp"
 #include "px/serve/serve.hpp"
 #include "px/stencil/stencil.hpp"
+
+namespace {
+
+int bench_coalesce_sink(px::dist::locality&, int) { return 0; }
+
+}  // namespace
+
+PX_REGISTER_ACTION(bench_coalesce_sink)
 
 namespace {
 
@@ -205,6 +214,85 @@ void fig4_jacobi2d(px::runtime& rt, std::size_t nx, std::size_t ny,
   if (result.steps != steps) std::abort();
 }
 
+// --- net: parcel coalescing -----------------------------------------------
+
+// Many tiny fire-and-forget parcels from locality 0 to locality 1 on an
+// accounting-only fabric (injection_scale 0). ns/op is the per-parcel send
+// cost, but the real regression signal is in the counter rows:
+// /px/net/frames_on_wire vs /px/net/coalesced_parcels shows how many
+// logical parcels ride each wire frame, and /px/net/modeled_ns the
+// alpha-beta cost of the frames actually sent. The off/coalesce/compress
+// variants make the deltas directly comparable in --compare runs, and an
+// in-binary gate fails the suite (exit 1) when coalescing stops giving at
+// least a 5x frames-on-wire reduction — so scripts/check.sh --bench and
+// scripts/bench.sh trip on a frames-on-wire regression even before the
+// ns/op comparison runs.
+px::dist::domain_config net_cfg(bool coalesce, bool compress) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 2;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.0;
+  cfg.coalescing.enabled = coalesce;
+  cfg.coalescing.compress = compress;
+  return cfg;
+}
+
+void many_small_parcels(px::dist::distributed_domain& dom,
+                        std::uint64_t parcels) {
+  dom.run([parcels](px::dist::locality& loc0) {
+    for (std::uint64_t i = 0; i < parcels; ++i)
+      loc0.apply<&bench_coalesce_sink>(1, static_cast<int>(i));
+    return 0;
+  });
+  // Step boundary: drain the tail batch instead of waiting out the
+  // deadline flush, exactly as the solvers do between time steps.
+  dom.flush_coalescing();
+  dom.wait_all_quiescent();
+}
+
+// Returns false (gate failure) when the coalescing-on variant does not cut
+// frames-on-wire per parcel by at least 5x against the off variant.
+[[nodiscard]] bool net_coalescing_cases(runner& r, suite_cli const& cli) {
+  struct variant {
+    char const* name;
+    bool coalesce;
+    bool compress;
+  };
+  variant const vs[] = {
+      {"net.many_small_parcels.off", false, false},
+      {"net.many_small_parcels.coalesce", true, false},
+      {"net.many_small_parcels.compress", true, true},
+  };
+  double frames_per_parcel[3] = {0.0, 0.0, 0.0};
+  std::size_t vi = 0;
+  for (auto const& v : vs) {
+    px::dist::distributed_domain dom(net_cfg(v.coalesce, v.compress));
+    auto& b = px::counters::builtin();
+    std::uint64_t frames = 0;   // summed over warmup + timed repetitions
+    std::uint64_t parcels = 0;  // (the ratio is what the gate needs)
+    r.run(v.name,
+          {{"localities", "2"},
+           {"coalesce", v.coalesce ? "on" : "off"},
+           {"compress", v.compress ? "on" : "off"}},
+          cli.scaled(1 << 12), [&](std::uint64_t n) {
+            std::uint64_t const f0 = b.net_frames_on_wire.load();
+            many_small_parcels(dom, n);
+            frames += b.net_frames_on_wire.load() - f0;
+            parcels += n;
+          });
+    frames_per_parcel[vi++] =
+        static_cast<double>(frames) / static_cast<double>(parcels);
+  }
+  double const off = frames_per_parcel[0];
+  double const on = frames_per_parcel[1];
+  if (on > 0.0 && off >= 5.0 * on) return true;
+  std::fprintf(stderr,
+               "FAIL net.many_small_parcels: coalescing reduced frames/"
+               "parcel only %.3f -> %.3f (< 5x)\n",
+               off, on);
+  return false;
+}
+
 // --- px::serve: latency under open-loop load ------------------------------
 
 // One tenant on a wfq pool receives arrival-clocked spin jobs at a fixed
@@ -329,7 +417,13 @@ int main(int argc, char** argv) {
           [&](std::uint64_t) { fig4_jacobi2d(rt, n2, n2, steps2); });
   }
 
+  bool const coalesce_gate_ok = net_coalescing_cases(r, *cli);
+
   serve_latency_cases(r, *cli);
 
-  return px::bench::finalize_suite(r, *cli);
+  int const rc = px::bench::finalize_suite(r, *cli);
+  // The coalescing frames-on-wire gate fails the lane even when every
+  // ns/op comparison passed.
+  if (!coalesce_gate_ok) return 1;
+  return rc;
 }

@@ -8,7 +8,11 @@
 #   scripts/bench.sh --smoke                 # CI smoke lane (1/16 iters)
 #
 # Exit codes follow the suite binary: 0 pass, 1 regression beyond the
-# threshold, 2 usage error / missing baseline / write failure.
+# threshold, 2 usage error / missing baseline / write failure. The suite
+# also self-gates the net.many_small_parcels cases (parcel coalescing must
+# keep a >= 5x frames-on-wire reduction) and exits 1 on a violation even
+# without --compare, so the recording pass below fails the lane on a
+# coalescing regression.
 #
 # Methodology: the binary itself does PX_BENCH_WARMUP untimed repetitions
 # per case and reports median + MAD over PX_BENCH_REPS timed ones; this

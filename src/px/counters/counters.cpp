@@ -242,6 +242,32 @@ registry::registry() : self_(new impl) {
            builtin_.net_dead_letters);
   reg_cell("/px/net/delivery_failures", kind::monotone,
            builtin_.net_delivery_failures);
+  reg_cell("/px/net/frames_on_wire", kind::monotone,
+           builtin_.net_frames_on_wire);
+  reg_cell("/px/net/coalesced_parcels", kind::monotone,
+           builtin_.net_coalesced_parcels);
+  reg_cell("/px/net/flushes_size", kind::monotone, builtin_.net_flushes_size);
+  reg_cell("/px/net/flushes_deadline", kind::monotone,
+           builtin_.net_flushes_deadline);
+  reg_cell("/px/net/flushes_explicit", kind::monotone,
+           builtin_.net_flushes_explicit);
+  reg_cell("/px/net/compress_in_bytes", kind::monotone,
+           builtin_.net_compress_in_bytes);
+  reg_cell("/px/net/compressed_bytes", kind::monotone,
+           builtin_.net_compressed_bytes);
+
+  // Derived compression ratio, fixed-point x1000 (3000 = 3.0x). Reads the
+  // two byte cells at snapshot time; 0 until anything has compressed.
+  entry compress_ratio;
+  compress_ratio.id = self_->next_id++;
+  compress_ratio.path = "/px/net/compress_ratio_x1000";
+  compress_ratio.k = kind::gauge;
+  compress_ratio.read = [this] {
+    std::uint64_t const out_bytes = builtin_.net_compressed_bytes.load();
+    if (out_bytes == 0) return std::uint64_t{0};
+    return builtin_.net_compress_in_bytes.load() * 1000 / out_bytes;
+  };
+  self_->entries.push_back(std::move(compress_ratio));
   reg_cell("/px/timer/wakes_scheduled", kind::monotone,
            builtin_.timer_wakes);
   reg_cell("/px/timer/callbacks_scheduled", kind::monotone,

@@ -154,6 +154,20 @@ struct builtin_counters {
   counter net_backoff_us;         // /px/net/backoff_us
   counter net_dead_letters;       // /px/net/dead_letters
   counter net_delivery_failures;  // /px/net/delivery_failures
+  // Parcel coalescing (px/net/coalesce): wire frames actually injected
+  // into the fabric (each traffic_counters::record call is one frame, so
+  // this counts envelopes once regardless of how many logical parcels they
+  // carry), logical parcels that travelled inside a coalesced envelope,
+  // flushes broken down by trigger, and the compressor's in/out byte
+  // totals. /px/net/compress_ratio_x1000 is a derived gauge published by
+  // the registry: in*1000/out, 0 until anything compresses.
+  counter net_frames_on_wire;     // /px/net/frames_on_wire
+  counter net_coalesced_parcels;  // /px/net/coalesced_parcels
+  counter net_flushes_size;       // /px/net/flushes_size
+  counter net_flushes_deadline;   // /px/net/flushes_deadline
+  counter net_flushes_explicit;   // /px/net/flushes_explicit
+  counter net_compress_in_bytes;  // /px/net/compress_in_bytes
+  counter net_compressed_bytes;   // /px/net/compressed_bytes
   counter timer_wakes;            // /px/timer/wakes_scheduled
   counter timer_callbacks;        // /px/timer/callbacks_scheduled
   counter timer_cancelled;        // /px/timer/callbacks_cancelled

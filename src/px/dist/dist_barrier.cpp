@@ -66,6 +66,9 @@ void barrier_arrive(locality& here, std::uint64_t generation) {
     acks.reserve(parties - 1);
     for (std::uint32_t l = 1; l < parties; ++l)
       acks.push_back(here.call<&barrier_release>(l, generation));
+    // Step boundary: push the buffered release parcels onto the wire now
+    // rather than letting participants wait out the deadline flush.
+    here.domain().flush_coalescing();
     state->released.put(generation, 1);  // release the root locally
     for (auto& ack : acks) ack.get();
   }
@@ -84,7 +87,11 @@ void barrier_arrive_and_wait(locality& here, std::uint64_t generation) {
     // An acknowledged call, not fire-and-forget apply: on a lossy fabric a
     // lost arrival would deadlock every participant, so retry-budget
     // exhaustion must surface here as px::net::delivery_error.
-    here.call<&detail::barrier_arrive>(0, generation).get();
+    auto arrival = here.call<&detail::barrier_arrive>(0, generation);
+    // Barrier entry is an explicit flush boundary: the arrival parcel must
+    // not ride out a coalescing deadline while everyone blocks on it.
+    here.domain().flush_coalescing();
+    arrival.get();
   }
   (void)state->released.get(generation);  // suspends until released
 }

@@ -129,20 +129,49 @@ struct pending_tx {
 // receiver-side dedup window. Both ends live in-process, so one struct
 // serves both directions of the protocol for this link.
 struct link_state {
-  explicit link_state(std::size_t dedup_capacity) : rx(dedup_capacity) {}
+  link_state(std::size_t dedup_capacity, std::uint64_t initial_seq)
+      : next_seq(initial_seq), rx(dedup_capacity) {
+    rx.start_from(initial_seq);
+    last_floor = rx.floor();
+  }
 
   px::spinlock lock;
-  std::uint64_t next_seq = 1;
+  std::uint64_t next_seq;
   net::dedup_window rx;
   std::unordered_map<std::uint64_t, pending_tx> inflight;
   // Floor observed by the last dedup-window-soundness invariant check; the
-  // floor must only ever advance.
+  // floor must only ever advance (in serial order — it wraps with the
+  // seqs).
   std::uint64_t last_floor = 0;
   // Highest sender incarnation accepted on this link. Frames from an older
   // incarnation are stale — their seqs belong to a dead past and must not
   // touch the dedup window (see deliver_frame); a newer incarnation resets
-  // the window so the restarted sender's seq 1 is fresh again.
+  // the window so the restarted sender's first seq is fresh again.
   std::uint64_t rx_epoch = 1;
+};
+
+// One ordered (src,dst) coalescing buffer. Parcels wait here (each holding
+// an in-flight obligation, so quiesce sees them) until a flush policy
+// fires; `deadline` is the timer token of the armed deadline flush, owned
+// jointly with the timer service's one-shot claim protocol — whichever
+// side claims it first wins, the other no-ops.
+struct coalesce_buffer {
+  px::spinlock lock;
+  std::vector<parcel::parcel> pending;
+  std::size_t bytes = 0;  // encoded body bytes of `pending`
+  std::shared_ptr<rt::timer_token> deadline;
+};
+
+// One retransmission timer to arm against a wire frame: logical parcel
+// identity plus the token route()/on_rto() pre-installed in the link's
+// inflight entry. A coalesced envelope carries one arm per reliable parcel
+// inside it.
+struct rto_arm {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t seq = 0;
+  int attempt = 1;
+  std::shared_ptr<rt::timer_token> token;
 };
 
 }  // namespace detail
@@ -169,12 +198,33 @@ distributed_domain::distributed_domain(domain_config cfg)
     dead_[i].store(false, std::memory_order_relaxed);
     incarnations_[i].store(1, std::memory_order_relaxed);
   }
+  PX_ASSERT_MSG(cfg_.reliability.initial_seq != 0,
+                "seq 0 is reserved for unsequenced frames");
   if (reliable_) {
     links_.reserve(cfg_.num_localities * cfg_.num_localities);
     for (std::size_t i = 0; i < cfg_.num_localities * cfg_.num_localities;
          ++i)
       links_.push_back(std::make_unique<detail::link_state>(
-          cfg_.reliability.dedup_capacity));
+          cfg_.reliability.dedup_capacity, cfg_.reliability.initial_seq));
+  }
+
+  // Coalescing: env knobs land on top of the programmatic config, so
+  // PX_NET_COALESCE=on batches any domain without a code change.
+  coalesce_cfg_ = net::coalescing_config::from_env(cfg_.coalescing);
+  coalesce_enabled_ = coalesce_cfg_.enabled && cfg_.num_localities >= 2;
+  if (coalesce_enabled_) {
+    PX_ASSERT_MSG(coalesce_cfg_.flush_delay_us > 0.0,
+                  "the deadline flush is the backstop that bounds buffered "
+                  "latency; it cannot be disabled");
+    double const scale =
+        cfg_.injection_scale > 0.0 ? cfg_.injection_scale : 1.0;
+    coalesce_flush_delay_ns_ = static_cast<std::uint64_t>(
+        coalesce_cfg_.flush_delay_us * 1000.0 * scale);
+    if (coalesce_flush_delay_ns_ == 0) coalesce_flush_delay_ns_ = 1;
+    coalesce_.reserve(cfg_.num_localities * cfg_.num_localities);
+    for (std::size_t i = 0; i < cfg_.num_localities * cfg_.num_localities;
+         ++i)
+      coalesce_.push_back(std::make_unique<detail::coalesce_buffer>());
   }
 
   // Torture invariants, meaningful only at quiescence (see invariant.hpp).
@@ -192,6 +242,13 @@ distributed_domain::distributed_domain(domain_config cfg)
                    " unacked inflight entr(ies) on a link with zero "
                    "obligations";
         }
+        for (auto const& buf : coalesce_) {
+          std::lock_guard<spinlock> guard(buf->lock);
+          if (!buf->pending.empty())
+            return std::to_string(buf->pending.size()) +
+                   " parcel(s) still coalesce-buffered at quiescence "
+                   "(missed flush)";
+        }
         return std::nullopt;
       });
   invariants_.add(
@@ -204,7 +261,9 @@ distributed_domain::distributed_domain(domain_config cfg)
                    " gaps, capacity " +
                    std::to_string(cfg_.reliability.dedup_capacity);
           std::uint64_t const floor = link->rx.floor();
-          if (floor < link->last_floor)
+          // Serial comparison: the floor wraps with the seqs, so plain <
+          // would flag the legitimate UINT64_MAX -> small-seq advance.
+          if (net::seq_precedes(floor, link->last_floor))
             return "dedup floor regressed " +
                    std::to_string(link->last_floor) + " -> " +
                    std::to_string(floor);
@@ -282,6 +341,10 @@ void distributed_domain::route(parcel::parcel p) {
   p.epoch = incarnation(p.source);
 
   if (!reliable_) {
+    if (coalesce_enabled_) {
+      enqueue_coalesced(std::move(p));
+      return;
+    }
     transmit(std::move(p), 1);
     return;
   }
@@ -297,7 +360,8 @@ void distributed_domain::route(parcel::parcel p) {
   {
     auto& link = link_between(p.source, p.dest);
     std::lock_guard<spinlock> guard(link.lock);
-    p.seq = link.next_seq++;
+    p.seq = link.next_seq;
+    link.next_seq = net::seq_successor(link.next_seq);
     auto& tx = link.inflight[p.seq];
     tx.frame = p;  // payload copied: the original goes on the wire
     tx.attempts = 1;
@@ -305,11 +369,169 @@ void distributed_domain::route(parcel::parcel p) {
     tx.rto = rto = std::make_shared<rt::timer_token>();
   }
   obligation_begin();
+  if (coalesce_enabled_) {
+    // The parcel waits in the buffer with its RTO token installed but
+    // unarmed — nothing can race it onto a timer until the flush puts the
+    // envelope on the wire and arms every inner RTO against it.
+    enqueue_coalesced(std::move(p));
+    return;
+  }
   transmit(std::move(p), 1, std::move(rto));
+}
+
+// ---- coalescing ---------------------------------------------------------
+
+detail::coalesce_buffer& distributed_domain::buffer_between(
+    std::uint32_t src, std::uint32_t dst) noexcept {
+  return *coalesce_[static_cast<std::size_t>(src) * localities_.size() +
+                    dst];
+}
+
+void distributed_domain::enqueue_coalesced(parcel::parcel p) {
+  auto const src = p.source;
+  auto const dst = p.dest;
+  auto& buf = buffer_between(src, dst);
+  // One obligation per buffered parcel: a parcel waiting for a flush is in
+  // flight as far as quiesce is concerned. Released by flush_batch once
+  // the envelope owns its own delivery obligations.
+  obligation_begin();
+  std::vector<parcel::parcel> batch;
+  std::shared_ptr<rt::timer_token> deadline;
+  bool arm_deadline = false;
+  {
+    std::lock_guard<spinlock> guard(buf.lock);
+    buf.bytes += net::coalesced_parcel_bytes(p);
+    buf.pending.push_back(std::move(p));
+    if (buf.pending.size() >= coalesce_cfg_.max_parcels ||
+        buf.bytes >= coalesce_cfg_.max_bytes) {
+      batch.swap(buf.pending);
+      buf.bytes = 0;
+      deadline = std::move(buf.deadline);
+    } else if (buf.pending.size() == 1) {
+      deadline = buf.deadline = std::make_shared<rt::timer_token>();
+      arm_deadline = true;
+    }
+  }
+  if (!batch.empty()) {
+    if (deadline != nullptr) deadline->cancel();  // claimed -> timer no-ops
+    counters::builtin().net_flushes_size.add();
+    flush_batch(std::move(batch));
+    return;
+  }
+  if (arm_deadline) {
+    rt::timer_service::instance().call_at(
+        rt::timer_service::clock::now() +
+            std::chrono::nanoseconds(coalesce_flush_delay_ns_),
+        [this, src, dst] { on_flush_deadline(src, dst); },
+        std::move(deadline));
+  }
+  // Flush-at-quiesce ordering: wait_all_quiescent flushes every buffer
+  // after bumping quiescing_, both under the buffer lock. If our insert
+  // landed before that steal, the quiesce pass carries the parcel; if
+  // after, this re-check (ordered behind the steal by the buffer lock)
+  // sees quiescing_ != 0 and flushes immediately. Either way no parcel
+  // can sit buffered while the quiesce CV sleeps on its obligation —
+  // that interleaving was a hang.
+  if (quiescing_.load(std::memory_order_acquire) != 0)
+    flush_buffer(buf, counters::builtin().net_flushes_explicit);
+}
+
+void distributed_domain::flush_buffer(detail::coalesce_buffer& buf,
+                                      counters::counter& trigger) {
+  std::vector<parcel::parcel> batch;
+  std::shared_ptr<rt::timer_token> deadline;
+  {
+    std::lock_guard<spinlock> guard(buf.lock);
+    if (buf.pending.empty()) return;
+    batch.swap(buf.pending);
+    buf.bytes = 0;
+    deadline = std::move(buf.deadline);
+  }
+  // Claiming a still-armed deadline token turns its timer into a counted
+  // no-op; losing the claim means the deadline callback is concurrently
+  // stealing — it found (or will find) an empty buffer and backs off.
+  if (deadline != nullptr) deadline->cancel();
+  trigger.add();
+  flush_batch(std::move(batch));
+}
+
+void distributed_domain::flush_batch(std::vector<parcel::parcel> batch) {
+  if (batch.empty()) return;
+  std::size_t const n = batch.size();
+
+  // Collect the *current* RTO token of every reliable parcel in the batch.
+  // A missing inflight entry means confirm_failure drained it while the
+  // parcel sat buffered — the parcel still rides the envelope (the
+  // blackholed wire eats it) but no timer is armed for it.
+  std::vector<detail::rto_arm> arms;
+  if (reliable_) {
+    auto& link = link_between(batch.front().source, batch.front().dest);
+    std::lock_guard<spinlock> guard(link.lock);
+    arms.reserve(n);
+    for (auto const& p : batch) {
+      // Only sequenced data parcels retransmit. An ack's seq field names
+      // the seq it acknowledges — on this link that can alias one of our
+      // own data seqs, so filter by action, not just seq != 0.
+      if (p.seq == 0 || p.action == parcel::ack_action_id) continue;
+      auto it = link.inflight.find(p.seq);
+      if (it == link.inflight.end()) continue;
+      arms.push_back({p.source, p.dest, p.seq, it->second.attempts,
+                      it->second.rto});
+    }
+  }
+
+  auto& b = counters::builtin();
+  b.net_coalesced_parcels.add(n);
+  std::size_t compressed_in = 0, compressed_out = 0;
+  parcel::parcel envelope = net::encode_coalesced_frame(
+      batch, coalesce_cfg_, &compressed_in, &compressed_out);
+  if (compressed_out != 0) {
+    b.net_compress_in_bytes.add(compressed_in);
+    b.net_compressed_bytes.add(compressed_out);
+  }
+  put_on_wire(std::move(envelope), std::move(arms));
+  // The buffered parcels' enqueue obligations release only now: the
+  // envelope's own schedule/ack obligations are live, so the in-flight
+  // count never dips to zero mid-handoff.
+  for (std::size_t i = 0; i < n; ++i) obligation_done();
+}
+
+void distributed_domain::on_flush_deadline(std::uint32_t src,
+                                           std::uint32_t dst) {
+  auto& buf = buffer_between(src, dst);
+  std::vector<parcel::parcel> batch;
+  {
+    std::lock_guard<spinlock> guard(buf.lock);
+    if (buf.pending.empty()) return;  // raced a size/explicit flush
+    batch.swap(buf.pending);
+    buf.bytes = 0;
+    // Our own token is already claimed (the timer service claimed it to
+    // run this callback); a *newer* token in the slot belongs to a batch
+    // we are stealing early — harmless, its timer no-ops on the empty
+    // buffer or flushes the next batch ahead of schedule.
+    buf.deadline.reset();
+  }
+  counters::builtin().net_flushes_deadline.add();
+  flush_batch(std::move(batch));
+}
+
+void distributed_domain::flush_coalescing() {
+  if (!coalesce_enabled_) return;
+  for (auto& buf : coalesce_)
+    flush_buffer(*buf, counters::builtin().net_flushes_explicit);
 }
 
 void distributed_domain::transmit(parcel::parcel frame, int attempt,
                                   std::shared_ptr<rt::timer_token> rto) {
+  std::vector<detail::rto_arm> arms;
+  if (rto != nullptr)
+    arms.push_back({frame.source, frame.dest, frame.seq, attempt,
+                    std::move(rto)});
+  put_on_wire(std::move(frame), std::move(arms));
+}
+
+void distributed_domain::put_on_wire(parcel::parcel frame,
+                                     std::vector<detail::rto_arm> arms) {
   // Wire-side torture window: delays here push an inline delivery (and the
   // ack chain it triggers) past a concurrently armed RTO.
   PX_TORTURE_POINT(net_transmit);
@@ -320,12 +542,12 @@ void distributed_domain::transmit(parcel::parcel frame, int attempt,
   fabric_.faults().advance_modeled_ns(
       fabric_.counters().modeled_us_x1000.load(std::memory_order_relaxed));
 
-  // Arm the retransmission timer before the frame can possibly be
-  // delivered. The caller installed `rto` in the link's inflight entry
-  // under the link lock; if an ack settled the entry (and cancelled the
-  // token) in the meantime, the timer armed here fires as a counted
+  // Arm the retransmission timers before the frame can possibly be
+  // delivered. The caller installed each token in its link's inflight
+  // entry under the link lock; if an ack settled an entry (and cancelled
+  // the token) in the meantime, the timer armed here fires as a counted
   // no-op and the obligation was already released by the ack path.
-  if (rto != nullptr) {
+  if (!arms.empty()) {
     std::uint64_t one_way_ns = fabric_.injected_delay_ns(bytes);
     // A held (reordered / extra-delayed) frame or ack is late, not lost;
     // widen the RTT estimate by the worst-case hold so the first RTO
@@ -334,14 +556,22 @@ void distributed_domain::transmit(parcel::parcel frame, int attempt,
     if (fabric_.faults().enabled())
       one_way_ns += static_cast<std::uint64_t>(
           fabric_.faults().config().max_hold_us() * 1000.0);
-    std::uint64_t const rto_ns =
-        net::rto_ns(cfg_.reliability, attempt, one_way_ns);
-    auto const src = frame.source;
-    auto const dst = frame.dest;
-    auto const seq = frame.seq;
-    rt::timer_service::instance().call_at(
-        rt::timer_service::clock::now() + std::chrono::nanoseconds(rto_ns),
-        [this, src, dst, seq] { on_rto(src, dst, seq); }, std::move(rto));
+    // Coalescing delays both the data frame (this envelope waited out a
+    // flush policy) and its acks (they batch on the reverse buffer); widen
+    // by both worst cases or every buffered round trip retransmits.
+    if (coalesce_enabled_) one_way_ns += 2 * coalesce_flush_delay_ns_;
+    auto const now = rt::timer_service::clock::now();
+    for (auto& arm : arms) {
+      std::uint64_t const rto_ns =
+          net::rto_ns(cfg_.reliability, arm.attempt, one_way_ns);
+      auto const src = arm.src;
+      auto const dst = arm.dst;
+      auto const seq = arm.seq;
+      rt::timer_service::instance().call_at(
+          now + std::chrono::nanoseconds(rto_ns),
+          [this, src, dst, seq] { on_rto(src, dst, seq); },
+          std::move(arm.token));
+    }
   }
 
   auto const fate = fabric_.faults().sample(frame.source, frame.dest);
@@ -378,6 +608,18 @@ void distributed_domain::schedule_frame(parcel::parcel frame,
 
 void distributed_domain::deliver_frame(parcel::parcel frame) {
   PX_TORTURE_POINT(net_deliver);
+  if (frame.action == parcel::coalesced_action_id) {
+    // Unpack the envelope and run every logical parcel through this same
+    // receive path: each inner parcel carries its own seq/epoch, so dedup,
+    // acking and stale-incarnation filtering work per parcel — a duplicate
+    // envelope (fault-plane dup, or a solo retransmission racing a held
+    // copy) delivers each parcel exactly once. Both ends are in-process,
+    // so a corrupt envelope cannot occur; decode throws only on real
+    // memory corruption.
+    for (auto& inner : net::decode_coalesced_frame(frame))
+      deliver_frame(std::move(inner));
+    return;
+  }
   if (frame.action == parcel::heartbeat_action_id) {
     // Soft liveness state, unsequenced and unacked. A heartbeat from a
     // stale incarnation (or from a locality already confirmed dead) must
@@ -409,11 +651,11 @@ void distributed_domain::deliver_frame(parcel::parcel frame) {
         return;
       }
       if (frame.epoch > link.rx_epoch) {
-        // First frame of a restarted incarnation: its seqs restart at 1,
-        // so the window restarts with them.
+        // First frame of a restarted incarnation: its seqs restart at
+        // initial_seq, so the window restarts with them.
         link.rx_epoch = frame.epoch;
-        link.rx.reset();
-        link.last_floor = 0;
+        link.rx.start_from(cfg_.reliability.initial_seq);
+        link.last_floor = link.rx.floor();
       }
       fresh = link.rx.accept(frame.seq);
     }
@@ -439,7 +681,13 @@ void distributed_domain::send_ack(parcel::parcel const& data) {
   ack.epoch = data.epoch;
   counters::builtin().net_acks.add();
   // Acks are fire-and-forget: no seq of their own, no RTO. A lost ack is
-  // repaired by the data frame's retransmission.
+  // repaired by the data frame's retransmission. They batch on the
+  // reverse-direction buffer (the sender's RTO is widened by two flush
+  // delays to absorb this, see put_on_wire).
+  if (coalesce_enabled_) {
+    enqueue_coalesced(std::move(ack));
+    return;
+  }
   transmit(std::move(ack), 1);
 }
 
@@ -611,6 +859,11 @@ void distributed_domain::confirm_failure(std::uint32_t victim) {
       }
     }
   }
+  // Parcels still coalesce-buffered to/from the victim can never be acked
+  // either; flush them now (the blackholed wire eats the envelopes) so
+  // their buffer obligations drain promptly instead of waiting out the
+  // deadline timer.
+  flush_coalescing();
 
   // Fail every call that can no longer complete: the victim's own pending
   // calls (its futures' owners may be tasks running on survivors via
@@ -637,10 +890,10 @@ void distributed_domain::restart_locality(std::uint32_t loc) {
     std::lock_guard<std::mutex> guard(membership_mutex_);
     PX_ASSERT_MSG(dead_[loc].load(std::memory_order_acquire),
                   "restart_locality of a live locality");
-    // New incarnation: outbound seqs restart at 1 under the bumped epoch.
-    // Receiver windows are left alone — they reset lazily on the first
-    // frame carrying the new epoch, and meanwhile keep counting stale
-    // old-incarnation stragglers.
+    // New incarnation: outbound seqs restart at initial_seq under the
+    // bumped epoch. Receiver windows are left alone — they reset lazily on
+    // the first frame carrying the new epoch, and meanwhile keep counting
+    // stale old-incarnation stragglers.
     incarnations_[loc].fetch_add(1, std::memory_order_acq_rel);
     if (reliable_) {
       for (std::size_t other = 0; other < localities_.size(); ++other) {
@@ -649,7 +902,7 @@ void distributed_domain::restart_locality(std::uint32_t loc) {
         std::lock_guard<spinlock> g(out.lock);
         PX_ASSERT_MSG(out.inflight.empty(),
                       "restart with unacked frames from the dead past");
-        out.next_seq = 1;
+        out.next_seq = cfg_.reliability.initial_seq;
       }
     }
     fabric_.faults().revive(loc);
@@ -730,6 +983,12 @@ void distributed_domain::wait_all_quiescent() {
   // (scheduled frames + unacked reliable parcels) drains to zero.
   for (;;) {
     for (auto& loc : localities_) loc->rt().wait_quiescent();
+    // Flush-at-quiesce ordering: buffered parcels hold obligations, so
+    // they must hit the wire before the CV below can ever see zero. The
+    // bump of quiescing_ above plus the enqueue-side re-check (see
+    // enqueue_coalesced) closes the race where a parcel lands in a buffer
+    // after this pass.
+    flush_coalescing();
     {
       std::unique_lock<std::mutex> lk(quiesce_mutex_);
       quiesce_cv_.wait(lk, [this] {
@@ -754,6 +1013,7 @@ bool distributed_domain::wait_all_quiescent_for(
   auto const deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     for (auto& loc : localities_) loc->rt().wait_quiescent();
+    flush_coalescing();  // same flush-before-CV ordering as the unbounded wait
     {
       std::unique_lock<std::mutex> lk(quiesce_mutex_);
       if (!quiesce_cv_.wait_until(lk, deadline, [this] {

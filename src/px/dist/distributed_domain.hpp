@@ -24,6 +24,7 @@
 #include "px/dist/failure_detector.hpp"
 #include "px/dist/locality.hpp"
 #include "px/lcos/async.hpp"
+#include "px/net/coalesce.hpp"
 #include "px/net/fabric.hpp"
 #include "px/net/reliability.hpp"
 #include "px/torture/invariant.hpp"
@@ -35,7 +36,9 @@ class timer_token;  // px/runtime/timer_service.hpp
 namespace px::dist {
 
 namespace detail {
-struct link_state;  // per ordered (src,dst) pair; defined in the .cpp
+struct link_state;       // per ordered (src,dst) pair; defined in the .cpp
+struct coalesce_buffer;  // per ordered (src,dst) coalescing buffer
+struct rto_arm;          // one RTO to arm against a wire frame
 }
 
 struct domain_config {
@@ -54,6 +57,10 @@ struct domain_config {
   net::fault_config faults;
   // Ack/retransmit layer; `automatic` activates it iff faults.enabled().
   net::reliability_config reliability;
+  // Parcel coalescing under the reliability layer (off by default). The
+  // domain constructor applies coalescing_config::from_env on top, so
+  // PX_NET_COALESCE / PX_NET_COMPRESS override this programmatic config.
+  net::coalescing_config coalescing;
   // Heartbeat failure detector (off by default). When enabled the domain
   // runs a detector on the timer thread; confirmed failures tear down the
   // victim's transport state and fire the registered confirm hooks.
@@ -77,8 +84,21 @@ class distributed_domain {
   // True when the reliability layer sequences/acks/retransmits parcels.
   [[nodiscard]] bool reliable() const noexcept { return reliable_; }
 
+  // True when inter-locality parcels are batched through per-destination
+  // coalescing buffers (px/net/coalesce.hpp).
+  [[nodiscard]] bool coalescing() const noexcept { return coalesce_enabled_; }
+  [[nodiscard]] net::coalescing_config const& coalesce_config()
+      const noexcept {
+    return coalesce_cfg_;
+  }
+
   // Routes a parcel from its source to its destination locality.
   void route(parcel::parcel p);
+
+  // Explicit flush policy: drains every coalescing buffer onto the wire.
+  // Called at step/barrier boundaries (dist_barrier, the heat solver's halo
+  // exchange) and by every quiesce pass; no-op when coalescing is off.
+  void flush_coalescing();
 
   // Blocks until every locality's scheduler is quiescent *and* no parcels
   // are still in flight (scheduled frames, unacked reliable parcels).
@@ -170,12 +190,32 @@ class distributed_domain {
   // ---- reliability transport (see docs/ARCHITECTURE.md) ----------------
   [[nodiscard]] detail::link_state& link_between(std::uint32_t src,
                                                  std::uint32_t dst) noexcept;
-  // Puts one frame on the wire: traffic accounting, RTO arming (when the
-  // caller pre-installed `rto` in the link's inflight entry — reliable
-  // data frames only), fault sampling, delivery scheduling. `attempt` is
-  // the 1-based transmission count for this seq.
+  // Puts one frame on the wire: traffic accounting (exactly one
+  // traffic_counters::record per frame), RTO arming for every logical
+  // parcel the frame carries, fault sampling, delivery scheduling. A plain
+  // frame arms at most one RTO; a coalesced envelope arms one per reliable
+  // parcel inside.
+  void put_on_wire(parcel::parcel frame, std::vector<detail::rto_arm> arms);
+  // Single-parcel wrapper over put_on_wire (the historical signature).
+  // `attempt` is the 1-based transmission count for this seq; `rto` must be
+  // the token the caller pre-installed in the link's inflight entry.
   void transmit(parcel::parcel frame, int attempt,
                 std::shared_ptr<rt::timer_token> rto = nullptr);
+  // ---- coalescing (see docs/ARCHITECTURE.md §4.3) ----------------------
+  [[nodiscard]] detail::coalesce_buffer& buffer_between(
+      std::uint32_t src, std::uint32_t dst) noexcept;
+  // Buffers a routed parcel; flushes immediately on a size/count threshold
+  // or when a quiesce is in progress, arms the deadline timer when the
+  // parcel is the first into an empty buffer.
+  void enqueue_coalesced(parcel::parcel p);
+  // Steals and flushes one buffer's batch, counting `trigger` (a
+  // builtin_counters flush cell). No-op on an empty buffer.
+  void flush_buffer(detail::coalesce_buffer& buf,
+                    counters::counter& trigger);
+  // Encodes a stolen batch into one envelope and puts it on the wire,
+  // collecting the current RTO token of every reliable parcel inside.
+  void flush_batch(std::vector<parcel::parcel> batch);
+  void on_flush_deadline(std::uint32_t src, std::uint32_t dst);
   // Schedules delivery after `delay_ns` of real time (inline when 0).
   void schedule_frame(parcel::parcel frame, std::uint64_t delay_ns);
   // Receiver-side transport: ack handling, dedup + ack for data frames.
@@ -199,6 +239,15 @@ class distributed_domain {
   bool reliable_ = false;
   std::vector<std::unique_ptr<locality>> localities_;
   std::vector<std::unique_ptr<detail::link_state>> links_;
+
+  // Coalescing state: cfg_.coalescing with the PX_NET_* env applied, the
+  // deadline's real-time delay (flush_delay_us scaled by injection_scale;
+  // scale 0 runs at scale 1 so accounting-only domains still flush), and
+  // one buffer per ordered (src,dst) pair.
+  bool coalesce_enabled_ = false;
+  net::coalescing_config coalesce_cfg_;
+  std::uint64_t coalesce_flush_delay_ns_ = 0;
+  std::vector<std::unique_ptr<detail::coalesce_buffer>> coalesce_;
 
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;

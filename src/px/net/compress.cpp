@@ -1,0 +1,115 @@
+#include "px/net/compress.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace px::net {
+
+namespace {
+
+constexpr std::size_t hash_bits = 13;
+constexpr std::size_t hash_size = std::size_t{1} << hash_bits;
+constexpr std::size_t max_offset = 65535;
+constexpr std::size_t min_match = 4;
+constexpr std::size_t max_match = 131;   // (0x7f) + min_match
+constexpr std::size_t max_literals = 128;
+
+inline std::uint32_t read32(std::byte const* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::size_t hash4(std::uint32_t v) noexcept {
+  return static_cast<std::size_t>((v * 2654435761u) >> (32 - hash_bits));
+}
+
+void emit_literals(std::vector<std::byte>& out, std::byte const* from,
+                   std::size_t n) {
+  while (n != 0) {
+    std::size_t const run = n < max_literals ? n : max_literals;
+    out.push_back(static_cast<std::byte>(run - 1));
+    out.insert(out.end(), from, from + run);
+    from += run;
+    n -= run;
+  }
+}
+
+}  // namespace
+
+std::vector<std::byte> lz_compress(std::byte const* in, std::size_t n) {
+  std::vector<std::byte> out;
+  out.reserve(n / 2 + 16);
+  if (n < min_match) {
+    emit_literals(out, in, n);
+    return out;
+  }
+
+  // Last position a 4-byte prefix was seen at, keyed by its hash. n is
+  // bounded by the coalescing byte threshold, so a fresh table per call
+  // (zero -> "position 0", disambiguated by an explicit match check) is
+  // cheaper than remembering state across frames.
+  std::vector<std::uint32_t> table(hash_size, 0);
+
+  std::size_t anchor = 0;  // first literal not yet emitted
+  std::size_t pos = 0;
+  std::size_t const last_hashable = n - min_match;
+  while (pos <= last_hashable) {
+    std::uint32_t const v = read32(in + pos);
+    std::size_t const h = hash4(v);
+    std::size_t const cand = table[h];
+    table[h] = static_cast<std::uint32_t>(pos);
+    if (cand < pos && pos - cand <= max_offset && read32(in + cand) == v) {
+      std::size_t len = min_match;
+      std::size_t const cap = (n - pos) < max_match ? (n - pos) : max_match;
+      while (len < cap && in[cand + len] == in[pos + len]) ++len;
+      emit_literals(out, in + anchor, pos - anchor);
+      out.push_back(
+          static_cast<std::byte>(0x80u | (static_cast<unsigned>(len) -
+                                          min_match)));
+      std::size_t const off = pos - cand;
+      out.push_back(static_cast<std::byte>(off & 0xff));
+      out.push_back(static_cast<std::byte>((off >> 8) & 0xff));
+      pos += len;
+      anchor = pos;
+    } else {
+      ++pos;
+    }
+  }
+  emit_literals(out, in + anchor, n - anchor);
+  return out;
+}
+
+std::vector<std::byte> lz_decompress(std::byte const* in, std::size_t n,
+                                     std::size_t decoded_size) {
+  std::vector<std::byte> out;
+  out.reserve(decoded_size);
+  std::size_t pos = 0;
+  while (pos < n) {
+    auto const op = static_cast<unsigned>(in[pos++]);
+    if (op < 0x80u) {
+      std::size_t const run = op + 1;
+      if (pos + run > n || out.size() + run > decoded_size)
+        throw std::runtime_error("px::net::lz_decompress: corrupt literals");
+      out.insert(out.end(), in + pos, in + pos + run);
+      pos += run;
+    } else {
+      std::size_t const len = (op & 0x7fu) + min_match;
+      if (pos + 2 > n)
+        throw std::runtime_error("px::net::lz_decompress: truncated match");
+      std::size_t const off = static_cast<unsigned>(in[pos]) |
+                              (static_cast<unsigned>(in[pos + 1]) << 8);
+      pos += 2;
+      if (off == 0 || off > out.size() || out.size() + len > decoded_size)
+        throw std::runtime_error("px::net::lz_decompress: bad offset");
+      // Overlapping copy is the RLE case; must go byte-by-byte.
+      std::size_t src = out.size() - off;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != decoded_size)
+    throw std::runtime_error("px::net::lz_decompress: size mismatch");
+  return out;
+}
+
+}  // namespace px::net

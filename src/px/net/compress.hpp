@@ -1,0 +1,36 @@
+// px/net/compress.hpp
+// Self-contained LZ byte compressor for parcel payload compression (the
+// hpx5 compressed.cpp role, without the external libhpx dependency). The
+// format is a greedy LZ77 token stream tuned for the traffic a coalesced
+// frame carries: many near-identical subheaders and stencil halo payloads,
+// where back-references within a 64 KiB window capture most redundancy.
+//
+// Token stream (decoder contract):
+//   op < 0x80  : literal run of (op + 1) bytes follows          [1..128]
+//   op >= 0x80 : match of ((op & 0x7f) + 4) bytes               [4..131]
+//                from a 2-byte little-endian offset back         [1..65535]
+// Matches may overlap their own output (RLE degenerates to offset 1), so
+// the decoder copies byte-by-byte. The uncompressed size travels outside
+// the stream (the coalesced-frame header carries it); decompression into a
+// mis-sized buffer is a hard error, never a truncation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace px::net {
+
+// Compresses [in, in+n). Deterministic: output depends only on the input
+// bytes. Never fails; incompressible input grows by ~1/128 (run headers).
+[[nodiscard]] std::vector<std::byte> lz_compress(std::byte const* in,
+                                                 std::size_t n);
+
+// Decompresses a lz_compress stream that must expand to exactly
+// `decoded_size` bytes. Throws std::runtime_error on a corrupt stream
+// (truncated ops, out-of-window offsets, size mismatch).
+[[nodiscard]] std::vector<std::byte> lz_decompress(std::byte const* in,
+                                                   std::size_t n,
+                                                   std::size_t decoded_size);
+
+}  // namespace px::net

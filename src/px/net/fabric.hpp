@@ -74,6 +74,11 @@ struct traffic_counters {
     b.net_messages.add();
     b.net_bytes.add(message_bytes);
     b.net_modeled_ns.add(modeled_ns);
+    // Each record() call is one frame injected into the fabric. With
+    // coalescing a frame may carry many logical parcels, so this diverges
+    // from the parcel-level counts — that divergence is the win the
+    // net.many_small_parcels bench gates on.
+    b.net_frames_on_wire.add();
   }
 
   [[nodiscard]] double modeled_us() const noexcept {

@@ -13,6 +13,12 @@
 // on one link still race for positions in the stream; end-to-end result
 // determinism under faults is the reliability layer's job, not the fault
 // plane's.
+//
+// Granularity: fate is sampled per *wire frame*. Under parcel coalescing
+// (px/net/coalesce.hpp) one frame can carry many logical parcels, so a
+// single drop decision loses a whole batch at once and a duplicate
+// redelivers all of them — the per-parcel dedup windows are what turn that
+// back into exactly-once delivery.
 #pragma once
 
 #include <atomic>

@@ -74,6 +74,13 @@ struct reliability_config {
   // Per-link seqs remembered above the contiguous floor on the receiver.
   std::size_t dedup_capacity = 4096;
 
+  // First sequence number a fresh link assigns. Production always uses 1;
+  // tests set this near UINT64_MAX to force the wraparound path (seqs
+  // compare by serial arithmetic, and 0 stays reserved for "unsequenced",
+  // so the counter wraps max -> 1). Receivers are told via
+  // dedup_window::start_from.
+  std::uint64_t initial_seq = 1;
+
   // TEST ONLY — never set in production code. Re-enacts a historical bug
   // in the ack/RTO race (the retry path installed the fresh RTO token only
   // after dropping the link lock, so an ack landing in that window found a
@@ -93,9 +100,29 @@ struct reliability_config {
 [[nodiscard]] std::uint64_t rto_ns(reliability_config const& cfg, int attempt,
                                    std::uint64_t one_way_ns) noexcept;
 
-// Receiver-side exactly-once filter for one ordered link. Seqs start at 1
-// and may arrive in any order; accept() returns true exactly once per seq.
-// Not thread-safe — callers hold the owning link's lock.
+// Serial-number order (RFC 1982 shape): `a` precedes `b` when the signed
+// distance from `b` back to `a` is positive. Total order only within a
+// half-range (2^63) window — far more than any link's in-flight span — and,
+// unlike operator<, it survives the seq counter wrapping past UINT64_MAX.
+[[nodiscard]] constexpr bool seq_precedes(std::uint64_t a,
+                                          std::uint64_t b) noexcept {
+  return static_cast<std::int64_t>(a - b) < 0;
+}
+
+// Successor of a seq in link order: increments, skipping 0 (reserved for
+// "unsequenced" frames), so the counter wraps UINT64_MAX -> 1.
+[[nodiscard]] constexpr std::uint64_t seq_successor(std::uint64_t s) noexcept {
+  return s + 1 == 0 ? 1 : s + 1;
+}
+
+// Receiver-side exactly-once filter for one ordered link. Seqs start at
+// initial_seq (1 in production) and may arrive in any order; accept()
+// returns true exactly once per seq. Seq comparisons use serial arithmetic
+// throughout, so the window keeps working when the sender's counter wraps
+// past UINT64_MAX (the historical `seq <= floor_` guard silently rejected
+// every post-wrap seq as a duplicate — an exactly-once violation in the
+// "never delivered" direction). Not thread-safe — callers hold the owning
+// link's lock.
 //
 // Memory is bounded by `capacity`: when more than `capacity` seqs sit above
 // the contiguous floor, the floor is advanced to the oldest remembered seq
@@ -110,12 +137,13 @@ class dedup_window {
 
   // True -> first sighting of `seq`, deliver it. False -> duplicate.
   bool accept(std::uint64_t seq) {
-    if (seq <= floor_) return false;
+    if (seq == 0) return false;  // unsequenced frames never reach here
+    if (!seq_precedes(floor_, seq)) return false;
     if (!above_.insert(seq).second) return false;
-    for (auto it = above_.find(floor_ + 1); it != above_.end();
-         it = above_.find(floor_ + 1)) {
+    for (auto it = above_.find(seq_successor(floor_)); it != above_.end();
+         it = above_.find(seq_successor(floor_))) {
       above_.erase(it);
-      ++floor_;
+      floor_ = seq_successor(floor_);
     }
     if (above_.size() > capacity_) {
       floor_ = *above_.begin();
@@ -124,7 +152,7 @@ class dedup_window {
     return true;
   }
 
-  // Every seq <= floor() has been seen.
+  // Every seq at or serially before floor() has been seen.
   [[nodiscard]] std::uint64_t floor() const noexcept { return floor_; }
   [[nodiscard]] std::size_t pending_gaps() const noexcept {
     return above_.size();
@@ -138,9 +166,25 @@ class dedup_window {
     above_.clear();
   }
 
+  // Re-anchors an empty window so the first expected seq is
+  // `first_expected` (the sender's initial_seq): everything serially
+  // before it is treated as seen. reset() + start_from(1) is the
+  // production state.
+  void start_from(std::uint64_t first_expected) noexcept {
+    floor_ = first_expected - 1;
+    above_.clear();
+  }
+
  private:
+  struct serial_less {
+    constexpr bool operator()(std::uint64_t a,
+                              std::uint64_t b) const noexcept {
+      return seq_precedes(a, b);
+    }
+  };
+
   std::uint64_t floor_ = 0;
-  std::set<std::uint64_t> above_;
+  std::set<std::uint64_t, serial_less> above_;
   std::size_t capacity_;
 };
 

@@ -50,4 +50,10 @@ inline constexpr std::uint32_t ack_action_id = 0xffffffffu;
 // next one), consumed by the domain, never delivered to action handlers.
 inline constexpr std::uint32_t heartbeat_action_id = 0xfffffffeu;
 
+// Coalesced envelope frame: its payload packs several logical parcels
+// (px/net/coalesce.hpp). The envelope itself is unsequenced; the parcels
+// inside carry their own seq/epoch and are what the reliability layer
+// acks, dedups and retransmits.
+inline constexpr std::uint32_t coalesced_action_id = 0xfffffffdu;
+
 }  // namespace px::parcel

@@ -234,6 +234,10 @@ std::vector<double> heat_solve_block(px::dist::locality& here,
     if (has_right)
       here.apply<&heat_halo_put>(args.part_loc[p + 1], p + 1, args.attempt,
                                  t, std::uint8_t{1}, curr.back());
+    // Step boundary: push the halo parcels onto the wire before the
+    // interior compute, so neighbours receive them while we work instead
+    // of after a coalescing deadline.
+    here.domain().flush_coalescing();
 
     // 2. Interior: cells [1, n-1) need no remote data.
     std::size_t const parts = std::min<std::size_t>(

@@ -1,0 +1,170 @@
+// Lossy-fabric x coalescing seed sweep: drop/dup/reorder whole coalesced
+// envelopes under schedule perturbation and assert every logical parcel
+// still delivers exactly once (heat solver bitwise identical to the
+// fault-free run), obligations balance at quiesce, and the flush-at-quiesce
+// ordering holds even when the deadline flush can never fire.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/heat1d_distributed.hpp"
+#include "px/torture/forall.hpp"
+#include "px/torture/invariant.hpp"
+
+namespace {
+
+int torture_co_echo(px::dist::locality& here, int x) {
+  return static_cast<int>(here.id()) * 100 + x;
+}
+
+int torture_co_sink(px::dist::locality&, int) { return 0; }
+
+}  // namespace
+
+PX_REGISTER_ACTION(torture_co_echo)
+PX_REGISTER_ACTION(torture_co_sink)
+
+namespace {
+
+namespace torture = px::torture;
+using px::counters::builtin;
+using namespace std::chrono_literals;
+
+px::dist::domain_config lossy_coalesce_cfg(std::uint64_t seed) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 2;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.001;
+  cfg.faults.drop = 0.15;
+  cfg.faults.duplicate = 0.05;
+  cfg.faults.reorder = 0.05;
+  cfg.faults.seed = static_cast<std::uint32_t>(seed ^ (seed >> 32));
+  cfg.reliability.initial_backoff_us = 5.0;
+  cfg.reliability.backoff_multiplier = 1.5;
+  cfg.reliability.max_backoff_us = 100.0;
+  cfg.reliability.max_retries = 64;
+  cfg.coalescing.enabled = true;
+  cfg.coalescing.compress = true;
+  cfg.coalescing.max_parcels = 8;
+  cfg.coalescing.flush_delay_us = 20.0;
+  return cfg;
+}
+
+torture::forall_options coalesce_opts(char const* stem) {
+  torture::forall_options opts;
+  opts.perturb.perturb_probability = 0.4;
+  opts.perturb.max_sleep_us = 100;
+  opts.dump_stem = stem;
+  return opts;
+}
+
+void fail_quiesce(std::unique_ptr<px::dist::distributed_domain> dom,
+                  char const* what) {
+  dom->detach_invariants();
+  auto const leaked = dom->obligations_in_flight();
+  (void)dom.release();  // corrupted: destructor would hang
+  throw torture::invariant_violation(
+      {{"obligation-balance",
+        std::to_string(leaked) + " obligation(s) in flight " + what}});
+}
+
+// The 16-seed exactly-once sweep the issue asks for: a coalesced frame
+// carries many logical parcels, so every fault hits a whole batch; dedup
+// and retransmission must still deliver each parcel exactly once, and the
+// domain's quiesce invariants (obligation balance, dedup soundness,
+// buffers empty) are asserted at every quiescence point.
+TEST(TortureCoalesce, LossyEnvelopesDeliverExactlyOnceUnderSeeds) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(16),
+      [](std::uint64_t seed) {
+        auto dom = std::make_unique<px::dist::distributed_domain>(
+            lossy_coalesce_cfg(seed));
+        dom->run([](px::dist::locality& loc0) {
+          std::vector<px::future<int>> fs;
+          fs.reserve(80);
+          for (int i = 0; i < 80; ++i)
+            fs.push_back(loc0.call<&torture_co_echo>(1, i));
+          for (int i = 0; i < 80; ++i)
+            if (fs[static_cast<std::size_t>(i)].get() != 100 + i)
+              throw std::runtime_error("remote call returned wrong value");
+          return 0;
+        });
+        if (!dom->wait_all_quiescent_for(30s))
+          fail_quiesce(std::move(dom), "after quiesce timeout");
+      },
+      coalesce_opts("torture-coalesce"));
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+TEST(TortureCoalesce, HeatSolverBitwiseStableAcrossLossySeeds) {
+  // Differential oracle with coalescing + compression on the lossy side:
+  // the numerics cannot tell batching from per-parcel frames apart.
+  auto const initial = px::stencil::heat1d_sine_initial(301);
+  px::stencil::dist_heat_config hc;
+  hc.steps = 10;
+
+  px::dist::domain_config clean = lossy_coalesce_cfg(0);
+  clean.faults = {};
+  clean.coalescing = {};
+  px::dist::distributed_domain clean_dom(clean);
+  ASSERT_FALSE(clean_dom.reliable());
+  ASSERT_FALSE(clean_dom.coalescing());
+  auto const baseline = run_distributed_heat1d(clean_dom, initial, hc);
+  clean_dom.wait_all_quiescent();
+
+  auto r = torture::forall_seeds(
+      torture::seed_count(16),
+      [&](std::uint64_t seed) {
+        px::dist::distributed_domain dom(lossy_coalesce_cfg(seed));
+        if (!dom.reliable() || !dom.coalescing())
+          throw std::runtime_error("domain lost reliability or coalescing");
+        auto const out = run_distributed_heat1d(dom, initial, hc);
+        dom.wait_all_quiescent();
+        if (out.values.size() != baseline.values.size() ||
+            !(out.values == baseline.values))
+          throw std::runtime_error(
+              "coalesced lossy heat1d diverged bitwise from the "
+              "fault-free run");
+      },
+      coalesce_opts("torture-coalesce-heat"));
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+// Flush-at-quiesce regression pinned under perturbation (bugfix
+// satellite): the deadline flush can never fire, so the only way the
+// buffered parcels' obligations drain is the quiesce-side flush — with
+// torture sleeps widening the enqueue/quiesce race the old
+// sleep-before-flush interleaving hangs every seed that lands a parcel in
+// the buffer after the flush pass.
+TEST(TortureCoalesce, QuiesceFlushOrderingHoldsUnderSeeds) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(16),
+      [](std::uint64_t seed) {
+        auto cfg = lossy_coalesce_cfg(seed);
+        cfg.faults = {};  // the race under test is enqueue vs quiesce
+        cfg.injection_scale = 0.0;
+        cfg.reliability.activation =
+            px::net::reliability_config::mode::on;
+        cfg.coalescing.flush_delay_us = 3600.0 * 1e6;  // never fires
+        cfg.coalescing.max_parcels = 1u << 30;         // never size-flushes
+        cfg.coalescing.max_bytes = std::size_t{1} << 40;
+        auto dom = std::make_unique<px::dist::distributed_domain>(cfg);
+        dom->run([](px::dist::locality& loc0) {
+          for (int i = 0; i < 40; ++i)
+            loc0.apply<&torture_co_sink>(1, i);
+          return 0;
+        });
+        if (!dom->wait_all_quiescent_for(10s))
+          fail_quiesce(std::move(dom),
+                       "(coalesce buffer missed the quiesce flush)");
+      },
+      coalesce_opts("torture-coalesce-quiesce"));
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+}  // namespace
