@@ -14,10 +14,13 @@
 // scripts/bench.sh drives it pinned and warm; scripts/check.sh --bench
 // runs the --smoke variant as a CI lane. Repetition/warmup counts come
 // from PX_BENCH_REPS / PX_BENCH_WARMUP; the run seed from PX_SEED.
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "px/arch/cluster_sim.hpp"
 #include "px/dist/distributed_domain.hpp"
 #include "px/px.hpp"
 #include "px/runtime/ws_deque.hpp"
@@ -293,6 +296,146 @@ void many_small_parcels(px::dist::distributed_domain& dom,
   return false;
 }
 
+// --- AGAS: zipf-skewed heat under the load-driven rebalancer --------------
+
+// Skewed placement of zipf-sized partitions overloads the low localities;
+// the px::agas rebalancer migrates hot partitions off them at round
+// boundaries. Two-part case, in the MODEL + HOST VALIDATION mold:
+//
+//   HOST VALIDATION — the live 4-locality solver runs both variants on an
+//   accounting-only fabric. ns/op (per point-update) and the counter
+//   deltas (/px/agas/migrations et al.) are the report rows; correctness
+//   (static never migrates, rebalance does and cuts the measured
+//   imbalance, both answers bitwise identical) feeds the gate. Wall time
+//   is NOT compared: the in-process virtual cluster time-slices the host's
+//   cores, so placement cannot change real round time on a small CI box.
+//
+//   MODEL GATE — the 256-node skewed-cluster model (the runtime's own
+//   plan_moves as planner, zipf head stacked by blocked placement) must
+//   show rebalance beating static placement on modeled p99 step time.
+//   Deterministic, so a planner regression trips it exactly.
+px::dist::domain_config skewed_heat_dom_cfg() {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 4;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.0;
+  return cfg;
+}
+
+// p99 over per-step modeled times: every round contributes
+// steps_per_round equal samples.
+[[nodiscard]] double model_p99_step_s(std::vector<double> const& rounds,
+                                      std::uint64_t steps_per_round) {
+  std::vector<double> v;
+  v.reserve(rounds.size() * steps_per_round);
+  for (double s : rounds)
+    for (std::uint64_t k = 0; k < steps_per_round; ++k) v.push_back(s);
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  std::size_t idx = (v.size() * 99 + 99) / 100;  // ceil(0.99 n)
+  idx = idx == 0 ? 0 : idx - 1;
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// Returns false (gate failure) when the live run migrates wrongly (static
+// variant moved, rebalanced variant didn't, imbalance not reduced, or the
+// two answers disagree bitwise), or when the 256-node model's rebalanced
+// p99 step time fails to beat static placement.
+[[nodiscard]] bool agas_skewed_heat_cases(runner& r, suite_cli const& cli) {
+  // Full problem size even under --smoke, like the stencil cases: the
+  // per-point ns/op only compares against the committed baseline at the
+  // same grid.
+  (void)cli;
+  auto const initial = px::stencil::heat1d_sine_initial(1u << 12);
+  px::stencil::skewed_heat_config hc;
+  hc.partitions = 32;
+  hc.steps = 48;
+  hc.steps_per_round = 4;
+  hc.zipf_s = 1.1;
+  hc.compute_cost = 50;
+
+  struct variant {
+    char const* name;
+    bool rebalance;
+  };
+  variant const vs[] = {
+      {"agas.skewed_heat.static", false},
+      {"agas.skewed_heat.rebalance", true},
+  };
+  std::uint64_t migrations[2] = {0, 0};
+  double imbalance_final[2] = {0.0, 0.0};
+  std::vector<double> values[2];
+  std::size_t vi = 0;
+  for (auto const& v : vs) {
+    px::dist::distributed_domain dom(skewed_heat_dom_cfg());
+    px::stencil::skewed_heat_config cfg = hc;
+    cfg.rebalance = v.rebalance;
+    r.run(v.name,
+          {{"localities", "4"},
+           {"nx", std::to_string(initial.size())},
+           {"partitions", std::to_string(hc.partitions)},
+           {"steps", std::to_string(hc.steps)},
+           {"steps_per_round", std::to_string(hc.steps_per_round)},
+           {"zipf_s", "1.1"},
+           {"compute_cost", std::to_string(hc.compute_cost)},
+           {"rebalance", v.rebalance ? "on" : "off"}},
+          static_cast<std::uint64_t>(initial.size()) * hc.steps,
+          [&](std::uint64_t) {
+            auto out = px::stencil::run_skewed_heat1d(dom, initial, cfg);
+            if (out.values.size() != initial.size()) std::abort();
+            migrations[vi] += out.migrations;
+            imbalance_final[vi] = out.imbalance_final;
+            values[vi] = std::move(out.values);
+          });
+    dom.wait_all_quiescent();
+    ++vi;
+  }
+  if (migrations[0] != 0 || migrations[1] == 0) {
+    std::fprintf(stderr,
+                 "FAIL agas.skewed_heat: expected 0 static / >0 "
+                 "rebalanced migrations, got %llu / %llu\n",
+                 static_cast<unsigned long long>(migrations[0]),
+                 static_cast<unsigned long long>(migrations[1]));
+    return false;
+  }
+  if (!(imbalance_final[1] < imbalance_final[0])) {
+    std::fprintf(stderr,
+                 "FAIL agas.skewed_heat: rebalancing left imbalance at "
+                 "%.3f (static %.3f)\n",
+                 imbalance_final[1], imbalance_final[0]);
+    return false;
+  }
+  if (!(values[0] == values[1])) {
+    std::fprintf(stderr,
+                 "FAIL agas.skewed_heat: rebalanced answer diverged "
+                 "bitwise from static placement\n");
+    return false;
+  }
+
+  // MODEL GATE: p99 step time at 256 virtual localities.
+  auto const m = px::arch::a64fx();
+  auto const fab = px::arch::fabric_for(m);
+  double p99_s[2] = {0.0, 0.0};
+  for (int reb = 0; reb < 2; ++reb) {
+    px::arch::skewed_cluster_config mc;
+    mc.nodes = 256;
+    mc.partitions = 1024;
+    mc.rounds = 128;
+    mc.steps_per_round = 8;
+    mc.placement = px::arch::skewed_placement::blocked;
+    mc.rebalance = reb != 0;
+    mc.policy.max_moves_per_pass = 16;
+    auto const res = px::arch::simulate_skewed_cluster(m, fab, mc);
+    p99_s[reb] = model_p99_step_s(res.round_step_s, mc.steps_per_round);
+  }
+  if (p99_s[1] < p99_s[0]) return true;
+  std::fprintf(stderr,
+               "FAIL agas.skewed_heat: modeled 256-node rebalanced p99 "
+               "step time %.3f ms does not beat static %.3f ms\n",
+               p99_s[1] * 1e3, p99_s[0] * 1e3);
+  return false;
+}
+
 // --- px::serve: latency under open-loop load ------------------------------
 
 // One tenant on a wfq pool receives arrival-clocked spin jobs at a fixed
@@ -419,11 +562,13 @@ int main(int argc, char** argv) {
 
   bool const coalesce_gate_ok = net_coalescing_cases(r, *cli);
 
+  bool const agas_gate_ok = agas_skewed_heat_cases(r, *cli);
+
   serve_latency_cases(r, *cli);
 
   int const rc = px::bench::finalize_suite(r, *cli);
-  // The coalescing frames-on-wire gate fails the lane even when every
-  // ns/op comparison passed.
-  if (!coalesce_gate_ok) return 1;
+  // The in-binary gates (coalescing frames-on-wire, rebalance-beats-static
+  // round tail) fail the lane even when every ns/op comparison passed.
+  if (!coalesce_gate_ok || !agas_gate_ok) return 1;
   return rc;
 }

@@ -14,6 +14,11 @@
 # (locality kill/restart, failure detector, checkpoint/rollback recovery)
 # with a 16-seed sweep per property unless PX_TORTURE_SEEDS overrides it.
 #
+# --agas: build and run only the ctest-labeled agas suites (migration edge
+# cases, rebalancer planner/solver/cluster-model, and the 16-seed
+# migration torture sweep; test_torture_migration carries both labels) with
+# a 16-seed budget unless PX_TORTURE_SEEDS overrides it.
+#
 # --serve: build and run the ctest-labeled serve suites (scheduling-policy
 # conformance + px::serve multi-tenant isolation, including the co-tenant
 # fail-stop sweep) with a 16-seed budget unless PX_TORTURE_SEEDS overrides
@@ -50,6 +55,15 @@ if [ "${1:-}" = "--resilience" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
    ctest -L resilience --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--agas" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
+   ctest -L agas --output-on-failure)
   exit 0
 fi
 

@@ -5,14 +5,18 @@
 #                    transport suites            (scripts/check.sh)
 #   2. resilience    kill/restart + checkpoint/rollback suites under a
 #                    16-seed torture sweep       (scripts/check.sh --resilience)
-#   3. serve         scheduling-policy conformance + px::serve isolation
+#   3. agas          migration edge cases + rebalancer planner/solver/
+#                    cluster-model suites under a
+#                    16-seed torture sweep       (scripts/check.sh --agas)
+#   4. serve         scheduling-policy conformance + px::serve isolation
 #                    sweeps, then the ws_policy vs BENCH_pr5.json
 #                    regression gate             (scripts/check.sh --serve)
-#   4. torture       all torture-labeled seed sweeps with a big budget
+#   5. torture       all torture-labeled seed sweeps with a big budget
 #                    (64 seeds per property)     (scripts/check.sh --torture)
-#   5. bench         px::bench smoke run vs the committed BENCH_seed.json
-#                    baseline, gross-regression
-#                    threshold only              (scripts/check.sh --bench)
+#   6. bench         px::bench smoke run vs the committed BENCH_seed.json
+#                    baseline, gross-regression threshold for timings, the
+#                    in-binary coalescing and rebalance gates exact
+#                                                (scripts/check.sh --bench)
 #
 # Knobs pass straight through: PX_SKIP_SAN=1 skips the sanitizer lane,
 # PX_TORTURE_SEEDS overrides both sweep budgets, PX_BENCH_THRESHOLD the
@@ -23,19 +27,22 @@ set -eu
 
 scripts=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
-echo "== ci.sh: lane 1/5 tier-1 (build + full suite + sanitizers) =="
+echo "== ci.sh: lane 1/6 tier-1 (build + full suite + sanitizers) =="
 "$scripts/check.sh"
 
-echo "== ci.sh: lane 2/5 resilience (ctest -L resilience) =="
+echo "== ci.sh: lane 2/6 resilience (ctest -L resilience) =="
 "$scripts/check.sh" --resilience
 
-echo "== ci.sh: lane 3/5 serve (ctest -L serve + ws_policy perf gate) =="
+echo "== ci.sh: lane 3/6 agas (ctest -L agas) =="
+"$scripts/check.sh" --agas
+
+echo "== ci.sh: lane 4/6 serve (ctest -L serve + ws_policy perf gate) =="
 "$scripts/check.sh" --serve
 
-echo "== ci.sh: lane 4/5 torture (ctest -L torture) =="
+echo "== ci.sh: lane 5/6 torture (ctest -L torture) =="
 "$scripts/check.sh" --torture
 
-echo "== ci.sh: lane 5/5 bench smoke (px::bench vs BENCH_seed.json) =="
+echo "== ci.sh: lane 6/6 bench smoke (px::bench vs BENCH_seed.json) =="
 "$scripts/check.sh" --bench
 
 echo "== ci.sh: all lanes passed =="

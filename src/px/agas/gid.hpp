@@ -61,6 +61,27 @@ class gid {
 
 inline constexpr gid invalid_gid{};
 
+// Two GIDs name the same object iff birthplace and id match — the residence
+// bits are routing metadata that migration rewrites. AGAS tables (registry
+// bindings, tombstones, residence caches) key on this identity so a caller
+// holding a stale-residence GID still resolves the object.
+[[nodiscard]] constexpr bool same_object(gid a, gid b) noexcept {
+  return a.id() == b.id() && a.birthplace() == b.birthplace();
+}
+
+struct identity_hash {
+  std::size_t operator()(gid g) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(g.birthplace()) ^
+                      (g.id() * 0x9e3779b97f4a7c15ull);
+    h ^= h >> 31;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct identity_eq {
+  bool operator()(gid a, gid b) const noexcept { return same_object(a, b); }
+};
+
 }  // namespace px::agas
 
 template <>

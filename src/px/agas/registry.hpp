@@ -1,20 +1,44 @@
 // px/agas/registry.hpp
 // Per-locality slice of the Active Global Address Space: GID allocation,
-// object registration/resolution, symbolic names, and the residence update
-// hook used by migration. The distributed domain wires one registry per
+// object registration/resolution, symbolic names, and the migration
+// protocol state (pin/commit/abort + forwarding tombstones) used by
+// px::dist::migrate. The distributed domain wires one registry per
 // locality; resolution of a remote GID goes through parcels, not through
 // this class.
+//
+// All tables key on GID *identity* (birthplace, id) — the residence bits a
+// caller's stale handle carries are ignored, so a GID survives migration:
+// the binding is found under any residence, and after departure a
+// tombstone records where the object went (px/dist forwards parcels along
+// it, bounded by a hop budget).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "px/agas/gid.hpp"
 #include "px/support/spin.hpp"
 
 namespace px::agas {
+
+// What a parcel addressed to a component GID should do at this locality.
+enum class route_kind : std::uint8_t {
+  unknown,    // never heard of it here: deliver and let the handler decide
+  resident,   // bound here: dispatch locally
+  migrating,  // departure in progress: park until commit/abort
+  forward,    // moved away: re-route to `dest` (tombstone)
+};
+
+struct route_info {
+  route_kind kind = route_kind::unknown;
+  std::uint32_t dest = 0;    // forward target (kind == forward)
+  std::uint64_t epoch = 0;   // residence epoch of the binding/tombstone
+};
 
 class registry {
  public:
@@ -42,19 +66,29 @@ class registry {
     return g;
   }
 
-  // Registers under a pre-allocated GID (migration arrival path).
+  // Registers under a pre-allocated GID (migration arrival path). `epoch`
+  // is the residence epoch the binding carries: 1 for a birth, the shipped
+  // epoch for a migration arrival. Arrival also clears any local tombstone
+  // for this identity — an object that returns home must not forward to
+  // its own past.
   template <typename T>
-  void bind_existing(gid g, std::shared_ptr<T> object) {
+  void bind_existing(gid g, std::shared_ptr<T> object,
+                     std::uint64_t epoch = 1) {
     std::lock_guard<spinlock> guard(lock_);
-    objects_[g] = entry{std::move(object), std::type_index(typeid(T))};
+    objects_[g] = entry{std::move(object), std::type_index(typeid(T)), false,
+                        epoch};
+    tombstones_.erase(g);
   }
 
-  // Typed resolution; returns nullptr if unknown here or of another type.
+  // Typed resolution; returns nullptr if unknown here, of another type, or
+  // pinned by an in-progress migration (the serialized departure state must
+  // not be mutated behind the wire's back).
   template <typename T>
   [[nodiscard]] std::shared_ptr<T> resolve(gid g) const {
     std::lock_guard<spinlock> guard(lock_);
     auto it = objects_.find(g);
     if (it == objects_.end()) return nullptr;
+    if (it->second.migrating) return nullptr;
     if (it->second.type != std::type_index(typeid(T))) return nullptr;
     return std::static_pointer_cast<T>(it->second.object);
   }
@@ -74,6 +108,111 @@ class registry {
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<spinlock> guard(lock_);
     return objects_.size();
+  }
+
+  // ---- migration protocol (see docs/ARCHITECTURE.md §AGAS) --------------
+
+  // Pins the object for departure: resident -> migrating. False if the GID
+  // is not bound here or a migration is already in progress (the
+  // double-migrate race loses cleanly). While pinned, resolve() returns
+  // nullptr and px::dist parks arriving component parcels.
+  bool begin_migration(gid g) {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    if (it == objects_.end() || it->second.migrating) return false;
+    it->second.migrating = true;
+    return true;
+  }
+
+  // Rolls a pinned departure back to resident (arrival was never
+  // acknowledged: delivery_error / locality_down). No-op when not pinned.
+  void abort_migration(gid g) {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    if (it != objects_.end()) it->second.migrating = false;
+  }
+
+  // Seals a pinned departure: erases the binding and leaves a forwarding
+  // tombstone {dest, epoch} so parcels addressed here chase the object.
+  // Returns true when the entry existed (and was pinned).
+  bool commit_migration(gid g, std::uint32_t dest, std::uint64_t epoch) {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    if (it == objects_.end()) return false;
+    objects_.erase(it);
+    tombstones_[g] = fwd{dest, epoch};
+    return true;
+  }
+
+  [[nodiscard]] bool is_migrating(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    return it != objects_.end() && it->second.migrating;
+  }
+
+  // Residence epoch of the local binding; 0 when not bound here.
+  [[nodiscard]] std::uint64_t epoch_of(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = objects_.find(g);
+    return it != objects_.end() ? it->second.epoch : 0;
+  }
+
+  // Routing disposition for a component-addressed parcel at this locality.
+  [[nodiscard]] route_info route_of(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    if (auto it = objects_.find(g); it != objects_.end())
+      return {it->second.migrating ? route_kind::migrating
+                                   : route_kind::resident,
+              locality_, it->second.epoch};
+    if (auto it = tombstones_.find(g); it != tombstones_.end())
+      return {route_kind::forward, it->second.dest, it->second.epoch};
+    return {};
+  }
+
+  // Epoch-gated tombstone refresh: a residence update that proves a newer
+  // home lazily compresses the forwarding chain through this locality.
+  // Only refreshes an *existing* tombstone — a locality that never hosted
+  // the object must not invent one — and never one that would point the
+  // chain at itself.
+  void refresh_tombstone(gid g, std::uint32_t loc, std::uint64_t epoch) {
+    if (loc == locality_) return;
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = tombstones_.find(g);
+    if (it != tombstones_.end() && epoch > it->second.epoch)
+      it->second = fwd{loc, epoch};
+  }
+
+  [[nodiscard]] std::size_t tombstone_count() const {
+    std::lock_guard<spinlock> guard(lock_);
+    return tombstones_.size();
+  }
+
+  // Snapshots for quiesce-time invariants (see distributed_domain).
+  struct object_snapshot {
+    gid g;
+    bool migrating = false;
+    std::uint64_t epoch = 0;
+  };
+  [[nodiscard]] std::vector<object_snapshot> snapshot_objects() const {
+    std::lock_guard<spinlock> guard(lock_);
+    std::vector<object_snapshot> out;
+    out.reserve(objects_.size());
+    for (auto const& [g, e] : objects_)
+      out.push_back({g, e.migrating, e.epoch});
+    return out;
+  }
+  struct tombstone_snapshot {
+    gid g;
+    std::uint32_t dest = 0;
+    std::uint64_t epoch = 0;
+  };
+  [[nodiscard]] std::vector<tombstone_snapshot> snapshot_tombstones() const {
+    std::lock_guard<spinlock> guard(lock_);
+    std::vector<tombstone_snapshot> out;
+    out.reserve(tombstones_.size());
+    for (auto const& [g, f] : tombstones_)
+      out.push_back({g, f.dest, f.epoch});
+    return out;
   }
 
   // ---- symbolic names (hpx::agas::register_name) ------------------------
@@ -97,12 +236,19 @@ class registry {
   struct entry {
     std::shared_ptr<void> object;
     std::type_index type{typeid(void)};
+    bool migrating = false;
+    std::uint64_t epoch = 1;
+  };
+  struct fwd {
+    std::uint32_t dest = 0;
+    std::uint64_t epoch = 0;
   };
 
   std::uint32_t const locality_;
   mutable spinlock lock_;
   std::uint64_t next_id_ = 1;  // 0 is reserved for invalid_gid
-  std::unordered_map<gid, entry> objects_;
+  std::unordered_map<gid, entry, identity_hash, identity_eq> objects_;
+  std::unordered_map<gid, fwd, identity_hash, identity_eq> tombstones_;
   std::unordered_map<std::string, gid> names_;
 };
 

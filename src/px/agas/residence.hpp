@@ -1,0 +1,65 @@
+// px/agas/residence.hpp
+// Per-locality residence cache: the caller-side half of AGAS migration.
+// Maps GID identity -> last-known home locality, stamped with the
+// residence epoch the information was minted under (each successful
+// migration bumps the object's epoch). Updates are epoch-gated so a
+// reordered or long-delayed residence update can never roll the cache
+// back to an older home — the cache converges on the true residence no
+// matter how forwards and updates interleave.
+//
+// Entries are written from two sources (see docs/ARCHITECTURE.md §AGAS):
+// the commit path of a migration this locality initiated, and
+// agas_residence_update parcels sent back by forwarding localities and by
+// the object's current home whenever a parcel arrives with hops > 0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "px/agas/gid.hpp"
+#include "px/support/spin.hpp"
+
+namespace px::agas {
+
+class residence_cache {
+ public:
+  struct entry {
+    std::uint32_t loc = 0;
+    std::uint64_t epoch = 0;
+  };
+
+  [[nodiscard]] std::optional<entry> lookup(gid g) const {
+    std::lock_guard<spinlock> guard(lock_);
+    auto it = map_.find(g);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Applies {loc, epoch} iff it is newer than what the cache holds.
+  // Returns true when the entry was inserted or advanced.
+  bool update(gid g, std::uint32_t loc, std::uint64_t epoch) {
+    std::lock_guard<spinlock> guard(lock_);
+    auto [it, inserted] = map_.try_emplace(g, entry{loc, epoch});
+    if (inserted) return true;
+    if (epoch <= it->second.epoch) return false;
+    it->second = entry{loc, epoch};
+    return true;
+  }
+
+  void invalidate(gid g) {
+    std::lock_guard<spinlock> guard(lock_);
+    map_.erase(g);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<spinlock> guard(lock_);
+    return map_.size();
+  }
+
+ private:
+  mutable spinlock lock_;
+  std::unordered_map<gid, entry, identity_hash, identity_eq> map_;
+};
+
+}  // namespace px::agas

@@ -1,5 +1,7 @@
 #include "px/arch/cluster_sim.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "px/arch/des.hpp"
@@ -294,6 +296,107 @@ cluster_sim_result simulate_jacobi2d_cluster(machine const& m,
   // unless the machine is the NIC-starved one (same mechanism applies).
   base.per_step_overhead_s = cluster_sim_config::derive;
   return simulate_heat1d_cluster(m, fabric, base);
+}
+
+// ---- skewed-load AGAS rebalancing model ----------------------------------
+
+double migration_cost_s(machine const& m, net::fabric_model const& fabric,
+                        std::size_t bytes) {
+  // Serialize at the source + deserialize at the destination: one full
+  // pass over the state each, at a single NUMA domain's copy bandwidth
+  // (migration runs in one task, not a full-node parallel copy).
+  double const domain_gbs =
+      m.stream_peak_gbs > 0.0
+          ? m.stream_peak_gbs /
+                static_cast<double>(std::max<std::size_t>(1, m.numa_domains))
+          : 10.0;
+  double const codec_s = 2.0 * static_cast<double>(bytes) / (domain_gbs * 1e9);
+  // State on the wire (payload + parcel framing), then the arrival ack and
+  // the commit/tombstone write-back — two control messages on the
+  // transactional departure's critical path.
+  double const wire_s = fabric.transfer_time_us(bytes + 48) * 1e-6;
+  double const control_s = 2.0 * fabric.transfer_time_us(48) * 1e-6;
+  return codec_s + wire_s + control_s;
+}
+
+skewed_cluster_result simulate_skewed_cluster(machine const& m,
+                                              net::fabric_model const& fabric,
+                                              skewed_cluster_config cfg) {
+  PX_ASSERT(cfg.nodes >= 2 && cfg.partitions >= cfg.nodes);
+  double const rate = cfg.node_rate_pts_per_s > 0.0
+                          ? cfg.node_rate_pts_per_s
+                          : heat1d_params_for(m).node_rate_pts_per_s;
+  PX_ASSERT(rate > 0.0);
+
+  // Zipf partition sizes in points: |p| ∝ 1/(p+1)^s, placed per
+  // cfg.placement (see skewed_placement), at model scale.
+  std::vector<agas::partition_load> parts(cfg.partitions);
+  {
+    double total_w = 0.0;
+    for (std::size_t p = 0; p < cfg.partitions; ++p)
+      total_w += 1.0 / std::pow(static_cast<double>(p + 1), cfg.zipf_s);
+    for (std::size_t p = 0; p < cfg.partitions; ++p) {
+      parts[p].key = p;
+      parts[p].home = static_cast<std::uint32_t>(
+          cfg.placement == skewed_placement::blocked
+              ? p * cfg.nodes / cfg.partitions
+              : p % cfg.nodes);
+      parts[p].weight = cfg.total_points *
+                        (1.0 / std::pow(static_cast<double>(p + 1),
+                                        cfg.zipf_s)) /
+                        total_w;
+    }
+  }
+
+  auto node_loads = [&] {
+    std::vector<double> loads(cfg.nodes, 0.0);
+    for (auto const& p : parts) loads[p.home] += p.weight;
+    return loads;
+  };
+
+  // Per-step halo cost (8-byte halos, as in the 1D protocol) paid once per
+  // step regardless of placement; compute is the max-loaded node.
+  double const halo_s = fabric.transfer_time_us(8 + 48) * 1e-6;
+
+  skewed_cluster_result res;
+  res.imbalance_initial = agas::load_imbalance(node_loads());
+  res.imbalance_final = res.imbalance_initial;
+
+  agas::rebalance_config policy = cfg.policy;
+  policy.enabled = policy.enabled && cfg.rebalance;
+
+  res.round_step_s.reserve(cfg.rounds);
+  for (std::size_t r = 0; r < cfg.rounds; ++r) {
+    auto loads = node_loads();
+    double max_load = 0.0;
+    for (double l : loads) max_load = std::max(max_load, l);
+    res.round_step_s.push_back(max_load / rate + halo_s);
+    res.makespan_s += static_cast<double>(cfg.steps_per_round) *
+                      (max_load / rate + halo_s);
+
+    if (r + 1 == cfg.rounds) break;
+    auto const moves = agas::plan_moves(loads, parts, policy);
+    if (moves.empty()) continue;
+    // Moves at one boundary overlap across disjoint node pairs; the
+    // boundary costs the busiest endpoint's total.
+    std::vector<double> endpoint_s(cfg.nodes, 0.0);
+    for (auto const& mv : moves) {
+      auto const bytes = static_cast<std::size_t>(
+          mv.weight * static_cast<double>(cfg.bytes_per_point));
+      double const cost = migration_cost_s(m, fabric, bytes);
+      endpoint_s[mv.from] += cost;
+      endpoint_s[mv.to] += cost;
+      for (auto& p : parts)
+        if (p.key == mv.key) p.home = mv.to;
+    }
+    double boundary_s = 0.0;
+    for (double s : endpoint_s) boundary_s = std::max(boundary_s, s);
+    res.migration_s += boundary_s;
+    res.makespan_s += boundary_s;
+    res.migrations += moves.size();
+  }
+  res.imbalance_final = agas::load_imbalance(node_loads());
+  return res;
 }
 
 }  // namespace px::arch

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "px/agas/rebalance.hpp"
 #include "px/arch/machine.hpp"
 #include "px/net/fabric.hpp"
 
@@ -123,5 +124,62 @@ struct cluster_resilience_result {
 [[nodiscard]] cluster_resilience_result simulate_heat1d_cluster_resilient(
     machine const& m, net::fabric_model const& fabric,
     cluster_sim_config cfg, cluster_resilience_config rcfg);
+
+// ---- skewed-load AGAS rebalancing model ----------------------------------
+// Companion to px::agas::rebalancer at cluster scale: zipf-sized solver
+// partitions placed over N modeled nodes, solved in rounds with one
+// rebalancer pass per round boundary. The planner is the runtime's own
+// px::agas::plan_moves — this model exists so rebalancing policy can be
+// tuned at 256..1024 virtual localities, far beyond what the in-process
+// virtual cluster can execute, and transfer unchanged.
+
+// Initial placement of the zipf-sized partitions.
+//   round_robin — p % nodes, the live solver's default: the zipf head
+//     lands on distinct nodes, so most of the remaining imbalance is one
+//     indivisible giant partition the planner cannot split.
+//   blocked — contiguous blocks (p * nodes / partitions): the zipf head
+//     stacks on the low nodes, the overload profile the rebalancer is for.
+enum class skewed_placement { round_robin, blocked };
+
+struct skewed_cluster_config {
+  std::size_t nodes = 256;
+  std::size_t partitions = 1024;  // zipf-sized
+  std::size_t rounds = 32;
+  std::size_t steps_per_round = 8;
+  double total_points = 1.2e9;
+  double zipf_s = 1.1;            // partition-size skew exponent
+  skewed_placement placement = skewed_placement::round_robin;
+  // Serialized partition state per point (migration payload).
+  std::size_t bytes_per_point = 8;
+  bool rebalance = true;
+  agas::rebalance_config policy;  // the runtime planner's knobs, verbatim
+  // Node compute throughput (points/s); 0 = machine's calibrated 1D rate.
+  double node_rate_pts_per_s = 0.0;
+};
+
+struct skewed_cluster_result {
+  double makespan_s = 0.0;
+  double migration_s = 0.0;  // critical-path time spent migrating
+  std::uint64_t migrations = 0;
+  double imbalance_initial = 1.0;  // max/mean node load before round 0
+  double imbalance_final = 1.0;    // after the last rebalance pass
+  // Modeled per-step time within each round (max-loaded node's compute +
+  // halo exchange); step-time tail percentiles come from weighting each
+  // entry by steps_per_round.
+  std::vector<double> round_step_s;
+};
+
+// Analytic cost of migrating `bytes` of component state between two nodes
+// of machine `m` over `fabric`: serialize + deserialize at memory
+// bandwidth, the state transfer on the wire, and the arrival-ack + commit
+// control round trips of the transactional departure protocol.
+[[nodiscard]] double migration_cost_s(machine const& m,
+                                      net::fabric_model const& fabric,
+                                      std::size_t bytes);
+
+// Deterministic; rebalance=false gives the static-placement baseline.
+[[nodiscard]] skewed_cluster_result simulate_skewed_cluster(
+    machine const& m, net::fabric_model const& fabric,
+    skewed_cluster_config cfg);
 
 }  // namespace px::arch

@@ -296,6 +296,17 @@ registry::registry() : self_(new impl) {
            builtin_.resilience_restores);
   reg_cell("/px/resilience/stale_epoch_drops", kind::monotone,
            builtin_.resilience_stale_epoch_drops);
+  reg_cell("/px/agas/migrations", kind::monotone, builtin_.agas_migrations);
+  reg_cell("/px/agas/migration_aborts", kind::monotone,
+           builtin_.agas_migration_aborts);
+  reg_cell("/px/agas/forwards", kind::monotone, builtin_.agas_forwards);
+  reg_cell("/px/agas/parked", kind::monotone, builtin_.agas_parked);
+  reg_cell("/px/agas/cache_hits", kind::monotone, builtin_.agas_cache_hits);
+  reg_cell("/px/agas/cache_misses", kind::monotone,
+           builtin_.agas_cache_misses);
+  reg_cell("/px/agas/resolve_misses", kind::monotone,
+           builtin_.agas_resolve_misses);
+  reg_cell("/px/agas/tombstones", kind::monotone, builtin_.agas_tombstones);
 
   entry trace_events;
   trace_events.id = self_->next_id++;

@@ -192,6 +192,22 @@ struct builtin_counters {
   counter resilience_checkpoint_bytes;  // /px/resilience/checkpoint_bytes
   counter resilience_restores;          // /px/resilience/restores
   counter resilience_stale_epoch_drops; // /px/resilience/stale_epoch_drops
+  // AGAS migration (px/agas + px/dist/migration): committed migrations,
+  // departures rolled back on a transport failure, parcels re-routed along
+  // a forwarding tombstone, parcels parked against a `migrating` entry
+  // until commit/abort, residence-cache hits/misses on the caller-side
+  // component-routing path, component parcels delivered to a locality that
+  // has neither a binding nor a tombstone for the target, and forwarding
+  // tombstones created. All process-lifetime monotone totals; the torture
+  // suite asserts their exactness on a fault-free domain.
+  counter agas_migrations;        // /px/agas/migrations
+  counter agas_migration_aborts;  // /px/agas/migration_aborts
+  counter agas_forwards;          // /px/agas/forwards
+  counter agas_parked;            // /px/agas/parked
+  counter agas_cache_hits;        // /px/agas/cache_hits
+  counter agas_cache_misses;      // /px/agas/cache_misses
+  counter agas_resolve_misses;    // /px/agas/resolve_misses
+  counter agas_tombstones;        // /px/agas/tombstones
 };
 
 class registry {

@@ -30,6 +30,17 @@ void locality::send(parcel::parcel p) {
   domain_.route(std::move(p));
 }
 
+// Caller-side residence refresh: sent by a forwarding locality (pointing at
+// its tombstone's target) and by the object's home whenever a parcel
+// arrives with hops > 0 (authoritative). Epoch gating on both receiver
+// tables makes delivery order irrelevant; refreshing a local tombstone too
+// lazily compresses forwarding chains through localities that also call.
+void agas_residence_update(locality& here, agas::gid g, std::uint32_t loc,
+                           std::uint64_t epoch) {
+  here.residence().update(g, loc, epoch);
+  here.agas().refresh_tombstone(g, loc, epoch);
+}
+
 void locality::deliver(parcel::parcel p) {
   counters::builtin().parcels_delivered.add();
   if (p.action == parcel::response_action_id) {
@@ -52,6 +63,11 @@ void locality::deliver(parcel::parcel p) {
     return;
   }
 
+  // Component-addressed parcels resolve their target *here*, not at the
+  // caller: the object may have migrated (forward along the tombstone) or
+  // be mid-departure (park until commit/abort).
+  if (p.target.valid() && !component_route(p)) return;
+
   auto const handler = parcel::action_registry::instance().handler(p.action);
   PX_ASSERT_MSG(handler != nullptr, "parcel for unregistered action");
   // Message-driven computation: the arriving parcel becomes a task.
@@ -59,6 +75,115 @@ void locality::deliver(parcel::parcel p) {
     handler(*this, std::move(p));
     parcels_handled_.fetch_add(1, std::memory_order_relaxed);
   });
+}
+
+bool locality::component_route(parcel::parcel& p) {
+  auto const r = agas_.route_of(p.target);
+  switch (r.kind) {
+    case agas::route_kind::resident:
+      // A parcel that needed forwards to find us proves the sender's cache
+      // is stale; the authoritative update stops the chain-chasing.
+      if (p.hops > 0 && p.source != id_)
+        apply<&agas_residence_update>(p.source, p.target, id_, r.epoch);
+      return true;
+    case agas::route_kind::migrating:
+      park_component_parcel(std::move(p));
+      return false;
+    case agas::route_kind::forward: {
+      if (p.hops >= domain_.agas_max_hops()) {
+        counters::builtin().net_delivery_failures.add();
+        if (p.response_token != 0 && p.action != parcel::response_action_id)
+          domain_.at(p.source).fail_response_slot(
+              p.response_token, std::make_exception_ptr(hop_budget_exhausted(
+                                    p.target, p.hops)));
+        return false;
+      }
+      counters::builtin().agas_forwards.add();
+      if (p.source != id_)
+        apply<&agas_residence_update>(p.source, p.target, r.dest, r.epoch);
+      else
+        cache_.update(p.target, r.dest, r.epoch);
+      p.hops += 1;
+      p.dest = r.dest;
+      p.seq = 0;  // a fresh logical parcel on the (source, new-dest) link
+      domain_.route(std::move(p));
+      return false;
+    }
+    case agas::route_kind::unknown:
+      // No binding, no tombstone: deliver and let the handler report a
+      // not-resident error through the normal response path.
+      counters::builtin().agas_resolve_misses.add();
+      return true;
+  }
+  return true;
+}
+
+std::uint32_t locality::component_destination(agas::gid g) {
+  auto const r = agas_.route_of(g);
+  // A local binding (even one pinned by an in-progress departure) routes to
+  // self: a parked parcel is re-delivered on commit/abort, which is exactly
+  // the during-migration semantics call_component promises.
+  if (r.kind == agas::route_kind::resident ||
+      r.kind == agas::route_kind::migrating)
+    return id_;
+  if (auto e = cache_.lookup(g)) {
+    counters::builtin().agas_cache_hits.add();
+    return e->loc;
+  }
+  counters::builtin().agas_cache_misses.add();
+  // A local tombstone beats the GID's (possibly ancient) residence bits.
+  if (r.kind == agas::route_kind::forward) return r.dest;
+  return g.locality();
+}
+
+void locality::park_component_parcel(parcel::parcel p) {
+  counters::builtin().agas_parked.add();
+  agas::gid const key = p.target;
+  {
+    std::lock_guard<spinlock> guard(parked_lock_);
+    parked_[key].push_back(std::move(p));
+  }
+  // Park-then-recheck: if the migration settled between route_of and our
+  // insert, the commit/abort drain may have run before the parcel was
+  // parked — whoever observes the settled state claims the queue, and
+  // release_parked hands each parcel exactly once.
+  if (agas_.route_of(key).kind != agas::route_kind::migrating)
+    release_parked(key);
+}
+
+void locality::release_parked(agas::gid g) {
+  std::vector<parcel::parcel> queue;
+  {
+    std::lock_guard<spinlock> guard(parked_lock_);
+    auto it = parked_.find(g);
+    if (it == parked_.end()) return;
+    queue = std::move(it->second);
+    parked_.erase(it);
+  }
+  for (auto& p : queue) deliver(std::move(p));
+}
+
+std::size_t locality::parked_count() const {
+  std::lock_guard<spinlock> guard(parked_lock_);
+  std::size_t n = 0;
+  for (auto const& [g, q] : parked_) n += q.size();
+  return n;
+}
+
+void locality::commit_component_migration(agas::gid g, std::uint32_t dest,
+                                          std::uint64_t epoch) {
+  if (agas_.commit_migration(g, dest, epoch)) {
+    counters::builtin().agas_migrations.add();
+    counters::builtin().agas_tombstones.add();
+  }
+  cache_.update(g, dest, epoch);
+  release_parked(g);
+}
+
+void locality::abort_component_migration(agas::gid g) {
+  counters::builtin().agas_migration_aborts.add();
+  agas_.abort_migration(g);
+  release_parked(g);
 }
 
 std::uint64_t locality::register_response_slot(
@@ -111,6 +236,8 @@ void locality::fail_all_response_slots(std::exception_ptr reason) {
   }
   for (auto& fn : victims) fn(parcel::parcel{}, reason);
 }
+
+PX_REGISTER_ACTION(agas_residence_update)
 
 // ---- reliability link state -------------------------------------------
 
@@ -268,6 +395,54 @@ distributed_domain::distributed_domain(domain_config cfg)
                    std::to_string(link->last_floor) + " -> " +
                    std::to_string(floor);
           link->last_floor = floor;
+        }
+        return std::nullopt;
+      });
+  invariants_.add(
+      "agas-single-residence", [this]() -> std::optional<std::string> {
+        // At quiescence every live GID has exactly one resident copy, no
+        // departure is still pinned, no parcel is parked against one, and
+        // every forwarding chain to a live object converges within the hop
+        // budget (tombstone epochs make cycles impossible; this checks it).
+        std::unordered_map<agas::gid, std::uint32_t, agas::identity_hash,
+                           agas::identity_eq>
+            home;
+        for (auto const& loc : localities_) {
+          for (auto const& o : loc->agas().snapshot_objects()) {
+            if (o.migrating)
+              return "gid " + o.g.to_string() +
+                     " still pinned `migrating` at quiescence";
+            auto const [it, fresh] = home.emplace(o.g, loc->id());
+            if (!fresh)
+              return "gid " + o.g.to_string() +
+                     " resident at both locality " +
+                     std::to_string(it->second) + " and " +
+                     std::to_string(loc->id());
+          }
+          if (std::size_t const parked = loc->parked_count(); parked != 0)
+            return std::to_string(parked) +
+                   " parcel(s) parked at locality " +
+                   std::to_string(loc->id()) + " at quiescence";
+        }
+        for (auto const& loc : localities_) {
+          for (auto const& t : loc->agas().snapshot_tombstones()) {
+            if (home.find(t.g) == home.end()) continue;  // object destroyed
+            std::uint32_t cur = t.dest;
+            std::uint32_t hop = 1;
+            for (; hop <= cfg_.agas_max_hops; ++hop) {
+              auto const r = localities_[cur]->agas().route_of(t.g);
+              if (r.kind == agas::route_kind::resident) break;
+              if (r.kind != agas::route_kind::forward)
+                return "forwarding chain for " + t.g.to_string() +
+                       " dead-ends at locality " + std::to_string(cur);
+              cur = r.dest;
+            }
+            if (hop > cfg_.agas_max_hops)
+              return "forwarding chain for " + t.g.to_string() +
+                     " from locality " + std::to_string(loc->id()) +
+                     " does not converge within " +
+                     std::to_string(cfg_.agas_max_hops) + " hops";
+          }
         }
         return std::nullopt;
       });

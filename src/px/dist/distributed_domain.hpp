@@ -65,6 +65,12 @@ struct domain_config {
   // runs a detector on the timer thread; confirmed failures tear down the
   // victim's transport state and fire the registered confirm hooks.
   resilience_config resilience;
+  // Forwarding-hop budget for component-addressed parcels: a parcel
+  // chasing a migrated GID may be re-routed along departure tombstones at
+  // most this many times before the call fails with hop_budget_exhausted.
+  // Tombstone epochs make chains acyclic, so the budget only has to cover
+  // the longest plausible migration chain between two cache refreshes.
+  std::uint32_t agas_max_hops = 8;
 };
 
 class distributed_domain {
@@ -83,6 +89,10 @@ class distributed_domain {
 
   // True when the reliability layer sequences/acks/retransmits parcels.
   [[nodiscard]] bool reliable() const noexcept { return reliable_; }
+
+  [[nodiscard]] std::uint32_t agas_max_hops() const noexcept {
+    return cfg_.agas_max_hops;
+  }
 
   // True when inter-locality parcels are batched through per-destination
   // coalescing buffers (px/net/coalesce.hpp).

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <unordered_map>
+#include <vector>
 
 #include "px/agas/registry.hpp"
+#include "px/agas/residence.hpp"
 #include "px/lcos/future.hpp"
 #include "px/parcel/action_registry.hpp"
 #include "px/parcel/parcel.hpp"
@@ -44,6 +47,20 @@ struct fn_sig<R (*)(locality&, A...)> {
 
 }  // namespace detail
 
+// A component-addressed parcel exhausted its forwarding-hop budget without
+// reaching a resident copy (see domain_config::agas_max_hops). Surfaced
+// through the caller's future, like net::delivery_error.
+struct hop_budget_exhausted : std::runtime_error {
+  hop_budget_exhausted(agas::gid g, std::uint32_t hops)
+      : std::runtime_error("px::agas: forwarding-hop budget exhausted after " +
+                           std::to_string(hops) + " hop(s) chasing " +
+                           g.to_string()),
+        target(g),
+        hops_taken(hops) {}
+  agas::gid target;
+  std::uint32_t hops_taken;
+};
+
 class locality {
  public:
   locality(distributed_domain& domain, std::uint32_t id,
@@ -56,6 +73,7 @@ class locality {
   [[nodiscard]] px::runtime& rt() noexcept { return rt_; }
   [[nodiscard]] px::rt::scheduler& sched() noexcept { return rt_.sched(); }
   [[nodiscard]] agas::registry& agas() noexcept { return agas_; }
+  [[nodiscard]] agas::residence_cache& residence() noexcept { return cache_; }
   [[nodiscard]] distributed_domain& domain() noexcept { return domain_; }
 
   // ---- typed remote invocation -----------------------------------------
@@ -69,6 +87,35 @@ class locality {
   // Fire-and-forget invocation (hpx::apply on an action).
   template <auto Fn, typename... Args>
   void apply(std::uint32_t dest, Args&&... args);
+
+  // ---- component-addressed invocation (correct across/during migration) --
+  // Like call/apply, but the destination is the component `g` wherever it
+  // currently lives: the parcel carries the GID, the best-known residence
+  // (local binding > residence cache > the GID's residence bits) picks the
+  // first hop, and departure-side tombstones re-route it if the object has
+  // moved — bounded by domain_config::agas_max_hops. `g` is prepended to
+  // Fn's arguments, matching the `R fn(locality&, gid, ...)` convention the
+  // component actions use.
+  template <auto Fn, typename... Args>
+  auto call_component(agas::gid g, Args&&... args)
+      -> future<typename detail::fn_sig<decltype(Fn)>::ret>;
+
+  template <auto Fn, typename... Args>
+  void apply_component(agas::gid g, Args&&... args);
+
+  // ---- migration protocol (used by px::dist::migrate) -------------------
+  // Seals a pinned departure: registry commit (binding -> tombstone),
+  // counters, residence-cache update, and re-delivery of every parcel
+  // parked against the `migrating` state (they chase the tombstone).
+  void commit_component_migration(agas::gid g, std::uint32_t dest,
+                                  std::uint64_t epoch);
+  // Rolls a pinned departure back to resident and re-delivers parked
+  // parcels locally.
+  void abort_component_migration(agas::gid g);
+
+  // Parcels parked against an in-progress migration (test/invariant
+  // visibility; racy by nature).
+  [[nodiscard]] std::size_t parked_count() const;
 
   // ---- raw parcel transport ---------------------------------------------
   // Routes through the domain fabric (immediate for dest == this).
@@ -108,15 +155,38 @@ class locality {
   std::uint64_t register_response_slot(std::uint32_t dest,
                                        response_completion completion);
 
+  // Component routing inside deliver(): returns true when the parcel should
+  // dispatch to its action handler here, false when it was consumed
+  // (parked against a migration, forwarded along a tombstone, or failed on
+  // hop-budget exhaustion).
+  bool component_route(parcel::parcel& p);
+  // First-hop pick for call_component/apply_component.
+  [[nodiscard]] std::uint32_t component_destination(agas::gid g);
+  // Parks a parcel whose target is mid-migration; re-delivered by
+  // commit/abort. The park-then-recheck ordering against the registry's
+  // state transition guarantees no parcel is stranded if the migration
+  // settles concurrently.
+  void park_component_parcel(parcel::parcel p);
+  // Claims and re-delivers every parcel parked for `g` (each runs the full
+  // routing again: local dispatch after an abort, tombstone forward after a
+  // commit).
+  void release_parked(agas::gid g);
+
   distributed_domain& domain_;
   std::uint32_t const id_;
   px::runtime rt_;
   agas::registry agas_;
+  agas::residence_cache cache_;
 
   spinlock pending_lock_;
   std::uint64_t next_token_ = 1;
   std::unordered_map<std::uint64_t, pending_slot> pending_;
   std::atomic<std::uint64_t> parcels_handled_{0};
+
+  mutable spinlock parked_lock_;
+  std::unordered_map<agas::gid, std::vector<parcel::parcel>,
+                     agas::identity_hash, agas::identity_eq>
+      parked_;
 };
 
 namespace detail {
@@ -253,6 +323,59 @@ void locality::apply(std::uint32_t dest, Args&&... args) {
   p.source = id_;
   p.dest = dest;
   p.action = parcel::action_traits<Fn>::id;
+  p.payload = out.take();
+  send(std::move(p));
+}
+
+template <auto Fn, typename... Args>
+auto locality::call_component(agas::gid g, Args&&... args)
+    -> future<typename detail::fn_sig<decltype(Fn)>::ret> {
+  using sig = detail::fn_sig<decltype(Fn)>;
+  using R = typename sig::ret;
+  PX_ASSERT_MSG(parcel::action_traits<Fn>::id != 0,
+                "action used before PX_REGISTER_ACTION");
+  std::uint32_t const dest = component_destination(g);
+
+  auto state = std::make_shared<lcos::detail::shared_state<R>>();
+  std::uint64_t const token = register_response_slot(
+      dest,
+      [state](parcel::parcel&& resp, std::exception_ptr transport_failure) {
+        if (transport_failure != nullptr) {
+          state->set_exception(std::move(transport_failure));
+          return;
+        }
+        detail::complete_response(*state, std::move(resp));
+      });
+
+  typename sig::args_tuple tup(g, std::forward<Args>(args)...);
+  serial::output_archive out;
+  out& tup;
+
+  parcel::parcel p;
+  p.source = id_;
+  p.dest = dest;
+  p.action = parcel::action_traits<Fn>::id;
+  p.response_token = token;
+  p.target = g;
+  p.payload = out.take();
+  send(std::move(p));
+  return lcos::detail::make_future_from_state(std::move(state));
+}
+
+template <auto Fn, typename... Args>
+void locality::apply_component(agas::gid g, Args&&... args) {
+  using sig = detail::fn_sig<decltype(Fn)>;
+  PX_ASSERT_MSG(parcel::action_traits<Fn>::id != 0,
+                "action used before PX_REGISTER_ACTION");
+  typename sig::args_tuple tup(g, std::forward<Args>(args)...);
+  serial::output_archive out;
+  out& tup;
+
+  parcel::parcel p;
+  p.source = id_;
+  p.dest = component_destination(g);
+  p.action = parcel::action_traits<Fn>::id;
+  p.target = g;
   p.payload = out.take();
   send(std::move(p));
 }

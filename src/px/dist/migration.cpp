@@ -1,0 +1,19 @@
+#include "px/dist/migration.hpp"
+
+namespace px::dist {
+
+void migration_cancel(locality& here, agas::gid g, std::uint64_t epoch) {
+  // Epoch-matched unbind: only the exact copy this departure shipped is an
+  // orphan. A later epoch means the object legitimately migrated here
+  // again (or onwards and back) after the rollback — leave it alone.
+  if (here.agas().epoch_of(g) == epoch) here.agas().unbind(g);
+}
+
+PX_REGISTER_ACTION(migration_cancel)
+
+void send_migration_cancel(locality& from, std::uint32_t dest, agas::gid g,
+                           std::uint64_t epoch) {
+  from.apply<&migration_cancel>(dest, g, epoch);
+}
+
+}  // namespace px::dist

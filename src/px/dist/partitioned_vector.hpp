@@ -5,18 +5,30 @@
 // and either touches local memory or ships a parcel; bulk operations work
 // block-at-a-time.
 //
+// Every operation addresses blocks purely by GID (locality::call_component:
+// residence cache + forwarding tombstones pick the wire hop), so blocks are
+// migratable: migrate_block() ships one to another locality and every
+// outstanding handle keeps working, courtesy of the AGAS layer — handles
+// are never told about moves.
+//
 // Types opt in with PX_REGISTER_PARTITIONED_VECTOR(T) at namespace scope.
 #pragma once
 
 #include <numeric>
 
 #include "px/dist/distributed_domain.hpp"
+#include "px/dist/migration.hpp"
 
 namespace px::dist {
 
 template <typename T>
 struct pv_block {
   std::vector<T> data;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& data;
+  }
 };
 
 // ---- per-block actions -----------------------------------------------------
@@ -73,6 +85,14 @@ int pv_destroy_block(locality& here, agas::gid g) {
   return here.agas().unbind(g) ? 1 : 0;
 }
 
+// Departure half of a block move. Routed to the block itself via
+// call_component, so it always runs at the block's *current* residence —
+// exactly where migrate() must start.
+template <typename T>
+agas::gid pv_migrate_block(locality& here, agas::gid g, std::uint32_t dest) {
+  return migrate<pv_block<T>>(here, g, dest).get();
+}
+
 // ---- the handle --------------------------------------------------------------
 
 template <typename T>
@@ -110,16 +130,29 @@ class partitioned_vector {
     return blocks_.at(b);
   }
 
-  // Locality owning element i (for placement-aware callers).
+  // Creation-time placement of element i: a first-hop hint, not the
+  // truth — migrate_block moves blocks without updating handles. The AGAS
+  // residence cache and forwarding correct stale hops transparently.
   [[nodiscard]] std::uint32_t owner_of(std::size_t i) const {
     return blocks_[block_of(i)].locality();
+  }
+
+  // Migrates block b to `dest` and returns its post-move GID. Other
+  // handles (and this one) keep routing through the old GID — the
+  // tombstone chain and residence caches take care of them.
+  [[nodiscard]] agas::gid migrate_block(locality& from, std::size_t b,
+                                        std::uint32_t dest) {
+    agas::gid const moved =
+        from.call_component<&pv_migrate_block<T>>(blocks_.at(b), dest).get();
+    blocks_[b] = moved;
+    return moved;
   }
 
   // ---- element access ----------------------------------------------------
   [[nodiscard]] future<T> get_async(locality& from, std::size_t i) const {
     std::size_t const b = block_of(i);
-    return from.call<&pv_get<T>>(blocks_[b].locality(), blocks_[b],
-                                 static_cast<std::uint64_t>(i - offsets_[b]));
+    return from.call_component<&pv_get<T>>(
+        blocks_[b], static_cast<std::uint64_t>(i - offsets_[b]));
   }
   [[nodiscard]] T get(locality& from, std::size_t i) const {
     return get_async(from, i).get();
@@ -128,9 +161,9 @@ class partitioned_vector {
   [[nodiscard]] future<void> set_async(locality& from, std::size_t i,
                                        T value) const {
     std::size_t const b = block_of(i);
-    return from.call<&pv_set<T>>(blocks_[b].locality(), blocks_[b],
-                                 static_cast<std::uint64_t>(i - offsets_[b]),
-                                 std::move(value));
+    return from.call_component<&pv_set<T>>(
+        blocks_[b], static_cast<std::uint64_t>(i - offsets_[b]),
+        std::move(value));
   }
   void set(locality& from, std::size_t i, T value) const {
     set_async(from, i, std::move(value)).get();
@@ -142,7 +175,7 @@ class partitioned_vector {
     std::vector<future<std::vector<T>>> pending;
     pending.reserve(blocks_.size());
     for (auto const& g : blocks_)
-      pending.push_back(from.call<&pv_read_block<T>>(g.locality(), g));
+      pending.push_back(from.call_component<&pv_read_block<T>>(g));
     std::vector<T> out;
     out.reserve(size_);
     for (auto& f : pending) {
@@ -160,8 +193,8 @@ class partitioned_vector {
       std::size_t const lo = offsets_[b];
       std::size_t const hi =
           b + 1 < blocks_.size() ? offsets_[b + 1] : size_;
-      pending.push_back(from.call<&pv_write_block<T>>(
-          blocks_[b].locality(), blocks_[b],
+      pending.push_back(from.call_component<&pv_write_block<T>>(
+          blocks_[b],
           std::vector<T>(values.begin() + static_cast<std::ptrdiff_t>(lo),
                          values.begin() + static_cast<std::ptrdiff_t>(hi))));
     }
@@ -173,7 +206,7 @@ class partitioned_vector {
     std::vector<future<T>> pending;
     pending.reserve(blocks_.size());
     for (auto const& g : blocks_)
-      pending.push_back(from.call<&pv_block_sum<T>>(g.locality(), g));
+      pending.push_back(from.call_component<&pv_block_sum<T>>(g));
     T total{};
     for (auto& f : pending) total = total + f.get();
     return total;
@@ -183,7 +216,7 @@ class partitioned_vector {
   void destroy(locality& from) {
     std::vector<future<int>> pending;
     for (auto const& g : blocks_)
-      pending.push_back(from.call<&pv_destroy_block<T>>(g.locality(), g));
+      pending.push_back(from.call_component<&pv_destroy_block<T>>(g));
     for (auto& f : pending) f.get();
     blocks_.clear();
     offsets_.clear();
@@ -229,6 +262,15 @@ class partitioned_vector {
     PX_DETAIL_REGISTER_PV_ACTION(T, pv_write_block)                          \
     PX_DETAIL_REGISTER_PV_ACTION(T, pv_block_sum)                            \
     PX_DETAIL_REGISTER_PV_ACTION(T, pv_destroy_block)                        \
+    PX_DETAIL_REGISTER_PV_ACTION(T, pv_migrate_block)                        \
+    {                                                                        \
+      auto const id = ::px::parcel::action_registry::instance().add(         \
+          "px.migrate.pv_block." #T,                                         \
+          &::px::dist::detail::invoke_action<                                \
+              &::px::dist::migration_arrive<::px::dist::pv_block<T>>>);      \
+      ::px::parcel::action_traits<                                           \
+          &::px::dist::migration_arrive<::px::dist::pv_block<T>>>::id = id;  \
+    }                                                                        \
     return true;                                                             \
   }();                                                                       \
   }

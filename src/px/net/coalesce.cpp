@@ -11,8 +11,8 @@ namespace px::net {
 namespace {
 
 // Per-parcel subheader inside a coalesced body: action u32, response_token
-// u64, seq u64, epoch u64, gid msb/lsb u64 each, payload_size u32.
-constexpr std::size_t subheader_bytes = 4 + 8 + 8 + 8 + 8 + 8 + 4;
+// u64, seq u64, epoch u64, gid msb/lsb u64 each, hops u32, payload_size u32.
+constexpr std::size_t subheader_bytes = 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4;
 
 void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
   std::byte b[4];
@@ -91,6 +91,7 @@ parcel::parcel encode_coalesced_frame(
     put_u64(body, (static_cast<std::uint64_t>(p.target.locality()) << 32) |
                       p.target.birthplace());
     put_u64(body, p.target.id());
+    put_u32(body, p.hops);
     put_u32(body, static_cast<std::uint32_t>(p.payload.size()));
     body.insert(body.end(), p.payload.begin(), p.payload.end());
   }
@@ -160,6 +161,7 @@ std::vector<parcel::parcel> decode_coalesced_frame(
     std::uint64_t const msb = r.u64();
     std::uint64_t const lsb = r.u64();
     p.target = agas::gid{msb, lsb};
+    p.hops = r.u32();
     std::size_t const len = r.u32();
     r.need(len);
     p.payload.assign(r.p, r.p + len);

@@ -21,7 +21,8 @@
 //   body:
 //     u32 count
 //     per parcel: u32 action, u64 response_token, u64 seq, u64 epoch,
-//                 u64 gid_msb, u64 gid_lsb, u32 payload_size, payload
+//                 u64 gid_msb, u64 gid_lsb, u32 hops, u32 payload_size,
+//                 payload
 // source/dest are carried once by the envelope (a buffer is per ordered
 // (src,dst) pair); epoch stays per-parcel because a locality restart can
 // land between two parcels of one batch.

@@ -30,6 +30,12 @@ struct parcel {
   // For ack frames this echoes the acked data frame's epoch.
   std::uint64_t epoch = 0;
   agas::gid target{};                // component target (optional)
+  // Forwarding-hop count for component-addressed parcels: bumped each time
+  // a departure locality's tombstone re-routes the parcel toward the
+  // object's new home. Bounded by domain_config::agas_max_hops — chasing a
+  // cycle (which the tombstone epochs make impossible short of memory
+  // corruption) fails the call instead of looping forever.
+  std::uint32_t hops = 0;
   std::vector<std::byte> payload;
 
   // Bytes on the (modeled) wire: payload plus a fixed header estimate that

@@ -6,6 +6,7 @@
 #include "px/stencil/heat1d.hpp"
 #include "px/stencil/heat1d_dataflow.hpp"
 #include "px/stencil/heat1d_distributed.hpp"
+#include "px/stencil/heat1d_rebalance.hpp"
 #include "px/stencil/jacobi2d.hpp"
 #include "px/stencil/jacobi2d_blocked.hpp"
 #include "px/stencil/jacobi2d_distributed.hpp"

@@ -4,6 +4,7 @@
 // solvers match halos by step instead of assuming FIFO arrival.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -81,6 +82,25 @@ class step_mailbox {
   [[nodiscard]] std::size_t pending_values() const {
     std::lock_guard<px::spinlock> guard(lock_);
     return values_.size();
+  }
+
+  // Removes and returns every buffered (not yet consumed) value, sorted by
+  // key for determinism. Migration support: a component being serialized
+  // drains its mailboxes into the archive and re-puts the values on the
+  // destination, so halos that landed before the pin travel with the
+  // object instead of being lost.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, T>> drain_pending() {
+    std::vector<std::pair<std::uint64_t, T>> out;
+    {
+      std::lock_guard<px::spinlock> guard(lock_);
+      out.reserve(values_.size());
+      for (auto& [key, value] : values_)
+        out.emplace_back(key, std::move(value));
+      values_.clear();
+    }
+    std::sort(out.begin(), out.end(),
+              [](auto const& a, auto const& b) { return a.first < b.first; });
+    return out;
   }
 
  private:

@@ -1,0 +1,385 @@
+// AGAS migration protocol: transactional departure (commit on arrival ack,
+// rollback on transport failure), residence cache + forwarding tombstones,
+// parking during the pinned window, and exact counter accounting. The
+// `ctest -L agas` lane runs this with test_rebalance and the migration
+// torture sweep.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/dist/migration.hpp"
+#include "px/dist/partitioned_vector.hpp"
+#include "px/net/reliability.hpp"
+
+namespace {
+
+struct mig_cell {
+  int value = 0;
+  std::vector<std::uint32_t> hosts;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& value& hosts;
+  }
+};
+
+struct other_type {
+  int x = 0;
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& x;
+  }
+};
+
+px::agas::gid mig_make(px::dist::locality& here, int value) {
+  auto cell = std::make_shared<mig_cell>();
+  cell->value = value;
+  cell->hosts.push_back(here.id());
+  return here.agas().bind(std::move(cell));
+}
+
+// call_component shape: the GID rides as the first argument and as the
+// parcel's routing target.
+int mig_read(px::dist::locality& here, px::agas::gid g) {
+  auto cell = here.agas().resolve<mig_cell>(g);
+  if (cell == nullptr) throw std::runtime_error("mig_cell not resident");
+  return cell->value;
+}
+
+int mig_bump(px::dist::locality& here, px::agas::gid g, int by) {
+  auto cell = here.agas().resolve<mig_cell>(g);
+  if (cell == nullptr) throw std::runtime_error("mig_cell not resident");
+  cell->value += by;
+  cell->hosts.push_back(here.id());
+  return cell->value;
+}
+
+px::agas::gid mig_hop(px::dist::locality& here, px::agas::gid g,
+                      std::uint32_t dest) {
+  return px::dist::migrate<mig_cell>(here, g, dest).get();
+}
+
+int mig_pin(px::dist::locality& here, px::agas::gid g) {
+  return here.agas().begin_migration(g) ? 1 : 0;
+}
+
+int mig_unpin(px::dist::locality& here, px::agas::gid g) {
+  here.abort_component_migration(g);
+  return 0;
+}
+
+int mig_contains(px::dist::locality& here, px::agas::gid g) {
+  return here.agas().contains(g) ? 1 : 0;
+}
+
+}  // namespace
+
+PX_REGISTER_ACTION(mig_make)
+PX_REGISTER_ACTION(mig_read)
+PX_REGISTER_ACTION(mig_bump)
+PX_REGISTER_ACTION(mig_hop)
+PX_REGISTER_ACTION(mig_pin)
+PX_REGISTER_ACTION(mig_unpin)
+PX_REGISTER_ACTION(mig_contains)
+PX_REGISTER_MIGRATABLE(mig_cell)
+PX_REGISTER_MIGRATABLE(other_type)
+PX_REGISTER_PARTITIONED_VECTOR(double)
+
+namespace {
+
+using namespace std::chrono_literals;
+using px::counters::builtin;
+
+px::dist::domain_config quiet_cfg(std::size_t nloc = 3) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = nloc;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.0;  // deterministic counter accounting
+  return cfg;
+}
+
+// ---- edge cases ----------------------------------------------------------
+
+TEST(Migration, MigrateToSelfIsANoOp) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  auto const before = builtin().agas_migrations.load();
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = mig_make(loc0, 41);
+    auto moved = px::dist::migrate<mig_cell>(loc0, g, loc0.id()).get();
+    EXPECT_TRUE(px::agas::same_object(g, moved));
+    EXPECT_EQ(moved.locality(), loc0.id());
+    EXPECT_EQ(mig_read(loc0, g), 41);
+    EXPECT_EQ(loc0.agas().epoch_of(g), 1u);  // no epoch bump
+    return 0;
+  });
+  dom.wait_all_quiescent();
+  EXPECT_EQ(builtin().agas_migrations.load(), before);
+}
+
+TEST(Migration, GidNotResidentHereFails) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  dom.run([&](px::dist::locality& loc0) {
+    // Bound on locality 1, departure attempted from locality 0.
+    auto g = loc0.call<&mig_make>(1, 7).get();
+    EXPECT_THROW(px::dist::migrate<mig_cell>(loc0, g, 2).get(),
+                 std::runtime_error);
+    // Remote-to-self spelling of the same mistake.
+    EXPECT_THROW(px::dist::migrate<mig_cell>(loc0, g, loc0.id()).get(),
+                 std::runtime_error);
+    // A GID that was never bound anywhere.
+    auto ghost = px::agas::gid::make(0, 0xdeadbeef);
+    EXPECT_THROW(px::dist::migrate<mig_cell>(loc0, ghost, 1).get(),
+                 std::runtime_error);
+    // The object is untouched where it actually lives.
+    EXPECT_EQ(loc0.call<&mig_read>(1, g).get(), 7);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+TEST(Migration, TypeMismatchedResolveFails) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = mig_make(loc0, 1);
+    EXPECT_THROW(px::dist::migrate<other_type>(loc0, g, 1).get(),
+                 std::runtime_error);
+    // The failed validation must not have pinned the object.
+    EXPECT_FALSE(loc0.agas().is_migrating(g));
+    auto moved = px::dist::migrate<mig_cell>(loc0, g, 1).get();
+    EXPECT_EQ(moved.locality(), 1u);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+TEST(Migration, DoubleMigrateRaceHasExactlyOneWinner) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = mig_make(loc0, 5);
+    // Both departures start before either settles: the second must lose
+    // at begin_migration (the pin is the race arbiter).
+    auto f1 = px::dist::migrate<mig_cell>(loc0, g, 1);
+    auto f2 = px::dist::migrate<mig_cell>(loc0, g, 2);
+    int wins = 0, losses = 0;
+    px::agas::gid winner;
+    for (auto* f : {&f1, &f2}) {
+      try {
+        winner = f->get();
+        ++wins;
+      } catch (std::runtime_error const&) {
+        ++losses;
+      }
+    }
+    EXPECT_EQ(wins, 1);
+    EXPECT_EQ(losses, 1);
+    EXPECT_EQ(winner.locality(), 1u);  // f1 pinned first
+    // Exactly one resident copy in the whole cluster.
+    int residents = 0;
+    for (std::uint32_t l = 0; l < 3; ++l)
+      residents += loc0.call<&mig_contains>(l, g).get();
+    EXPECT_EQ(residents, 1);
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 5);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+TEST(Migration, MigrateInFlightAcrossQuiesceSettles) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  px::agas::gid g;
+  dom.run([&](px::dist::locality& loc0) {
+    g = mig_make(loc0, 9);
+    // Fire the departure and return without waiting: the quiesce below
+    // overlaps the in-flight transaction and must not observe a pinned
+    // object once it settles.
+    (void)px::dist::migrate<mig_cell>(loc0, g, 2);
+    return 0;
+  });
+  ASSERT_TRUE(dom.wait_all_quiescent_for(30s));  // invariants run here
+  dom.run([&](px::dist::locality& loc0) {
+    EXPECT_FALSE(loc0.agas().is_migrating(g));
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 9);
+    EXPECT_EQ(loc0.call<&mig_contains>(2, g).get(), 1);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+// ---- transactional departure under a lossy / failed fabric ---------------
+
+TEST(Migration, DepartureRollsBackWhenTheFabricEatsEverything) {
+  px::dist::domain_config cfg = quiet_cfg(2);
+  cfg.injection_scale = 0.001;
+  cfg.faults.drop = 1.0;  // nothing ever delivers
+  cfg.faults.seed = 42;
+  cfg.reliability.activation = px::net::reliability_config::mode::on;
+  cfg.reliability.initial_backoff_us = 5.0;
+  cfg.reliability.max_backoff_us = 50.0;
+  cfg.reliability.max_retries = 4;
+  px::dist::distributed_domain dom(cfg);
+
+  auto const aborts_before = builtin().agas_migration_aborts.load();
+  auto const commits_before = builtin().agas_migrations.load();
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = mig_make(loc0, 13);
+    auto const epoch_before = loc0.agas().epoch_of(g);
+    EXPECT_THROW(px::dist::migrate<mig_cell>(loc0, g, 1).get(),
+                 px::net::delivery_error);
+    // Rollback: still resident here, unpinned, same epoch, fully usable.
+    EXPECT_TRUE(loc0.agas().contains(g));
+    EXPECT_FALSE(loc0.agas().is_migrating(g));
+    EXPECT_EQ(loc0.agas().epoch_of(g), epoch_before);
+    EXPECT_EQ(mig_read(loc0, g), 13);
+    EXPECT_EQ(mig_bump(loc0, g, 1), 14);
+    return 0;
+  });
+  EXPECT_TRUE(dom.wait_all_quiescent_for(30s));
+  EXPECT_EQ(builtin().agas_migration_aborts.load(), aborts_before + 1);
+  EXPECT_EQ(builtin().agas_migrations.load(), commits_before);
+}
+
+TEST(Migration, DepartureRollsBackOnConfirmedDeadDestination) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  dom.confirm_failure(1);
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = mig_make(loc0, 21);
+    EXPECT_THROW(px::dist::migrate<mig_cell>(loc0, g, 1).get(),
+                 px::dist::locality_down);
+    EXPECT_TRUE(loc0.agas().contains(g));
+    EXPECT_FALSE(loc0.agas().is_migrating(g));
+    // The rolled-back object migrates cleanly to a live destination.
+    auto moved = px::dist::migrate<mig_cell>(loc0, g, 2).get();
+    EXPECT_EQ(moved.locality(), 2u);
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 21);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+// ---- parking during the pinned window ------------------------------------
+
+TEST(Migration, ParcelsParkWhilePinnedAndReplayOnAbort) {
+  px::dist::distributed_domain dom(quiet_cfg(2));
+  auto const parked_before = builtin().agas_parked.load();
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = loc0.call<&mig_make>(1, 3).get();
+    ASSERT_EQ(loc0.call<&mig_pin>(1, g).get(), 1);
+    // Addressed to the pinned object: must park at locality 1, not error.
+    auto f = loc0.call_component<&mig_bump>(g, 4);
+    while (builtin().agas_parked.load() == parked_before)
+      px::this_task::yield();
+    EXPECT_FALSE(f.valid() && f.is_ready());
+    loc0.call<&mig_unpin>(1, g).get();
+    EXPECT_EQ(f.get(), 7);  // released parcel dispatched after the abort
+  });
+  EXPECT_TRUE(dom.wait_all_quiescent_for(30s));
+  EXPECT_GE(builtin().agas_parked.load(), parked_before + 1);
+}
+
+// ---- counters: exact accounting on a quiet fabric ------------------------
+
+TEST(Migration, CountersAccountExactly) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  auto const migrations = builtin().agas_migrations.load();
+  auto const forwards = builtin().agas_forwards.load();
+  auto const hits = builtin().agas_cache_hits.load();
+  auto const misses = builtin().agas_cache_misses.load();
+  auto const tombstones = builtin().agas_tombstones.load();
+  auto const resolve_misses = builtin().agas_resolve_misses.load();
+  auto const aborts = builtin().agas_migration_aborts.load();
+
+  px::agas::gid g;
+  dom.run([&](px::dist::locality& loc0) {
+    g = loc0.call<&mig_make>(1, 100).get();
+    // First hop: no cache entry (+1 miss), GID residence bits are fresh —
+    // direct dispatch, zero forwards.
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 100);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+  EXPECT_EQ(builtin().agas_cache_misses.load(), misses + 1);
+  EXPECT_EQ(builtin().agas_forwards.load(), forwards);
+
+  dom.run([&](px::dist::locality& loc0) {
+    // Depart 1 -> 2: one commit, one tombstone at the departure locality.
+    EXPECT_EQ(loc0.call<&mig_hop>(1, g, 2).get().locality(), 2u);
+    // Stale first hop: cache still empty here (+1 miss), residence bits
+    // say 1, tombstone forwards to 2 (+1 forward), and both the forwarder
+    // and the receiver push authoritative residence updates back here.
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 100);
+    return 0;
+  });
+  dom.wait_all_quiescent();  // residence-update parcels land
+  EXPECT_EQ(builtin().agas_migrations.load(), migrations + 1);
+  EXPECT_EQ(builtin().agas_tombstones.load(), tombstones + 1);
+  EXPECT_EQ(builtin().agas_forwards.load(), forwards + 1);
+  EXPECT_EQ(builtin().agas_cache_misses.load(), misses + 2);
+
+  dom.run([&](px::dist::locality& loc0) {
+    // The forward taught this locality the truth: cache hit, no forward.
+    ASSERT_TRUE(loc0.residence().lookup(g).has_value());
+    EXPECT_EQ(loc0.residence().lookup(g)->loc, 2u);
+    EXPECT_EQ(loc0.call_component<&mig_read>(g).get(), 100);
+  });
+  dom.wait_all_quiescent();
+  EXPECT_EQ(builtin().agas_cache_hits.load(), hits + 1);
+  EXPECT_EQ(builtin().agas_forwards.load(), forwards + 1);  // unchanged
+  EXPECT_EQ(builtin().agas_cache_misses.load(), misses + 2);  // unchanged
+  EXPECT_EQ(builtin().agas_resolve_misses.load(), resolve_misses);
+  EXPECT_EQ(builtin().agas_migration_aborts.load(), aborts);
+}
+
+// ---- hop budget ----------------------------------------------------------
+
+TEST(Migration, HopBudgetExhaustionFailsTheCaller) {
+  px::dist::domain_config cfg = quiet_cfg();
+  cfg.agas_max_hops = 0;  // any forward at all exhausts the budget
+  px::dist::distributed_domain dom(cfg);
+  dom.run([&](px::dist::locality& loc0) {
+    auto g = loc0.call<&mig_make>(1, 55).get();
+    EXPECT_EQ(loc0.call<&mig_hop>(1, g, 2).get().locality(), 2u);
+    // Stale residence bits route to 1; the forward there would need one
+    // hop, which the budget denies — the caller's future must fail, not
+    // hang.
+    EXPECT_THROW(loc0.call_component<&mig_read>(g).get(),
+                 px::dist::hop_budget_exhausted);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+// ---- partitioned_vector blocks are migratable components -----------------
+
+TEST(Migration, PartitionedVectorSurvivesBlockMigration) {
+  px::dist::distributed_domain dom(quiet_cfg());
+  dom.run([&](px::dist::locality& loc0) {
+    auto pv = px::dist::partitioned_vector<double>::create(loc0, 90, 1.0);
+    for (std::size_t i = 0; i < 90; i += 7)
+      pv.set(loc0, i, static_cast<double>(i));
+    EXPECT_EQ(pv.get(loc0, 35), 35.0);
+
+    // Move block 1 (locality 1's slice) to locality 2; the handle keeps
+    // addressing it through the old GID via cache + tombstone.
+    auto before = pv.gather(loc0);
+    auto moved = pv.migrate_block(loc0, 1, 2);
+    EXPECT_EQ(moved.locality(), 2u);
+    EXPECT_EQ(pv.gather(loc0), before);
+    EXPECT_EQ(pv.get(loc0, 35), 35.0);
+    pv.set(loc0, 35, -1.0);
+    EXPECT_EQ(pv.get(loc0, 35), -1.0);
+    double const total = pv.sum(loc0);
+    auto after = pv.gather(loc0);
+    double expect = 0.0;
+    for (double v : after) expect += v;
+    EXPECT_EQ(total, expect);
+    pv.destroy(loc0);
+    return 0;
+  });
+  dom.wait_all_quiescent();
+}
+
+}  // namespace
