@@ -16,12 +16,16 @@
 // from PX_BENCH_REPS / PX_BENCH_WARMUP; the run seed from PX_SEED.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "px/arch/cluster_sim.hpp"
 #include "px/dist/distributed_domain.hpp"
+#include "px/dist/membership.hpp"
+#include "px/net/fault_plane.hpp"
 #include "px/px.hpp"
 #include "px/runtime/ws_deque.hpp"
 #include "px/serve/serve.hpp"
@@ -296,6 +300,108 @@ void many_small_parcels(px::dist::distributed_domain& dom,
   return false;
 }
 
+// --- net: partition heal --------------------------------------------------
+
+// A checkpointed 5-locality heat solve rides out a deliberate {0,1,2}|{3,4}
+// cut that heals well inside the confirm threshold. ns/op (per
+// point-update) prices the outage — reliability RTOs stall the cross-cut
+// halo exchanges until the heal — and the counter rows show the membership
+// machinery at work (/px/membership/*, /px/resilience/*,
+// /px/net/retransmits). The in-binary gate is the PR's recovery property:
+// quorum membership must ride out the cut WITHOUT a full-domain restart —
+// zero confirm-kills, zero rollback-replay rounds, the answer bitwise
+// identical to a fault-free run, and every fence cleared after heal.
+px::dist::domain_config partition_heal_cfg() {
+  px::dist::domain_config cfg;
+  cfg.num_localities = 5;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.0;
+  cfg.reliability.activation = px::net::reliability_config::mode::on;
+  cfg.reliability.initial_backoff_us = 1'000.0;
+  cfg.reliability.backoff_multiplier = 2.0;
+  cfg.reliability.max_backoff_us = 50'000.0;
+  cfg.reliability.max_retries = 64;
+  cfg.resilience.enabled = true;
+  cfg.resilience.heartbeat_interval_us = 2'000.0;
+  cfg.resilience.suspect_after_us = 100'000.0;
+  cfg.resilience.confirm_after_us = 600'000.0;
+  return cfg;
+}
+
+// Returns false (gate failure) when recovery needed more than the heal:
+// any confirm-kill, any rollback-replay round, a bitwise divergence from
+// the fault-free baseline, or a fence that survives the heal.
+[[nodiscard]] bool net_partition_heal_cases(runner& r, suite_cli const& cli) {
+  // Full problem size even under --smoke: the cut window (50 ms in,
+  // 250 ms held) must land mid-solve, so the solve cannot shrink.
+  (void)cli;
+  auto const initial = px::stencil::heat1d_sine_initial(151);
+  px::stencil::dist_heat_config hc;
+  hc.steps = 300;
+  hc.checkpoint_interval = 25;
+
+  // Fault-free baseline on the same 5-locality topology.
+  std::vector<double> baseline;
+  {
+    px::dist::domain_config clean = partition_heal_cfg();
+    clean.reliability = {};
+    clean.resilience.enabled = false;
+    px::dist::distributed_domain dom(clean);
+    baseline =
+        px::stencil::run_distributed_heat1d(dom, initial, hc).values;
+    dom.wait_all_quiescent();
+  }
+
+  bool ok = true;
+  px::dist::distributed_domain dom(partition_heal_cfg());
+  auto& b = px::counters::builtin();
+  r.run("net.partition_heal",
+        {{"localities", "5"},
+         {"nx", std::to_string(initial.size())},
+         {"steps", std::to_string(hc.steps)},
+         {"checkpoint_interval", std::to_string(hc.checkpoint_interval)},
+         {"cut", "{0,1,2}|{3,4} @50ms for 250ms"}},
+        static_cast<std::uint64_t>(initial.size()) * hc.steps,
+        [&](std::uint64_t) {
+          std::uint64_t const confirms0 = b.resilience_confirms.load();
+          std::thread cutter([&dom] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            px::net::partition_spec spec;
+            spec.side_a = {0, 1, 2};
+            spec.side_b = {3, 4};
+            dom.fabric().faults().partition_now(spec);
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            dom.fabric().faults().heal_all_partitions();
+          });
+          px::stencil::dist_heat_result out;
+          try {
+            out = px::stencil::run_distributed_heat1d(dom, initial, hc);
+          } catch (...) {
+            cutter.join();
+            throw;
+          }
+          cutter.join();
+          if (b.resilience_confirms.load() != confirms0 ||
+              out.recoveries != 0 || !(out.values == baseline))
+            ok = false;
+          // Fences from this repetition must clear before the next one
+          // partitions the same domain again.
+          auto const deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(10);
+          while (dom.membership().any_fenced() &&
+                 std::chrono::steady_clock::now() < deadline)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          if (dom.membership().any_fenced()) ok = false;
+        });
+  dom.wait_all_quiescent();
+  if (ok) return true;
+  std::fprintf(stderr,
+               "FAIL net.partition_heal: a healed sub-confirm partition "
+               "required more than the heal to recover (confirm-kill, "
+               "rollback, bitwise divergence, or a stuck fence)\n");
+  return false;
+}
+
 // --- AGAS: zipf-skewed heat under the load-driven rebalancer --------------
 
 // Skewed placement of zipf-sized partitions overloads the low localities;
@@ -562,13 +668,16 @@ int main(int argc, char** argv) {
 
   bool const coalesce_gate_ok = net_coalescing_cases(r, *cli);
 
+  bool const partition_gate_ok = net_partition_heal_cases(r, *cli);
+
   bool const agas_gate_ok = agas_skewed_heat_cases(r, *cli);
 
   serve_latency_cases(r, *cli);
 
   int const rc = px::bench::finalize_suite(r, *cli);
-  // The in-binary gates (coalescing frames-on-wire, rebalance-beats-static
-  // round tail) fail the lane even when every ns/op comparison passed.
-  if (!coalesce_gate_ok || !agas_gate_ok) return 1;
+  // The in-binary gates (coalescing frames-on-wire, partition-heal
+  // recovery without restart, rebalance-beats-static round tail) fail the
+  // lane even when every ns/op comparison passed.
+  if (!coalesce_gate_ok || !partition_gate_ok || !agas_gate_ok) return 1;
   return rc;
 }

@@ -19,6 +19,12 @@
 # migration torture sweep; test_torture_migration carries both labels) with
 # a 16-seed budget unless PX_TORTURE_SEEDS overrides it.
 #
+# --partition: build and run only the ctest-labeled partition suites
+# (fault-plane partition schedules, quorum membership + split-brain
+# fencing, gray-failure indirect probing, and the split-brain torture
+# sweep; test_torture_partition carries both labels) with a 16-seed
+# budget unless PX_TORTURE_SEEDS overrides it.
+#
 # --serve: build and run the ctest-labeled serve suites (scheduling-policy
 # conformance + px::serve multi-tenant isolation, including the co-tenant
 # fail-stop sweep) with a 16-seed budget unless PX_TORTURE_SEEDS overrides
@@ -64,6 +70,15 @@ if [ "${1:-}" = "--agas" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
    ctest -L agas --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--partition" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
+   ctest -L partition --output-on-failure)
   exit 0
 fi
 

@@ -194,6 +194,16 @@ rebalancer::pass_report rebalancer::step() {
   auto moves = plan_moves(std::move(ls), std::move(parts), cfg_);
   rep.planned = moves.size();
   for (planned_move const& m : moves) {
+    // Split-brain fence: a move touching a fenced (minority-partition)
+    // endpoint must not execute — the majority may be rehoming the same
+    // partitions. Count the refusal and leave the move for a post-heal
+    // pass; migrate<T> would refuse anyway, but skipping here avoids even
+    // starting the transaction.
+    if (dom_.is_fenced(m.from) || dom_.is_fenced(m.to)) {
+      (void)dom_.membership().refusal(dom_.is_fenced(m.from) ? m.from : m.to);
+      ++rep.fenced;
+      continue;
+    }
     gid g = invalid_gid;
     {
       std::lock_guard<spinlock> lk(lock_);

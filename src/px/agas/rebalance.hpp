@@ -133,6 +133,9 @@ class rebalancer {
     std::size_t planned = 0;
     std::size_t moved = 0;   // migrations that committed
     std::size_t failed = 0;  // planned moves whose migration failed
+    // Planned moves refused because an endpoint was fenced (minority side
+    // of a partition, px/dist/membership.hpp); retried after heal.
+    std::size_t fenced = 0;
     double imbalance_before = 1.0;
     double imbalance_after = 1.0;  // recomputed from tracked homes
   };

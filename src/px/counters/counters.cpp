@@ -307,6 +307,16 @@ registry::registry() : self_(new impl) {
   reg_cell("/px/agas/resolve_misses", kind::monotone,
            builtin_.agas_resolve_misses);
   reg_cell("/px/agas/tombstones", kind::monotone, builtin_.agas_tombstones);
+  reg_cell("/px/membership/views", kind::monotone,
+           builtin_.membership_views);
+  reg_cell("/px/membership/fenced_refusals", kind::monotone,
+           builtin_.membership_fenced_refusals);
+  reg_cell("/px/membership/indirect_probes", kind::monotone,
+           builtin_.membership_indirect_probes);
+  reg_cell("/px/membership/false_suspect_averted", kind::monotone,
+           builtin_.membership_false_suspect_averted);
+  reg_cell("/px/membership/rejoins", kind::monotone,
+           builtin_.membership_rejoins);
 
   entry trace_events;
   trace_events.id = self_->next_id++;

@@ -208,6 +208,18 @@ struct builtin_counters {
   counter agas_cache_misses;      // /px/agas/cache_misses
   counter agas_resolve_misses;    // /px/agas/resolve_misses
   counter agas_tombstones;        // /px/agas/tombstones
+  // Quorum membership (px/dist/membership): agreed-view advances (one per
+  // membership-epoch bump), operations refused by a fenced minority
+  // locality, SWIM-style indirect probe requests sent, suspicions averted
+  // because a probe (or late heartbeat) proved the peer alive while a
+  // probe round was outstanding, and fenced localities rejoining the
+  // majority view after heal (plus confirmed-dead members re-admitted by
+  // restart_locality).
+  counter membership_views;                 // /px/membership/views
+  counter membership_fenced_refusals;       // /px/membership/fenced_refusals
+  counter membership_indirect_probes;       // /px/membership/indirect_probes
+  counter membership_false_suspect_averted; // /px/membership/false_suspect_averted
+  counter membership_rejoins;               // /px/membership/rejoins
 };
 
 class registry {

@@ -447,8 +447,15 @@ distributed_domain::distributed_domain(domain_config cfg)
         return std::nullopt;
       });
 
+  // Env-driven partition schedules (PX_PARTITION_CUT and friends) land on
+  // the fault plane before any traffic flows.
+  fabric_.faults().apply_env_partition(cfg_.num_localities);
+
+  membership_ = std::make_unique<membership_view>(
+      cfg_.num_localities, membership_config::from_env(cfg_.membership));
   if (cfg_.resilience.enabled && cfg_.num_localities >= 2) {
-    detector_ = std::make_unique<failure_detector>(*this, cfg_.resilience);
+    detector_ = std::make_unique<failure_detector>(*this, cfg_.resilience,
+                                                   *membership_);
     detector_->start();
   }
 }
@@ -802,7 +809,17 @@ void distributed_domain::deliver_frame(parcel::parcel frame) {
     if (detector_ != nullptr &&
         !dead_[frame.source].load(std::memory_order_acquire) &&
         frame.epoch == incarnation(frame.source))
-      detector_->heard_from(frame.source);
+      detector_->heard_from(frame.source, frame.dest);
+    return;
+  }
+  if (frame.action == parcel::probe_action_id) {
+    // Indirect liveness probes: same soft-state rules as heartbeats (a
+    // stale incarnation or confirmed-dead source proves nothing).
+    if (detector_ != nullptr &&
+        !dead_[frame.source].load(std::memory_order_acquire) &&
+        !dead_[frame.dest].load(std::memory_order_acquire) &&
+        frame.epoch == incarnation(frame.source))
+      handle_probe(frame);
     return;
   }
   if (frame.action == parcel::ack_action_id) {
@@ -1008,6 +1025,7 @@ void distributed_domain::confirm_failure(std::uint32_t victim) {
     membership_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
   counters::builtin().resilience_confirms.add();
+  membership_->note_view_change();
   if (detector_ != nullptr) detector_->notify_confirmed(victim);
 
   // Retransmissions to and from the victim can never be acked; drain them
@@ -1084,6 +1102,10 @@ void distributed_domain::restart_locality(std::uint32_t loc) {
     dead_[loc].store(false, std::memory_order_release);
     membership_epoch_.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Re-admission is a view change and a rejoin: the restarted incarnation
+  // adopts the current agreed view.
+  membership_->note_view_change();
+  membership_->note_rejoin();
   if (detector_ != nullptr) detector_->notify_restart(loc);
 }
 
@@ -1132,6 +1154,97 @@ void distributed_domain::send_heartbeat(std::uint32_t src,
   // Heartbeats bypass the reliable path on purpose: they are periodic soft
   // state, and retransmitting a stale one would only forge liveness.
   transmit(std::move(hb), 1);
+}
+
+namespace {
+
+// Probe frame payload: [kind u8][origin u32 LE][target u32 LE]. kind walks
+// the relay exchange: request (origin -> relay), ping (relay -> target),
+// ack (target -> relay -> origin).
+constexpr std::uint8_t probe_kind_request = 0;
+constexpr std::uint8_t probe_kind_ping = 1;
+constexpr std::uint8_t probe_kind_ack = 2;
+
+void encode_probe_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint32_t decode_probe_u32(std::vector<std::byte> const& in,
+                               std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(in[at + i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void distributed_domain::send_probe_frame(std::uint32_t src,
+                                          std::uint32_t dst,
+                                          std::uint8_t kind,
+                                          std::uint32_t origin,
+                                          std::uint32_t target) {
+  if (dead_[src].load(std::memory_order_acquire) ||
+      dead_[dst].load(std::memory_order_acquire))
+    return;
+  parcel::parcel p;
+  p.source = src;
+  p.dest = dst;
+  p.action = parcel::probe_action_id;
+  p.epoch = incarnation(src);
+  p.payload.reserve(9);
+  p.payload.push_back(static_cast<std::byte>(kind));
+  encode_probe_u32(p.payload, origin);
+  encode_probe_u32(p.payload, target);
+  // Same transport rules as heartbeats: unsequenced, unacked soft state. A
+  // lost probe is just a failed liveness check; the next silence episode
+  // launches another round.
+  transmit(std::move(p), 1);
+}
+
+void distributed_domain::send_probe_request(std::uint32_t origin,
+                                            std::uint32_t relay,
+                                            std::uint32_t target) {
+  PX_ASSERT(origin < localities_.size() && relay < localities_.size() &&
+            target < localities_.size());
+  counters::builtin().membership_indirect_probes.add();
+  send_probe_frame(origin, relay, probe_kind_request, origin, target);
+}
+
+void distributed_domain::handle_probe(parcel::parcel const& frame) {
+  if (frame.payload.size() != 9) return;  // malformed; soft state, drop
+  auto const kind = std::to_integer<std::uint8_t>(frame.payload[0]);
+  std::uint32_t const origin = decode_probe_u32(frame.payload, 1);
+  std::uint32_t const target = decode_probe_u32(frame.payload, 5);
+  if (origin >= localities_.size() || target >= localities_.size()) return;
+  // Every surviving probe frame is live evidence of its *sender* toward its
+  // receiver, exactly like a heartbeat.
+  detector_->heard_from(frame.source, frame.dest);
+  switch (kind) {
+    case probe_kind_request:
+      // We are the relay: ping the target on the origin's behalf.
+      send_probe_frame(frame.dest, target, probe_kind_ping, origin, target);
+      break;
+    case probe_kind_ping:
+      // We are the target: answer toward whoever pinged us (the relay).
+      send_probe_frame(frame.dest, frame.source, probe_kind_ack, origin,
+                       target);
+      break;
+    case probe_kind_ack:
+      if (frame.dest == origin) {
+        // Terminal hop: the relay path proved the target alive; refresh the
+        // origin's own freshness cell for it.
+        detector_->heard_from(target, origin);
+      } else {
+        // We are the relay: forward the proof to the origin.
+        send_probe_frame(frame.dest, origin, probe_kind_ack, origin, target);
+      }
+      break;
+    default:
+      break;  // unknown kind; drop
+  }
 }
 
 namespace {

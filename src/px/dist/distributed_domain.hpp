@@ -23,6 +23,7 @@
 
 #include "px/dist/failure_detector.hpp"
 #include "px/dist/locality.hpp"
+#include "px/dist/membership.hpp"
 #include "px/lcos/async.hpp"
 #include "px/net/coalesce.hpp"
 #include "px/net/fabric.hpp"
@@ -65,6 +66,11 @@ struct domain_config {
   // runs a detector on the timer thread; confirmed failures tear down the
   // victim's transport state and fire the registered confirm hooks.
   resilience_config resilience;
+  // Quorum membership riding on the detector (px/dist/membership.hpp). The
+  // domain constructor applies membership_config::from_env on top, so
+  // PX_MEMBERSHIP_QUORUM / PX_MEMBERSHIP_PROBES override this programmatic
+  // config. Ignored unless resilience is enabled.
+  membership_config membership;
   // Forwarding-hop budget for component-addressed parcels: a parcel
   // chasing a migrated GID may be re-routed along departure tombstones at
   // most this many times before the call fails with hop_budget_exhausted.
@@ -196,6 +202,29 @@ class distributed_domain {
     return cfg_.resilience;
   }
 
+  // ---- quorum membership (see docs/ARCHITECTURE.md §4.5) ----------------
+
+  // The domain-wide membership ledger: fenced flags plus /px/membership/*
+  // accounting. Always present (the fencing gates consult it lock-free);
+  // only the detector ever fences anyone, so without resilience every
+  // locality stays permanently unfenced.
+  [[nodiscard]] membership_view& membership() noexcept { return *membership_; }
+  // True while `loc` sits on the minority side of a partition and must
+  // refuse migration commits, checkpoint commits, rebalancer moves and new
+  // tenant admissions (px::dist::fenced_error) until heal.
+  [[nodiscard]] bool is_fenced(std::uint32_t loc) const noexcept {
+    return membership_->fenced(loc);
+  }
+
+  // Detector plumbing for SWIM-style indirect probing: `origin` suspects
+  // `target` and routes a liveness check through `relay`. The three-hop
+  // exchange (request -> ping -> ack, each an unsequenced probe frame on
+  // the fabric) refreshes origin's freshness cell for target iff a path
+  // through the relay exists in both directions — exactly what a one-way
+  // origin<->target link cannot forge.
+  void send_probe_request(std::uint32_t origin, std::uint32_t relay,
+                          std::uint32_t target);
+
  private:
   // ---- reliability transport (see docs/ARCHITECTURE.md) ----------------
   [[nodiscard]] detail::link_state& link_between(std::uint32_t src,
@@ -230,6 +259,14 @@ class distributed_domain {
   void schedule_frame(parcel::parcel frame, std::uint64_t delay_ns);
   // Receiver-side transport: ack handling, dedup + ack for data frames.
   void deliver_frame(parcel::parcel frame);
+  // Consumes one probe frame at its destination: relays forward requests
+  // as pings and acks back toward the origin; the origin feeds the
+  // detector. See send_probe_request.
+  void handle_probe(parcel::parcel const& frame);
+  // Emits one unsequenced probe frame (kind/origin/target payload).
+  void send_probe_frame(std::uint32_t src, std::uint32_t dst,
+                        std::uint8_t kind, std::uint32_t origin,
+                        std::uint32_t target);
   void send_ack(parcel::parcel const& data);
   void handle_ack(parcel::parcel const& ack);
   void on_rto(std::uint32_t src, std::uint32_t dst, std::uint64_t seq);
@@ -276,6 +313,9 @@ class distributed_domain {
   std::uint64_t next_hook_id_ = 1;
   std::unordered_map<std::uint64_t, std::function<void(std::uint32_t)>>
       confirm_hooks_;
+  // Declared before the detector: the detector holds a reference and must
+  // be torn down first.
+  std::unique_ptr<membership_view> membership_;
   std::unique_ptr<failure_detector> detector_;
 
   // Torture invariants (obligation-balance, dedup-window-soundness).

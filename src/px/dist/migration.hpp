@@ -61,6 +61,18 @@ void send_migration_cancel(locality& from, std::uint32_t dest, agas::gid g,
 template <typename T>
 future<agas::gid> migrate(locality& from, agas::gid g, std::uint32_t dest) {
   auto& reg = from.agas();
+  // Split-brain fence (docs/ARCHITECTURE.md §4.5): a locality on the
+  // minority side of a partition must not commit migrations — the majority
+  // may be concurrently confirming it dead and rehoming its objects, and a
+  // commit here would fork the single-residence invariant. Refuse before
+  // pinning anything; the caller may park the work and retry after heal.
+  auto& dom = from.domain();
+  if (dom.is_fenced(from.id()))
+    return make_exceptional_future<agas::gid>(
+        std::make_exception_ptr(dom.membership().refusal(from.id())));
+  if (dom.is_fenced(dest))
+    return make_exceptional_future<agas::gid>(
+        std::make_exception_ptr(dom.membership().refusal(dest)));
   if (dest == from.id()) {
     // Migrate-to-self: a no-op, but only for an object actually here.
     if (reg.contains(g))

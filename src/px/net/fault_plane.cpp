@@ -1,6 +1,7 @@
 #include "px/net/fault_plane.hpp"
 
 #include "px/support/assert.hpp"
+#include "px/support/env.hpp"
 
 namespace px::net {
 
@@ -39,6 +40,21 @@ fault_decision fault_plane::sample(std::uint32_t src, std::uint32_t dst) {
         case locality_health::alive:
           break;
       }
+    }
+  }
+
+  // Partitions second: an active partition blackholes the whole direction,
+  // so a partitioned frame never reaches the link-fault lottery either.
+  if (partitions_installed_.load(std::memory_order_acquire) != 0) {
+    std::uint64_t const step = max_step_.load(std::memory_order_acquire);
+    std::lock_guard<spinlock> guard(lock_);
+    for (auto const& p : partitions_) {
+      if (!p.blocks(src, dst, step)) continue;
+      blackholed_.fetch_add(1, std::memory_order_relaxed);
+      partition_drops_.fetch_add(1, std::memory_order_relaxed);
+      d.drop = true;
+      d.blackholed = true;
+      return d;
     }
   }
 
@@ -92,6 +108,9 @@ fault_stats fault_plane::stats() const noexcept {
   s.sampled = sampled_.load(std::memory_order_relaxed);
   s.blackholed = blackholed_.load(std::memory_order_relaxed);
   s.locality_faults_triggered = triggered_.load(std::memory_order_relaxed);
+  s.partition_drops = partition_drops_.load(std::memory_order_relaxed);
+  s.partitions_triggered =
+      partitions_triggered_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -200,8 +219,220 @@ void fault_plane::check_schedules_locked(std::uint64_t step,
       ++it;
     }
   }
+  // Partition activation and heal ride the same progress feeds.
+  constexpr std::uint64_t never = ~std::uint64_t{0};
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (!it->active &&
+        (step >= it->at_step || modeled_ns >= it->at_modeled_ns)) {
+      it->active = true;
+      it->activated_step = step;
+      it->at_step = never;
+      it->at_modeled_ns = never;
+      partitions_triggered_.fetch_add(1, std::memory_order_relaxed);
+      ++fired;
+    }
+    if (it->active &&
+        (step >= it->heal_at_step || modeled_ns >= it->heal_at_modeled_ns)) {
+      ++fired;
+      it = partitions_.erase(it);
+      partitions_installed_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    ++it;
+  }
   if (fired != 0)
     pending_schedules_.fetch_sub(fired, std::memory_order_acq_rel);
+}
+
+// ---- partition schedule --------------------------------------------------
+
+std::uint64_t fault_plane::side_mask(std::vector<std::uint32_t> const& side) {
+  std::uint64_t mask = 0;
+  for (std::uint32_t loc : side) {
+    PX_ASSERT_MSG(loc < 64, "partition sides address localities < 64");
+    mask |= std::uint64_t{1} << loc;
+  }
+  return mask;
+}
+
+std::uint64_t fault_plane::add_partition(partition p) {
+  constexpr std::uint64_t never = ~std::uint64_t{0};
+  PX_ASSERT_MSG(p.mask_a != 0 && p.mask_b != 0,
+                "a partition needs two non-empty sides");
+  PX_ASSERT_MSG((p.mask_a & p.mask_b) == 0,
+                "partition sides must be disjoint");
+  std::uint64_t pending = 0;
+  if (!p.active && (p.at_step != never || p.at_modeled_ns != never))
+    pending += 1;
+  std::uint64_t id;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    id = next_partition_id_++;
+    p.id = id;
+    if (p.active) {
+      p.activated_step = max_step_.load(std::memory_order_acquire);
+      partitions_triggered_.fetch_add(1, std::memory_order_relaxed);
+    }
+    partitions_.push_back(p);
+  }
+  partitions_installed_.fetch_add(1, std::memory_order_acq_rel);
+  if (pending != 0) {
+    pending_schedules_.fetch_add(pending, std::memory_order_acq_rel);
+    // Same already-passed-threshold semantics as locality schedules.
+    advance_step(max_step_.load(std::memory_order_acquire));
+  }
+  return id;
+}
+
+std::uint64_t fault_plane::partition_now(partition_spec spec) {
+  partition p;
+  p.mask_a = side_mask(spec.side_a);
+  p.mask_b = side_mask(spec.side_b);
+  p.symmetric = spec.symmetric;
+  p.flap_period_steps = spec.flap_period_steps;
+  p.active = true;
+  return add_partition(p);
+}
+
+std::uint64_t fault_plane::partition_at_step(partition_spec spec,
+                                             std::uint64_t step) {
+  partition p;
+  p.mask_a = side_mask(spec.side_a);
+  p.mask_b = side_mask(spec.side_b);
+  p.symmetric = spec.symmetric;
+  p.flap_period_steps = spec.flap_period_steps;
+  p.at_step = step;
+  return add_partition(p);
+}
+
+std::uint64_t fault_plane::partition_at_modeled_ns(partition_spec spec,
+                                                   std::uint64_t modeled_ns) {
+  partition p;
+  p.mask_a = side_mask(spec.side_a);
+  p.mask_b = side_mask(spec.side_b);
+  p.symmetric = spec.symmetric;
+  p.flap_period_steps = spec.flap_period_steps;
+  p.at_modeled_ns = modeled_ns;
+  return add_partition(p);
+}
+
+void fault_plane::heal_partition(std::uint64_t id) {
+  constexpr std::uint64_t never = ~std::uint64_t{0};
+  std::uint64_t pending = 0;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+      if (it->id != id) continue;
+      if (!it->active && (it->at_step != never || it->at_modeled_ns != never))
+        pending += 1;
+      if (it->heal_at_step != never || it->heal_at_modeled_ns != never)
+        pending += 1;
+      partitions_.erase(it);
+      partitions_installed_.fetch_sub(1, std::memory_order_acq_rel);
+      break;
+    }
+  }
+  if (pending != 0)
+    pending_schedules_.fetch_sub(pending, std::memory_order_acq_rel);
+}
+
+void fault_plane::heal_partition_at_step(std::uint64_t id,
+                                         std::uint64_t step) {
+  bool found = false;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    for (auto& p : partitions_) {
+      if (p.id != id) continue;
+      PX_ASSERT_MSG(p.heal_at_step == ~std::uint64_t{0} &&
+                        p.heal_at_modeled_ns == ~std::uint64_t{0},
+                    "partition already has a heal schedule");
+      p.heal_at_step = step;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  pending_schedules_.fetch_add(1, std::memory_order_acq_rel);
+  advance_step(max_step_.load(std::memory_order_acquire));
+}
+
+void fault_plane::heal_partition_at_modeled_ns(std::uint64_t id,
+                                               std::uint64_t modeled_ns) {
+  bool found = false;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    for (auto& p : partitions_) {
+      if (p.id != id) continue;
+      PX_ASSERT_MSG(p.heal_at_step == ~std::uint64_t{0} &&
+                        p.heal_at_modeled_ns == ~std::uint64_t{0},
+                    "partition already has a heal schedule");
+      p.heal_at_modeled_ns = modeled_ns;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  pending_schedules_.fetch_add(1, std::memory_order_acq_rel);
+  advance_modeled_ns(max_modeled_ns_.load(std::memory_order_acquire));
+}
+
+void fault_plane::heal_all_partitions() {
+  constexpr std::uint64_t never = ~std::uint64_t{0};
+  std::uint64_t pending = 0;
+  std::size_t healed = 0;
+  {
+    std::lock_guard<spinlock> guard(lock_);
+    for (auto const& p : partitions_) {
+      if (!p.active && (p.at_step != never || p.at_modeled_ns != never))
+        pending += 1;
+      if (p.heal_at_step != never || p.heal_at_modeled_ns != never)
+        pending += 1;
+    }
+    healed = partitions_.size();
+    partitions_.clear();
+  }
+  if (healed != 0)
+    partitions_installed_.fetch_sub(healed, std::memory_order_acq_rel);
+  if (pending != 0)
+    pending_schedules_.fetch_sub(pending, std::memory_order_acq_rel);
+}
+
+bool fault_plane::partitioned(std::uint32_t src, std::uint32_t dst) const {
+  if (partitions_installed_.load(std::memory_order_acquire) == 0)
+    return false;
+  std::uint64_t const step = max_step_.load(std::memory_order_acquire);
+  std::lock_guard<spinlock> guard(lock_);
+  for (auto const& p : partitions_)
+    if (p.blocks(src, dst, step)) return true;
+  return false;
+}
+
+std::size_t fault_plane::active_partitions() const {
+  if (partitions_installed_.load(std::memory_order_acquire) == 0) return 0;
+  std::lock_guard<spinlock> guard(lock_);
+  std::size_t n = 0;
+  for (auto const& p : partitions_)
+    if (p.active) ++n;
+  return n;
+}
+
+void fault_plane::apply_env_partition(std::size_t num_localities) {
+  auto const cut = px::env_u64("PX_PARTITION_CUT");
+  if (!cut || *cut == 0 || *cut >= num_localities) return;
+  partition_spec spec;
+  for (std::uint32_t i = 0; i < num_localities; ++i)
+    (i < *cut ? spec.side_a : spec.side_b).push_back(i);
+  if (auto oneway = px::env_token("PX_PARTITION_ONEWAY", {"on", "off"}))
+    spec.symmetric = (*oneway != "on");
+  if (auto flap = px::env_u64("PX_PARTITION_FLAP_STEPS"))
+    spec.flap_period_steps = *flap;
+  std::uint64_t id;
+  if (auto at = px::env_u64("PX_PARTITION_AT_STEP"))
+    id = partition_at_step(spec, *at);
+  else
+    id = partition_now(spec);
+  if (auto heal = px::env_u64("PX_PARTITION_HEAL_AT_STEP"))
+    heal_partition_at_step(id, *heal);
 }
 
 void fault_plane::advance_step(std::uint64_t step) {

@@ -70,11 +70,29 @@ struct fault_config {
 struct fault_decision {
   bool drop = false;
   bool duplicate = false;
-  // True when `drop` comes from a locality fault (fail-stop or hang): the
-  // frame went into a blackhole, not into the link-fault lottery.
+  // True when `drop` comes from a locality fault (fail-stop or hang) or an
+  // active partition: the frame went into a blackhole, not into the
+  // link-fault lottery.
   bool blackholed = false;
   std::uint64_t hold_ns = 0;
   double delay_factor = 1.0;
+};
+
+// A group partition of the locality set: while active, every frame from
+// side A to side B is blackholed; a symmetric partition also blackholes
+// the B-to-A direction, an asymmetric one (symmetric = false) leaves it
+// intact — the gray-failure shape where a node's inbound traffic vanishes
+// while its own frames still get out (or vice versa). Localities absent
+// from both sides are unaffected. A nonzero flap_period_steps alternates
+// the partition between active and healed phases as the application step
+// feed (advance_step) progresses: active for the first `flap_period_steps`
+// steps after the trigger, healed for the next, and so on — the flaky
+// commodity-interconnect behaviour the Arm cluster papers report.
+struct partition_spec {
+  std::vector<std::uint32_t> side_a;
+  std::vector<std::uint32_t> side_b;
+  bool symmetric = true;
+  std::uint64_t flap_period_steps = 0;
 };
 
 // Decisions taken so far, for test assertions against counter deltas.
@@ -89,6 +107,10 @@ struct fault_stats {
   std::uint64_t blackholed = 0;
   // Locality fault schedules whose trigger fired.
   std::uint64_t locality_faults_triggered = 0;
+  // Frames swallowed by an active partition (counted in `blackholed` too).
+  std::uint64_t partition_drops = 0;
+  // Partition schedules whose activation trigger fired.
+  std::uint64_t partitions_triggered = 0;
 };
 
 // How a locality currently looks to the wire.
@@ -138,6 +160,45 @@ class fault_plane {
   // untriggered schedules for the locality are discarded too.
   void revive(std::uint32_t loc);
 
+  // ---- partition schedule ----------------------------------------------
+  // Partitions compose with locality faults and the link-fault lottery: a
+  // frame is first checked against fail-stop/hang blackholes, then against
+  // every active partition, and only a surviving frame enters the seeded
+  // per-link fault sampling. Activation and heal ride the same progress
+  // triggers as locality faults (advance_step / advance_modeled_ns).
+
+  // Installs `spec`, active immediately. Returns an id for heal calls.
+  std::uint64_t partition_now(partition_spec spec);
+  // Installs `spec`, activating when the progress feed first reaches the
+  // threshold (application step / cumulative modeled wire time).
+  std::uint64_t partition_at_step(partition_spec spec, std::uint64_t step);
+  std::uint64_t partition_at_modeled_ns(partition_spec spec,
+                                        std::uint64_t modeled_ns);
+  // Heals one partition (or every partition): frames flow again and any
+  // pending activation or flap phase for it is discarded. Healing an
+  // unknown or already-healed id is a no-op.
+  void heal_partition(std::uint64_t id);
+  void heal_partition_at_step(std::uint64_t id, std::uint64_t step);
+  void heal_partition_at_modeled_ns(std::uint64_t id, std::uint64_t modeled_ns);
+  void heal_all_partitions();
+
+  // True when an active partition (in its active flap phase) currently
+  // blackholes src -> dst frames.
+  [[nodiscard]] bool partitioned(std::uint32_t src, std::uint32_t dst) const;
+  // Installed partitions that are past their activation trigger and not yet
+  // healed (flapping partitions count even in a healed phase).
+  [[nodiscard]] std::size_t active_partitions() const;
+
+  // Reads PX_PARTITION_* (see docs/API.md) and installs the described
+  // partition over localities [0, num_localities): PX_PARTITION_CUT=k
+  // splits {0..k-1} from {k..n-1}; PX_PARTITION_AT_STEP /
+  // PX_PARTITION_HEAL_AT_STEP schedule activation and heal;
+  // PX_PARTITION_ONEWAY=on makes it asymmetric (only frames from the low
+  // side toward the high side are lost);
+  // PX_PARTITION_FLAP_STEPS sets the flap period. No-op unless
+  // PX_PARTITION_CUT parses strictly to 0 < k < num_localities.
+  void apply_env_partition(std::size_t num_localities);
+
   // Progress feeds for the schedule triggers. advance_step keeps the max
   // step observed; both are cheap when no schedule is pending.
   void advance_step(std::uint64_t step);
@@ -159,10 +220,41 @@ class fault_plane {
     std::uint64_t at_step = ~std::uint64_t{0};
     std::uint64_t at_modeled_ns = ~std::uint64_t{0};
   };
+  struct partition {
+    std::uint64_t id = 0;
+    std::uint64_t mask_a = 0;  // bit per locality on side A
+    std::uint64_t mask_b = 0;
+    bool symmetric = true;
+    std::uint64_t flap_period_steps = 0;
+    bool active = false;       // past the activation trigger, not healed
+    std::uint64_t at_step = ~std::uint64_t{0};
+    std::uint64_t at_modeled_ns = ~std::uint64_t{0};
+    std::uint64_t heal_at_step = ~std::uint64_t{0};
+    std::uint64_t heal_at_modeled_ns = ~std::uint64_t{0};
+    std::uint64_t activated_step = 0;  // flap phase anchor
+    // True when the flap phase (from the step feed) currently blackholes.
+    [[nodiscard]] bool flap_active(std::uint64_t step) const noexcept {
+      if (flap_period_steps == 0) return true;
+      std::uint64_t const since = step >= activated_step
+                                      ? step - activated_step
+                                      : 0;
+      return (since / flap_period_steps) % 2 == 0;
+    }
+    [[nodiscard]] bool blocks(std::uint32_t src, std::uint32_t dst,
+                              std::uint64_t step) const noexcept {
+      if (!active || !flap_active(step)) return false;
+      auto bit = [](std::uint32_t loc) { return std::uint64_t{1} << loc; };
+      if ((mask_a & bit(src)) != 0 && (mask_b & bit(dst)) != 0) return true;
+      return symmetric && (mask_b & bit(src)) != 0 && (mask_a & bit(dst)) != 0;
+    }
+  };
 
   void add_schedule(schedule s);
   void set_health(std::uint32_t loc, locality_health h, double factor);
   void check_schedules_locked(std::uint64_t step, std::uint64_t modeled_ns);
+  std::uint64_t add_partition(partition p);
+  [[nodiscard]] static std::uint64_t side_mask(
+      std::vector<std::uint32_t> const& side);
 
   fault_config cfg_{};
   mutable spinlock lock_;
@@ -174,16 +266,21 @@ class fault_plane {
   std::atomic<std::uint64_t> sampled_{0};
   std::atomic<std::uint64_t> blackholed_{0};
   std::atomic<std::uint64_t> triggered_{0};
+  std::atomic<std::uint64_t> partition_drops_{0};
+  std::atomic<std::uint64_t> partitions_triggered_{0};
 
   // Fast-path gates: sample()/advance_*() touch the maps only when set.
   std::atomic<bool> locality_faults_{false};
   std::atomic<std::uint64_t> pending_schedules_{0};
+  std::atomic<std::uint64_t> partitions_installed_{0};
   std::atomic<std::uint64_t> max_step_{0};
   std::atomic<std::uint64_t> max_modeled_ns_{0};
 
   // Guarded by lock_.
   std::unordered_map<std::uint32_t, loc_fault> loc_state_;
   std::vector<schedule> schedules_;
+  std::vector<partition> partitions_;
+  std::uint64_t next_partition_id_ = 1;
 };
 
 }  // namespace px::net

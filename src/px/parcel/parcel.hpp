@@ -62,4 +62,13 @@ inline constexpr std::uint32_t heartbeat_action_id = 0xfffffffeu;
 // acks, dedups and retransmits.
 inline constexpr std::uint32_t coalesced_action_id = 0xfffffffdu;
 
+// Indirect-probe frame (SWIM-style, px/dist/failure_detector): an observer
+// that stopped hearing a peer's heartbeats routes a liveness check through
+// a third locality before suspecting, so a single lossy or one-way link
+// cannot escalate a healthy node to dead. The 9-byte payload encodes
+// {kind: request | ping | ack, origin, target}; like heartbeats the frames
+// are unsequenced/unacked soft state, consumed by the domain and never
+// delivered to action handlers.
+inline constexpr std::uint32_t probe_action_id = 0xfffffffcu;
+
 }  // namespace px::parcel

@@ -170,6 +170,17 @@ admit_result server::submit(tenant_id id, job_request const& req) {
   tenant& t = *tenants_[id];
   t.submitted.fetch_add(1, std::memory_order_relaxed);
 
+  // Split-brain fence: a fenced server (minority side of a partition, see
+  // px/dist/membership.hpp) sheds before the admission machine even looks
+  // at the backlog — accepted work might commit state the majority is
+  // concurrently rehoming. Counted both as a tenant rejection and as a
+  // membership fenced-refusal.
+  if (cfg_.fenced && cfg_.fenced()) {
+    counters::builtin().membership_fenced_refusals.add();
+    t.rejected.fetch_add(1, std::memory_order_relaxed);
+    return admit_result::shed;
+  }
+
   // Admission state machine with hysteresis: accepting -> shedding at the
   // in-flight cap, shedding -> accepting only once the backlog drained
   // below resume_fraction of the cap. The band prevents accept/shed

@@ -95,6 +95,12 @@ struct tenant_stats {
 struct server_config {
   // Latency samples retained per tenant for the percentile window.
   std::size_t latency_window = 4096;
+  // Split-brain fence hook (px/dist/membership.hpp): when set and true, new
+  // submissions are shed before admission — a server whose home locality
+  // sits on the minority side of a partition must not accept work it may
+  // not be able to commit. Distributed deployments wire this to
+  // `[&dom, loc] { return dom.is_fenced(loc); }`; unset means never fenced.
+  std::function<bool()> fenced;
 };
 
 class server {

@@ -212,15 +212,25 @@ std::vector<double> heat_solve_block(px::dist::locality& here,
     //    older step that is fully covered.
     if (args.checkpoint_interval != 0 && t > args.t0 &&
         t % args.checkpoint_interval == 0) {
-      std::vector<double> slab(curr.begin(), curr.end());
-      ckpt_store(here)->put(p, t, serial::to_bytes(slab));
-      if (nparts > 1) {
-        std::uint32_t const buddy = args.part_loc[(p + 1) % nparts];
-        if (buddy != here.id()) {
-          try {
-            here.call<&heat_ckpt_put>(buddy, p, t, std::move(slab)).get();
-          } catch (...) {
-            // Buddy unreachable (dying or dead); the local copy stands.
+      // Split-brain fence: a fenced (minority-partition) host must not
+      // commit checkpoints — the majority may be rolling this partition
+      // back or rehoming it, and a minority-side checkpoint could later be
+      // restored over the agreed state. Skipping is safe (recovery rolls
+      // back to an older fully-covered step) and the refusal is counted so
+      // tests can pin the gate.
+      if (here.domain().is_fenced(here.id())) {
+        (void)here.domain().membership().refusal(here.id());
+      } else {
+        std::vector<double> slab(curr.begin(), curr.end());
+        ckpt_store(here)->put(p, t, serial::to_bytes(slab));
+        if (nparts > 1) {
+          std::uint32_t const buddy = args.part_loc[(p + 1) % nparts];
+          if (buddy != here.id()) {
+            try {
+              here.call<&heat_ckpt_put>(buddy, p, t, std::move(slab)).get();
+            } catch (...) {
+              // Buddy unreachable (dying or dead); the local copy stands.
+            }
           }
         }
       }

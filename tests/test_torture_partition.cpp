@@ -1,0 +1,335 @@
+// Partition torture: seed-swept split-brain runs over a lossy, coalescing,
+// acked fabric. Pins the PR's safety properties at scale:
+//   (a) migration tours across a partition/heal cycle keep exactly one
+//       resident copy per GID (explicit census + the domain's
+//       agas-single-residence invariant at quiesce) and leak no
+//       obligations, with minority-side destinations refused via typed
+//       fenced_error while the cut is up;
+//   (b) a checkpointed distributed heat solve that rides out a partition
+//       shorter than the confirm threshold recovers without any eviction
+//       or rollback and stays bitwise identical to a fault-free run — the
+//       reliability layer's RTOs span the outage, the quorum rule keeps
+//       both sides alive, and fenced checkpoints are skipped, not lost.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "px/counters/counters.hpp"
+#include "px/dist/membership.hpp"
+#include "px/dist/migration.hpp"
+#include "px/net/fault_plane.hpp"
+#include "px/stencil/heat1d.hpp"
+#include "px/stencil/heat1d_distributed.hpp"
+#include "px/torture/forall.hpp"
+#include "px/torture/invariant.hpp"
+
+namespace {
+
+struct split_cell {
+  std::uint64_t tag = 0;
+
+  template <typename Archive>
+  void serialize(Archive& ar) {
+    ar& tag;
+  }
+};
+
+px::agas::gid tp_make(px::dist::locality& here, std::uint64_t tag) {
+  auto cell = std::make_shared<split_cell>();
+  cell->tag = tag;
+  return here.agas().bind(std::move(cell));
+}
+
+std::uint64_t tp_read(px::dist::locality& here, px::agas::gid g) {
+  auto cell = here.agas().resolve<split_cell>(g);
+  if (cell == nullptr) throw std::runtime_error("split_cell not resident");
+  return cell->tag;
+}
+
+px::agas::gid tp_hop(px::dist::locality& here, px::agas::gid g,
+                     std::uint32_t dest) {
+  return px::dist::migrate<split_cell>(here, g, dest).get();
+}
+
+int tp_contains(px::dist::locality& here, px::agas::gid g) {
+  return here.agas().contains(g) ? 1 : 0;
+}
+
+}  // namespace
+
+PX_REGISTER_ACTION(tp_make)
+PX_REGISTER_ACTION(tp_read)
+PX_REGISTER_ACTION(tp_hop)
+PX_REGISTER_ACTION(tp_contains)
+PX_REGISTER_MIGRATABLE(split_cell)
+
+namespace {
+
+namespace torture = px::torture;
+using px::counters::builtin;
+using namespace std::chrono_literals;
+
+constexpr std::size_t split_localities = 5;  // majority {0,1,2} | minority {3,4}
+
+px::dist::domain_config split_cfg(std::uint64_t seed) {
+  px::dist::domain_config cfg;
+  cfg.num_localities = split_localities;
+  cfg.locality_cfg.num_workers = 2;
+  cfg.injection_scale = 0.001;
+  cfg.faults.drop = 0.10;
+  cfg.faults.duplicate = 0.05;
+  cfg.faults.reorder = 0.05;
+  cfg.faults.seed = (seed ^ (seed >> 32)) * 0x9e3779b97f4a7c15ull + 1;
+  cfg.reliability.activation = px::net::reliability_config::mode::on;
+  cfg.reliability.initial_backoff_us = 1'000.0;
+  cfg.reliability.backoff_multiplier = 2.0;
+  cfg.reliability.max_backoff_us = 50'000.0;
+  cfg.reliability.max_retries = 64;
+  cfg.coalescing.enabled = true;
+  cfg.coalescing.compress = true;
+  cfg.coalescing.max_parcels = 8;
+  cfg.coalescing.flush_delay_us = 20.0;
+  cfg.resilience.enabled = true;
+  cfg.resilience.heartbeat_interval_us = 2'000.0;
+  // Fence quickly; confirm far above the deliberate outage window so a
+  // healed partition evicts nobody (scenario (b)) while a held one
+  // eventually does (scenario (a) tolerates either outcome).
+  cfg.resilience.suspect_after_us = 100'000.0;
+  cfg.resilience.confirm_after_us = 600'000.0;
+  return cfg;
+}
+
+torture::forall_options partition_opts(char const* stem) {
+  torture::forall_options opts;
+  opts.perturb.perturb_probability = 0.3;
+  opts.perturb.max_sleep_us = 40;
+  // Deadline jitter would stall whole heartbeat ticks, and a stalled tick
+  // reads as cluster-wide silence; schedule exploration still bites via
+  // the sleep/yield perturbations on the wire, probe, and fencing paths.
+  opts.perturb.timer_jitter_ns = 0;
+  opts.dump_stem = stem;
+  return opts;
+}
+
+void fail_quiesce(std::unique_ptr<px::dist::distributed_domain> dom,
+                  char const* what) {
+  dom->detach_invariants();
+  auto const leaked = dom->obligations_in_flight();
+  (void)dom.release();  // corrupted: destructor would hang
+  throw torture::invariant_violation(
+      {{"obligation-balance",
+        std::to_string(leaked) + " obligation(s) in flight " + what}});
+}
+
+bool eventually(int deadline_ms, std::function<bool()> pred) {
+  auto const deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+// (a) Migration tours across a partition/heal cycle. Objects live on the
+// majority side while the cut is up (tours there proceed normally); every
+// attempt to migrate one onto the fenced minority must refuse with
+// fenced_error. After heal — restarting any locality the majority evicted
+// in the meantime — tours span the full cluster again, and the census must
+// find exactly one resident copy per GID with its state intact.
+TEST(TorturePartition, MigrationCensusAndObligationsAcrossPartitionHeal) {
+  auto r = torture::forall_seeds(
+      torture::seed_count(16),
+      [](std::uint64_t seed) {
+        auto dom =
+            std::make_unique<px::dist::distributed_domain>(split_cfg(seed));
+        constexpr std::size_t objects = 5;
+        std::vector<px::agas::gid> gids(objects);
+
+        // Objects start spread over the majority side only.
+        dom->run([&](px::dist::locality& loc0) {
+          for (std::size_t i = 0; i < objects; ++i)
+            gids[i] = loc0.call<&tp_make>(static_cast<std::uint32_t>(i % 3),
+                                          i + 1).get();
+          return 0;
+        });
+
+        // Cut {0,1,2} | {3,4} and wait until the minority has fenced.
+        px::net::partition_spec spec;
+        spec.side_a = {0, 1, 2};
+        spec.side_b = {3, 4};
+        dom->fabric().faults().partition_now(spec);
+        if (!eventually(10'000,
+                        [&] { return dom->is_fenced(3) && dom->is_fenced(4); }))
+          throw std::runtime_error("minority never fenced under the cut");
+
+        // Deterministic fenced refusal first, while the fence is freshly
+        // observed (well inside the pre-confirm window): a hop onto the
+        // minority must refuse with the typed error.
+        std::size_t refusals = 0;
+        dom->run([&](px::dist::locality& loc0) {
+          try {
+            (void)px::dist::migrate<split_cell>(loc0, gids[0], 3).get();
+          } catch (px::dist::fenced_error const& e) {
+            if (e.where() == 3u) ++refusals;
+          }
+          return 0;
+        });
+        if (refusals != 1)
+          throw std::runtime_error(
+              "migration onto the fenced minority was not refused with "
+              "fenced_error");
+
+        // Tours while partitioned: majority-internal hops must work.
+        dom->run([&](px::dist::locality& loc0) {
+          std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 7);
+          std::uniform_int_distribution<std::uint32_t> majority(0, 2);
+          for (int round = 0; round < 3; ++round) {
+            for (std::size_t i = 0; i < objects; ++i) {
+              try {
+                (void)loc0.call_component<&tp_hop>(gids[i], majority(rng))
+                    .get();
+              } catch (std::runtime_error const&) {
+                // Raced hops may roll back; the census settles it.
+              }
+            }
+          }
+          return 0;
+        });
+
+        // Heal. If the cut outlived the confirm threshold the majority
+        // evicted the minority — re-admit it; either way everyone must end
+        // up alive and unfenced.
+        dom->fabric().faults().heal_all_partitions();
+        for (std::uint32_t l : {3u, 4u})
+          if (dom->is_confirmed_dead(l)) dom->restart_locality(l);
+        if (!eventually(10'000, [&] {
+              return !dom->membership().any_fenced() &&
+                     !dom->is_confirmed_dead(3) && !dom->is_confirmed_dead(4);
+            }))
+          throw std::runtime_error("cluster did not rejoin after heal");
+
+        // Post-heal tours span the whole cluster, minority included.
+        dom->run([&](px::dist::locality& loc0) {
+          std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 13);
+          std::uniform_int_distribution<std::uint32_t> anywhere(
+              0, split_localities - 1);
+          for (int round = 0; round < 3; ++round) {
+            for (std::size_t i = 0; i < objects; ++i) {
+              try {
+                (void)loc0.call_component<&tp_hop>(gids[i], anywhere(rng))
+                    .get();
+              } catch (std::runtime_error const&) {
+              }
+            }
+          }
+          return 0;
+        });
+        if (!dom->wait_all_quiescent_for(30s))
+          fail_quiesce(std::move(dom), "after partition/heal tours");
+
+        // Census: exactly one resident copy per GID, state intact.
+        dom->run([&](px::dist::locality& loc0) {
+          for (std::size_t i = 0; i < objects; ++i) {
+            int residents = 0;
+            for (std::uint32_t l = 0; l < split_localities; ++l)
+              residents += loc0.call<&tp_contains>(l, gids[i]).get();
+            if (residents != 1)
+              throw std::runtime_error(
+                  "expected exactly 1 resident copy, found " +
+                  std::to_string(residents) + " (gid " + gids[i].to_string() +
+                  ")");
+            if (loc0.call_component<&tp_read>(gids[i]).get() != i + 1)
+              throw std::runtime_error("post-heal read lost object state");
+          }
+          return 0;
+        });
+        if (!dom->wait_all_quiescent_for(30s))
+          fail_quiesce(std::move(dom), "after census");
+      },
+      partition_opts("torture-partition-tours"));
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+// (b) A checkpointed heat solve rides out a sub-confirm-threshold
+// partition: the reliability RTOs span the outage, quorum keeps both sides
+// alive (zero confirms, zero rollbacks), fenced minority checkpoints are
+// skipped, and after heal the answer is bitwise identical to a fault-free
+// run of the same topology.
+TEST(TorturePartition, HealedPartitionHeatStaysBitwiseIdentical) {
+  auto const initial = px::stencil::heat1d_sine_initial(151);
+  // Enough steps that the 50–300 ms cut window always lands mid-solve: the
+  // cross-cut halo exchanges stall on their RTOs and resume after heal.
+  px::stencil::dist_heat_config hc;
+  hc.steps = 300;
+  hc.checkpoint_interval = 25;
+
+  // Fault-free baseline on an identical topology.
+  px::dist::domain_config clean = split_cfg(0);
+  clean.faults = {};
+  clean.coalescing = {};
+  clean.injection_scale = 0.0;
+  clean.resilience.enabled = false;
+  px::dist::distributed_domain clean_dom(clean);
+  auto const baseline = px::stencil::run_distributed_heat1d(clean_dom, initial, hc);
+  clean_dom.wait_all_quiescent();
+  ASSERT_EQ(baseline.values.size(), initial.size());
+
+  auto r = torture::forall_seeds(
+      torture::seed_count(16),
+      [&](std::uint64_t seed) {
+        auto const confirms0 = builtin().resilience_confirms.load();
+        auto dom =
+            std::make_unique<px::dist::distributed_domain>(split_cfg(seed));
+
+        // Cut the cluster mid-solve and heal well before the 600 ms
+        // confirm threshold: long enough for RTOs and fencing to engage.
+        std::thread cutter([&dom] {
+          std::this_thread::sleep_for(50ms);
+          px::net::partition_spec spec;
+          spec.side_a = {0, 1, 2};
+          spec.side_b = {3, 4};
+          dom->fabric().faults().partition_now(spec);
+          std::this_thread::sleep_for(250ms);
+          dom->fabric().faults().heal_all_partitions();
+        });
+        px::stencil::dist_heat_result out;
+        try {
+          out = px::stencil::run_distributed_heat1d(*dom, initial, hc);
+        } catch (...) {
+          cutter.join();
+          throw;
+        }
+        cutter.join();
+
+        // Quorum membership recovered the solve without evicting anyone —
+        // no confirm, no restart, no rollback-replay round.
+        if (builtin().resilience_confirms.load() - confirms0 != 0)
+          throw std::runtime_error(
+              "a healed sub-threshold partition must not confirm-kill "
+              "anyone");
+        if (out.recoveries != 0)
+          throw std::runtime_error(
+              "no locality died, so no rollback-replay should have run");
+        if (out.values.size() != baseline.values.size() ||
+            !(out.values == baseline.values))
+          throw std::runtime_error(
+              "partitioned+healed heat1d diverged bitwise from the "
+              "fault-free run");
+        if (!eventually(10'000,
+                        [&] { return !dom->membership().any_fenced(); }))
+          throw std::runtime_error("fences did not clear after heal");
+        if (!dom->wait_all_quiescent_for(60s))
+          fail_quiesce(std::move(dom), "after partition/heal heat solve");
+      },
+      partition_opts("torture-partition-heat"));
+  EXPECT_TRUE(r.passed) << "seed " << r.failing_seed << ": " << r.message;
+}
+
+}  // namespace
