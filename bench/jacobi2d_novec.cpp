@@ -1,0 +1,67 @@
+// Built with -fno-tree-vectorize -fno-slp-vectorize (see CMakeLists). The
+// row kernel lives in a TU-local lambda: its instantiation of
+// parallel::for_loop is unique to this TU, so no ODR merge can swap the
+// scalar loop for the vectorized build of the same template elsewhere in
+// the binary.
+#include "jacobi2d_novec.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "px/px.hpp"
+
+namespace pxbench {
+
+namespace {
+
+template <typename T>
+double run_novec(px::runtime& rt, std::size_t nx, std::size_t ny,
+                 std::size_t steps) {
+  std::size_t const stride = nx + 2;
+  std::vector<T> a(stride * (ny + 2), T(0));
+  // Unit Dirichlet ring, like init_dirichlet_problem.
+  for (std::size_t x = 0; x < stride; ++x) {
+    a[x] = T(1);
+    a[(ny + 1) * stride + x] = T(1);
+  }
+  for (std::size_t y = 0; y < ny + 2; ++y) {
+    a[y * stride] = T(1);
+    a[y * stride + nx + 1] = T(1);
+  }
+  std::vector<T> b = a;
+
+  return px::sync_wait(rt, [&] {
+    T* cur = a.data();
+    T* nxt = b.data();
+    px::high_resolution_timer timer;
+    for (std::size_t t = 0; t < steps; ++t) {
+      px::parallel::for_loop(
+          px::execution::par, std::size_t(1), ny + 1, [&](std::size_t y) {
+            T const* const up = cur + (y - 1) * stride;
+            T const* const mid = cur + y * stride;
+            T const* const down = cur + (y + 1) * stride;
+            T* const out = nxt + y * stride;
+            T const quarter = T(0.25);
+            for (std::size_t x = 1; x <= nx; ++x)
+              out[x] =
+                  (mid[x - 1] + mid[x + 1] + up[x] + down[x]) * quarter;
+          });
+      std::swap(cur, nxt);
+    }
+    return timer.elapsed();
+  });
+}
+
+}  // namespace
+
+double jacobi2d_novec_seconds_f32(px::runtime& rt, std::size_t nx,
+                                  std::size_t ny, std::size_t steps) {
+  return run_novec<float>(rt, nx, ny, steps);
+}
+
+double jacobi2d_novec_seconds_f64(px::runtime& rt, std::size_t nx,
+                                  std::size_t ny, std::size_t steps) {
+  return run_novec<double>(rt, nx, ny, steps);
+}
+
+}  // namespace pxbench

@@ -1,0 +1,29 @@
+// bench/jacobi2d_novec.hpp
+// The strictly scalar contrast point of the simd.jacobi2d.* cases: the
+// same 5-point Jacobi sweep, same parallel row distribution, but compiled
+// in a TU with -fno-tree-vectorize -fno-slp-vectorize and with the hot
+// loop written locally (no shared template instantiation), so the linker
+// cannot replace it with a vectorized copy from another TU.
+#pragma once
+
+#include <cstddef>
+
+namespace px {
+class runtime;
+}
+
+namespace pxbench {
+
+// Seconds for `steps` sweeps of the unit-Dirichlet problem on an nx x ny
+// interior, parallel over rows on px::execution::par (call with a live
+// runtime). Timing covers the sweeps only.
+[[nodiscard]] double jacobi2d_novec_seconds_f32(px::runtime& rt,
+                                                std::size_t nx,
+                                                std::size_t ny,
+                                                std::size_t steps);
+[[nodiscard]] double jacobi2d_novec_seconds_f64(px::runtime& rt,
+                                                std::size_t nx,
+                                                std::size_t ny,
+                                                std::size_t steps);
+
+}  // namespace pxbench

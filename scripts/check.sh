@@ -25,6 +25,11 @@
 # sweep; test_torture_partition carries both labels) with a 16-seed
 # budget unless PX_TORTURE_SEEDS overrides it.
 #
+# --simd: build and run only the ctest-labeled simd suites (pack library,
+# VNS layout + padded segments, field2d, the 2D Jacobi ABI-preset kernels,
+# and the blocked 3D kernel's seed sweep) with a 16-seed budget unless
+# PX_TORTURE_SEEDS overrides it.
+#
 # --serve: build and run the ctest-labeled serve suites (scheduling-policy
 # conformance + px::serve multi-tenant isolation, including the co-tenant
 # fail-stop sweep) with a 16-seed budget unless PX_TORTURE_SEEDS overrides
@@ -79,6 +84,15 @@ if [ "${1:-}" = "--partition" ]; then
   (cd "$repo/build" && \
    PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
    ctest -L partition --output-on-failure)
+  exit 0
+fi
+
+if [ "${1:-}" = "--simd" ]; then
+  cmake -B "$repo/build" -S "$repo"
+  cmake --build "$repo/build" -j
+  (cd "$repo/build" && \
+   PX_TORTURE_SEEDS="${PX_TORTURE_SEEDS:-16}" \
+   ctest -L simd --output-on-failure)
   exit 0
 fi
 

@@ -11,14 +11,18 @@
 #   4. partition     partition schedules + quorum membership/fencing +
 #                    gray-failure probing suites under a
 #                    16-seed torture sweep       (scripts/check.sh --partition)
-#   5. serve         scheduling-policy conformance + px::serve isolation
+#   5. simd          explicit-vectorization suites: VNS padded segments,
+#                    seam orientation, ABI-preset kernels, blocked 3D
+#                    seed sweep                  (scripts/check.sh --simd)
+#   6. serve         scheduling-policy conformance + px::serve isolation
 #                    sweeps, then the ws_policy vs BENCH_pr5.json
 #                    regression gate             (scripts/check.sh --serve)
-#   6. torture       all torture-labeled seed sweeps with a big budget
+#   7. torture       all torture-labeled seed sweeps with a big budget
 #                    (64 seeds per property)     (scripts/check.sh --torture)
-#   7. bench         px::bench smoke run vs the committed BENCH_seed.json
+#   8. bench         px::bench smoke run vs the committed BENCH_seed.json
 #                    baseline, gross-regression threshold for timings, the
-#                    in-binary coalescing and rebalance gates exact
+#                    in-binary coalescing, rebalance, and explicit-pack
+#                    vs auto-vectorized gates exact
 #                                                (scripts/check.sh --bench)
 #
 # Knobs pass straight through: PX_SKIP_SAN=1 skips the sanitizer lane,
@@ -30,25 +34,28 @@ set -eu
 
 scripts=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
-echo "== ci.sh: lane 1/7 tier-1 (build + full suite + sanitizers) =="
+echo "== ci.sh: lane 1/8 tier-1 (build + full suite + sanitizers) =="
 "$scripts/check.sh"
 
-echo "== ci.sh: lane 2/7 resilience (ctest -L resilience) =="
+echo "== ci.sh: lane 2/8 resilience (ctest -L resilience) =="
 "$scripts/check.sh" --resilience
 
-echo "== ci.sh: lane 3/7 agas (ctest -L agas) =="
+echo "== ci.sh: lane 3/8 agas (ctest -L agas) =="
 "$scripts/check.sh" --agas
 
-echo "== ci.sh: lane 4/7 partition (ctest -L partition) =="
+echo "== ci.sh: lane 4/8 partition (ctest -L partition) =="
 "$scripts/check.sh" --partition
 
-echo "== ci.sh: lane 5/7 serve (ctest -L serve + ws_policy perf gate) =="
+echo "== ci.sh: lane 5/8 simd (ctest -L simd) =="
+"$scripts/check.sh" --simd
+
+echo "== ci.sh: lane 6/8 serve (ctest -L serve + ws_policy perf gate) =="
 "$scripts/check.sh" --serve
 
-echo "== ci.sh: lane 6/7 torture (ctest -L torture) =="
+echo "== ci.sh: lane 7/8 torture (ctest -L torture) =="
 "$scripts/check.sh" --torture
 
-echo "== ci.sh: lane 7/7 bench smoke (px::bench vs BENCH_seed.json) =="
+echo "== ci.sh: lane 8/8 bench smoke (px::bench vs BENCH_seed.json) =="
 "$scripts/check.sh" --bench
 
 echo "== ci.sh: all lanes passed =="

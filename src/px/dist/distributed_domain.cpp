@@ -1,6 +1,7 @@
 #include "px/dist/distributed_domain.hpp"
 
 #include <chrono>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -466,7 +467,17 @@ distributed_domain::~distributed_domain() {
   if (detector_ != nullptr) detector_->stop();
   wait_all_quiescent();
   // Cancelled retransmission timers may still sit in the timer heap; their
-  // callbacks are claimed no-ops and never touch this object again.
+  // callbacks are claimed no-ops and never touch this object again. A
+  // flush-deadline callback that won its claim race, though, may still be
+  // mid-flight (backing off on the buffer a flush emptied) — wait those
+  // out before the buffers they are about to lock are freed.
+  std::vector<std::shared_ptr<rt::timer_token>> retired;
+  {
+    std::lock_guard<spinlock> guard(retired_lock_);
+    retired.swap(retired_deadline_tokens_);
+  }
+  for (auto const& token : retired)
+    while (token->is_running()) std::this_thread::yield();
   // Localities (and their runtimes) shut down in the unique_ptr dtors.
 }
 
@@ -595,7 +606,7 @@ void distributed_domain::enqueue_coalesced(parcel::parcel p) {
     }
   }
   if (!batch.empty()) {
-    if (deadline != nullptr) deadline->cancel();  // claimed -> timer no-ops
+    if (deadline != nullptr) retire_deadline_token(std::move(deadline));
     counters::builtin().net_flushes_size.add();
     flush_batch(std::move(batch));
     return;
@@ -618,6 +629,26 @@ void distributed_domain::enqueue_coalesced(parcel::parcel p) {
     flush_buffer(buf, counters::builtin().net_flushes_explicit);
 }
 
+void distributed_domain::retire_deadline_token(
+    std::shared_ptr<rt::timer_token> token) {
+  // Winning the claim means the timer fires as a counted no-op and its
+  // captures never run — nothing to track. Losing it means the deadline
+  // callback is mid-flight on the timer thread, backing off on the buffer
+  // this flush just emptied; the batch's obligations transferred to us,
+  // so once they drain nothing else stops ~distributed_domain from
+  // freeing the buffer the callback is still about to lock. (That exact
+  // race — token claimed, callback descheduled, quiesce drains,
+  // destructor runs, callback resumes into freed memory and spins on a
+  // garbage spinlock — hung the bench suite on a single-core host.)
+  // Blocking here would put an OS timeslice on the flush hot path, so
+  // park the token instead and let the destructor wait it out once.
+  if (token->cancel()) return;
+  std::lock_guard<spinlock> guard(retired_lock_);
+  std::erase_if(retired_deadline_tokens_,
+                [](auto const& t) { return !t->is_running(); });
+  retired_deadline_tokens_.push_back(std::move(token));
+}
+
 void distributed_domain::flush_buffer(detail::coalesce_buffer& buf,
                                       counters::counter& trigger) {
   std::vector<parcel::parcel> batch;
@@ -632,7 +663,7 @@ void distributed_domain::flush_buffer(detail::coalesce_buffer& buf,
   // Claiming a still-armed deadline token turns its timer into a counted
   // no-op; losing the claim means the deadline callback is concurrently
   // stealing — it found (or will find) an empty buffer and backs off.
-  if (deadline != nullptr) deadline->cancel();
+  if (deadline != nullptr) retire_deadline_token(std::move(deadline));
   trigger.add();
   flush_batch(std::move(batch));
 }

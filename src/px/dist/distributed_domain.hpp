@@ -28,6 +28,7 @@
 #include "px/net/coalesce.hpp"
 #include "px/net/fabric.hpp"
 #include "px/net/reliability.hpp"
+#include "px/support/spin.hpp"
 #include "px/torture/invariant.hpp"
 
 namespace px::rt {
@@ -249,6 +250,7 @@ class distributed_domain {
   void enqueue_coalesced(parcel::parcel p);
   // Steals and flushes one buffer's batch, counting `trigger` (a
   // builtin_counters flush cell). No-op on an empty buffer.
+  void retire_deadline_token(std::shared_ptr<rt::timer_token> token);
   void flush_buffer(detail::coalesce_buffer& buf,
                     counters::counter& trigger);
   // Encodes a stolen batch into one envelope and puts it on the wire,
@@ -295,6 +297,12 @@ class distributed_domain {
   net::coalescing_config coalesce_cfg_;
   std::uint64_t coalesce_flush_delay_ns_ = 0;
   std::vector<std::unique_ptr<detail::coalesce_buffer>> coalesce_;
+  // Flush-deadline tokens whose cancel lost the claim race: the callback
+  // is (or was) mid-flight on the timer thread. The destructor must wait
+  // them out before freeing the buffers they are about to lock; the hot
+  // flush paths only append here (rare) instead of blocking inline.
+  spinlock retired_lock_;
+  std::vector<std::shared_ptr<rt::timer_token>> retired_deadline_tokens_;
 
   std::mutex quiesce_mutex_;
   std::condition_variable quiesce_cv_;

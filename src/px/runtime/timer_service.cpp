@@ -58,10 +58,14 @@ void timer_service::call_at(clock::time_point deadline,
   PX_ASSERT(fn);
   PX_ASSERT(token != nullptr);
   call_at(deadline, [token = std::move(token), fn = std::move(fn)]() mutable {
-    if (token->try_claim())
+    if (token->try_claim_for_run()) {
       fn();
-    else
+      // Publishes completion to cancel_and_wait: a canceller that lost
+      // the claim may free the callback's captures once it sees `done`.
+      token->mark_done();
+    } else {
       counters::builtin().timer_cancelled.add();
+    }
   });
 }
 

@@ -27,21 +27,52 @@ namespace px::rt {
 // cancel time. Used by the parcel reliability layer to disarm a
 // retransmission timer when the ack arrives.
 class timer_token {
+  enum : int { armed, cancelled, running, done };
+
  public:
   // True when this call suppressed the callback; false when the callback
-  // already ran (or is running) or was cancelled before.
-  bool cancel() noexcept { return try_claim(); }
+  // already ran (or is running) or was cancelled before. Does NOT wait
+  // for a concurrently running callback — safe to call under locks the
+  // callback may take, but the caller must not tear down state the
+  // callback touches (use cancel_and_wait for that).
+  bool cancel() noexcept {
+    int expected = armed;
+    return state_.compare_exchange_strong(expected, cancelled,
+                                          std::memory_order_acq_rel);
+  }
 
-  [[nodiscard]] bool armed() const noexcept {
-    return armed_.load(std::memory_order_acquire);
+  // As cancel(), but when the claim is lost to the timer thread — the
+  // callback is about to run or is mid-flight — blocks until the callback
+  // has returned. After this returns, the callback will never (or will
+  // never again) touch its captures, so the caller may free what they
+  // point at. Must not be called while holding a lock the callback
+  // acquires, and never from the callback itself.
+  bool cancel_and_wait() noexcept {
+    if (cancel()) return true;
+    while (state_.load(std::memory_order_acquire) == running)
+      std::this_thread::yield();
+    return false;
+  }
+
+  [[nodiscard]] bool is_armed() const noexcept {
+    return state_.load(std::memory_order_acquire) == armed;
+  }
+
+  // True while the timer thread is inside the callback. Non-blocking
+  // probe for retire lists that must prune without waiting.
+  [[nodiscard]] bool is_running() const noexcept {
+    return state_.load(std::memory_order_acquire) == running;
   }
 
  private:
   friend class timer_service;
-  bool try_claim() noexcept {
-    return armed_.exchange(false, std::memory_order_acq_rel);
+  bool try_claim_for_run() noexcept {
+    int expected = armed;
+    return state_.compare_exchange_strong(expected, running,
+                                          std::memory_order_acq_rel);
   }
-  std::atomic<bool> armed_{true};
+  void mark_done() noexcept { state_.store(done, std::memory_order_release); }
+  std::atomic<int> state_{armed};
 };
 
 class timer_service {

@@ -30,6 +30,12 @@ namespace px::simd::vns {
   return x % nv;
 }
 
+// Packs needed for a row of n scalars: the smallest nv with W * nv >= n.
+[[nodiscard]] constexpr std::size_t packs_for(std::size_t n,
+                                              std::size_t w) noexcept {
+  return (n + w - 1) / w;
+}
+
 // Scalar row -> VNS packs. src.size() must equal W * nv.
 template <typename T, std::size_t W>
 void encode(std::span<T const> src, pack<T, W>* dst, std::size_t nv) {
@@ -44,6 +50,35 @@ void decode(pack<T, W> const* src, std::span<T> dst, std::size_t nv) {
   PX_ASSERT(dst.size() == W * nv);
   for (std::size_t j = 0; j < nv; ++j)
     for (std::size_t l = 0; l < W; ++l) dst[l * nv + j] = src[j].v[l];
+}
+
+// Row lengths that are not a multiple of W * nv: the row is laid out as if
+// padded to W * nv scalars, with positions src.size() .. W*nv-1 holding
+// `pad`. Padding lands at the high end of the scalar index space, so every
+// real scalar keeps the canonical mapping x = l * nv + j and real
+// neighbours stay pack neighbours; kernels must keep the first padded
+// scalar benign (the stencil fields pin it to the row's right ghost).
+template <typename T, std::size_t W>
+void encode_padded(std::span<T const> src, pack<T, W>* dst, std::size_t nv,
+                   T pad = T(0)) {
+  PX_ASSERT(src.size() <= W * nv);
+  for (std::size_t j = 0; j < nv; ++j)
+    for (std::size_t l = 0; l < W; ++l) {
+      std::size_t const x = l * nv + j;
+      dst[j].v[l] = x < src.size() ? src[x] : pad;
+    }
+}
+
+// Inverse of encode_padded: writes only the dst.size() real scalars,
+// ignoring the padding lanes.
+template <typename T, std::size_t W>
+void decode_padded(pack<T, W> const* src, std::span<T> dst, std::size_t nv) {
+  PX_ASSERT(dst.size() <= W * nv);
+  for (std::size_t j = 0; j < nv; ++j)
+    for (std::size_t l = 0; l < W; ++l) {
+      std::size_t const x = l * nv + j;
+      if (x < dst.size()) dst[x] = src[j].v[l];
+    }
 }
 
 // Left-neighbour pack for slot 0: lane l needs s[l*nv - 1], i.e. the last

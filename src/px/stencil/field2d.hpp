@@ -33,12 +33,19 @@ class field2d {
   static constexpr std::size_t lanes = simd::lane_count_v<Cell>;
   static constexpr bool vectorized = simd::is_pack_v<Cell>;
 
-  // nx: interior scalars per row (must divide by the lane count);
-  // ny: interior rows.
+  // nx: interior scalars per row; ny: interior rows. Row lengths that are
+  // not a lane multiple are stored in padded VNS segments: cells() =
+  // ceil(nx / lanes), and the trailing lanes*cells() - nx scalar positions
+  // are padding. refresh_row_halos pins the first padded scalar (x = nx) to
+  // the row's right Dirichlet ghost, so every *real* cell computes exactly
+  // the value of the unpadded problem; the remaining padding lanes evolve
+  // as bounded junk that no real cell ever reads.
   field2d(std::size_t nx, std::size_t ny)
-      : nx_(nx), ny_(ny), cells_(nx / lanes), stride_(cells_ + 2) {
-    PX_ASSERT_MSG(nx % lanes == 0, "row length must be a lane multiple");
-    PX_ASSERT(nx >= lanes && ny >= 1);
+      : nx_(nx),
+        ny_(ny),
+        cells_(simd::vns::packs_for(nx, lanes)),
+        stride_(cells_ + 2) {
+    PX_ASSERT(nx >= 1 && ny >= 1);
     storage_.assign(stride_ * (ny_ + 2), Cell(scalar(0)));
     if constexpr (vectorized) {
       ghost_left_.assign(ny_ + 2, scalar(0));
@@ -48,8 +55,12 @@ class field2d {
 
   [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
   [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
-  // Interior cells per row (nx / lanes).
+  // Interior cells per row (ceil(nx / lanes)).
   [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+  // Trailing padded scalar positions per row (0 when lanes divides nx).
+  [[nodiscard]] std::size_t padding() const noexcept {
+    return lanes * cells_ - nx_;
+  }
   [[nodiscard]] std::size_t row_stride() const noexcept { return stride_; }
 
   // Cell access in storage coordinates: s in [0, cells()+2), y in
@@ -150,6 +161,14 @@ class field2d {
   void refresh_row_halos(std::size_t y) noexcept {
     if constexpr (vectorized) {
       Cell* r = row(y);
+      if (nx_ < lanes * cells_) {
+        // Padded row: pin the first padded scalar s[nx] to the right ghost
+        // so the last real cell's pack-neighbour read sees the boundary.
+        // Must happen before the seams — s[nx] may sit in the first or the
+        // last interior pack, feeding right_seam/left_seam below.
+        r[1 + simd::vns::slot_of(nx_, cells_)]
+            .v[simd::vns::lane_of(nx_, cells_)] = ghost_right_[y];
+      }
       r[0] = simd::vns::left_seam(r[cells_], ghost_left_[y]);
       r[cells_ + 1] = simd::vns::right_seam(r[1], ghost_right_[y]);
     } else {

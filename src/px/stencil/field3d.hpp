@@ -1,0 +1,120 @@
+// px/stencil/field3d.hpp
+// Scalar 3D field with a one-cell ghost shell for the 7-point Jacobi
+// kernel ("Performance Optimization of 3D Stencil Computation on ARM SVE").
+//
+// Storage is x-fastest with the x-pitch rounded up to 64 bytes so every
+// (y, z) row starts on a full-cacheline / native-vector boundary. Kernels
+// still index rows from interior offset 1, so pack loads inside a row are
+// generally *misaligned* — the kernels use unaligned ops throughout (see
+// the alignment audit in jacobi3d_blocked.hpp); the padded pitch buys
+// cacheline-clean row starts and keeps row strides constant, not aligned
+// interior pointers. The pad cells past x = nx+1 are initialized to zero
+// and never read: the widest in-row access is index nx+1 (the ghost
+// column), which the pitch >= nx+2 guarantees is in range.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "px/support/aligned.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::stencil {
+
+template <typename T>
+class field3d {
+ public:
+  using scalar = T;
+  static constexpr std::size_t pitch_align_bytes = 64;
+
+  field3d(std::size_t nx, std::size_t ny, std::size_t nz)
+      : nx_(nx), ny_(ny), nz_(nz) {
+    PX_ASSERT(nx >= 1 && ny >= 1 && nz >= 1);
+    std::size_t const q = pitch_align_bytes / sizeof(T);
+    pitch_ = (nx + 2 + q - 1) / q * q;
+    slab_ = (ny + 2) * pitch_;
+    storage_.assign(slab_ * (nz + 2), T(0));
+  }
+
+  [[nodiscard]] std::size_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::size_t ny() const noexcept { return ny_; }
+  [[nodiscard]] std::size_t nz() const noexcept { return nz_; }
+  // Scalars per (y, z) row including ghosts and pad (>= nx + 2).
+  [[nodiscard]] std::size_t pitch() const noexcept { return pitch_; }
+  // Scalars per z-slab.
+  [[nodiscard]] std::size_t slab() const noexcept { return slab_; }
+
+  // Row pointer in storage coordinates: y in [0, ny+2), z in [0, nz+2).
+  // The base is pitch_align_bytes-aligned.
+  [[nodiscard]] T* row(std::size_t y, std::size_t z) noexcept {
+    PX_ASSERT_DEBUG(y < ny_ + 2 && z < nz_ + 2);
+    return storage_.data() + z * slab_ + y * pitch_;
+  }
+  [[nodiscard]] T const* row(std::size_t y, std::size_t z) const noexcept {
+    PX_ASSERT_DEBUG(y < ny_ + 2 && z < nz_ + 2);
+    return storage_.data() + z * slab_ + y * pitch_;
+  }
+
+  // Element access in storage coordinates (x in [0, nx+2)).
+  [[nodiscard]] T& at(std::size_t x, std::size_t y, std::size_t z) noexcept {
+    PX_ASSERT_DEBUG(x < nx_ + 2);
+    return row(y, z)[x];
+  }
+  [[nodiscard]] T const& at(std::size_t x, std::size_t y,
+                            std::size_t z) const noexcept {
+    PX_ASSERT_DEBUG(x < nx_ + 2);
+    return row(y, z)[x];
+  }
+
+  // Interior accessors (x < nx, y < ny, z < nz).
+  [[nodiscard]] T get(std::size_t x, std::size_t y,
+                      std::size_t z) const noexcept {
+    PX_ASSERT_DEBUG(x < nx_ && y < ny_ && z < nz_);
+    return at(x + 1, y + 1, z + 1);
+  }
+  void set(std::size_t x, std::size_t y, std::size_t z, T v) noexcept {
+    PX_ASSERT_DEBUG(x < nx_ && y < ny_ && z < nz_);
+    at(x + 1, y + 1, z + 1) = v;
+  }
+
+  [[nodiscard]] std::size_t interior_bytes() const noexcept {
+    return nx_ * ny_ * nz_ * sizeof(T);
+  }
+
+ private:
+  std::size_t nx_, ny_, nz_, pitch_ = 0, slab_ = 0;
+  std::vector<T, aligned_allocator<T, pitch_align_bytes>> storage_;
+};
+
+// The 3D analogue of init_dirichlet_problem: zero interior, unit Dirichlet
+// shell on all six faces (written into the ghost cells adjacent to the
+// interior; pad cells stay zero).
+template <typename T>
+void init_dirichlet_problem3d(field3d<T>& f) {
+  for (std::size_t z = 0; z < f.nz() + 2; ++z)
+    for (std::size_t y = 0; y < f.ny() + 2; ++y) {
+      T* r = f.row(y, z);
+      bool const edge_yz =
+          y == 0 || y == f.ny() + 1 || z == 0 || z == f.nz() + 1;
+      if (edge_yz) {
+        for (std::size_t x = 0; x < f.nx() + 2; ++x) r[x] = T(1);
+      } else {
+        for (std::size_t x = 0; x < f.nx() + 2; ++x) r[x] = T(0);
+        r[0] = T(1);
+        r[f.nx() + 1] = T(1);
+      }
+    }
+}
+
+// Row-major nx*ny*nz copy of the interior, for validation.
+template <typename T>
+[[nodiscard]] std::vector<T> interior_snapshot3d(field3d<T> const& f) {
+  std::vector<T> out(f.nx() * f.ny() * f.nz());
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < f.nz(); ++z)
+    for (std::size_t y = 0; y < f.ny(); ++y)
+      for (std::size_t x = 0; x < f.nx(); ++x) out[i++] = f.get(x, y, z);
+  return out;
+}
+
+}  // namespace px::stencil

@@ -1,0 +1,114 @@
+// px/stencil/heat1d_vns.hpp
+// Explicitly vectorized 1D heat row kernel (Eq. 3) in the Virtual Node
+// Scheme layout: the nx-point row lives in nv = ceil(nx/W) packs of W
+// lanes, neighbours are whole-pack neighbours, and only the two seam slots
+// need the lane rotations of vns.hpp. This is the per-partition inner loop
+// of the paper's Listing 1, pack edition — the 2D/3D kernels reuse the same
+// seam pattern per row.
+//
+// The per-lane operation order matches heat_update exactly
+// (c + k*(l - 2c + r)), so a double pack run tracks the serial reference to
+// rounding, and a scalar comparison loop in T matches the pack run lane for
+// lane up to FMA contraction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "px/simd/abi.hpp"
+#include "px/simd/pack.hpp"
+#include "px/simd/vns.hpp"
+#include "px/support/assert.hpp"
+
+namespace px::stencil {
+
+// One heat step over the nv packs of a VNS row. `left_ghost`/`right_ghost`
+// are the scalars just outside the row (for a standalone domain: the fixed
+// Dirichlet endpoints' neighbours are re-pinned by the caller instead).
+template <typename T, std::size_t W>
+void heat1d_vns_row_step(simd::pack<T, W> const* in, simd::pack<T, W>* out,
+                         std::size_t nv, T left_ghost, T right_ghost,
+                         T k) noexcept {
+  using P = simd::pack<T, W>;
+  P const kk(k);
+  P const two(T(2));
+  P const lseam = simd::vns::left_seam(in[nv - 1], left_ghost);
+  P const rseam = simd::vns::right_seam(in[0], right_ghost);
+  for (std::size_t j = 0; j < nv; ++j) {
+    P const c = in[j];
+    P const l = j == 0 ? lseam : in[j - 1];
+    P const r = j + 1 == nv ? rseam : in[j + 1];
+    out[j] = c + kk * (l - two * c + r);
+  }
+}
+
+// Serial whole-domain VNS heat solve: `steps` sweeps with the endpoints
+// x = 0 and x = nx-1 held fixed (Dirichlet carried over), exactly the
+// semantics of reference_heat1d. Rows that are not a multiple of W are
+// stored padded; the first padded scalar s[nx] is re-pinned to the fixed
+// right endpoint's value each step so the last real cell reads its true
+// neighbour (which for this standalone domain is itself fixed — s[nx] just
+// has to stay benign, and pinning it to u[nx-1] keeps every real lane
+// exact).
+template <typename T, std::size_t W>
+std::vector<T> run_heat1d_vns(std::span<T const> initial, std::size_t steps,
+                              T k) {
+  using P = simd::pack<T, W>;
+  std::size_t const nx = initial.size();
+  PX_ASSERT(nx >= 3);
+  std::size_t const nv = simd::vns::packs_for(nx, W);
+  std::vector<P> a(nv), b(nv);
+  simd::vns::encode_padded(initial, a.data(), nv, T(0));
+
+  T const left = initial[0];
+  T const right = initial[nx - 1];
+  // lane/slot coordinates of the pinned cells in the VNS mapping.
+  std::size_t const l0 = simd::vns::lane_of(std::size_t(0), nv);
+  std::size_t const j0 = simd::vns::slot_of(std::size_t(0), nv);
+  std::size_t const le = simd::vns::lane_of(nx - 1, nv);
+  std::size_t const je = simd::vns::slot_of(nx - 1, nv);
+  bool const padded = nx < W * nv;
+  std::size_t const lp = padded ? simd::vns::lane_of(nx, nv) : 0;
+  std::size_t const jp = padded ? simd::vns::slot_of(nx, nv) : 0;
+  if (padded) a[jp].v[lp] = right;
+
+  P* curr = a.data();
+  P* next = b.data();
+  for (std::size_t t = 0; t < steps; ++t) {
+    // The seam ghosts mirror the fixed endpoints: the lane-0 left seam and
+    // the lane-(W-1) right seam both feed cells that are re-pinned below,
+    // so their values are irrelevant; pass the endpoints for definiteness.
+    heat1d_vns_row_step(curr, next, nv, left, right, k);
+    next[j0].v[l0] = left;
+    next[je].v[le] = right;
+    if (padded) next[jp].v[lp] = right;
+    std::swap(curr, next);
+  }
+
+  std::vector<T> out(nx);
+  simd::vns::decode_padded(curr, std::span<T>(out), nv);
+  return out;
+}
+
+// The auto-vectorization baseline for the same solve: a plain scalar loop
+// in T the compiler is free to vectorize, identical update order and
+// endpoint handling. Used by the simd.heat1d_vns.* bench cases.
+template <typename T>
+std::vector<T> run_heat1d_autovec(std::span<T const> initial,
+                                  std::size_t steps, T k) {
+  std::size_t const nx = initial.size();
+  PX_ASSERT(nx >= 3);
+  std::vector<T> curr(initial.begin(), initial.end());
+  std::vector<T> next(nx);
+  for (std::size_t t = 0; t < steps; ++t) {
+    next[0] = curr[0];
+    for (std::size_t x = 1; x + 1 < nx; ++x)
+      next[x] = curr[x] + k * (curr[x - 1] - T(2) * curr[x] + curr[x + 1]);
+    next[nx - 1] = curr[nx - 1];
+    curr.swap(next);
+  }
+  return curr;
+}
+
+}  // namespace px::stencil

@@ -52,6 +52,28 @@ std::vector<double> reference_jacobi2d(std::vector<double> u, std::size_t nx,
   return u;
 }
 
+std::vector<double> reference_jacobi3d(std::vector<double> u, std::size_t nx,
+                                       std::size_t ny, std::size_t nz,
+                                       std::size_t steps) {
+  std::size_t const sx = nx + 2;
+  std::size_t const sy = (ny + 2) * sx;
+  PX_ASSERT(u.size() == sy * (nz + 2));
+  double const sixth = 1.0 / 6.0;
+  std::vector<double> next = u;
+  for (std::size_t t = 0; t < steps; ++t) {
+    for (std::size_t z = 1; z <= nz; ++z)
+      for (std::size_t y = 1; y <= ny; ++y)
+        for (std::size_t x = 1; x <= nx; ++x) {
+          std::size_t const i = z * sy + y * sx + x;
+          next[i] = ((u[i - 1] + u[i + 1]) + (u[i - sx] + u[i + sx]) +
+                     (u[i - sy] + u[i + sy])) *
+                    sixth;
+        }
+    u.swap(next);
+  }
+  return u;
+}
+
 double max_abs_diff(std::vector<double> const& a,
                     std::vector<double> const& b) {
   PX_ASSERT(a.size() == b.size());

@@ -28,6 +28,14 @@ namespace px::stencil {
     std::vector<double> u_with_ghosts, std::size_t nx, std::size_t ny,
     std::size_t steps);
 
+// Serial 7-point Jacobi on a scalar 3D grid with ghost ring. `u` has
+// (nz+2) x (ny+2) x (nx+2) scalars, x fastest, row-major; returns the grid
+// after `steps` sweeps of the interior. Update order matches the blocked
+// kernel:  ((xm+xp) + (ym+yp) + (zm+zp)) * (1/6).
+[[nodiscard]] std::vector<double> reference_jacobi3d(
+    std::vector<double> u_with_ghosts, std::size_t nx, std::size_t ny,
+    std::size_t nz, std::size_t steps);
+
 // Max-norm difference of two equally sized vectors.
 [[nodiscard]] double max_abs_diff(std::vector<double> const& a,
                                   std::vector<double> const& b);

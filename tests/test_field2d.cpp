@@ -102,8 +102,18 @@ TEST(Field2dPack, ScalarAndPackFieldsAgreeAfterIdenticalWrites) {
       EXPECT_DOUBLE_EQ(s.get(x, y), p.get(x, y));
 }
 
-TEST(Field2dPack, RowLengthMustBeLaneMultiple) {
-  EXPECT_DEATH((field2d<pack<float, 8>>(12, 2)), "lane multiple");
+TEST(Field2dPack, NonLaneMultipleRowsUsePaddedSegments) {
+  // nx = 12 with W = 8 used to be rejected; padded VNS segments now store
+  // it as cells() = ceil(12/8) = 2 packs with 4 trailing pad scalars.
+  field2d<pack<float, 8>> f(12, 2);
+  EXPECT_EQ(f.cells(), 2u);
+  EXPECT_EQ(f.padding(), 4u);
+  for (std::size_t y = 0; y < 2; ++y)
+    for (std::size_t x = 0; x < 12; ++x)
+      f.set(x, y, float(x + 100 * y));
+  for (std::size_t y = 0; y < 2; ++y)
+    for (std::size_t x = 0; x < 12; ++x)
+      ASSERT_EQ(f.get(x, y), float(x + 100 * y)) << x << "," << y;
 }
 
 // ---- typed invariants across all cell types -------------------------------

@@ -211,4 +211,39 @@ TEST(TimerService, CallbacksFireInDeadlineOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+TEST(TimerService, CancelAndWaitBlocksUntilRunningCallbackReturns) {
+  // Regression: a canceller that loses the token claim must not proceed
+  // to tear down the callback's captures while the callback is still
+  // executing (coalesce flush-deadline vs ~distributed_domain race).
+  auto& ts = px::rt::timer_service::instance();
+  std::atomic<bool> entered{false}, release{false}, finished{false};
+  auto token = std::make_shared<px::rt::timer_token>();
+  ts.call_at(px::rt::timer_service::clock::now(),
+             [&] {
+               entered.store(true);
+               while (!release.load()) std::this_thread::yield();
+               finished.store(true);
+             },
+             token);
+  while (!entered.load()) std::this_thread::yield();
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    release.store(true);
+  });
+  EXPECT_FALSE(token->cancel_and_wait());  // claim already lost to the timer
+  EXPECT_TRUE(finished.load());            // ...but callback has fully run
+  releaser.join();
+}
+
+TEST(TimerService, CancelAndWaitWinningClaimSuppressesCallback) {
+  auto& ts = px::rt::timer_service::instance();
+  std::atomic<bool> ran{false};
+  auto token = std::make_shared<px::rt::timer_token>();
+  ts.call_at(px::rt::timer_service::clock::now() + std::chrono::hours(1),
+             [&] { ran.store(true); }, token);
+  EXPECT_TRUE(token->cancel_and_wait());  // timer never claimed: instant win
+  EXPECT_FALSE(token->is_armed());
+  EXPECT_FALSE(ran.load());
+}
+
 }  // namespace

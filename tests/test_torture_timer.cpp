@@ -72,7 +72,7 @@ TEST(TortureTimer, TokenClaimedExactlyOnceUnderCancelFireHammer) {
         for (int i = 0; i < n; ++i) {
           int const f = fired[i].load();
           int const c = (i % 2 == 0 &&
-                         !tokens[static_cast<std::size_t>(i)]->armed() &&
+                         !tokens[static_cast<std::size_t>(i)]->is_armed() &&
                          f == 0)
                             ? 1
                             : 0;
